@@ -1,0 +1,124 @@
+// F6/F7 (Figures 6 & 7) — container interception overhead.
+//
+// The JBoss argument: adding services = adding interceptors. Measures the
+// pure chain traversal cost by depth, then what each added container
+// service (context propagation, NR) costs on a local invocation.
+#include <benchmark/benchmark.h>
+
+#include "container/proxy.hpp"
+#include "core/nr_interceptor.hpp"
+#include "tests/common.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace nonrep;
+using container::Container;
+using container::DeploymentDescriptor;
+using container::Invocation;
+using container::InterceptorChain;
+
+std::shared_ptr<container::Component> make_echo() {
+  auto c = std::make_shared<container::Component>();
+  c->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  return c;
+}
+
+void BM_Chain_Depth(benchmark::State& state) {
+  std::vector<std::shared_ptr<container::Interceptor>> chain;
+  for (int i = 0; i < state.range(0); ++i) {
+    chain.push_back(
+        std::make_shared<container::CountingInterceptor>("i" + std::to_string(i)));
+  }
+  InterceptorChain ic(chain, [](Invocation&) {
+    return container::InvocationResult::success({});
+  });
+  Invocation inv;
+  inv.method = "echo";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ic.invoke(inv));
+  }
+}
+BENCHMARK(BM_Chain_Depth)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Container_LocalInvoke(benchmark::State& state) {
+  Container c;
+  c.deploy(ServiceUri("svc://s/echo"), make_echo(), DeploymentDescriptor{});
+  Invocation inv;
+  inv.service = ServiceUri("svc://s/echo");
+  inv.method = "echo";
+  inv.arguments = Bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.invoke(inv));
+  }
+}
+BENCHMARK(BM_Container_LocalInvoke)->Arg(64)->Arg(4096);
+
+void BM_Container_ContextInterceptors(benchmark::State& state) {
+  Container c;
+  std::vector<std::shared_ptr<container::Interceptor>> chain;
+  for (int i = 0; i < state.range(0); ++i) {
+    chain.push_back(std::make_shared<container::ContextInterceptor>(
+        "key" + std::to_string(i), "value"));
+  }
+  c.deploy(ServiceUri("svc://s/echo"), make_echo(), DeploymentDescriptor{}, chain);
+  Invocation base;
+  base.service = ServiceUri("svc://s/echo");
+  base.method = "echo";
+  base.arguments = Bytes(64, 1);
+  for (auto _ : state) {
+    Invocation inv = base;  // context is per-invocation
+    benchmark::DoNotOptimize(c.invoke(inv));
+  }
+}
+BENCHMARK(BM_Container_ContextInterceptors)->Arg(0)->Arg(4)->Arg(16);
+
+// The Figure 7 comparison: local proxy call with and without the NR
+// interceptor in the client chain (server co-hosted over the simulated
+// network; the delta is the full evidence exchange).
+void BM_Proxy_PlainTransport(benchmark::State& state) {
+  nonrep::test::TestWorld world(42);
+  auto& client = world.add_party("client");
+  auto& server = world.add_party("server");
+  Container c;
+  c.deploy(ServiceUri("svc://server/echo"), make_echo(), DeploymentDescriptor{});
+  container::InvocationListener listener(
+      *[&]() -> net::RpcEndpoint* {
+        static net::RpcEndpoint ep(world.network, "server-plain");
+        return &ep;
+      }(),
+      c);
+  net::RpcEndpoint client_ep(world.network, "client-plain");
+  container::ClientProxy proxy(client.id, ServiceUri("svc://server/echo"), {},
+                               container::remote_transport(client_ep, "server-plain", 5000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proxy.call("echo", Bytes(256, 1)));
+    world.network.run();
+  }
+  (void)server;
+}
+BENCHMARK(BM_Proxy_PlainTransport)->Unit(benchmark::kMicrosecond);
+
+void BM_Proxy_NrInterceptor(benchmark::State& state) {
+  nonrep::test::TestWorld world(42);
+  auto& client = world.add_party("client");
+  auto& server = world.add_party("server");
+  Container c;
+  c.deploy(ServiceUri("svc://server/echo"), make_echo(),
+           DeploymentDescriptor{.non_repudiation = true});
+  auto nr_server = core::install_nr_server(*server.coordinator, c);
+  auto nr = std::make_shared<core::NrClientInterceptor>(
+      *client.coordinator, [](const ServiceUri&) { return net::Address("server"); });
+  container::ClientProxy proxy(client.id, ServiceUri("svc://server/echo"), {nr},
+                               [](Invocation&) {
+                                 return container::InvocationResult::failure(
+                                     container::Outcome::kFailure, "unreachable");
+                               });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proxy.call("echo", Bytes(256, 1)));
+    world.network.run();
+  }
+}
+BENCHMARK(BM_Proxy_NrInterceptor)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

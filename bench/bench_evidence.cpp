@@ -1,0 +1,113 @@
+// P2 — §6: "the space overhead of evidence generated".
+//
+// Bytes of evidence per invocation/update as payload grows, evidence-log
+// growth rate, and the digest-addressed state-store dedup effect.
+#include <benchmark/benchmark.h>
+
+#include "core/nr_interceptor.hpp"
+#include "tests/common.hpp"
+
+namespace {
+
+using namespace nonrep;
+using namespace nonrep::core;
+using container::DeploymentDescriptor;
+using container::Invocation;
+
+std::shared_ptr<container::Component> make_echo() {
+  auto c = std::make_shared<container::Component>();
+  c->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  return c;
+}
+
+void BM_Evidence_BytesPerInvocation(benchmark::State& state) {
+  test::TestWorld world(42);
+  auto& client = world.add_party("client");
+  auto& server = world.add_party("server");
+  container::Container c;
+  c.deploy(ServiceUri("svc://server/echo"), make_echo(), DeploymentDescriptor{});
+  auto nr = install_nr_server(*server.coordinator, c);
+  DirectInvocationClient handler(*client.coordinator);
+
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  std::uint64_t ops = 0;
+  const std::uint64_t log0_client = client.log->payload_bytes();
+  const std::uint64_t log0_server = server.log->payload_bytes();
+  for (auto _ : state) {
+    Invocation inv;
+    inv.service = ServiceUri("svc://server/echo");
+    inv.method = "echo";
+    inv.arguments = Bytes(payload, 0x42);
+    inv.caller = client.id;
+    auto result = handler.invoke("server", inv);
+    if (!result.ok()) state.SkipWithError("invocation failed");
+    world.network.run();
+    ++ops;
+  }
+  state.counters["client_evidence_B/op"] =
+      static_cast<double>(client.log->payload_bytes() - log0_client) /
+      static_cast<double>(ops);
+  state.counters["server_evidence_B/op"] =
+      static_cast<double>(server.log->payload_bytes() - log0_server) /
+      static_cast<double>(ops);
+  state.counters["client_state_store_B"] = static_cast<double>(client.states->stored_bytes());
+  state.counters["payload_B"] = static_cast<double>(payload);
+}
+BENCHMARK(BM_Evidence_BytesPerInvocation)
+    ->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Evidence_TokenSize(benchmark::State& state) {
+  // A token's wire size is payload-independent: it carries only a digest.
+  test::TestWorld world(42);
+  auto& a = world.add_party("a");
+  const Bytes subject(static_cast<std::size_t>(state.range(0)), 0x11);
+  std::size_t token_bytes = 0;
+  for (auto _ : state) {
+    auto token = a.evidence->issue(EvidenceType::kNroRequest, a.evidence->new_run(), subject);
+    if (!token.ok()) state.SkipWithError("issue failed");
+    token_bytes = token.value().encode().size();
+    benchmark::DoNotOptimize(token);
+  }
+  state.counters["token_B"] = static_cast<double>(token_bytes);
+}
+BENCHMARK(BM_Evidence_TokenSize)->Arg(64)->Arg(262144)->Unit(benchmark::kMicrosecond);
+
+void BM_Evidence_LogAppend(benchmark::State& state) {
+  auto clock = std::make_shared<SimClock>(0);
+  store::EvidenceLog log(std::make_unique<store::MemoryLogBackend>(), clock);
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x22);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    log.append(RunId("run-" + std::to_string(i++)), "token.vote", payload);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Evidence_LogAppend)->Arg(256)->Arg(4096);
+
+void BM_Evidence_LogVerifyChain(benchmark::State& state) {
+  auto clock = std::make_shared<SimClock>(0);
+  store::EvidenceLog log(std::make_unique<store::MemoryLogBackend>(), clock);
+  for (int i = 0; i < state.range(0); ++i) {
+    log.append(RunId("r" + std::to_string(i)), "k", Bytes(256, 1));
+  }
+  for (auto _ : state) {
+    auto ok = log.verify_chain();
+    if (!ok.ok()) state.SkipWithError("chain broken");
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Evidence_LogVerifyChain)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_Evidence_StateStoreDedup(benchmark::State& state) {
+  // Repeated references to the same agreed state cost one stored copy.
+  store::StateStore store;
+  const Bytes s(4096, 0x33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.put(s));
+  }
+  state.counters["stored_B_total"] = static_cast<double>(store.stored_bytes());
+}
+BENCHMARK(BM_Evidence_StateStoreDedup);
+
+}  // namespace

@@ -1,0 +1,139 @@
+// P3 — §6 "the communication overhead of additional messages" under
+// faults; trusted-interceptor assumption 2 (bounded temporary failures).
+//
+// The NR invocation under injected loss p: completion must hold (liveness)
+// while retransmissions and virtual latency grow with p.
+#include <benchmark/benchmark.h>
+
+#include "core/nr_interceptor.hpp"
+#include "core/sharing.hpp"
+#include "tests/common.hpp"
+
+namespace {
+
+using namespace nonrep;
+using namespace nonrep::core;
+using container::DeploymentDescriptor;
+using container::Invocation;
+
+std::shared_ptr<container::Component> make_echo() {
+  auto c = std::make_shared<container::Component>();
+  c->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  return c;
+}
+
+void BM_Fault_InvocationUnderLoss(benchmark::State& state) {
+  const double loss = static_cast<double>(state.range(0)) / 100.0;
+  test::TestWorld world(42);
+  auto& client = world.add_party("client", net::ReliableConfig{.retry_interval = 20,
+                                                               .max_retries = 60});
+  auto& server = world.add_party("server", net::ReliableConfig{.retry_interval = 20,
+                                                               .max_retries = 60});
+  container::Container c;
+  c.deploy(ServiceUri("svc://server/echo"), make_echo(), DeploymentDescriptor{});
+  auto nr = install_nr_server(*server.coordinator, c);
+  world.network.set_link("client", "server", net::LinkConfig{.latency = 5, .drop = loss});
+  world.network.set_link("server", "client", net::LinkConfig{.latency = 5, .drop = loss});
+  DirectInvocationClient handler(*client.coordinator,
+                                 InvocationConfig{.request_timeout = 60000});
+
+  std::uint64_t sends = 0, virtual_ms = 0, completed = 0, n = 0;
+  for (auto _ : state) {
+    world.network.reset_stats();
+    const TimeMs t0 = world.clock->now();
+    Invocation inv;
+    inv.service = ServiceUri("svc://server/echo");
+    inv.method = "echo";
+    inv.arguments = Bytes(512, 0x42);
+    inv.caller = client.id;
+    auto result = handler.invoke("server", inv);
+    world.network.run();
+    if (result.ok() && handler.last_run_evidence().complete_for_client()) ++completed;
+    sends += world.network.stats().sent;
+    virtual_ms += world.clock->now() - t0;
+    ++n;
+  }
+  state.counters["loss_pct"] = static_cast<double>(state.range(0));
+  state.counters["completion_rate"] =
+      static_cast<double>(completed) / static_cast<double>(n);
+  state.counters["msgs/op"] = static_cast<double>(sends) / static_cast<double>(n);
+  state.counters["virtual_ms/op"] =
+      static_cast<double>(virtual_ms) / static_cast<double>(n);
+}
+BENCHMARK(BM_Fault_InvocationUnderLoss)->Arg(0)->Arg(10)->Arg(20)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fault_SharingUnderLoss(benchmark::State& state) {
+  const double loss = static_cast<double>(state.range(0)) / 100.0;
+  test::TestWorld world(42);
+  const ObjectId obj{"obj:x"};
+  std::vector<test::Party*> parties;
+  std::vector<std::unique_ptr<membership::MembershipService>> ms;
+  std::vector<std::shared_ptr<B2BObjectController>> cs;
+  std::vector<membership::Member> members;
+  for (int i = 0; i < 3; ++i) {
+    auto& p = world.add_party("p" + std::to_string(i),
+                              net::ReliableConfig{.retry_interval = 20, .max_retries = 60});
+    parties.push_back(&p);
+    members.push_back({p.id, p.address});
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i != j) {
+        world.network.set_link(parties[static_cast<std::size_t>(i)]->address,
+                               parties[static_cast<std::size_t>(j)]->address,
+                               net::LinkConfig{.latency = 5, .drop = loss});
+      }
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    ms.push_back(std::make_unique<membership::MembershipService>());
+    ms.back()->create_group(obj, members);
+    cs.push_back(std::make_shared<B2BObjectController>(
+        *parties[static_cast<std::size_t>(i)]->coordinator, *ms.back()));
+    parties[static_cast<std::size_t>(i)]->coordinator->register_handler(cs.back());
+    (void)cs.back()->host(obj, to_bytes("initial"));
+  }
+
+  B2BObjectController& proposer = *cs[0];
+  std::uint64_t committed = 0, n = 0, counter = 0;
+  SharingConfig long_waits{.vote_timeout = 60000, .lock_lease = 120000};
+  (void)long_waits;
+  for (auto _ : state) {
+    auto v = proposer.propose_update(obj, to_bytes("s" + std::to_string(counter++)));
+    world.network.run();
+    if (v.ok()) ++committed;
+    ++n;
+  }
+  state.counters["loss_pct"] = static_cast<double>(state.range(0));
+  state.counters["commit_rate"] = static_cast<double>(committed) / static_cast<double>(n);
+}
+BENCHMARK(BM_Fault_SharingUnderLoss)->Arg(0)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fault_RetransmissionCost(benchmark::State& state) {
+  // Raw reliable-channel behaviour: retransmissions per delivered message.
+  const double loss = static_cast<double>(state.range(0)) / 100.0;
+  auto clock = std::make_shared<SimClock>(0);
+  net::SimNetwork net(clock, 7);
+  net::ReliableEndpoint a(net, "a", {.retry_interval = 20, .max_retries = 100});
+  net::ReliableEndpoint b(net, "b", {.retry_interval = 20, .max_retries = 100});
+  net.set_link("a", "b", net::LinkConfig{.latency = 5, .drop = loss});
+  net.set_link("b", "a", net::LinkConfig{.latency = 5, .drop = loss});
+  std::uint64_t received = 0;
+  b.set_handler([&](const net::Address&, BytesView) { ++received; });
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    a.send("b", Bytes(256, 1));
+    ++sent;
+    net.run();
+  }
+  state.counters["loss_pct"] = static_cast<double>(state.range(0));
+  state.counters["delivery_rate"] =
+      sent ? static_cast<double>(received) / static_cast<double>(sent) : 0;
+  state.counters["retx/msg"] =
+      sent ? static_cast<double>(a.retransmissions()) / static_cast<double>(sent) : 0;
+}
+BENCHMARK(BM_Fault_RetransmissionCost)->Arg(0)->Arg(10)->Arg(30)->Arg(50);
+
+}  // namespace

@@ -1,0 +1,105 @@
+// F4 (Figure 4) — non-repudiable service invocation vs baselines.
+//
+// Same invocation executed three ways:
+//   plain         — Figure 4(a), no evidence (lower bound)
+//   asymmetric    — Wichert-style NRO-only baseline [23]
+//   nr-direct     — Figure 4(b), the full four-token exchange
+// across payload sizes. Counters report protocol messages and bytes on
+// the wire per invocation; wall time is dominated by the signature
+// operations, which is the paper's predicted cost driver (§6).
+#include <benchmark/benchmark.h>
+
+#include "core/baseline.hpp"
+#include "core/nr_interceptor.hpp"
+#include "tests/common.hpp"
+
+namespace {
+
+using namespace nonrep;
+using namespace nonrep::core;
+using container::DeploymentDescriptor;
+using container::Invocation;
+
+std::shared_ptr<container::Component> make_echo() {
+  auto c = std::make_shared<container::Component>();
+  c->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  return c;
+}
+
+struct Rig {
+  explicit Rig(std::uint64_t seed = 42) : world(seed) {
+    client = &world.add_party("client");
+    server = &world.add_party("server");
+    container.deploy(ServiceUri("svc://server/echo"), make_echo(), DeploymentDescriptor{});
+    auto executor = [this](Invocation& inv) { return container.invoke(inv); };
+    nr = install_nr_server(*server->coordinator, container);
+    server->coordinator->register_handler(
+        std::make_shared<PlainInvocationServer>(*server->coordinator, executor));
+    server->coordinator->register_handler(
+        std::make_shared<AsymmetricInvocationServer>(*server->coordinator, executor));
+  }
+
+  Invocation make_inv(std::size_t payload) {
+    Invocation inv;
+    inv.service = ServiceUri("svc://server/echo");
+    inv.method = "echo";
+    inv.arguments = Bytes(payload, 0x42);
+    inv.caller = client->id;
+    return inv;
+  }
+
+  template <typename Handler>
+  void run(benchmark::State& state, Handler& handler) {
+    const auto payload = static_cast<std::size_t>(state.range(0));
+    std::uint64_t messages = 0, bytes = 0, virtual_ms = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+      world.network.reset_stats();
+      const TimeMs t0 = world.clock->now();
+      auto inv = make_inv(payload);
+      auto result = handler.invoke("server", inv);
+      if (!result.ok()) state.SkipWithError("invocation failed");
+      world.network.run();
+      messages += world.network.stats().sent;
+      bytes += world.network.stats().bytes_sent;
+      virtual_ms += world.clock->now() - t0;
+      ++n;
+    }
+    state.counters["msgs/op"] = static_cast<double>(messages) / static_cast<double>(n);
+    state.counters["wire_bytes/op"] = static_cast<double>(bytes) / static_cast<double>(n);
+    state.counters["virtual_ms/op"] =
+        static_cast<double>(virtual_ms) / static_cast<double>(n);
+  }
+
+  test::TestWorld world;
+  test::Party* client;
+  test::Party* server;
+  container::Container container;
+  std::shared_ptr<DirectInvocationServer> nr;
+};
+
+void BM_Invocation_Plain(benchmark::State& state) {
+  Rig rig;
+  PlainInvocationClient handler(*rig.client->coordinator);
+  rig.run(state, handler);
+}
+BENCHMARK(BM_Invocation_Plain)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Invocation_Asymmetric(benchmark::State& state) {
+  Rig rig;
+  AsymmetricInvocationClient handler(*rig.client->coordinator);
+  rig.run(state, handler);
+}
+BENCHMARK(BM_Invocation_Asymmetric)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Invocation_NrDirect(benchmark::State& state) {
+  Rig rig;
+  DirectInvocationClient handler(*rig.client->coordinator);
+  rig.run(state, handler);
+}
+BENCHMARK(BM_Invocation_NrDirect)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

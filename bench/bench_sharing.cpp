@@ -1,0 +1,117 @@
+// F5 (Figure 5) — non-repudiable information sharing.
+//
+// One agreed update to a shared B2BObject, swept over group size (the
+// coordination cost grows with the number of signed votes to collect and
+// verify) and over state size (the digest+store design keeps wire cost
+// proportional to state, evidence cost constant).
+#include <benchmark/benchmark.h>
+
+#include "core/sharing.hpp"
+#include "tests/common.hpp"
+
+namespace {
+
+using namespace nonrep;
+using namespace nonrep::core;
+
+const ObjectId kObj{"obj:bench"};
+
+struct SharingRig {
+  SharingRig(std::size_t n, std::uint64_t seed = 42) : world(seed) {
+    std::vector<membership::Member> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& p = world.add_party("p" + std::to_string(i));
+      parties.push_back(&p);
+      members.push_back({p.id, p.address});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      memberships.push_back(std::make_unique<membership::MembershipService>());
+      memberships.back()->create_group(kObj, members);
+      controllers.push_back(std::make_shared<B2BObjectController>(
+          *parties[i]->coordinator, *memberships.back()));
+      parties[i]->coordinator->register_handler(controllers.back());
+      (void)controllers.back()->host(kObj, to_bytes("initial"));
+    }
+  }
+
+  test::TestWorld world;
+  std::vector<test::Party*> parties;
+  std::vector<std::unique_ptr<membership::MembershipService>> memberships;
+  std::vector<std::shared_ptr<B2BObjectController>> controllers;
+};
+
+void run_updates(benchmark::State& state, SharingRig& rig, std::size_t state_size) {
+  std::uint64_t messages = 0, bytes = 0, virtual_ms = 0, n = 0;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    rig.world.network.reset_stats();
+    const TimeMs t0 = rig.world.clock->now();
+    Bytes next(state_size, 0x55);
+    // Make every state distinct so nothing is cached away.
+    for (int i = 0; i < 8 && i < static_cast<int>(state_size); ++i) {
+      next[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(counter >> (8 * i));
+    }
+    ++counter;
+    auto v = rig.controllers[0]->propose_update(kObj, std::move(next));
+    if (!v.ok()) state.SkipWithError(v.error().code.c_str());
+    rig.world.network.run();
+    messages += rig.world.network.stats().sent;
+    bytes += rig.world.network.stats().bytes_sent;
+    virtual_ms += rig.world.clock->now() - t0;
+    ++n;
+  }
+  state.counters["msgs/op"] = static_cast<double>(messages) / static_cast<double>(n);
+  state.counters["wire_bytes/op"] = static_cast<double>(bytes) / static_cast<double>(n);
+  state.counters["virtual_ms/op"] =
+      static_cast<double>(virtual_ms) / static_cast<double>(n);
+}
+
+void BM_Sharing_GroupSize(benchmark::State& state) {
+  SharingRig rig(static_cast<std::size_t>(state.range(0)));
+  run_updates(state, rig, 256);
+}
+BENCHMARK(BM_Sharing_GroupSize)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Sharing_StateSize(benchmark::State& state) {
+  SharingRig rig(3);
+  run_updates(state, rig, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_Sharing_StateSize)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Sharing_RollupVsPerOp(benchmark::State& state) {
+  // K local operations coordinated as one round (roll-up, §4.3) vs K rounds.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const bool rollup = state.range(1) == 1;
+  SharingRig rig(3);
+  std::uint64_t rounds = 0, n = 0;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = rig.controllers[0]->rounds_started();
+    if (rollup) {
+      (void)rig.controllers[0]->begin_changes(kObj);
+      for (std::size_t i = 0; i < k; ++i) {
+        (void)rig.controllers[0]->stage(kObj, to_bytes("s" + std::to_string(counter++)));
+      }
+      auto v = rig.controllers[0]->commit_changes(kObj);
+      if (!v.ok()) state.SkipWithError(v.error().code.c_str());
+    } else {
+      for (std::size_t i = 0; i < k; ++i) {
+        auto v = rig.controllers[0]->propose_update(kObj,
+                                                    to_bytes("s" + std::to_string(counter++)));
+        if (!v.ok()) state.SkipWithError(v.error().code.c_str());
+      }
+    }
+    rig.world.network.run();
+    rounds += rig.controllers[0]->rounds_started() - before;
+    ++n;
+  }
+  state.counters["rounds/op"] = static_cast<double>(rounds) / static_cast<double>(n);
+}
+BENCHMARK(BM_Sharing_RollupVsPerOp)
+    ->Args({8, 0})   // 8 ops, per-op coordination
+    ->Args({8, 1})   // 8 ops, one rolled-up round
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

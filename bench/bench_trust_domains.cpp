@@ -1,0 +1,147 @@
+// F2/F3 (Figures 2 & 3) — trust-domain constructions compared.
+//
+// The same non-repudiable invocation executed under all four deployments:
+//   direct          — Fig 3(c), interceptors at each party, no TTP
+//   optimistic      — Fig 3(c) + offline TTP (normal case: TTP idle)
+//   inline-ttp      — Fig 3(a), one TTP relays and countersigns
+//   distributed-ttp — Fig 3(b), TTP_A + TTP_B chain
+// The counters expose the cost of stronger third-party guarantees: more
+// hops, more messages, more signatures.
+#include <benchmark/benchmark.h>
+
+#include "core/fair_exchange.hpp"
+#include "core/nr_interceptor.hpp"
+#include "core/ttp.hpp"
+#include "tests/common.hpp"
+
+namespace {
+
+using namespace nonrep;
+using namespace nonrep::core;
+using container::DeploymentDescriptor;
+using container::Invocation;
+
+std::shared_ptr<container::Component> make_echo() {
+  auto c = std::make_shared<container::Component>();
+  c->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  return c;
+}
+
+struct DomainRig {
+  DomainRig() : world(42) {
+    client = &world.add_party("client");
+    server = &world.add_party("server");
+    ttp_a = &world.add_party("ttp-a");
+    ttp_b = &world.add_party("ttp-b");
+    container.deploy(ServiceUri("svc://server/echo"), make_echo(), DeploymentDescriptor{});
+    nr = install_nr_server(*server->coordinator, container);
+    // Inline relay at A routes directly; chained deployment at A routes via B.
+    relay_direct = std::make_shared<InlineTtpRelay>(
+        *ttp_a->coordinator, [](const net::Address&) { return std::nullopt; });
+    ttp_a->coordinator->register_handler(relay_direct);
+    relay_b = std::make_shared<InlineTtpRelay>(
+        *ttp_b->coordinator, [](const net::Address&) { return std::nullopt; });
+    ttp_b->coordinator->register_handler(relay_b);
+    optimistic = std::make_shared<OptimisticTtp>(*ttp_a->coordinator);
+    ttp_a->coordinator->register_handler(optimistic);
+  }
+
+  Invocation make_inv() {
+    Invocation inv;
+    inv.service = ServiceUri("svc://server/echo");
+    inv.method = "echo";
+    inv.arguments = Bytes(1024, 0x42);
+    inv.caller = client->id;
+    return inv;
+  }
+
+  template <typename Handler>
+  void run(benchmark::State& state, Handler& handler) {
+    std::uint64_t messages = 0, bytes = 0, virtual_ms = 0, n = 0;
+    for (auto _ : state) {
+      world.network.reset_stats();
+      const TimeMs t0 = world.clock->now();
+      auto inv = make_inv();
+      auto result = handler.invoke("server", inv);
+      if (!result.ok()) state.SkipWithError("invocation failed");
+      world.network.run();
+      messages += world.network.stats().sent;
+      bytes += world.network.stats().bytes_sent;
+      virtual_ms += world.clock->now() - t0;
+      ++n;
+    }
+    state.counters["msgs/op"] = static_cast<double>(messages) / static_cast<double>(n);
+    state.counters["wire_bytes/op"] = static_cast<double>(bytes) / static_cast<double>(n);
+    state.counters["virtual_ms/op"] =
+        static_cast<double>(virtual_ms) / static_cast<double>(n);
+  }
+
+  test::TestWorld world;
+  test::Party* client;
+  test::Party* server;
+  test::Party* ttp_a;
+  test::Party* ttp_b;
+  container::Container container;
+  std::shared_ptr<DirectInvocationServer> nr;
+  std::shared_ptr<InlineTtpRelay> relay_direct;
+  std::shared_ptr<InlineTtpRelay> relay_b;
+  std::shared_ptr<OptimisticTtp> optimistic;
+};
+
+void BM_TrustDomain_Direct(benchmark::State& state) {
+  DomainRig rig;
+  DirectInvocationClient handler(*rig.client->coordinator);
+  rig.run(state, handler);
+}
+BENCHMARK(BM_TrustDomain_Direct)->Unit(benchmark::kMicrosecond);
+
+void BM_TrustDomain_OptimisticTtp(benchmark::State& state) {
+  DomainRig rig;
+  OptimisticInvocationClient handler(*rig.client->coordinator, "ttp-a");
+  rig.run(state, handler);
+}
+BENCHMARK(BM_TrustDomain_OptimisticTtp)->Unit(benchmark::kMicrosecond);
+
+void BM_TrustDomain_InlineTtp(benchmark::State& state) {
+  DomainRig rig;
+  InlineTtpInvocationClient handler(*rig.client->coordinator, "ttp-a");
+  rig.run(state, handler);
+}
+BENCHMARK(BM_TrustDomain_InlineTtp)->Unit(benchmark::kMicrosecond);
+
+void BM_TrustDomain_DistributedInlineTtp(benchmark::State& state) {
+  DomainRig rig;
+  // Re-route A's relay through B for this deployment.
+  auto chained = std::make_shared<InlineTtpRelay>(
+      *rig.ttp_a->coordinator,
+      [](const net::Address&) { return std::make_optional<net::Address>("ttp-b"); });
+  rig.ttp_a->coordinator->register_handler(chained);
+  InlineTtpInvocationClient handler(*rig.client->coordinator, "ttp-a");
+  rig.run(state, handler);
+}
+BENCHMARK(BM_TrustDomain_DistributedInlineTtp)->Unit(benchmark::kMicrosecond);
+
+// Recovery-path costs (the part Figure 3's liveness argument cares about).
+void BM_TrustDomain_AbortRecovery(benchmark::State& state) {
+  DomainRig rig;
+  rig.world.network.set_partitioned("client", "server", true);
+  OptimisticInvocationClient handler(*rig.client->coordinator, "ttp-a",
+                                     InvocationConfig{.request_timeout = 200});
+  std::uint64_t n = 0, virtual_ms = 0;
+  for (auto _ : state) {
+    const TimeMs t0 = rig.world.clock->now();
+    auto inv = rig.make_inv();
+    auto result = handler.invoke("server", inv);
+    if (result.outcome != container::Outcome::kAborted) {
+      state.SkipWithError("expected abort");
+    }
+    rig.world.network.run();
+    virtual_ms += rig.world.clock->now() - t0;
+    ++n;
+  }
+  state.counters["virtual_ms/op"] =
+      static_cast<double>(virtual_ms) / static_cast<double>(n);
+}
+BENCHMARK(BM_TrustDomain_AbortRecovery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,120 @@
+// F8 (Figure 8) — validation cost in non-repudiable information sharing.
+//
+// Sweeps the number of state validators consulted per party, compares
+// accepting vs vetoing rounds (a veto still runs the full signed round),
+// and the ComponentValidator (session-bean) adapter vs a native validator.
+#include <benchmark/benchmark.h>
+
+#include "core/sharing.hpp"
+#include "tests/common.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace nonrep;
+using namespace nonrep::core;
+
+const ObjectId kObj{"obj:validated"};
+
+class AcceptValidator final : public StateValidator {
+ public:
+  bool validate(const ObjectId&, const PartyId&, BytesView, BytesView) override {
+    return true;
+  }
+};
+
+class RejectValidator final : public StateValidator {
+ public:
+  bool validate(const ObjectId&, const PartyId&, BytesView, BytesView) override {
+    return false;
+  }
+};
+
+struct ValidationRig {
+  explicit ValidationRig(std::size_t n_parties = 3) : world(42) {
+    std::vector<membership::Member> members;
+    for (std::size_t i = 0; i < n_parties; ++i) {
+      auto& p = world.add_party("p" + std::to_string(i));
+      parties.push_back(&p);
+      members.push_back({p.id, p.address});
+    }
+    for (std::size_t i = 0; i < n_parties; ++i) {
+      ms.push_back(std::make_unique<membership::MembershipService>());
+      ms.back()->create_group(kObj, members);
+      cs.push_back(std::make_shared<B2BObjectController>(*parties[i]->coordinator,
+                                                         *ms.back()));
+      parties[i]->coordinator->register_handler(cs.back());
+      (void)cs.back()->host(kObj, to_bytes("initial"));
+    }
+  }
+
+  test::TestWorld world;
+  std::vector<test::Party*> parties;
+  std::vector<std::unique_ptr<membership::MembershipService>> ms;
+  std::vector<std::shared_ptr<B2BObjectController>> cs;
+};
+
+void BM_Validation_ValidatorsPerParty(benchmark::State& state) {
+  ValidationRig rig;
+  for (auto& c : rig.cs) {
+    for (int v = 0; v < state.range(0); ++v) {
+      c->add_validator(kObj, std::make_shared<AcceptValidator>());
+    }
+  }
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    auto v = rig.cs[0]->propose_update(kObj, to_bytes("s" + std::to_string(counter++)));
+    if (!v.ok()) state.SkipWithError(v.error().code.c_str());
+    rig.world.network.run();
+  }
+  state.counters["validators"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Validation_ValidatorsPerParty)->Arg(0)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Validation_VetoedRound(benchmark::State& state) {
+  // One party always vetoes: the round is signed, distributed, rejected.
+  ValidationRig rig;
+  rig.cs[2]->add_validator(kObj, std::make_shared<RejectValidator>());
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    auto v = rig.cs[0]->propose_update(kObj, to_bytes("s" + std::to_string(counter++)));
+    if (v.ok()) state.SkipWithError("expected veto");
+    rig.world.network.run();
+  }
+}
+BENCHMARK(BM_Validation_VetoedRound)->Unit(benchmark::kMicrosecond);
+
+void BM_Validation_AcceptedRound(benchmark::State& state) {
+  ValidationRig rig;
+  for (auto& c : rig.cs) c->add_validator(kObj, std::make_shared<AcceptValidator>());
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    auto v = rig.cs[0]->propose_update(kObj, to_bytes("s" + std::to_string(counter++)));
+    if (!v.ok()) state.SkipWithError(v.error().code.c_str());
+    rig.world.network.run();
+  }
+}
+BENCHMARK(BM_Validation_AcceptedRound)->Unit(benchmark::kMicrosecond);
+
+void BM_Validation_SessionBeanAdapter(benchmark::State& state) {
+  // Validator implemented as a container component (the paper's session
+  // bean) vs the native C++ validator above — adapter overhead.
+  ValidationRig rig;
+  auto bean = std::make_shared<container::Component>();
+  bean->bind("validate", [](const container::Invocation&) -> Result<Bytes> {
+    return Bytes{1};
+  });
+  for (auto& c : rig.cs) {
+    c->add_validator(kObj, std::make_shared<ComponentValidator>(bean));
+  }
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    auto v = rig.cs[0]->propose_update(kObj, to_bytes("s" + std::to_string(counter++)));
+    if (!v.ok()) state.SkipWithError(v.error().code.c_str());
+    rig.world.network.run();
+  }
+}
+BENCHMARK(BM_Validation_SessionBeanAdapter)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

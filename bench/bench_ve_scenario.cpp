@@ -1,0 +1,163 @@
+// F1 (Figure 1) — the specialist-car virtual enterprise end to end.
+//
+// One "business iteration": the dealer places a non-repudiable order
+// request with the manufacturer; manufacturer and suppliers A/B agree two
+// updates to the shared component specification; supplier C answers a
+// parts query. Reported per iteration: wall time, messages, wire bytes,
+// evidence bytes across all five organisations.
+#include <benchmark/benchmark.h>
+
+#include "core/nr_interceptor.hpp"
+#include "core/sharing.hpp"
+#include "tests/common.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace nonrep;
+using namespace nonrep::core;
+using container::DeploymentDescriptor;
+using container::Invocation;
+
+const ObjectId kSpec{"obj:spec"};
+
+struct VeRig {
+  VeRig() : world(42) {
+    dealer = &world.add_party("dealer");
+    manufacturer = &world.add_party("manufacturer");
+    supplier_a = &world.add_party("supplier-a");
+    supplier_b = &world.add_party("supplier-b");
+    supplier_c = &world.add_party("supplier-c");
+
+    auto order_bean = std::make_shared<container::Component>();
+    order_bean->bind("order", [](const Invocation& inv) -> Result<Bytes> {
+      return to_bytes("order-ack:" + nonrep::to_string(inv.arguments));
+    });
+    mfr_container.deploy(ServiceUri("svc://manufacturer/orders"), order_bean,
+                         DeploymentDescriptor{.non_repudiation = true});
+    mfr_nr = install_nr_server(*manufacturer->coordinator, mfr_container);
+
+    auto parts_bean = std::make_shared<container::Component>();
+    parts_bean->bind("query", [](const Invocation&) -> Result<Bytes> {
+      return to_bytes("parts:[gearbox,axle,hub]");
+    });
+    sup_container.deploy(ServiceUri("svc://supplier-c/parts"), parts_bean,
+                         DeploymentDescriptor{.non_repudiation = true});
+    sup_nr = install_nr_server(*supplier_c->coordinator, sup_container);
+
+    sharers = {manufacturer, supplier_a, supplier_b};
+    std::vector<membership::Member> members;
+    for (auto* p : sharers) members.push_back({p->id, p->address});
+    for (auto* p : sharers) {
+      ms.push_back(std::make_unique<membership::MembershipService>());
+      ms.back()->create_group(kSpec, members);
+      cs.push_back(std::make_shared<B2BObjectController>(*p->coordinator, *ms.back()));
+      p->coordinator->register_handler(cs.back());
+      (void)cs.back()->host(kSpec, to_bytes("spec:v0"));
+    }
+  }
+
+  std::uint64_t total_evidence_bytes() const {
+    std::uint64_t total = 0;
+    for (auto* p : {dealer, manufacturer, supplier_a, supplier_b, supplier_c}) {
+      total += p->log->payload_bytes();
+    }
+    return total;
+  }
+
+  test::TestWorld world;
+  test::Party* dealer;
+  test::Party* manufacturer;
+  test::Party* supplier_a;
+  test::Party* supplier_b;
+  test::Party* supplier_c;
+  container::Container mfr_container;
+  container::Container sup_container;
+  std::shared_ptr<DirectInvocationServer> mfr_nr;
+  std::shared_ptr<DirectInvocationServer> sup_nr;
+  std::vector<test::Party*> sharers;
+  std::vector<std::unique_ptr<membership::MembershipService>> ms;
+  std::vector<std::shared_ptr<B2BObjectController>> cs;
+};
+
+void BM_VeScenario_BusinessIteration(benchmark::State& state) {
+  VeRig rig;
+  DirectInvocationClient dealer_handler(*rig.dealer->coordinator);
+  DirectInvocationClient mfr_handler(*rig.manufacturer->coordinator);
+
+  std::uint64_t messages = 0, bytes = 0, n = 0, counter = 0;
+  const std::uint64_t evidence0 = rig.total_evidence_bytes();
+  for (auto _ : state) {
+    rig.world.network.reset_stats();
+
+    // 1. dealer -> manufacturer: non-repudiable order.
+    Invocation order;
+    order.service = ServiceUri("svc://manufacturer/orders");
+    order.method = "order";
+    order.arguments = to_bytes("sports-car-" + std::to_string(counter));
+    order.caller = rig.dealer->id;
+    if (!dealer_handler.invoke("manufacturer", order).ok()) {
+      state.SkipWithError("order failed");
+    }
+
+    // 2. manufacturer -> supplier C: non-repudiable parts query.
+    Invocation query;
+    query.service = ServiceUri("svc://supplier-c/parts");
+    query.method = "query";
+    query.arguments = to_bytes("for-order-" + std::to_string(counter));
+    query.caller = rig.manufacturer->id;
+    if (!mfr_handler.invoke("supplier-c", query).ok()) {
+      state.SkipWithError("query failed");
+    }
+
+    // 3. Two agreed spec updates among manufacturer + suppliers A/B.
+    if (!rig.cs[0]->propose_update(kSpec,
+                                   to_bytes("spec:m-" + std::to_string(counter))).ok()) {
+      state.SkipWithError("mfr update failed");
+    }
+    rig.world.network.run();
+    if (!rig.cs[1]->propose_update(kSpec,
+                                   to_bytes("spec:a-" + std::to_string(counter))).ok()) {
+      state.SkipWithError("supplier update failed");
+    }
+    rig.world.network.run();
+
+    messages += rig.world.network.stats().sent;
+    bytes += rig.world.network.stats().bytes_sent;
+    ++counter;
+    ++n;
+  }
+  state.counters["msgs/iter"] = static_cast<double>(messages) / static_cast<double>(n);
+  state.counters["wire_B/iter"] = static_cast<double>(bytes) / static_cast<double>(n);
+  state.counters["evidence_B/iter"] =
+      static_cast<double>(rig.total_evidence_bytes() - evidence0) / static_cast<double>(n);
+}
+BENCHMARK(BM_VeScenario_BusinessIteration)->Unit(benchmark::kMillisecond);
+
+void BM_VeScenario_AuditSweep(benchmark::State& state) {
+  // Post-hoc audit: verify every organisation's full evidence chain.
+  VeRig rig;
+  DirectInvocationClient dealer_handler(*rig.dealer->coordinator);
+  for (int i = 0; i < 20; ++i) {
+    Invocation order;
+    order.service = ServiceUri("svc://manufacturer/orders");
+    order.method = "order";
+    order.arguments = to_bytes("o" + std::to_string(i));
+    order.caller = rig.dealer->id;
+    (void)dealer_handler.invoke("manufacturer", order);
+    rig.world.network.run();
+  }
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    records = 0;
+    for (auto* p : {rig.dealer, rig.manufacturer}) {
+      auto ok = p->log->verify_chain();
+      if (!ok.ok()) state.SkipWithError("audit failed");
+      records += p->log->size();
+    }
+  }
+  state.counters["records_audited"] = static_cast<double>(records);
+}
+BENCHMARK(BM_VeScenario_AuditSweep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Dispute resolution end to end (§3.1): after an exchange, the client
+// exports its evidence case as an XML document, "mails" it to an
+// independent adjudicator (who only holds the PKI roots), and the
+// adjudicator derives the sustained claims. Then three attacks are tried:
+// a tampered signature, evidence re-bound to another run, and a swapped
+// subject — all are rejected and the affected claims collapse.
+#include <cstdio>
+
+#include "core/dispute.hpp"
+#include "core/nr_interceptor.hpp"
+#include "crypto/rsa.hpp"
+#include "net/network.hpp"
+#include "pki/authority.hpp"
+#include "wsnr/evidence_doc.hpp"
+
+using namespace nonrep;
+
+namespace {
+
+constexpr TimeMs kValidity = 1000ull * 60 * 60 * 24 * 365;
+
+struct Org {
+  PartyId id;
+  std::shared_ptr<core::EvidenceService> evidence;
+  std::unique_ptr<core::Coordinator> coordinator;
+};
+
+void print_verdict(const char* label, const core::Verdict& v) {
+  std::printf("%-22s sent=%d srv-recv=%d srv-resp=%d cli-recv=%d | complete=%d"
+              " | rejected tokens=%zu\n",
+              label, v.client_sent_request, v.server_received_request,
+              v.server_sent_response, v.client_received_response,
+              v.exchange_complete(), v.rejected.size());
+}
+
+}  // namespace
+
+int main() {
+  crypto::Drbg rng(to_bytes("dispute-example"));
+  auto clock = std::make_shared<SimClock>(0);
+  net::SimNetwork network(clock, 13);
+  auto ca_signer = std::make_shared<crypto::RsaSigner>(crypto::rsa_generate(rng, 512));
+  pki::CertificateAuthority ca(PartyId("ca:root"), ca_signer, 0, kValidity);
+
+  std::vector<std::unique_ptr<Org>> orgs;
+  auto add = [&](const std::string& name) -> Org& {
+    auto org = std::make_unique<Org>();
+    org->id = PartyId("org:" + name);
+    auto signer = std::make_shared<crypto::RsaSigner>(crypto::rsa_generate(rng, 512));
+    auto cert = ca.issue(org->id, signer->algorithm(), signer->public_key(), 0, kValidity);
+    auto credentials = std::make_shared<pki::CredentialManager>();
+    if (!credentials->add_trusted_root(ca.certificate()).ok()) std::abort();
+    credentials->add_certificate(cert);
+    for (auto& other : orgs) {
+      other->evidence->credentials().add_certificate(cert);
+      credentials->add_certificate(
+          other->evidence->credentials().find(other->id).value());
+    }
+    org->evidence = std::make_shared<core::EvidenceService>(
+        org->id, signer, credentials,
+        std::make_shared<store::EvidenceLog>(std::make_unique<store::MemoryLogBackend>(),
+                                             clock),
+        std::make_shared<store::StateStore>(), clock, orgs.size());
+    org->coordinator = std::make_unique<core::Coordinator>(org->evidence, network, name);
+    orgs.push_back(std::move(org));
+    return *orgs.back();
+  };
+
+  Org& client = add("buyer");
+  Org& server = add("seller");
+  Org& court = add("adjudicator");  // independent credential view only
+
+  // One non-repudiable exchange.
+  container::Container cont;
+  auto bean = std::make_shared<container::Component>();
+  bean->bind("purchase", [](const container::Invocation& inv) -> Result<Bytes> {
+    return to_bytes("invoice-7781 for " + to_string(inv.arguments));
+  });
+  cont.deploy(ServiceUri("svc://seller/shop"), bean,
+              container::DeploymentDescriptor{.non_repudiation = true});
+  auto nr = core::install_nr_server(*server.coordinator, cont);
+
+  core::DirectInvocationClient handler(*client.coordinator);
+  container::Invocation inv;
+  inv.service = ServiceUri("svc://seller/shop");
+  inv.method = "purchase";
+  inv.arguments = to_bytes("500 brake disks");
+  inv.caller = client.id;
+  auto result = handler.invoke("seller", inv);
+  network.run();
+  const RunId run = handler.last_run();
+  std::printf("exchange: %s\n\n", to_string(result.payload).c_str());
+
+  // The buyer builds its case and exports it as an XML document.
+  auto bundle = core::Adjudicator::bundle_from_log(client.evidence->log(),
+                                                   client.evidence->states(), run);
+  const std::string xml = wsnr::bundle_document(run, bundle);
+  std::printf("-- exported evidence document (%zu bytes, %zu items) --\n%s\n",
+              xml.size(), bundle.size(),
+              xml.substr(0, 420).c_str());
+  std::printf("   ... (truncated)\n\n");
+
+  // The adjudicator imports and judges, holding only PKI knowledge.
+  core::Adjudicator judge(court.evidence->credentials(), clock);
+  auto imported = wsnr::bundle_from_document(xml);
+  if (!imported.ok()) return 1;
+  print_verdict("honest bundle:", judge.adjudicate(run, imported.value()));
+
+  // Attack 1: tamper with a signature.
+  auto forged = imported.value();
+  forged[0].token.signature[10] ^= 0x80;
+  print_verdict("tampered signature:", judge.adjudicate(run, forged));
+
+  // Attack 2: present the evidence for a different run.
+  print_verdict("re-bound to run-X:", judge.adjudicate(RunId("run-X"), imported.value()));
+
+  // Attack 3: swap the subject under a valid token.
+  auto swapped = imported.value();
+  swapped[1].subject = to_bytes("5 brake disks");  // quantity fraud
+  print_verdict("swapped subject:", judge.adjudicate(run, swapped));
+
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Trust-domain topologies (Figure 3): the same invocation executed under
+// an inline TTP (3a), a distributed inline TTP pair (3b), and a direct
+// domain with an *offline* optimistic TTP (3c) — including the recovery
+// paths: client abort and server receipt-reclaim.
+#include <cstdio>
+
+#include "core/fair_exchange.hpp"
+#include "core/nr_interceptor.hpp"
+#include "core/ttp.hpp"
+#include "crypto/rsa.hpp"
+#include "net/network.hpp"
+#include "pki/authority.hpp"
+
+using namespace nonrep;
+
+namespace {
+
+constexpr TimeMs kValidity = 1000ull * 60 * 60 * 24 * 365;
+
+struct Org {
+  PartyId id;
+  net::Address address;
+  std::shared_ptr<core::EvidenceService> evidence;
+  std::unique_ptr<core::Coordinator> coordinator;
+};
+
+struct World {
+  World()
+      : rng(to_bytes("ttp-example")),
+        clock(std::make_shared<SimClock>(0)),
+        network(clock, 11),
+        ca_signer(std::make_shared<crypto::RsaSigner>(crypto::rsa_generate(rng, 512))),
+        ca(PartyId("ca:root"), ca_signer, 0, kValidity) {}
+
+  Org& add(const std::string& name) {
+    auto org = std::make_unique<Org>();
+    org->id = PartyId("org:" + name);
+    org->address = name;
+    auto signer = std::make_shared<crypto::RsaSigner>(crypto::rsa_generate(rng, 512));
+    auto cert = ca.issue(org->id, signer->algorithm(), signer->public_key(), 0, kValidity);
+    auto credentials = std::make_shared<pki::CredentialManager>();
+    if (!credentials->add_trusted_root(ca.certificate()).ok()) std::abort();
+    credentials->add_certificate(cert);
+    for (auto& other : orgs) {
+      other->evidence->credentials().add_certificate(cert);
+      credentials->add_certificate(
+          other->evidence->credentials().find(other->id).value());
+    }
+    org->evidence = std::make_shared<core::EvidenceService>(
+        org->id, signer, credentials,
+        std::make_shared<store::EvidenceLog>(std::make_unique<store::MemoryLogBackend>(),
+                                             clock),
+        std::make_shared<store::StateStore>(), clock, orgs.size());
+    org->coordinator =
+        std::make_unique<core::Coordinator>(org->evidence, network, org->address);
+    orgs.push_back(std::move(org));
+    return *orgs.back();
+  }
+
+  crypto::Drbg rng;
+  std::shared_ptr<SimClock> clock;
+  net::SimNetwork network;
+  std::shared_ptr<crypto::RsaSigner> ca_signer;
+  pki::CertificateAuthority ca;
+  std::vector<std::unique_ptr<Org>> orgs;
+};
+
+}  // namespace
+
+int main() {
+  World world;
+  Org& client = world.add("client");
+  Org& server = world.add("server");
+  Org& notary_a = world.add("notary-a");
+  Org& notary_b = world.add("notary-b");
+
+  container::Container cont;
+  auto bean = std::make_shared<container::Component>();
+  bean->bind("sign-contract", [](const container::Invocation& inv) -> Result<Bytes> {
+    return to_bytes("countersigned:" + to_string(inv.arguments));
+  });
+  cont.deploy(ServiceUri("svc://server/contracts"), bean,
+              container::DeploymentDescriptor{.non_repudiation = true});
+  auto nr_server = core::install_nr_server(*server.coordinator, cont);
+
+  auto make_inv = [&](const std::string& what) {
+    container::Invocation inv;
+    inv.service = ServiceUri("svc://server/contracts");
+    inv.method = "sign-contract";
+    inv.arguments = to_bytes(what);
+    inv.caller = client.id;
+    return inv;
+  };
+
+  // --- Figure 3(a): single inline TTP ---------------------------------
+  auto relay = std::make_shared<core::InlineTtpRelay>(
+      *notary_a.coordinator, [](const net::Address&) { return std::nullopt; });
+  notary_a.coordinator->register_handler(relay);
+  {
+    core::InlineTtpInvocationClient handler(*client.coordinator, "notary-a");
+    auto inv = make_inv("deal-1");
+    auto result = handler.invoke("server", inv);
+    world.network.run();
+    std::printf("[inline ttp]      %s | affidavit=%d | notary archive=%zu records\n",
+                to_string(result.payload).c_str(), handler.last_run_has_affidavit(),
+                notary_a.evidence->log().size());
+  }
+
+  // --- Figure 3(b): distributed inline TTPs ---------------------------
+  auto relay_b = std::make_shared<core::InlineTtpRelay>(
+      *notary_b.coordinator, [](const net::Address&) { return std::nullopt; });
+  notary_b.coordinator->register_handler(relay_b);
+  auto chained = std::make_shared<core::InlineTtpRelay>(
+      *notary_a.coordinator,
+      [](const net::Address&) { return std::make_optional<net::Address>("notary-b"); });
+  notary_a.coordinator->register_handler(chained);  // replaces the direct relay
+  {
+    core::InlineTtpInvocationClient handler(*client.coordinator, "notary-a");
+    auto inv = make_inv("deal-2");
+    auto result = handler.invoke("server", inv);
+    world.network.run();
+    std::printf("[distributed ttp] %s | archives: A=%zu B=%zu\n",
+                to_string(result.payload).c_str(), notary_a.evidence->log().size(),
+                notary_b.evidence->log().size());
+  }
+
+  // --- Figure 3(c): direct domain, offline TTP ------------------------
+  auto optimistic = std::make_shared<core::OptimisticTtp>(*notary_a.coordinator);
+  notary_a.coordinator->register_handler(optimistic);
+  {
+    core::OptimisticInvocationClient handler(*client.coordinator, "notary-a");
+    auto inv = make_inv("deal-3");
+    auto result = handler.invoke("server", inv);
+    world.network.run();
+    std::printf("[optimistic]      %s | ttp contacted=%s\n",
+                to_string(result.payload).c_str(),
+                optimistic->verdict(handler.last_run()) == core::OptimisticTtp::Verdict::kNone
+                    ? "no"
+                    : "yes");
+  }
+
+  // Recovery 1: server unreachable -> client aborts via the TTP.
+  {
+    world.network.set_partitioned("client", "server", true);
+    core::OptimisticInvocationClient handler(*client.coordinator, "notary-a",
+                                             core::InvocationConfig{.request_timeout = 200});
+    auto inv = make_inv("deal-4");
+    auto result = handler.invoke("server", inv);
+    world.network.run();
+    std::printf("[recovery/abort]  outcome=%s | ttp verdict=%s\n",
+                container::to_string(result.outcome).c_str(),
+                optimistic->verdict(handler.last_run()) ==
+                        core::OptimisticTtp::Verdict::kAborted
+                    ? "aborted"
+                    : "?");
+    world.network.set_partitioned("client", "server", false);
+  }
+
+  // Recovery 2: client withholds the receipt -> server reclaims.
+  {
+    core::EvidenceService& cev = *client.evidence;
+    auto inv = make_inv("deal-5");
+    const RunId run = cev.new_run();
+    inv.context[container::kRunIdContextKey] = run.str();
+    const Bytes req = core::request_subject(inv);
+    auto nro = cev.issue(core::EvidenceType::kNroRequest, run, req);
+    core::ProtocolMessage m1;
+    m1.protocol = core::kDirectInvocationProtocol;
+    m1.run = run;
+    m1.step = 1;
+    m1.sender = client.id;
+    m1.body = container::encode_invocation(inv);
+    m1.tokens.push_back(nro.value());
+    (void)client.coordinator->deliver_request("server", m1, 1000);  // no receipt sent
+    auto status =
+        core::reclaim_receipt(*server.coordinator, *nr_server, run, "notary-a", 1000);
+    std::printf("[recovery/claim]  server reclaim=%s | receipt substituted=%d\n",
+                status.ok() ? "OK" : status.error().code.c_str(),
+                nr_server->evidence_for(run).receipt_substituted);
+  }
+  return 0;
+}

@@ -1,0 +1,207 @@
+// The Section 2 scenario: a specialist car manufacturer combines parts
+// from suppliers to satisfy a dealer's order (Figure 1).
+//
+// Demonstrates both building blocks working together:
+//   * NR-Invocation — the dealer's order and the manufacturer's parts
+//     queries are non-repudiable service invocations.
+//   * NR-Sharing — the component specification is a B2BObject replicated
+//     across manufacturer + suppliers A/B; every update is unanimously
+//     validated and signed.
+// Ends with a dispute-resolution walk: reconstructing what was agreed,
+// from one party's evidence log alone.
+#include <cstdio>
+
+#include "core/nr_interceptor.hpp"
+#include "core/sharing.hpp"
+#include "crypto/rsa.hpp"
+#include "net/network.hpp"
+#include "pki/authority.hpp"
+#include "util/hex.hpp"
+#include "util/serialize.hpp"
+
+using namespace nonrep;
+
+namespace {
+
+constexpr TimeMs kValidity = 1000ull * 60 * 60 * 24 * 365;
+const ObjectId kSpec{"obj:component-spec"};
+
+struct Org {
+  PartyId id;
+  net::Address address;
+  std::shared_ptr<core::EvidenceService> evidence;
+  std::unique_ptr<core::Coordinator> coordinator;
+  std::unique_ptr<membership::MembershipService> membership;
+  std::shared_ptr<core::B2BObjectController> controller;
+};
+
+struct World {
+  World()
+      : rng(to_bytes("ve-example")),
+        clock(std::make_shared<SimClock>(0)),
+        network(clock, 7),
+        ca_signer(std::make_shared<crypto::RsaSigner>(crypto::rsa_generate(rng, 512))),
+        ca(PartyId("ca:root"), ca_signer, 0, kValidity) {}
+
+  Org& add(const std::string& name) {
+    auto org = std::make_unique<Org>();
+    org->id = PartyId("org:" + name);
+    org->address = name;
+    auto signer = std::make_shared<crypto::RsaSigner>(crypto::rsa_generate(rng, 512));
+    auto cert = ca.issue(org->id, signer->algorithm(), signer->public_key(), 0, kValidity);
+    auto credentials = std::make_shared<pki::CredentialManager>();
+    if (!credentials->add_trusted_root(ca.certificate()).ok()) std::abort();
+    credentials->add_certificate(cert);
+    for (auto& other : orgs) {
+      other->evidence->credentials().add_certificate(cert);
+      credentials->add_certificate(
+          other->evidence->credentials().find(other->id).value());
+    }
+    org->evidence = std::make_shared<core::EvidenceService>(
+        org->id, signer, credentials,
+        std::make_shared<store::EvidenceLog>(std::make_unique<store::MemoryLogBackend>(),
+                                             clock),
+        std::make_shared<store::StateStore>(), clock, orgs.size());
+    org->coordinator =
+        std::make_unique<core::Coordinator>(org->evidence, network, org->address);
+    org->membership = std::make_unique<membership::MembershipService>();
+    orgs.push_back(std::move(org));
+    return *orgs.back();
+  }
+
+  crypto::Drbg rng;
+  std::shared_ptr<SimClock> clock;
+  net::SimNetwork network;
+  std::shared_ptr<crypto::RsaSigner> ca_signer;
+  pki::CertificateAuthority ca;
+  std::vector<std::unique_ptr<Org>> orgs;
+};
+
+/// Spec updates must carry a monotonically increasing revision number:
+/// "rev=<n>;..." — a simple application-specific validation rule.
+class RevisionValidator final : public core::StateValidator {
+ public:
+  bool validate(const ObjectId&, const PartyId&, BytesView current,
+                BytesView proposed) override {
+    return revision(proposed) > revision(current);
+  }
+
+ private:
+  static int revision(BytesView state) {
+    const std::string s = to_string(state);
+    const auto pos = s.find("rev=");
+    if (pos == std::string::npos) return -1;
+    return std::atoi(s.c_str() + pos + 4);
+  }
+};
+
+}  // namespace
+
+int main() {
+  World world;
+  Org& dealer = world.add("dealer");
+  Org& manufacturer = world.add("manufacturer");
+  Org& supplier_a = world.add("supplier-a");
+  Org& supplier_b = world.add("supplier-b");
+
+  std::printf("== Virtual enterprise: dealer, manufacturer, suppliers A/B ==\n\n");
+
+  // --- Manufacturer's order service (NR-Invocation server side) -------
+  container::Container factory;
+  auto orders = std::make_shared<container::Component>();
+  orders->bind("order", [](const container::Invocation& inv) -> Result<Bytes> {
+    return to_bytes("accepted:" + to_string(inv.arguments));
+  });
+  factory.deploy(ServiceUri("svc://manufacturer/orders"), orders,
+                 container::DeploymentDescriptor{.non_repudiation = true});
+  auto nr_server = core::install_nr_server(*manufacturer.coordinator, factory);
+
+  // --- Shared component specification (NR-Sharing) ---------------------
+  std::vector<membership::Member> members = {{manufacturer.id, manufacturer.address},
+                                             {supplier_a.id, supplier_a.address},
+                                             {supplier_b.id, supplier_b.address}};
+  for (Org* org : {&manufacturer, &supplier_a, &supplier_b}) {
+    org->membership->create_group(kSpec, members);
+    org->controller = std::make_shared<core::B2BObjectController>(*org->coordinator,
+                                                                  *org->membership);
+    org->coordinator->register_handler(org->controller);
+    org->controller->add_validator(kSpec, std::make_shared<RevisionValidator>());
+    if (!org->controller->host(kSpec, to_bytes("rev=1;spec=initial")).ok()) return 1;
+  }
+
+  // --- 1. The dealer places a non-repudiable order ---------------------
+  core::DirectInvocationClient dealer_client(*dealer.coordinator);
+  container::Invocation order;
+  order.service = ServiceUri("svc://manufacturer/orders");
+  order.method = "order";
+  order.arguments = to_bytes("bespoke-roadster");
+  order.caller = dealer.id;
+  auto ack = dealer_client.invoke("manufacturer", order);
+  world.network.run();
+  std::printf("[order]  dealer -> manufacturer: %s\n", to_string(ack.payload).c_str());
+  std::printf("[order]  evidence complete (dealer):       %d\n",
+              dealer_client.last_run_evidence().complete_for_client());
+  std::printf("[order]  evidence complete (manufacturer): %d\n\n",
+              nr_server->run_complete(dealer_client.last_run()));
+
+  // --- 2. Negotiating the component spec (agreed updates) --------------
+  auto show_spec = [&](const char* who) {
+    auto spec = manufacturer.controller->get(kSpec);
+    std::printf("[spec]   after %-22s v%llu: %s\n", who,
+                static_cast<unsigned long long>(spec.value().version),
+                to_string(spec.value().state).c_str());
+  };
+
+  if (!manufacturer.controller
+           ->propose_update(kSpec, to_bytes("rev=2;gearbox=6speed"))
+           .ok()) {
+    return 1;
+  }
+  world.network.run();
+  show_spec("manufacturer's update");
+
+  if (!supplier_a.controller
+           ->propose_update(kSpec, to_bytes("rev=3;gearbox=6speed;axle=sport"))
+           .ok()) {
+    return 1;
+  }
+  world.network.run();
+  show_spec("supplier A's update");
+
+  // Supplier B tries to reuse an old revision number: vetoed everywhere.
+  auto vetoed = supplier_b.controller->propose_update(kSpec, to_bytes("rev=2;regression"));
+  std::printf("[spec]   supplier B's stale rev rejected: %s\n\n",
+              vetoed.ok() ? "NO (bug!)" : vetoed.error().code.c_str());
+  world.network.run();
+
+  // --- 3. Roll-up: supplier B batches three edits into one round -------
+  auto& cb = *supplier_b.controller;
+  if (!cb.begin_changes(kSpec).ok()) return 1;
+  (void)cb.stage(kSpec, to_bytes("rev=4;draft1"));
+  (void)cb.stage(kSpec, to_bytes("rev=4;draft2"));
+  (void)cb.stage(kSpec, to_bytes("rev=4;gearbox=6speed;axle=sport;hub=alloy"));
+  if (!cb.commit_changes(kSpec).ok()) return 1;
+  world.network.run();
+  show_spec("supplier B's roll-up");
+
+  // --- 4. Dispute resolution from the evidence log ---------------------
+  std::printf("\n== Dispute walk: what exactly did the dealer order? ==\n");
+  const RunId run = dealer_client.last_run();
+  auto record = dealer.evidence->log().find(run, "token.NRO-response");
+  auto token = core::EvidenceToken::decode(record->payload);
+  auto subject = dealer.evidence->states().get(token.value().subject);
+  std::printf("token:   %s signed by %s at t=%llu\n",
+              core::to_string(token.value().type).c_str(),
+              token.value().issuer.str().c_str(),
+              static_cast<unsigned long long>(token.value().issued_at));
+  // Any member of the VE can verify it independently:
+  std::printf("independent verification by supplier A: %s\n",
+              supplier_a.evidence->verify(token.value(), subject.value()).ok() ? "OK"
+                                                                               : "FAIL");
+  for (auto& org : world.orgs) {
+    std::printf("audit:   %-16s %3zu evidence records, chain %s\n", org->id.str().c_str(),
+                org->evidence->log().size(),
+                org->evidence->log().verify_chain().ok() ? "intact" : "BROKEN");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "access/roles.hpp"
+
+namespace nonrep::access {
+
+void RoleService::add_policy(RolePolicy policy) { policies_.push_back(std::move(policy)); }
+
+Status RoleService::present_credential(const pki::Certificate& cert, TimeMs at) {
+  if (auto chain = credentials_->verify_chain(cert, at); !chain) return chain;
+  for (const auto& policy : policies_) {
+    if (policy.admit(cert)) {
+      assignments_[cert.subject][policy.role] = true;
+    }
+  }
+  return Status::ok_status();
+}
+
+void RoleService::on_event(const EventName& event) {
+  for (const auto& policy : policies_) {
+    const bool deactivates = policy.deactivate_on.contains(event);
+    const bool reactivates = policy.reactivate_on.contains(event);
+    if (!deactivates && !reactivates) continue;
+    for (auto& [party, roles] : assignments_) {
+      auto it = roles.find(policy.role);
+      if (it == roles.end()) continue;
+      if (deactivates) it->second = false;
+      if (reactivates) it->second = true;
+    }
+  }
+}
+
+bool RoleService::has_role(const PartyId& party, const Role& role) const {
+  auto it = assignments_.find(party);
+  if (it == assignments_.end()) return false;
+  auto role_it = it->second.find(role);
+  return role_it != it->second.end() && role_it->second;
+}
+
+std::set<Role> RoleService::active_roles(const PartyId& party) const {
+  std::set<Role> out;
+  auto it = assignments_.find(party);
+  if (it == assignments_.end()) return out;
+  for (const auto& [role, active] : it->second) {
+    if (active) out.insert(role);
+  }
+  return out;
+}
+
+}  // namespace nonrep::access

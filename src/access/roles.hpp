@@ -1,0 +1,59 @@
+// Event-based role activation (§3.5 "access control").
+//
+// Maps credentials (verified party certificates) to roles in the virtual
+// enterprise, following the cited Cambridge event-based model [2]: "roles
+// are activated, based on credentials presented, and de-activated in
+// response to events in the system or changes in the environment."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pki/credential_manager.hpp"
+#include "util/ids.hpp"
+
+namespace nonrep::access {
+
+using Role = std::string;
+using EventName = std::string;
+
+/// A rule activating a role when a credential is presented, plus the
+/// events that deactivate (or reactivate) it later.
+struct RolePolicy {
+  Role role;
+  /// Predicate over the verified certificate (issuer checks, naming
+  /// conventions, ...). Default accepts any chain-valid credential.
+  std::function<bool(const pki::Certificate&)> admit =
+      [](const pki::Certificate&) { return true; };
+  std::set<EventName> deactivate_on;
+  std::set<EventName> reactivate_on;
+};
+
+class RoleService {
+ public:
+  explicit RoleService(const pki::CredentialManager& credentials)
+      : credentials_(&credentials) {}
+
+  void add_policy(RolePolicy policy);
+
+  /// Present a credential: the certificate is chain-verified and every
+  /// admitting policy's role is activated for the subject.
+  Status present_credential(const pki::Certificate& cert, TimeMs at);
+
+  /// Fire a system event; roles deactivate/reactivate per policy.
+  void on_event(const EventName& event);
+
+  bool has_role(const PartyId& party, const Role& role) const;
+  std::set<Role> active_roles(const PartyId& party) const;
+
+ private:
+  const pki::CredentialManager* credentials_;
+  std::vector<RolePolicy> policies_;
+  /// party -> role -> active?
+  std::map<PartyId, std::map<Role, bool>> assignments_;
+};
+
+}  // namespace nonrep::access

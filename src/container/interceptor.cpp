@@ -1,0 +1,21 @@
+#include "container/interceptor.hpp"
+
+namespace nonrep::container {
+
+InvocationResult InterceptorChain::proceed(Invocation& inv) {
+  if (position_ >= interceptors_.size()) {
+    return terminal_(inv);
+  }
+  Interceptor& current = *interceptors_[position_];
+  ++position_;
+  InvocationResult result = current.invoke(inv, *this);
+  --position_;
+  return result;
+}
+
+InvocationResult InterceptorChain::invoke(Invocation& inv) {
+  position_ = 0;
+  return proceed(inv);
+}
+
+}  // namespace nonrep::container

@@ -1,0 +1,90 @@
+// Interceptor chains — the container's extension mechanism (§4).
+//
+// "An application-level invocation passes through a chain of interceptors,
+// each interceptor completing some task before passing the invocation to
+// the next interceptor in the chain. Existing services can be modified or
+// new services added to a container by inserting additional interceptors."
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/invocation.hpp"
+
+namespace nonrep::container {
+
+class InterceptorChain;
+
+/// One link in the chain. Implementations call `next.proceed(inv)` to pass
+/// the (possibly rewritten) invocation on, and may post-process the result
+/// on the return path — exactly the JBoss `invoke(Invocation)` contract.
+class Interceptor {
+ public:
+  virtual ~Interceptor() = default;
+  virtual std::string name() const = 0;
+  virtual InvocationResult invoke(Invocation& inv, InterceptorChain& next) = 0;
+};
+
+/// Immutable sequence of interceptors ending in a terminal function (the
+/// component itself on the server, the transport on the client proxy).
+class InterceptorChain {
+ public:
+  using Terminal = std::function<InvocationResult(Invocation&)>;
+
+  InterceptorChain(std::vector<std::shared_ptr<Interceptor>> interceptors,
+                   Terminal terminal)
+      : interceptors_(std::move(interceptors)), terminal_(std::move(terminal)) {}
+
+  /// Invoke from the next position; interceptors call this to continue.
+  InvocationResult proceed(Invocation& inv);
+
+  /// Start the chain from the first interceptor.
+  InvocationResult invoke(Invocation& inv);
+
+  std::size_t depth() const noexcept { return interceptors_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<Interceptor>> interceptors_;
+  Terminal terminal_;
+  std::size_t position_ = 0;
+};
+
+/// Simple pass-through interceptor that counts traversals; used by tests
+/// and the chain-overhead benchmark (F6/F7) to model "other JBoss
+/// interceptors" in Figure 7.
+class CountingInterceptor final : public Interceptor {
+ public:
+  explicit CountingInterceptor(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  InvocationResult invoke(Invocation& inv, InterceptorChain& next) override {
+    ++calls_;
+    return next.proceed(inv);
+  }
+  std::uint64_t calls() const noexcept { return calls_; }
+
+ private:
+  std::string name_;
+  std::uint64_t calls_ = 0;
+};
+
+/// Context-propagation interceptor: stamps a key/value into every
+/// invocation context (models the typical JBoss client-proxy interceptors,
+/// §4.2: "typically used for context propagation").
+class ContextInterceptor final : public Interceptor {
+ public:
+  ContextInterceptor(std::string key, std::string value)
+      : key_(std::move(key)), value_(std::move(value)) {}
+  std::string name() const override { return "context:" + key_; }
+  InvocationResult invoke(Invocation& inv, InterceptorChain& next) override {
+    inv.context[key_] = value_;
+    return next.proceed(inv);
+  }
+
+ private:
+  std::string key_;
+  std::string value_;
+};
+
+}  // namespace nonrep::container

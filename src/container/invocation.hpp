@@ -1,0 +1,58 @@
+// Invocation model for the component container.
+//
+// Mirrors the JBoss `Invocation` object of §4.2: "an encapsulation of the
+// client's service invocation, including contextual information and
+// related payload". Interceptors read and rewrite it as it travels down
+// the chain.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::container {
+
+struct Invocation {
+  ServiceUri service;   // globally resolvable target (§3.4 rule 2)
+  std::string method;   // operation name on the component
+  Bytes arguments;      // canonically serialized value arguments (§3.4 rule 1)
+  PartyId caller;       // invoking party
+  /// Context propagated along the chain (the paper's interceptors use this
+  /// for protocol negotiation and run identification).
+  std::map<std::string, std::string> context;
+
+  /// Canonical bytes of the invocation snapshot — the thing evidence signs.
+  Bytes canonical() const;
+};
+
+enum class Outcome : std::uint8_t {
+  kSuccess = 1,      // normal execution result
+  kFailure = 2,      // request executed and raised an application error
+  kTimeout = 3,      // no result within the agreed timeout (§3.2)
+  kAborted = 4,      // client aborted before a result was available (§3.2)
+  kNotExecuted = 5,  // request received but not executed (§3.2)
+};
+
+std::string to_string(Outcome o);
+
+struct InvocationResult {
+  Outcome outcome = Outcome::kFailure;
+  Bytes payload;  // result bytes on success, diagnostic text otherwise
+
+  static InvocationResult success(Bytes payload);
+  static InvocationResult failure(Outcome outcome, std::string detail);
+
+  bool ok() const noexcept { return outcome == Outcome::kSuccess; }
+
+  Bytes canonical() const;
+  static Result<InvocationResult> from_canonical(BytesView b);
+};
+
+/// Wire helpers for shipping an Invocation across the simulated network.
+Bytes encode_invocation(const Invocation& inv);
+Result<Invocation> decode_invocation(BytesView b);
+
+}  // namespace nonrep::container

@@ -1,0 +1,48 @@
+#include "container/proxy.hpp"
+
+namespace nonrep::container {
+
+InvocationResult ClientProxy::call(const std::string& method, Bytes arguments) {
+  Invocation inv;
+  inv.service = service_;
+  inv.method = method;
+  inv.arguments = std::move(arguments);
+  inv.caller = caller_;
+
+  InterceptorChain chain(interceptors_, transport_);
+  return chain.invoke(inv);
+}
+
+InterceptorChain::Terminal local_transport(Container& container) {
+  return [&container](Invocation& inv) { return container.invoke(inv); };
+}
+
+InterceptorChain::Terminal remote_transport(net::RpcEndpoint& endpoint,
+                                            net::Address server, TimeMs timeout) {
+  return [&endpoint, server = std::move(server), timeout](Invocation& inv) {
+    auto response = endpoint.call(server, encode_invocation(inv), timeout);
+    if (!response) {
+      return InvocationResult::failure(Outcome::kTimeout, response.error().detail);
+    }
+    auto result = InvocationResult::from_canonical(response.value());
+    if (!result) {
+      return InvocationResult::failure(Outcome::kFailure, result.error().detail);
+    }
+    return result.value();
+  };
+}
+
+InvocationListener::InvocationListener(net::RpcEndpoint& endpoint, Container& container)
+    : container_(container) {
+  endpoint.set_request_handler([this](const net::Address& /*from*/, BytesView request) {
+    auto inv = decode_invocation(request);
+    if (!inv) {
+      return InvocationResult::failure(Outcome::kNotExecuted, inv.error().detail)
+          .canonical();
+    }
+    Invocation invocation = std::move(inv).take();
+    return container_.invoke(invocation).canonical();
+  });
+}
+
+}  // namespace nonrep::container

@@ -1,0 +1,59 @@
+// Client-side dynamic proxy (§4.2).
+//
+// "The client's reference to the remote bean is a dynamic proxy generated
+// by the server. This proxy contains client-side interceptors..." The
+// proxy runs its own interceptor chain whose terminal is a pluggable
+// transport: in-process, remote RPC, or — when the NR interceptor is
+// installed — the transport is never reached because the interceptor
+// routes the call through a non-repudiation protocol.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "container/container.hpp"
+#include "container/interceptor.hpp"
+#include "net/rpc.hpp"
+
+namespace nonrep::container {
+
+class ClientProxy {
+ public:
+  ClientProxy(PartyId caller, ServiceUri service,
+              std::vector<std::shared_ptr<Interceptor>> interceptors,
+              InterceptorChain::Terminal transport)
+      : caller_(std::move(caller)),
+        service_(std::move(service)),
+        interceptors_(std::move(interceptors)),
+        transport_(std::move(transport)) {}
+
+  /// Invoke `method` with canonical `arguments` through the client chain.
+  InvocationResult call(const std::string& method, Bytes arguments);
+
+  const ServiceUri& service() const noexcept { return service_; }
+
+ private:
+  PartyId caller_;
+  ServiceUri service_;
+  std::vector<std::shared_ptr<Interceptor>> interceptors_;
+  InterceptorChain::Terminal transport_;
+};
+
+/// Terminal invoking a co-located container directly.
+InterceptorChain::Terminal local_transport(Container& container);
+
+/// Terminal shipping the invocation to a remote InvocationListener.
+InterceptorChain::Terminal remote_transport(net::RpcEndpoint& endpoint,
+                                            net::Address server, TimeMs timeout);
+
+/// Server-side adapter: services remote invocations on `endpoint` by
+/// dispatching into `container` (the plain, pre-NR path of Figure 4(a)).
+class InvocationListener {
+ public:
+  InvocationListener(net::RpcEndpoint& endpoint, Container& container);
+
+ private:
+  Container& container_;
+};
+
+}  // namespace nonrep::container

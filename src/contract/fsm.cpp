@@ -1,0 +1,43 @@
+#include "contract/fsm.hpp"
+
+namespace nonrep::contract {
+
+ContractFsm::ContractFsm(State initial, std::vector<Transition> transitions,
+                         std::set<State> accepting)
+    : initial_(std::move(initial)), accepting_(std::move(accepting)) {
+  for (auto& t : transitions) {
+    transitions_[{t.from, t.event}] = t.to;
+  }
+}
+
+std::optional<State> ContractFsm::next(const State& from, const EventName& event) const {
+  auto it = transitions_.find({from, event});
+  if (it == transitions_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::set<EventName> ContractFsm::legal_events(const State& state) const {
+  std::set<EventName> out;
+  for (const auto& [key, _] : transitions_) {
+    if (key.first == state) out.insert(key.second);
+  }
+  return out;
+}
+
+Status ContractMonitor::observe(const EventName& event) {
+  auto next = fsm_.next(current_, event);
+  if (!next) {
+    violations_.push_back(event);
+    return Error::make("contract.violation",
+                       "event '" + event + "' illegal in state '" + current_ + "'");
+  }
+  current_ = *next;
+  history_.push_back(event);
+  return Status::ok_status();
+}
+
+bool ContractMonitor::would_accept(const EventName& event) const {
+  return fsm_.next(current_, event).has_value();
+}
+
+}  // namespace nonrep::contract

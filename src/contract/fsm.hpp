@@ -1,0 +1,85 @@
+// Executable contract finite state machines (§6 / ref [16]).
+//
+// "Contracts are represented as executable finite state machines ... We
+// will use implementations of the verified state machines to validate
+// changes to shared information for contract compliance." The monitor is
+// plugged into NR-Sharing as a state validator (see ContractValidator in
+// core/sharing.hpp).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::contract {
+
+using State = std::string;
+using EventName = std::string;
+
+struct Transition {
+  State from;
+  EventName event;
+  State to;
+};
+
+/// A deterministic FSM: (state, event) -> state.
+class ContractFsm {
+ public:
+  ContractFsm(State initial, std::vector<Transition> transitions,
+              std::set<State> accepting = {});
+
+  const State& initial() const noexcept { return initial_; }
+
+  /// Target state for (state, event); nullopt when the move is illegal.
+  std::optional<State> next(const State& from, const EventName& event) const;
+
+  bool is_accepting(const State& s) const { return accepting_.empty() || accepting_.contains(s); }
+
+  /// All events legal from `state`.
+  std::set<EventName> legal_events(const State& state) const;
+
+ private:
+  State initial_;
+  std::map<std::pair<State, EventName>, State> transitions_;
+  std::set<State> accepting_;
+};
+
+/// Runtime monitor: tracks the current contract state and validates each
+/// observed event against the FSM, recording violations.
+class ContractMonitor {
+ public:
+  explicit ContractMonitor(ContractFsm fsm)
+      : fsm_(std::move(fsm)), current_(fsm_.initial()) {}
+
+  const State& current() const noexcept { return current_; }
+
+  /// Advance on `event`; an illegal event is rejected (state unchanged)
+  /// and recorded as a violation.
+  Status observe(const EventName& event);
+
+  /// Check without advancing.
+  bool would_accept(const EventName& event) const;
+
+  const std::vector<EventName>& violations() const noexcept { return violations_; }
+  const std::vector<EventName>& history() const noexcept { return history_; }
+  bool completed() const { return fsm_.is_accepting(current_); }
+
+  void reset() {
+    current_ = fsm_.initial();
+    history_.clear();
+    violations_.clear();
+  }
+
+ private:
+  ContractFsm fsm_;
+  State current_;
+  std::vector<EventName> history_;
+  std::vector<EventName> violations_;
+};
+
+}  // namespace nonrep::contract

@@ -1,0 +1,79 @@
+// Baseline comparators for the evaluation harness.
+//
+//  * Plain invocation: the unmediated client/server call of Figure 4(a).
+//  * Asymmetric non-repudiation, after Wichert et al [23] (§5): "the
+//    client provides the server with non-repudiation of origin of a
+//    request but there is no exchange to provide corresponding evidence
+//    to the client." One token, no receipts — the related-work design our
+//    symmetric exchange is compared against.
+#pragma once
+
+#include "core/coordinator.hpp"
+#include "core/invocation_protocol.hpp"
+
+namespace nonrep::core {
+
+inline constexpr const char* kPlainProtocol = "invocation.plain";
+inline constexpr const char* kAsymmetricProtocol = "nr.invocation.asymmetric";
+
+/// Plain request/response through the coordinator — no evidence at all.
+class PlainInvocationClient final : public InvocationHandler {
+ public:
+  PlainInvocationClient(Coordinator& coordinator, InvocationConfig config = {})
+      : coordinator_(&coordinator), config_(config) {}
+
+  container::InvocationResult invoke(const net::Address& server,
+                                     container::Invocation& inv) override;
+
+ private:
+  Coordinator* coordinator_;
+  InvocationConfig config_;
+};
+
+class PlainInvocationServer final : public ProtocolHandler {
+ public:
+  PlainInvocationServer(Coordinator& coordinator, Executor executor)
+      : coordinator_(&coordinator), executor_(std::move(executor)) {}
+
+  std::string protocol() const override { return kPlainProtocol; }
+  Result<ProtocolMessage> process_request(const net::Address& from,
+                                          const ProtocolMessage& msg) override;
+  void process(const net::Address&, const ProtocolMessage&) override {}
+
+ private:
+  Coordinator* coordinator_;
+  Executor executor_;
+};
+
+/// Client attaches NRO_req; nothing comes back but the bare result.
+class AsymmetricInvocationClient final : public InvocationHandler {
+ public:
+  AsymmetricInvocationClient(Coordinator& coordinator, InvocationConfig config = {})
+      : coordinator_(&coordinator), config_(config) {}
+
+  container::InvocationResult invoke(const net::Address& server,
+                                     container::Invocation& inv) override;
+
+ private:
+  Coordinator* coordinator_;
+  InvocationConfig config_;
+};
+
+/// Server verifies + archives the client's NRO_req, executes, replies with
+/// the plain result (no NRR_req, no NRO_resp — the asymmetry).
+class AsymmetricInvocationServer final : public ProtocolHandler {
+ public:
+  AsymmetricInvocationServer(Coordinator& coordinator, Executor executor)
+      : coordinator_(&coordinator), executor_(std::move(executor)) {}
+
+  std::string protocol() const override { return kAsymmetricProtocol; }
+  Result<ProtocolMessage> process_request(const net::Address& from,
+                                          const ProtocolMessage& msg) override;
+  void process(const net::Address&, const ProtocolMessage&) override {}
+
+ private:
+  Coordinator* coordinator_;
+  Executor executor_;
+};
+
+}  // namespace nonrep::core

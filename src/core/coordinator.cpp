@@ -1,0 +1,65 @@
+#include "core/coordinator.hpp"
+
+namespace nonrep::core {
+
+Coordinator::Coordinator(std::shared_ptr<EvidenceService> evidence, net::SimNetwork& network,
+                         net::Address address, net::ReliableConfig reliable)
+    : evidence_(std::move(evidence)), rpc_(network, std::move(address), reliable) {
+  rpc_.set_request_handler([this](const net::Address& from, BytesView raw) {
+    return on_request(from, raw);
+  });
+  rpc_.set_notify_handler([this](const net::Address& from, BytesView raw) {
+    on_notify(from, raw);
+  });
+}
+
+void Coordinator::register_handler(std::shared_ptr<ProtocolHandler> handler) {
+  handlers_[handler->protocol()] = std::move(handler);
+}
+
+bool Coordinator::has_handler(const std::string& protocol) const {
+  return handlers_.contains(protocol);
+}
+
+void Coordinator::deliver(const net::Address& to, const ProtocolMessage& msg) {
+  rpc_.notify(to, msg.encode());
+}
+
+Result<ProtocolMessage> Coordinator::deliver_request(const net::Address& to,
+                                                     const ProtocolMessage& msg,
+                                                     TimeMs timeout) {
+  auto raw = rpc_.call(to, msg.encode(), timeout);
+  if (!raw) return raw.error();
+  auto reply = ProtocolMessage::decode(raw.value());
+  if (!reply) return reply.error();
+  if (auto err = as_error(reply.value())) return *err;
+  return reply;
+}
+
+Bytes Coordinator::on_request(const net::Address& from, BytesView raw) {
+  auto msg = ProtocolMessage::decode(raw);
+  if (!msg) {
+    ProtocolMessage bad;
+    bad.sender = party();
+    return make_error_reply(bad, party(), msg.error()).encode();
+  }
+  auto it = handlers_.find(msg.value().protocol);
+  if (it == handlers_.end()) {
+    return make_error_reply(msg.value(), party(),
+                            Error::make("coordinator.no_handler", msg.value().protocol))
+        .encode();
+  }
+  auto reply = it->second->process_request(from, msg.value());
+  if (!reply) return make_error_reply(msg.value(), party(), reply.error()).encode();
+  return reply.value().encode();
+}
+
+void Coordinator::on_notify(const net::Address& from, BytesView raw) {
+  auto msg = ProtocolMessage::decode(raw);
+  if (!msg) return;  // malformed one-way messages are dropped (assumption 4)
+  auto it = handlers_.find(msg.value().protocol);
+  if (it == handlers_.end()) return;
+  it->second->process(from, msg.value());
+}
+
+}  // namespace nonrep::core

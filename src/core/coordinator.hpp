@@ -1,0 +1,70 @@
+// B2BCoordinator service and protocol-handler registry (§4.1).
+//
+//   B2BCoordinatorRemote {
+//     void deliver(B2BProtocolMessage msg);
+//     B2BProtocolMessage deliverRequest(B2BProtocolMessage msg);
+//   }
+//
+// Each trusted interceptor exposes one Coordinator endpoint. Custom
+// protocol handlers are registered with it; the coordinator maps each
+// incoming message to the handler registered for its protocol string and
+// provides handlers access to the local, protocol-agnostic services
+// (evidence, credentials, state storage) via EvidenceService.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/protocol_message.hpp"
+#include "net/rpc.hpp"
+
+namespace nonrep::core {
+
+/// B2BProtocolHandler (§4.1): processes incoming steps of one protocol.
+class ProtocolHandler {
+ public:
+  virtual ~ProtocolHandler() = default;
+
+  /// Key this handler serves, e.g. "nr.invocation.direct".
+  virtual std::string protocol() const = 0;
+
+  /// Synchronous step: serve a deliverRequest and produce the reply.
+  virtual Result<ProtocolMessage> process_request(const net::Address& from,
+                                                  const ProtocolMessage& msg) = 0;
+
+  /// Asynchronous step: consume a deliver (one-way) message.
+  virtual void process(const net::Address& from, const ProtocolMessage& msg) = 0;
+};
+
+class Coordinator {
+ public:
+  Coordinator(std::shared_ptr<EvidenceService> evidence, net::SimNetwork& network,
+              net::Address address, net::ReliableConfig reliable = {});
+
+  EvidenceService& evidence() noexcept { return *evidence_; }
+  const PartyId& party() const noexcept { return evidence_->self(); }
+  const net::Address& address() const noexcept { return rpc_.address(); }
+  net::SimNetwork& network() noexcept { return rpc_.network(); }
+
+  void register_handler(std::shared_ptr<ProtocolHandler> handler);
+  bool has_handler(const std::string& protocol) const;
+
+  /// deliver(msg): reliable one-way delivery to a remote coordinator.
+  void deliver(const net::Address& to, const ProtocolMessage& msg);
+
+  /// deliverRequest(msg): deliver and synchronously await the reply
+  /// (bounded by virtual-time `timeout`). Error replies are surfaced as
+  /// Result errors.
+  Result<ProtocolMessage> deliver_request(const net::Address& to, const ProtocolMessage& msg,
+                                          TimeMs timeout);
+
+ private:
+  Bytes on_request(const net::Address& from, BytesView raw);
+  void on_notify(const net::Address& from, BytesView raw);
+
+  std::shared_ptr<EvidenceService> evidence_;
+  net::RpcEndpoint rpc_;
+  std::map<std::string, std::shared_ptr<ProtocolHandler>> handlers_;
+};
+
+}  // namespace nonrep::core

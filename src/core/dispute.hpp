@@ -1,0 +1,96 @@
+// Dispute resolution over collected evidence (§3.1, §3.2).
+//
+// "To support dispute resolution, the fact that trusted interceptors
+// mediated the interaction provides any honest party with irrefutable
+// evidence of their own actions within the domain and of the observed
+// actions of other parties." The Adjudicator is the off-line judge: given
+// one party's evidence bundle for a run (tokens + the subject bytes their
+// digests resolve to), it independently re-verifies every signature and
+// derives exactly which claims that party can sustain:
+//
+//   claim                      sustained by
+//   ─────────────────────────  ─────────────────────────────────────────
+//   client sent the request    NRO_req   (signed by the client)
+//   server got the request     NRR_req   (signed by the server)
+//   server produced response   NRO_resp  (signed by the server)
+//   client got the response    NRR_resp  (signed by the client) — or a
+//                              TTP affidavit substituting for it
+//   run was aborted            TTP abort token
+//
+// The adjudicator never trusts the presenting party: a bundle with a
+// broken signature, a digest that does not resolve, or tokens bound to a
+// different run contributes nothing.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/evidence.hpp"
+
+namespace nonrep::core {
+
+/// One item of presented evidence: a token and the subject bytes that the
+/// token's digest is claimed to cover.
+struct PresentedEvidence {
+  EvidenceToken token;
+  Bytes subject;
+};
+
+/// What the presenting party can irrefutably establish about a run.
+struct Verdict {
+  // Sustained claims (each backed by a verified token):
+  bool client_sent_request = false;    // NRO_req verified
+  bool server_received_request = false;  // NRR_req verified
+  bool server_sent_response = false;   // NRO_resp verified
+  bool client_received_response = false;  // NRR_resp or affidavit verified
+  bool run_aborted = false;            // TTP abort token verified
+  bool receipt_by_affidavit = false;   // the receipt claim rests on a TTP
+
+  // Sharing-round claims (§3.3): derived from proposal/vote/decision
+  // tokens, whose subjects carry the accept/commit bit.
+  bool update_proposed = false;   // kProposal verified
+  std::size_t accept_votes = 0;   // verified kVote tokens voting accept
+  std::size_t reject_votes = 0;   // verified kVote tokens voting reject
+  bool update_agreed = false;     // kDecision with commit outcome
+  bool update_rejected = false;   // kDecision with abort outcome
+
+  /// Tokens that failed verification (wrong signature / digest / run) —
+  /// presented but worthless, possibly an attempted forgery.
+  std::vector<EvidenceToken> rejected;
+
+  /// The exchange completed: both origin and receipt are provable in
+  /// both directions (§3.2 rules 1 and 2).
+  bool exchange_complete() const {
+    return client_sent_request && server_received_request && server_sent_response &&
+           client_received_response;
+  }
+  /// The client consumed the service but the bundle cannot prove it
+  /// acknowledged the response (the case TTP recovery exists for).
+  bool receipt_outstanding() const {
+    return server_sent_response && !client_received_response && !run_aborted;
+  }
+};
+
+class Adjudicator {
+ public:
+  /// `credentials` must hold the certificates of every party whose tokens
+  /// may appear (and the trusted roots to verify them).
+  Adjudicator(const pki::CredentialManager& credentials, std::shared_ptr<Clock> clock)
+      : credentials_(&credentials), clock_(std::move(clock)) {}
+
+  /// Judge a bundle of evidence presented for `run`.
+  Verdict adjudicate(const RunId& run, const std::vector<PresentedEvidence>& bundle) const;
+
+  /// Convenience: build a bundle from a party's log + state store.
+  static std::vector<PresentedEvidence> bundle_from_log(const store::EvidenceLog& log,
+                                                        const store::StateStore& states,
+                                                        const RunId& run);
+
+ private:
+  bool verify_item(const RunId& run, const PresentedEvidence& item) const;
+
+  const pki::CredentialManager* credentials_;
+  std::shared_ptr<Clock> clock_;
+};
+
+}  // namespace nonrep::core

@@ -1,0 +1,145 @@
+#include "core/evidence.hpp"
+
+#include "util/hex.hpp"
+#include "util/serialize.hpp"
+
+namespace nonrep::core {
+
+std::string to_string(EvidenceType t) {
+  switch (t) {
+    case EvidenceType::kNroRequest: return "NRO-request";
+    case EvidenceType::kNrrRequest: return "NRR-request";
+    case EvidenceType::kNroResponse: return "NRO-response";
+    case EvidenceType::kNrrResponse: return "NRR-response";
+    case EvidenceType::kProposal: return "proposal";
+    case EvidenceType::kVote: return "vote";
+    case EvidenceType::kDecision: return "decision";
+    case EvidenceType::kConnect: return "connect";
+    case EvidenceType::kDisconnect: return "disconnect";
+    case EvidenceType::kAbort: return "abort";
+    case EvidenceType::kAffidavit: return "affidavit";
+  }
+  return "unknown";
+}
+
+std::string log_kind(EvidenceType t) { return "token." + to_string(t); }
+
+std::string tsa_log_kind(EvidenceType t) { return "tsa." + to_string(t); }
+
+Bytes EvidenceToken::tbs() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.str(run.str());
+  w.str(issuer.str());
+  w.u64(issued_at);
+  w.bytes(crypto::digest_bytes(subject));
+  return std::move(w).take();
+}
+
+Bytes EvidenceToken::encode() const {
+  BinaryWriter w;
+  w.bytes(tbs());
+  w.bytes(signature);
+  return std::move(w).take();
+}
+
+Result<EvidenceToken> EvidenceToken::decode(BytesView b) {
+  BinaryReader outer(b);
+  auto tbs_bytes = outer.bytes();
+  if (!tbs_bytes) return tbs_bytes.error();
+  auto sig = outer.bytes();
+  if (!sig) return sig.error();
+
+  BinaryReader r(tbs_bytes.value());
+  EvidenceToken token;
+  auto type = r.u8();
+  if (!type) return type.error();
+  if (type.value() < 1 || type.value() > 11) {
+    return Error::make("evidence.bad_type", std::to_string(type.value()));
+  }
+  token.type = static_cast<EvidenceType>(type.value());
+  auto run = r.str();
+  if (!run) return run.error();
+  token.run = RunId(run.value());
+  auto issuer = r.str();
+  if (!issuer) return issuer.error();
+  token.issuer = PartyId(issuer.value());
+  auto at = r.u64();
+  if (!at) return at.error();
+  token.issued_at = at.value();
+  auto digest = r.bytes();
+  if (!digest) return digest.error();
+  if (!crypto::digest_from_bytes(digest.value(), token.subject)) {
+    return Error::make("evidence.bad_digest", "wrong digest length");
+  }
+  token.signature = sig.value();
+  return token;
+}
+
+EvidenceService::EvidenceService(PartyId self, std::shared_ptr<crypto::Signer> signer,
+                                 std::shared_ptr<pki::CredentialManager> credentials,
+                                 std::shared_ptr<store::EvidenceLog> log,
+                                 std::shared_ptr<store::StateStore> states,
+                                 std::shared_ptr<Clock> clock, std::uint64_t rng_seed)
+    : self_(std::move(self)),
+      signer_(std::move(signer)),
+      credentials_(std::move(credentials)),
+      log_(std::move(log)),
+      states_(std::move(states)),
+      clock_(std::move(clock)),
+      rng_([&] {
+        BinaryWriter w;
+        w.str(self_.str());
+        w.u64(rng_seed);
+        return std::move(w).take();
+      }()) {}
+
+RunId EvidenceService::new_run() { return RunId(to_hex(rng_.generate(16))); }
+
+Result<EvidenceToken> EvidenceService::issue(EvidenceType type, const RunId& run,
+                                             BytesView subject) {
+  EvidenceToken token;
+  token.type = type;
+  token.run = run;
+  token.issuer = self_;
+  token.issued_at = clock_->now();
+  token.subject = crypto::Sha256::hash(subject);
+  auto sig = signer_->sign(token.tbs());
+  if (!sig) return sig.error();
+  token.signature = std::move(sig).take();
+
+  states_->put(subject);
+  log_->append(run, log_kind(type), token.encode());
+  if (tsa_) {
+    if (auto stamp = tsa_->countersign(token.encode())) {
+      log_->append(run, tsa_log_kind(type), std::move(stamp).take());
+    }
+  }
+  return token;
+}
+
+Result<Bytes> EvidenceService::timestamp_record(const RunId& run, EvidenceType type) const {
+  auto record = log_->find(run, tsa_log_kind(type));
+  if (!record) return Error::make("evidence.no_timestamp", to_string(type));
+  return record->payload;
+}
+
+Status EvidenceService::verify(const EvidenceToken& token, BytesView subject) const {
+  const crypto::Digest expected = crypto::Sha256::hash(subject);
+  if (!constant_time_equal(BytesView(expected.data(), expected.size()),
+                           BytesView(token.subject.data(), token.subject.size()))) {
+    return Error::make("evidence.subject_mismatch",
+                       to_string(token.type) + " does not cover presented subject");
+  }
+  return credentials_->verify_signature(token.issuer, token.tbs(), token.signature,
+                                        clock_->now());
+}
+
+Status EvidenceService::accept(const EvidenceToken& token, BytesView subject) {
+  if (auto v = verify(token, subject); !v) return v;
+  states_->put(subject);
+  log_->append(token.run, log_kind(token.type), token.encode());
+  return Status::ok_status();
+}
+
+}  // namespace nonrep::core

@@ -1,0 +1,127 @@
+// Non-repudiation evidence model (§3.2, §3.4).
+//
+// "Non-repudiation tokens include a unique request identifier, to
+// distinguish between protocol runs and to bind protocol steps to a run,
+// and a signature on a secure hash of the evidence generated."
+//
+// A token = (type, run, issuer, time, digest-of-subject, signature over
+// all of those). The *subject* is the canonical byte snapshot the token
+// attests to — a request, a response, a proposed state — resolved per the
+// three rules of §3.4. Verification resolves the issuer's certificate
+// through the credential manager (chain + revocation + validity).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+#include "pki/credential_manager.hpp"
+#include "store/evidence_log.hpp"
+#include "store/state_store.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::core {
+
+enum class EvidenceType : std::uint8_t {
+  kNroRequest = 1,   // non-repudiation of origin of the request
+  kNrrRequest = 2,   // non-repudiation of receipt of the request
+  kNroResponse = 3,  // non-repudiation of origin of the response
+  kNrrResponse = 4,  // non-repudiation of receipt of the response
+  kProposal = 5,     // origin of a proposed update to shared state (§3.3)
+  kVote = 6,         // a party's validation decision on a proposal (§3.3)
+  kDecision = 7,     // the collective decision on a proposal (§3.3)
+  kConnect = 8,      // membership join agreement
+  kDisconnect = 9,   // membership leave agreement
+  kAbort = 10,       // TTP-signed abort of a fair-exchange run
+  kAffidavit = 11,   // TTP-signed substitute receipt (resolve outcome)
+};
+
+std::string to_string(EvidenceType t);
+std::string log_kind(EvidenceType t);      // kind string used in the evidence log
+std::string tsa_log_kind(EvidenceType t);  // kind of the TSA countersignature record
+
+/// Abstract countersigning hook (implemented by tsa::TimestampAuthority
+/// via the adapter in tsa/timestamp.hpp; kept abstract here to avoid a
+/// core -> tsa dependency cycle).
+class TimestampHook {
+ public:
+  virtual ~TimestampHook() = default;
+  /// Returns the encoded timestamp token over `data`.
+  virtual Result<Bytes> countersign(BytesView data) = 0;
+};
+
+struct EvidenceToken {
+  EvidenceType type{};
+  RunId run;
+  PartyId issuer;
+  TimeMs issued_at = 0;
+  crypto::Digest subject{};  // SHA-256 of the canonical subject bytes
+  Bytes signature;           // issuer's signature over tbs()
+
+  Bytes tbs() const;
+  Bytes encode() const;
+  static Result<EvidenceToken> decode(BytesView b);
+};
+
+/// Per-party evidence services: token issue/verify plus the persistence
+/// duties of assumption 3 (every issued and accepted token is logged; the
+/// subject state is stored digest-addressed so evidence can be rendered
+/// meaningful later, §3.4).
+class EvidenceService {
+ public:
+  EvidenceService(PartyId self, std::shared_ptr<crypto::Signer> signer,
+                  std::shared_ptr<pki::CredentialManager> credentials,
+                  std::shared_ptr<store::EvidenceLog> log,
+                  std::shared_ptr<store::StateStore> states,
+                  std::shared_ptr<Clock> clock, std::uint64_t rng_seed);
+
+  const PartyId& self() const noexcept { return self_; }
+  pki::CredentialManager& credentials() noexcept { return *credentials_; }
+  const pki::CredentialManager& credentials() const noexcept { return *credentials_; }
+  store::EvidenceLog& log() noexcept { return *log_; }
+  store::StateStore& states() noexcept { return *states_; }
+  Clock& clock() noexcept { return *clock_; }
+
+  /// Fresh statistically-unique run identifier (§3.5 PRNG requirement).
+  RunId new_run();
+
+  /// Sign a token over `subject`; stores the subject in the state store
+  /// and appends the token to the evidence log.
+  Result<EvidenceToken> issue(EvidenceType type, const RunId& run, BytesView subject);
+
+  /// Verify a received token against the claimed subject bytes; on success
+  /// the token and subject are persisted (log + state store).
+  Status accept(const EvidenceToken& token, BytesView subject);
+
+  /// Verification only (no persistence side effects).
+  Status verify(const EvidenceToken& token, BytesView subject) const;
+
+  /// Attach a time-stamping authority: every subsequently *issued* token
+  /// is countersigned by the TSA and the timestamp token logged alongside
+  /// it (§3.5: evidence "should be time-stamped ... to support the
+  /// assertion that the signature used to sign evidence was not
+  /// compromised at time of use"). Optional — parties using the
+  /// forward-secure Merkle scheme may omit it ([25]).
+  void set_timestamp_authority(std::shared_ptr<TimestampHook> tsa) {
+    tsa_ = std::move(tsa);
+  }
+
+  /// The logged TSA countersignature for a token this party issued.
+  Result<Bytes> timestamp_record(const RunId& run, EvidenceType type) const;
+
+ private:
+  PartyId self_;
+  std::shared_ptr<crypto::Signer> signer_;
+  std::shared_ptr<pki::CredentialManager> credentials_;
+  std::shared_ptr<store::EvidenceLog> log_;
+  std::shared_ptr<store::StateStore> states_;
+  std::shared_ptr<Clock> clock_;
+  crypto::Drbg rng_;
+  std::shared_ptr<TimestampHook> tsa_;
+};
+
+}  // namespace nonrep::core

@@ -1,0 +1,69 @@
+#include "core/nr_interceptor.hpp"
+
+namespace nonrep::core {
+
+InvocationHandlerFactory::InvocationHandlerFactory() {
+  // Built-in: the direct (no-TTP) protocol on the simulated platform.
+  register_creator("cpp-sim", "direct",
+                   [](Coordinator& c, const InvocationConfig& cfg) {
+                     return std::make_unique<DirectInvocationClient>(c, cfg);
+                   });
+}
+
+InvocationHandlerFactory& InvocationHandlerFactory::instance() {
+  static InvocationHandlerFactory factory;
+  return factory;
+}
+
+void InvocationHandlerFactory::register_creator(const std::string& platform,
+                                                const std::string& protocol,
+                                                HandlerCreator creator) {
+  creators_[{platform, protocol}] = std::move(creator);
+}
+
+std::unique_ptr<InvocationHandler> InvocationHandlerFactory::create(
+    const std::string& platform, const std::string& protocol, Coordinator& coordinator,
+    const InvocationConfig& config) const {
+  auto it = creators_.find({platform, protocol});
+  if (it == creators_.end()) return nullptr;
+  return it->second(coordinator, config);
+}
+
+bool InvocationHandlerFactory::known(const std::string& platform,
+                                     const std::string& protocol) const {
+  return creators_.contains({platform, protocol});
+}
+
+NrClientInterceptor::NrClientInterceptor(Coordinator& coordinator, ServiceResolver resolver,
+                                         std::string platform, std::string protocol,
+                                         InvocationConfig config)
+    : coordinator_(&coordinator),
+      resolver_(std::move(resolver)),
+      platform_(std::move(platform)),
+      protocol_(std::move(protocol)),
+      config_(config) {}
+
+container::InvocationResult NrClientInterceptor::invoke(container::Invocation& inv,
+                                                        container::InterceptorChain& next) {
+  auto handler = InvocationHandlerFactory::instance().create(platform_, protocol_,
+                                                             *coordinator_, config_);
+  if (!handler) {
+    // Unknown protocol: fall back to the remaining chain (plain transport)
+    // so a misconfigured client degrades to unmediated invocation rather
+    // than deadlock; the server side may still reject it.
+    return next.proceed(inv);
+  }
+  return handler->invoke(resolver_(inv.service), inv);
+}
+
+std::shared_ptr<DirectInvocationServer> install_nr_server(Coordinator& coordinator,
+                                                          container::Container& container,
+                                                          InvocationConfig config) {
+  auto server = std::make_shared<DirectInvocationServer>(
+      coordinator,
+      [&container](container::Invocation& inv) { return container.invoke(inv); }, config);
+  coordinator.register_handler(server);
+  return server;
+}
+
+}  // namespace nonrep::core

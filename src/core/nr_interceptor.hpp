@@ -1,0 +1,83 @@
+// The NR interceptor and the B2BInvocationHandler factory (§4.2).
+//
+// Client side: "We add an extra interceptor — the JBoss NR interceptor —
+// to both client and server invocation paths. ... the client-side NR
+// interceptor is the first in the chain on the outgoing path (and last on
+// the return path)." Its invoke() mirrors the paper's code:
+//
+//   B2BInvocationHandler b2bInvHdlr =
+//       B2BInvocationHandler.getInstance("JBossJ2EE", "direct");
+//   return b2bInvHdlr.invoke(new JBossB2BInvocation(nextInterceptor(), inv));
+//
+// The factory is keyed by (platform, protocol); the client controls its
+// own participation by registering alternative handler creators.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "container/interceptor.hpp"
+#include "core/invocation_protocol.hpp"
+
+namespace nonrep::core {
+
+/// Creates an InvocationHandler bound to a coordinator.
+using HandlerCreator =
+    std::function<std::unique_ptr<InvocationHandler>(Coordinator&, const InvocationConfig&)>;
+
+/// getInstance(platform, protocol) registry.
+class InvocationHandlerFactory {
+ public:
+  static InvocationHandlerFactory& instance();
+
+  void register_creator(const std::string& platform, const std::string& protocol,
+                        HandlerCreator creator);
+
+  /// nullptr when the (platform, protocol) pair is unknown.
+  std::unique_ptr<InvocationHandler> create(const std::string& platform,
+                                            const std::string& protocol,
+                                            Coordinator& coordinator,
+                                            const InvocationConfig& config) const;
+
+  bool known(const std::string& platform, const std::string& protocol) const;
+
+ private:
+  InvocationHandlerFactory();
+  std::map<std::pair<std::string, std::string>, HandlerCreator> creators_;
+};
+
+/// Resolves a service URI to the network address of the coordinator that
+/// fronts it (the paper's "globally resolvable name", §3.4).
+using ServiceResolver = std::function<net::Address(const ServiceUri&)>;
+
+/// Client-side NR interceptor: routes the invocation through the
+/// (platform, protocol) handler instead of the plain transport terminal.
+class NrClientInterceptor final : public container::Interceptor {
+ public:
+  NrClientInterceptor(Coordinator& coordinator, ServiceResolver resolver,
+                      std::string platform = "cpp-sim", std::string protocol = "direct",
+                      InvocationConfig config = {});
+
+  std::string name() const override { return "nr-client[" + protocol_ + "]"; }
+  container::InvocationResult invoke(container::Invocation& inv,
+                                     container::InterceptorChain& next) override;
+
+ private:
+  Coordinator* coordinator_;
+  ServiceResolver resolver_;
+  std::string platform_;
+  std::string protocol_;
+  InvocationConfig config_;
+};
+
+/// Server-side assembly: registers a DirectInvocationServer on the
+/// coordinator whose executor dispatches into the container — i.e. the
+/// server NR interceptor is "first in the chain on the incoming path"
+/// because evidence is handled before Container::invoke runs the
+/// remaining interceptors and the component.
+std::shared_ptr<DirectInvocationServer> install_nr_server(Coordinator& coordinator,
+                                                          container::Container& container,
+                                                          InvocationConfig config = {});
+
+}  // namespace nonrep::core

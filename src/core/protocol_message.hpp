@@ -1,0 +1,43 @@
+// B2BProtocolMessage (§4.1).
+//
+// "A B2BProtocolMessage is an interface to information common to
+// non-repudiation protocol messages — request (protocol run) identifier,
+// sender, protocol step, signed content, payload etc. Concrete
+// implementations ... meet protocol-specific requirements." Here the
+// protocol-specific part is the opaque `body` plus attached evidence
+// tokens; the `protocol` string routes the message to a registered
+// handler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evidence.hpp"
+#include "util/ids.hpp"
+
+namespace nonrep::core {
+
+struct ProtocolMessage {
+  std::string protocol;  // handler key, e.g. "nr.invocation.direct"
+  RunId run;
+  std::uint32_t step = 0;
+  PartyId sender;
+  Bytes body;                         // protocol-specific payload
+  std::vector<EvidenceToken> tokens;  // signed content carried by this step
+
+  Bytes encode() const;
+  static Result<ProtocolMessage> decode(BytesView b);
+
+  /// Find the first attached token of `type`; error if absent.
+  Result<EvidenceToken> token(EvidenceType type) const;
+};
+
+/// Reserved protocol name for error replies from a coordinator.
+inline constexpr const char* kErrorProtocol = "error";
+
+ProtocolMessage make_error_reply(const ProtocolMessage& request, const PartyId& sender,
+                                 const Error& error);
+/// If `msg` is an error reply, convert it back to an Error.
+std::optional<Error> as_error(const ProtocolMessage& msg);
+
+}  // namespace nonrep::core

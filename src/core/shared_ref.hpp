@@ -1,0 +1,44 @@
+// Shared-information references in invocation evidence (§3.4 rule 3).
+//
+// "Shared information must be resolved both to a representation of the
+// state of the information and a reference to the mechanism for sharing
+// the information that is resolvable by the remote party. The combination
+// of this evidence allows the remote party to determine the state of the
+// shared information at invocation time and also to access the shared
+// information locally after the invocation has completed."
+//
+// attach_shared_reference() embeds (object id, version, state digest)
+// into the invocation context before the NR interceptor snapshots it, so
+// NRO_req/NRR_req irrefutably cover *which* shared state the request was
+// made against. The receiver checks the reference against its own replica
+// — a stale or fabricated reference is detected before execution.
+#pragma once
+
+#include "container/invocation.hpp"
+#include "core/sharing.hpp"
+
+namespace nonrep::core {
+
+struct SharedReference {
+  ObjectId object;
+  std::uint64_t version = 0;
+  crypto::Digest state_digest{};
+};
+
+/// Embed the current agreed state of `object` (from the caller's replica)
+/// into the invocation context.
+Status attach_shared_reference(container::Invocation& inv,
+                               const B2BObjectController& controller,
+                               const ObjectId& object);
+
+/// Parse the reference for `object` out of an invocation, if present.
+Result<SharedReference> shared_reference(const container::Invocation& inv,
+                                         const ObjectId& object);
+
+/// Receiver-side check: the reference must match the local replica's
+/// version and digest exactly (both parties are members of the group, so
+/// agreement means their replicas coincide).
+Status verify_shared_reference(const container::Invocation& inv,
+                               const B2BObjectController& local, const ObjectId& object);
+
+}  // namespace nonrep::core

@@ -1,0 +1,47 @@
+#include "core/txn_resource.hpp"
+
+namespace nonrep::core {
+
+Status B2BTransactionalResource::stage(Bytes desired_state) {
+  if (!controller_->hosts(object_)) {
+    return Error::make("sharing.not_hosted", object_.str());
+  }
+  staged_ = std::move(desired_state);
+  return Status::ok_status();
+}
+
+bool B2BTransactionalResource::prepare(const txn::TxnId& /*txn*/) {
+  if (!staged_) return true;  // read-only participant: trivially yes
+  auto current = controller_->get(object_);
+  if (!current) return false;
+  undo_state_ = current.value().state;
+
+  auto agreed = controller_->propose_update(object_, *staged_);
+  if (!agreed) {
+    undo_state_.reset();
+    staged_.reset();
+    return false;  // group vetoed: vote no with no work to undo
+  }
+  prepared_ = true;
+  return true;
+}
+
+void B2BTransactionalResource::commit(const txn::TxnId& /*txn*/) {
+  staged_.reset();
+  undo_state_.reset();
+  prepared_ = false;
+}
+
+void B2BTransactionalResource::rollback(const txn::TxnId& /*txn*/) {
+  if (prepared_ && undo_state_) {
+    // Compensating round: restore the pre-transaction state. Failure here
+    // means another round slipped in; the evidence trail still records
+    // both the prepared and the compensating attempt.
+    (void)controller_->propose_update(object_, *undo_state_);
+  }
+  staged_.reset();
+  undo_state_.reset();
+  prepared_ = false;
+}
+
+}  // namespace nonrep::core

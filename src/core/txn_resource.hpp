@@ -1,0 +1,54 @@
+// Transactional, non-repudiable information sharing (§6 / ref [6]).
+//
+// Adapts a shared B2BObject to the txn::Participant interface so that an
+// update to the shared state participates in a distributed transaction
+// alongside local resources:
+//
+//   * work phase — the application stages the desired final state;
+//   * prepare    — the staged state is put to the group through the full
+//     non-repudiable coordination round; the group's unanimous agreement
+//     IS the yes-vote (and is itself signed evidence);
+//   * commit     — nothing left to do: the agreed state is already live;
+//   * rollback after prepare — a compensating round restores the
+//     pre-transaction state (also unanimously agreed and evidenced).
+//
+// The compensation model (rather than group-wide deferred apply) follows
+// from the B2BObjects protocol making agreement and application one
+// atomic step; the rollback round leaves a complete audit trail of the
+// aborted transaction, which the paper's evidence requirements demand
+// anyway.
+#pragma once
+
+#include <optional>
+
+#include "core/sharing.hpp"
+#include "txn/transaction.hpp"
+
+namespace nonrep::core {
+
+class B2BTransactionalResource final : public txn::Participant {
+ public:
+  B2BTransactionalResource(B2BObjectController& controller, ObjectId object)
+      : controller_(&controller), object_(std::move(object)) {}
+
+  std::string name() const override { return "b2bobject:" + object_.str(); }
+
+  /// Stage the state this transaction wants to establish (may be called
+  /// repeatedly; the last value wins — the roll-up semantics of §4.3).
+  Status stage(Bytes desired_state);
+
+  bool prepare(const txn::TxnId& txn) override;
+  void commit(const txn::TxnId& txn) override;
+  void rollback(const txn::TxnId& txn) override;
+
+  bool has_staged() const noexcept { return staged_.has_value(); }
+
+ private:
+  B2BObjectController* controller_;
+  ObjectId object_;
+  std::optional<Bytes> staged_;
+  std::optional<Bytes> undo_state_;  // pre-prepare state for compensation
+  bool prepared_ = false;
+};
+
+}  // namespace nonrep::core

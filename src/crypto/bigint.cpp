@@ -1,0 +1,314 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nonrep::crypto {
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_bytes_be(BytesView b) {
+  BigUint out;
+  out.limbs_.assign((b.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const std::size_t byte_from_lsb = b.size() - 1 - i;
+    out.limbs_[byte_from_lsb / 4] |=
+        static_cast<std::uint32_t>(b[i]) << (8 * (byte_from_lsb % 4));
+  }
+  out.trim();
+  return out;
+}
+
+Bytes BigUint::to_bytes_be(std::size_t size) const {
+  Bytes out(size, 0);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t byte_from_lsb = i;
+    const std::size_t limb = byte_from_lsb / 4;
+    if (limb < limbs_.size()) {
+      out[size - 1 - i] =
+          static_cast<std::uint8_t>(limbs_[limb] >> (8 * (byte_from_lsb % 4)));
+    }
+  }
+  return out;
+}
+
+Bytes BigUint::to_bytes_be() const {
+  const std::size_t bits = bit_length();
+  return to_bytes_be((bits + 7) / 8);
+}
+
+std::size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+int BigUint::cmp(const BigUint& a, const BigUint& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint BigUint::add(const BigUint& a, const BigUint& b) {
+  BigUint out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::sub(const BigUint& a, const BigUint& b) {
+  assert(cmp(a, b) >= 0);
+  BigUint out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::mul(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return BigUint{};
+  BigUint out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::shl(std::size_t bits) const {
+  if (is_zero()) return BigUint{};
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |=
+          static_cast<std::uint32_t>(static_cast<std::uint64_t>(limbs_[i]) >> (32 - bit_shift));
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::shr(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigUint{};
+  const std::size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift));
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::div_small(const BigUint& a, std::uint32_t divisor, std::uint32_t& remainder) {
+  assert(divisor != 0);
+  BigUint out;
+  out.limbs_.assign(a.limbs_.size(), 0);
+  std::uint64_t rem = 0;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    const std::uint64_t cur = (rem << 32) | a.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  remainder = static_cast<std::uint32_t>(rem);
+  out.trim();
+  return out;
+}
+
+std::uint32_t BigUint::mod_small(const BigUint& a, std::uint32_t divisor) {
+  std::uint32_t rem = 0;
+  (void)div_small(a, divisor, rem);
+  return rem;
+}
+
+BigUint BigUint::mod(const BigUint& a, const BigUint& m) {
+  assert(!m.is_zero());
+  if (cmp(a, m) < 0) return a;
+  const std::size_t shift_max = a.bit_length() - m.bit_length();
+  BigUint rem = a;
+  for (std::size_t s = shift_max + 1; s-- > 0;) {
+    const BigUint shifted = m.shl(s);
+    if (cmp(rem, shifted) >= 0) rem = sub(rem, shifted);
+  }
+  return rem;
+}
+
+BigUint BigUint::mod_exp(const BigUint& a, const BigUint& e, const BigUint& m) {
+  Montgomery ctx(m);
+  return ctx.exp(a, e);
+}
+
+std::string BigUint::to_hex_string() const {
+  if (is_zero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 7; nib >= 0; --nib) {
+      const unsigned d = (limbs_[i] >> (4 * nib)) & 0xf;
+      if (leading && d == 0) continue;
+      leading = false;
+      out.push_back(kDigits[d]);
+    }
+  }
+  return out;
+}
+
+// ---- Montgomery ----
+
+namespace {
+// -n^{-1} mod 2^32 via Newton iteration (n odd).
+std::uint32_t neg_inverse_u32(std::uint32_t n) {
+  std::uint32_t x = n;  // inverse mod 2^3 seed trick: x = n works mod 2^3 for odd n? Use standard loop.
+  for (int i = 0; i < 5; ++i) x *= 2 - n * x;  // doubles precision each step
+  return ~x + 1;  // -(n^{-1})
+}
+}  // namespace
+
+Montgomery::Montgomery(const BigUint& modulus) : n_(modulus) {
+  assert(n_.is_odd());
+  k_ = n_.limbs_.size();
+  n0_inv_ = neg_inverse_u32(n_.limbs_[0]);
+
+  // R mod n and R^2 mod n by shift-and-reduce: start at 1, double 2*k*32
+  // times for R^2; record R mod n halfway.
+  BigUint x(1);
+  const std::size_t total = 2 * k_ * 32;
+  for (std::size_t i = 0; i < total; ++i) {
+    x = BigUint::add(x, x);
+    if (BigUint::cmp(x, n_) >= 0) x = BigUint::sub(x, n_);
+    if (i + 1 == k_ * 32) one_mont_ = x;  // R mod n
+  }
+  r2_ = x;
+}
+
+BigUint Montgomery::mul(const BigUint& a_mont, const BigUint& b_mont) const {
+  // CIOS Montgomery multiplication.
+  std::vector<std::uint32_t> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint64_t ai =
+        i < a_mont.limbs_.size() ? a_mont.limbs_[i] : 0;
+    // t += ai * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t bj = j < b_mont.limbs_.size() ? b_mont.limbs_[j] : 0;
+      const std::uint64_t cur = static_cast<std::uint64_t>(t[j]) + ai * bj + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    {
+      const std::uint64_t cur = static_cast<std::uint64_t>(t[k_]) + carry;
+      t[k_] = static_cast<std::uint32_t>(cur);
+      t[k_ + 1] += static_cast<std::uint32_t>(cur >> 32);
+    }
+    // m = t[0] * n0' mod 2^32 ; t += m * n ; t >>= 32
+    const std::uint32_t m = t[0] * n0_inv_;
+    carry = 0;
+    {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(t[0]) + static_cast<std::uint64_t>(m) * n_.limbs_[0];
+      carry = cur >> 32;
+    }
+    for (std::size_t j = 1; j < k_; ++j) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(t[j]) +
+                                static_cast<std::uint64_t>(m) * n_.limbs_[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    {
+      const std::uint64_t cur = static_cast<std::uint64_t>(t[k_]) + carry;
+      t[k_ - 1] = static_cast<std::uint32_t>(cur);
+      t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
+      t[k_ + 1] = 0;
+    }
+  }
+
+  BigUint out;
+  out.limbs_.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_ + 1));
+  out.trim();
+  if (BigUint::cmp(out, n_) >= 0) out = BigUint::sub(out, n_);
+  return out;
+}
+
+BigUint Montgomery::to_mont(const BigUint& x) const { return mul(x, r2_); }
+
+BigUint Montgomery::from_mont(const BigUint& x) const { return mul(x, BigUint(1)); }
+
+BigUint Montgomery::exp(const BigUint& a, const BigUint& e) const {
+  const BigUint base = to_mont(BigUint::cmp(a, n_) >= 0 ? BigUint::mod(a, n_) : a);
+  BigUint acc = one_mont_;
+  const std::size_t bits = e.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    acc = mul(acc, acc);
+    if (e.bit(i)) acc = mul(acc, base);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace nonrep::crypto

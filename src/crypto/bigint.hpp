@@ -1,0 +1,92 @@
+// Arbitrary-precision unsigned integers for RSA.
+//
+// Design notes:
+//  * 32-bit limbs, little-endian order, 64-bit intermediates.
+//  * Modular exponentiation uses Montgomery multiplication (CIOS), so the
+//    only division ever needed is by a single limb (used for trial
+//    division and the e|1+phi(e-t) key-generation identity in rsa.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace nonrep::crypto {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t v);
+
+  static BigUint from_bytes_be(BytesView b);
+  /// Big-endian encoding padded/truncated to `size` bytes (value must fit).
+  Bytes to_bytes_be(std::size_t size) const;
+  /// Minimal big-endian encoding (empty for zero).
+  Bytes to_bytes_be() const;
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  bool is_odd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1u); }
+  std::size_t bit_length() const noexcept;
+  bool bit(std::size_t i) const noexcept;
+  std::size_t limb_count() const noexcept { return limbs_.size(); }
+
+  /// Three-way compare: -1, 0, +1.
+  static int cmp(const BigUint& a, const BigUint& b) noexcept;
+  friend bool operator==(const BigUint& a, const BigUint& b) noexcept { return cmp(a, b) == 0; }
+  friend bool operator<(const BigUint& a, const BigUint& b) noexcept { return cmp(a, b) < 0; }
+  friend bool operator<=(const BigUint& a, const BigUint& b) noexcept { return cmp(a, b) <= 0; }
+  friend bool operator>(const BigUint& a, const BigUint& b) noexcept { return cmp(a, b) > 0; }
+  friend bool operator>=(const BigUint& a, const BigUint& b) noexcept { return cmp(a, b) >= 0; }
+  friend bool operator!=(const BigUint& a, const BigUint& b) noexcept { return cmp(a, b) != 0; }
+
+  static BigUint add(const BigUint& a, const BigUint& b);
+  /// Requires a >= b.
+  static BigUint sub(const BigUint& a, const BigUint& b);
+  static BigUint mul(const BigUint& a, const BigUint& b);
+  BigUint shl(std::size_t bits) const;
+  BigUint shr(std::size_t bits) const;
+
+  /// Quotient and remainder by a single limb. `divisor` must be non-zero.
+  static BigUint div_small(const BigUint& a, std::uint32_t divisor, std::uint32_t& remainder);
+  static std::uint32_t mod_small(const BigUint& a, std::uint32_t divisor);
+
+  /// this mod m computed by shift-and-subtract (used only to reduce values
+  /// at most a few bits longer than m; modexp goes through Montgomery).
+  static BigUint mod(const BigUint& a, const BigUint& m);
+
+  /// a^e mod m; m must be odd (Montgomery).
+  static BigUint mod_exp(const BigUint& a, const BigUint& e, const BigUint& m);
+
+  std::string to_hex_string() const;
+
+ private:
+  friend class Montgomery;
+  void trim();
+
+  std::vector<std::uint32_t> limbs_;  // little-endian
+};
+
+/// Montgomery context for a fixed odd modulus.
+class Montgomery {
+ public:
+  explicit Montgomery(const BigUint& modulus);
+
+  const BigUint& modulus() const noexcept { return n_; }
+
+  BigUint to_mont(const BigUint& x) const;
+  BigUint from_mont(const BigUint& x) const;
+  BigUint mul(const BigUint& a_mont, const BigUint& b_mont) const;
+  /// a^e mod n with a in normal domain; returns normal domain.
+  BigUint exp(const BigUint& a, const BigUint& e) const;
+
+ private:
+  BigUint n_;
+  BigUint r2_;        // R^2 mod n
+  BigUint one_mont_;  // R mod n
+  std::uint32_t n0_inv_;  // -n^{-1} mod 2^32
+  std::size_t k_;         // limb count of n
+};
+
+}  // namespace nonrep::crypto

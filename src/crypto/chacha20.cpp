@@ -1,0 +1,71 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+
+namespace nonrep::crypto {
+
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+inline std::uint32_t load_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const std::array<std::uint8_t, 32>& key,
+                                            std::uint32_t counter,
+                                            const std::array<std::uint8_t, 12>& nonce) {
+  std::uint32_t state[16] = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+      load_le(&key[0]),  load_le(&key[4]),  load_le(&key[8]),  load_le(&key[12]),
+      load_le(&key[16]), load_le(&key[20]), load_le(&key[24]), load_le(&key[28]),
+      counter, load_le(&nonce[0]), load_le(&nonce[4]), load_le(&nonce[8])};
+
+  std::uint32_t working[16];
+  for (int i = 0; i < 16; ++i) working[i] = state[i];
+
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<std::uint8_t, 64> out{};
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+Bytes chacha20_xor(const std::array<std::uint8_t, 32>& key,
+                   const std::array<std::uint8_t, 12>& nonce, std::uint32_t initial_counter,
+                   BytesView data) {
+  Bytes out(data.begin(), data.end());
+  std::uint32_t counter = initial_counter;
+  for (std::size_t offset = 0; offset < out.size(); offset += 64, ++counter) {
+    const auto block = chacha20_block(key, counter, nonce);
+    const std::size_t n = std::min<std::size_t>(64, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= block[i];
+  }
+  return out;
+}
+
+}  // namespace nonrep::crypto

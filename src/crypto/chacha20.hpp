@@ -1,0 +1,21 @@
+// ChaCha20 block function (RFC 8439), used as the DRBG's expansion core.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace nonrep::crypto {
+
+/// Produces the 64-byte ChaCha20 block for (key, counter, nonce).
+std::array<std::uint8_t, 64> chacha20_block(const std::array<std::uint8_t, 32>& key,
+                                            std::uint32_t counter,
+                                            const std::array<std::uint8_t, 12>& nonce);
+
+/// XOR-stream encryption/decryption (symmetric).
+Bytes chacha20_xor(const std::array<std::uint8_t, 32>& key,
+                   const std::array<std::uint8_t, 12>& nonce, std::uint32_t initial_counter,
+                   BytesView data);
+
+}  // namespace nonrep::crypto

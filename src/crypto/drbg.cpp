@@ -1,0 +1,66 @@
+#include "crypto/drbg.hpp"
+
+#include <algorithm>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+
+namespace nonrep::crypto {
+
+Drbg::Drbg(BytesView seed) {
+  const Digest k = hmac_sha256(to_bytes("nonrep.drbg.key"), seed);
+  std::copy(k.begin(), k.end(), key_.begin());
+  const Digest n = hmac_sha256(to_bytes("nonrep.drbg.nonce"), seed);
+  std::copy(n.begin(), n.begin() + 12, nonce_.begin());
+}
+
+void Drbg::refill() {
+  block_ = chacha20_block(key_, counter_++, nonce_);
+  block_pos_ = 0;
+}
+
+Bytes Drbg::generate(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (block_pos_ >= block_.size()) refill();
+    const std::size_t take = std::min(block_.size() - block_pos_, n - out.size());
+    out.insert(out.end(), block_.begin() + static_cast<std::ptrdiff_t>(block_pos_),
+               block_.begin() + static_cast<std::ptrdiff_t>(block_pos_ + take));
+    block_pos_ += take;
+  }
+  return out;
+}
+
+std::uint64_t Drbg::next_u64() {
+  const Bytes b = generate(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+bool Drbg::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  constexpr std::uint64_t kScale = 1ull << 53;
+  return next_u64() % kScale < static_cast<std::uint64_t>(p * static_cast<double>(kScale));
+}
+
+void Drbg::reseed(BytesView entropy) {
+  Bytes mix(key_.begin(), key_.end());
+  append(mix, entropy);
+  const Digest k = hmac_sha256(to_bytes("nonrep.drbg.reseed"), mix);
+  std::copy(k.begin(), k.end(), key_.begin());
+  counter_ = 0;
+  block_pos_ = block_.size();
+}
+
+}  // namespace nonrep::crypto

@@ -1,0 +1,47 @@
+// Deterministic random bit generator.
+//
+// §3.5 requires "a secure pseudo-random sequence generator to generate
+// statistically random and unpredictable sequences of bits" for unique run
+// identifiers and protocol authenticators. This DRBG seeds HMAC-SHA-256
+// state and expands output with the ChaCha20 block function; it is
+// deterministic given a seed, which the test-suite and simulator rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace nonrep::crypto {
+
+class Drbg {
+ public:
+  /// Seeded construction (deterministic; tests/sim use fixed seeds).
+  explicit Drbg(BytesView seed);
+
+  /// Fill `n` random bytes.
+  Bytes generate(std::size_t n);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound) — rejection sampled; bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Bernoulli(p) draw, p in [0,1].
+  bool chance(double p);
+
+  /// Mix additional entropy into the state.
+  void reseed(BytesView entropy);
+
+ private:
+  void refill();
+
+  std::array<std::uint8_t, 32> key_{};
+  std::array<std::uint8_t, 12> nonce_{};
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t block_pos_ = 64;  // force refill on first use
+};
+
+}  // namespace nonrep::crypto

@@ -1,0 +1,12 @@
+// HMAC-SHA-256 (RFC 2104), used by the DRBG and for keyed integrity checks.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace nonrep::crypto {
+
+/// HMAC-SHA-256 over `data` with `key`.
+Digest hmac_sha256(BytesView key, BytesView data);
+
+}  // namespace nonrep::crypto

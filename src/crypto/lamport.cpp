@@ -1,0 +1,66 @@
+#include "crypto/lamport.hpp"
+
+namespace nonrep::crypto {
+
+namespace {
+constexpr std::size_t kPreimage = 32;
+
+bool msg_bit(const Digest& h, std::size_t i) {
+  return (h[i / 8] >> (7 - i % 8)) & 1u;
+}
+}  // namespace
+
+Digest LamportPublicKey::fingerprint() const {
+  Sha256 h;
+  for (const auto& pair : hashes) {
+    for (const auto& d : pair) h.update(BytesView(d.data(), d.size()));
+  }
+  return h.finish();
+}
+
+Bytes LamportPublicKey::encode() const {
+  Bytes out;
+  out.reserve(256 * 2 * kSha256DigestSize);
+  for (const auto& pair : hashes) {
+    for (const auto& d : pair) append(out, BytesView(d.data(), d.size()));
+  }
+  return out;
+}
+
+LamportKeyPair lamport_generate(Drbg& rng) {
+  LamportKeyPair kp;
+  for (std::size_t i = 0; i < 256; ++i) {
+    for (std::size_t b = 0; b < 2; ++b) {
+      kp.priv.preimages[i][b] = rng.generate(kPreimage);
+      kp.pub.hashes[i][b] = Sha256::hash(kp.priv.preimages[i][b]);
+    }
+  }
+  return kp;
+}
+
+Bytes lamport_sign(const LamportPrivateKey& key, BytesView msg) {
+  const Digest h = Sha256::hash(msg);
+  Bytes sig;
+  sig.reserve(256 * kPreimage);
+  for (std::size_t i = 0; i < 256; ++i) {
+    append(sig, key.preimages[i][msg_bit(h, i) ? 1 : 0]);
+  }
+  return sig;
+}
+
+bool lamport_verify(const LamportPublicKey& key, BytesView msg, BytesView signature) {
+  if (signature.size() != 256 * kPreimage) return false;
+  const Digest h = Sha256::hash(msg);
+  for (std::size_t i = 0; i < 256; ++i) {
+    const BytesView preimage = signature.subspan(i * kPreimage, kPreimage);
+    const Digest expected = key.hashes[i][msg_bit(h, i) ? 1 : 0];
+    const Digest actual = Sha256::hash(preimage);
+    if (!constant_time_equal(BytesView(actual.data(), actual.size()),
+                             BytesView(expected.data(), expected.size()))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nonrep::crypto

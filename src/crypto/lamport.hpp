@@ -1,0 +1,44 @@
+// Lamport one-time signatures (hash-based).
+//
+// Included because §3.5 cites forward-secure signature schemes [25] as an
+// alternative to third-party time-stamping: hash-based signatures provide
+// exactly that property when combined with the Merkle construction in
+// merkle.hpp. Security rests only on SHA-256 preimage resistance.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace nonrep::crypto {
+
+/// 256 message bits * 2 preimages of 32 bytes each.
+struct LamportPrivateKey {
+  std::array<std::array<Bytes, 2>, 256> preimages;
+};
+
+struct LamportPublicKey {
+  std::array<std::array<Digest, 2>, 256> hashes;
+
+  /// Digest of the whole public key (used as Merkle leaf).
+  Digest fingerprint() const;
+  Bytes encode() const;
+};
+
+struct LamportKeyPair {
+  LamportPrivateKey priv;
+  LamportPublicKey pub;
+};
+
+/// Deterministically derive one key pair from (seed_rng).
+LamportKeyPair lamport_generate(Drbg& rng);
+
+/// Signature: one revealed preimage per bit of SHA-256(msg); ~8 KiB.
+Bytes lamport_sign(const LamportPrivateKey& key, BytesView msg);
+
+bool lamport_verify(const LamportPublicKey& key, BytesView msg, BytesView signature);
+
+}  // namespace nonrep::crypto

@@ -1,0 +1,195 @@
+#include "crypto/rsa.hpp"
+
+#include <array>
+
+#include "crypto/sha256.hpp"
+#include "util/serialize.hpp"
+
+namespace nonrep::crypto {
+
+namespace {
+
+// DigestInfo prefix for SHA-256 (RFC 8017 §9.2 notes).
+constexpr std::array<std::uint8_t, 19> kSha256DigestInfo = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+
+constexpr std::array<std::uint32_t, 60> kSmallPrimes = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,  53,
+    59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113, 127,
+    131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+    211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283};
+
+// EMSA-PKCS1-v1_5 encoding: 0x00 0x01 FF..FF 0x00 DigestInfo H(msg).
+Bytes emsa_encode(BytesView msg, std::size_t em_len) {
+  const Digest h = Sha256::hash(msg);
+  const std::size_t t_len = kSha256DigestInfo.size() + h.size();
+  // em_len >= t_len + 11 is guaranteed for >= 512-bit moduli.
+  Bytes em(em_len, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - t_len - 1] = 0x00;
+  std::copy(kSha256DigestInfo.begin(), kSha256DigestInfo.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(em_len - t_len));
+  std::copy(h.begin(), h.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(em_len - h.size()));
+  return em;
+}
+
+BigUint random_in_range(Drbg& rng, const BigUint& below) {
+  const std::size_t bytes = (below.bit_length() + 7) / 8;
+  for (;;) {
+    const BigUint candidate = BigUint::from_bytes_be(rng.generate(bytes));
+    if (!candidate.is_zero() && candidate < below) return candidate;
+  }
+}
+
+BigUint random_prime(Drbg& rng, std::size_t bits) {
+  const std::size_t bytes = (bits + 7) / 8;
+  for (;;) {
+    Bytes raw = rng.generate(bytes);
+    // Force exact bit length and oddness.
+    raw[0] |= 0x80;
+    raw[bytes - 1] |= 0x01;
+    BigUint candidate = BigUint::from_bytes_be(raw);
+    // Trim to requested bit count.
+    while (candidate.bit_length() > bits) candidate = candidate.shr(1);
+    if (!candidate.is_odd()) candidate = BigUint::add(candidate, BigUint(1));
+
+    bool divisible = false;
+    for (std::uint32_t p : kSmallPrimes) {
+      if (BigUint::mod_small(candidate, p) == 0) {
+        divisible = true;
+        break;
+      }
+    }
+    if (divisible) continue;
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigUint& n, Drbg& rng, int rounds) {
+  if (n < BigUint(2)) return false;
+  if (n == BigUint(2) || n == BigUint(3)) return true;
+  if (!n.is_odd()) return false;
+
+  // n - 1 = 2^s * d
+  const BigUint n_minus_1 = BigUint::sub(n, BigUint(1));
+  BigUint d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d.shr(1);
+    ++s;
+  }
+
+  const Montgomery ctx(n);
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, n-2].
+    BigUint a = random_in_range(rng, n_minus_1);
+    if (a < BigUint(2)) a = BigUint(2);
+
+    BigUint x = ctx.exp(a, d);
+    if (x == BigUint(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = BigUint::mod(BigUint::mul(x, x), n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+RsaPrivateKey rsa_generate(Drbg& rng, std::size_t bits) {
+  const std::uint32_t e = 65537;
+  for (;;) {
+    const BigUint p = random_prime(rng, bits / 2);
+    const BigUint q = random_prime(rng, bits - bits / 2);
+    if (p == q) continue;
+
+    const BigUint n = BigUint::mul(p, q);
+    const BigUint phi =
+        BigUint::mul(BigUint::sub(p, BigUint(1)), BigUint::sub(q, BigUint(1)));
+    // gcd(e, phi) must be 1; phi mod e == 0 would make e share a factor.
+    const std::uint32_t phi_mod_e = BigUint::mod_small(phi, e);
+    if (phi_mod_e == 0) continue;
+
+    // t = phi^{-1} mod e via 32/64-bit extended Euclid on (phi mod e, e).
+    std::int64_t t0 = 0, t1 = 1;
+    std::int64_t r0 = e, r1 = phi_mod_e;
+    while (r1 != 0) {
+      const std::int64_t quotient = r0 / r1;
+      const std::int64_t r2 = r0 - quotient * r1;
+      const std::int64_t t2 = t0 - quotient * t1;
+      r0 = r1; r1 = r2;
+      t0 = t1; t1 = t2;
+    }
+    if (r0 != 1) continue;  // not invertible
+    std::int64_t t = t0 % e;
+    if (t < 0) t += e;
+
+    // d = (1 + phi * (e - t)) / e  — exact by construction.
+    const BigUint numerator = BigUint::add(
+        BigUint(1), BigUint::mul(phi, BigUint(static_cast<std::uint64_t>(e - t))));
+    std::uint32_t rem = 0;
+    const BigUint d = BigUint::div_small(numerator, e, rem);
+    if (rem != 0) continue;  // should not happen; retry defensively
+
+    RsaPrivateKey key;
+    key.pub.n = n;
+    key.pub.e = e;
+    key.d = d;
+
+    // Self-check on a fixed message to reject rare pathological keys.
+    const Bytes probe = to_bytes("rsa.keygen.selfcheck");
+    if (rsa_verify(key.pub, probe, rsa_sign(key, probe))) return key;
+  }
+}
+
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView msg) {
+  const std::size_t k = key.pub.modulus_bytes();
+  const Bytes em = emsa_encode(msg, k);
+  const BigUint m = BigUint::from_bytes_be(em);
+  const BigUint s = BigUint::mod_exp(m, key.d, key.pub.n);
+  return s.to_bytes_be(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, BytesView msg, BytesView signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  const BigUint s = BigUint::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  const BigUint m = BigUint::mod_exp(s, BigUint(key.e), key.n);
+  const Bytes em = m.to_bytes_be(k);
+  const Bytes expected = emsa_encode(msg, k);
+  return constant_time_equal(em, expected);
+}
+
+Bytes RsaPublicKey::encode() const {
+  BinaryWriter w;
+  w.bytes(n.to_bytes_be());
+  w.u32(e);
+  return std::move(w).take();
+}
+
+Result<RsaPublicKey> RsaPublicKey::decode(BytesView b) {
+  BinaryReader r(b);
+  auto n_bytes = r.bytes();
+  if (!n_bytes) return n_bytes.error();
+  auto e_val = r.u32();
+  if (!e_val) return e_val.error();
+  RsaPublicKey key;
+  key.n = BigUint::from_bytes_be(n_bytes.value());
+  key.e = e_val.value();
+  if (key.n.is_zero() || !key.n.is_odd()) {
+    return Error::make("rsa.bad_key", "modulus must be odd and non-zero");
+  }
+  return key;
+}
+
+}  // namespace nonrep::crypto

@@ -1,0 +1,46 @@
+// RSA signatures (PKCS#1 v1.5-style encoding over SHA-256), from scratch.
+//
+// The paper requires "a signature scheme such that signature sig_A(x) by A
+// on data x is both verifiable and unforgeable" (§3.5). Keys are generated
+// with Miller–Rabin primality testing; e is fixed to 65537 and the private
+// exponent is recovered via the identity d = (1 + phi*(e - phi^{-1} mod e))/e,
+// which needs only single-limb division (see bigint.hpp design notes).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bigint.hpp"
+#include "crypto/drbg.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::crypto {
+
+struct RsaPublicKey {
+  BigUint n;
+  std::uint32_t e = 65537;
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  Bytes encode() const;
+  static Result<RsaPublicKey> decode(BytesView b);
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigUint d;
+};
+
+/// Generate a key pair with modulus of `bits` (>= 256; tests use 512,
+/// benches 1024/2048). Deterministic given the DRBG state.
+RsaPrivateKey rsa_generate(Drbg& rng, std::size_t bits);
+
+/// Sign SHA-256(msg) with PKCS#1 v1.5 DigestInfo padding.
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView msg);
+
+/// Verify; false on any mismatch (never throws on malformed signatures).
+bool rsa_verify(const RsaPublicKey& key, BytesView msg, BytesView signature);
+
+/// Miller–Rabin probabilistic primality test (exposed for tests).
+bool is_probable_prime(const BigUint& n, Drbg& rng, int rounds = 16);
+
+}  // namespace nonrep::crypto

@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The paper's infrastructure requirements (§3.5) call for a "secure
+// (one-way and collision-resistant) hash function"; every non-repudiation
+// token signs a secure hash of the evidence (§3.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace nonrep::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest as an owned byte buffer (for serialization).
+Bytes digest_bytes(const Digest& d);
+
+/// Parse a 32-byte buffer into a Digest; returns false if size mismatches.
+bool digest_from_bytes(BytesView b, Digest& out);
+
+}  // namespace nonrep::crypto

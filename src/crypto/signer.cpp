@@ -1,0 +1,46 @@
+#include "crypto/signer.hpp"
+
+#include "util/serialize.hpp"
+
+namespace nonrep::crypto {
+
+std::string to_string(SigAlgorithm alg) {
+  switch (alg) {
+    case SigAlgorithm::kRsa:
+      return "rsa-pkcs1-sha256";
+    case SigAlgorithm::kMerkle:
+      return "merkle-lamport-sha256";
+  }
+  return "unknown";
+}
+
+Bytes MerkleSchemeSigner::public_key() const {
+  // root digest || tree height
+  BinaryWriter w;
+  w.bytes(digest_bytes(signer_.root()));
+  w.u32(static_cast<std::uint32_t>(height_));
+  return std::move(w).take();
+}
+
+bool verify(SigAlgorithm alg, BytesView public_key, BytesView msg, BytesView signature) {
+  switch (alg) {
+    case SigAlgorithm::kRsa: {
+      auto key = RsaPublicKey::decode(public_key);
+      if (!key) return false;
+      return rsa_verify(key.value(), msg, signature);
+    }
+    case SigAlgorithm::kMerkle: {
+      BinaryReader r(public_key);
+      auto root_bytes = r.bytes();
+      if (!root_bytes) return false;
+      auto height = r.u32();
+      if (!height || height.value() == 0 || height.value() > 12) return false;
+      Digest root{};
+      if (!digest_from_bytes(root_bytes.value(), root)) return false;
+      return merkle_verify(root, height.value(), msg, signature);
+    }
+  }
+  return false;
+}
+
+}  // namespace nonrep::crypto

@@ -1,0 +1,72 @@
+// Scheme-agnostic signing interface.
+//
+// The evidence layer (core/evidence.hpp) never names a concrete algorithm:
+// the paper's framework is explicitly protocol- and mechanism-neutral
+// ("interceptors can implement different mechanisms", §3.1), so parties can
+// pick RSA or the forward-secure Merkle scheme per deployment descriptor.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/merkle.hpp"
+#include "crypto/rsa.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::crypto {
+
+enum class SigAlgorithm : std::uint8_t {
+  kRsa = 1,
+  kMerkle = 2,
+};
+
+std::string to_string(SigAlgorithm alg);
+
+/// A party's signing capability. Implementations may be stateful (the
+/// Merkle scheme consumes one-time keys), hence sign() is non-const.
+class Signer {
+ public:
+  virtual ~Signer() = default;
+
+  virtual SigAlgorithm algorithm() const noexcept = 0;
+  /// Serialized public key in the algorithm's wire form.
+  virtual Bytes public_key() const = 0;
+  virtual Result<Bytes> sign(BytesView msg) = 0;
+};
+
+/// Verify `signature` over `msg` against a serialized public key.
+/// Returns false for malformed keys/signatures — never throws.
+bool verify(SigAlgorithm alg, BytesView public_key, BytesView msg, BytesView signature);
+
+class RsaSigner final : public Signer {
+ public:
+  explicit RsaSigner(RsaPrivateKey key) : key_(std::move(key)) {}
+
+  SigAlgorithm algorithm() const noexcept override { return SigAlgorithm::kRsa; }
+  Bytes public_key() const override { return key_.pub.encode(); }
+  Result<Bytes> sign(BytesView msg) override { return rsa_sign(key_, msg); }
+
+  const RsaPublicKey& rsa_public() const noexcept { return key_.pub; }
+
+ private:
+  RsaPrivateKey key_;
+};
+
+class MerkleSchemeSigner final : public Signer {
+ public:
+  MerkleSchemeSigner(Drbg& rng, std::size_t height)
+      : signer_(rng, height), height_(height) {}
+
+  SigAlgorithm algorithm() const noexcept override { return SigAlgorithm::kMerkle; }
+  Bytes public_key() const override;
+  Result<Bytes> sign(BytesView msg) override { return signer_.sign(msg); }
+
+  std::size_t remaining() const noexcept { return signer_.capacity() - signer_.used(); }
+
+ private:
+  MerkleSigner signer_;
+  std::size_t height_;
+};
+
+}  // namespace nonrep::crypto

@@ -1,0 +1,48 @@
+#include "membership/membership.hpp"
+
+#include "util/serialize.hpp"
+
+namespace nonrep::membership {
+
+Bytes View::canonical() const {
+  BinaryWriter w;
+  w.u64(version);
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const auto& [party, address] : members) {  // map order => canonical
+    w.str(party.str());
+    w.str(address);
+  }
+  return std::move(w).take();
+}
+
+void MembershipService::create_group(const ObjectId& object,
+                                     const std::vector<Member>& initial) {
+  View view;
+  view.version = 1;
+  for (const auto& m : initial) view.members[m.party] = m.address;
+  groups_[object] = std::move(view);
+}
+
+Result<View> MembershipService::view(const ObjectId& object) const {
+  auto it = groups_.find(object);
+  if (it == groups_.end()) {
+    return Error::make("membership.unknown_group", object.str());
+  }
+  return it->second;
+}
+
+Status MembershipService::apply_change(const ObjectId& object, const View& next) {
+  auto it = groups_.find(object);
+  if (it == groups_.end()) {
+    return Error::make("membership.unknown_group", object.str());
+  }
+  if (next.version != it->second.version + 1) {
+    return Error::make("membership.version_skew",
+                       "expected " + std::to_string(it->second.version + 1) + ", got " +
+                           std::to_string(next.version));
+  }
+  it->second = next;
+  return Status::ok_status();
+}
+
+}  // namespace nonrep::membership

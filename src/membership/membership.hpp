@@ -1,0 +1,54 @@
+// Group membership service (§3.5).
+//
+// "For information sharing, the membership of the group that shares
+// information must be identified. It must also be possible to map member
+// identifiers to credentials in the credential management service."
+// Views are versioned; the sharing protocols (core/sharing.hpp) change
+// them only through signed, validated connect/disconnect rounds.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "net/network.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::membership {
+
+struct Member {
+  PartyId party;
+  net::Address address;  // where the member's coordinator listens
+};
+
+/// A versioned membership view for one shared object's group.
+struct View {
+  std::uint64_t version = 0;
+  std::map<PartyId, net::Address> members;
+
+  bool contains(const PartyId& p) const { return members.contains(p); }
+  std::size_t size() const noexcept { return members.size(); }
+  /// Canonical bytes for signing membership-change evidence.
+  Bytes canonical() const;
+};
+
+class MembershipService {
+ public:
+  /// Create a group for `object` with an initial membership.
+  void create_group(const ObjectId& object, const std::vector<Member>& initial);
+
+  Result<View> view(const ObjectId& object) const;
+
+  /// Apply an agreed membership change (invoked by the sharing protocol
+  /// after a unanimous connect/disconnect round). Version must advance by 1.
+  Status apply_change(const ObjectId& object, const View& next);
+
+  bool has_group(const ObjectId& object) const { return groups_.contains(object); }
+
+ private:
+  std::map<ObjectId, View> groups_;
+};
+
+}  // namespace nonrep::membership

@@ -1,0 +1,77 @@
+#include "net/channel.hpp"
+
+#include "util/serialize.hpp"
+
+namespace nonrep::net {
+
+namespace {
+constexpr std::uint8_t kData = 1;
+constexpr std::uint8_t kAck = 2;
+}  // namespace
+
+ReliableEndpoint::ReliableEndpoint(SimNetwork& network, Address address,
+                                   ReliableConfig config)
+    : network_(network), address_(std::move(address)), config_(config) {
+  network_.register_endpoint(address_,
+                             [this](const Address& from, BytesView raw) { on_raw(from, raw); });
+}
+
+ReliableEndpoint::~ReliableEndpoint() { network_.unregister_endpoint(address_); }
+
+void ReliableEndpoint::send(const Address& to, Bytes payload) {
+  const std::uint64_t id = next_msg_id_++;
+  pending_[id] = Pending{to, std::move(payload), 0, false};
+  try_send(to, id);
+}
+
+void ReliableEndpoint::try_send(const Address& to, std::uint64_t msg_id) {
+  auto it = pending_.find(msg_id);
+  if (it == pending_.end() || it->second.acked) return;
+  Pending& p = it->second;
+  if (p.attempts > config_.max_retries) {
+    ++gave_up_;
+    pending_.erase(it);
+    return;
+  }
+  if (p.attempts > 0) ++retransmissions_;
+  ++p.attempts;
+
+  BinaryWriter w;
+  w.u8(kData);
+  w.u64(msg_id);
+  w.bytes(p.payload);
+  network_.send(address_, to, std::move(w).take());
+  p.retry_timer = network_.schedule_cancelable(
+      config_.retry_interval, [this, to, msg_id] { try_send(to, msg_id); });
+}
+
+void ReliableEndpoint::on_raw(const Address& from, BytesView raw) {
+  BinaryReader r(raw);
+  auto type = r.u8();
+  if (!type) return;
+  auto id = r.u64();
+  if (!id) return;
+
+  if (type.value() == kAck) {
+    auto it = pending_.find(id.value());
+    if (it != pending_.end()) {
+      if (it->second.retry_timer) *it->second.retry_timer = false;
+      pending_.erase(it);
+    }
+    return;
+  }
+  if (type.value() != kData) return;
+
+  // Always (re-)acknowledge so lost ACKs are healed by retransmits.
+  BinaryWriter ack;
+  ack.u8(kAck);
+  ack.u64(id.value());
+  network_.send(address_, from, std::move(ack).take());
+
+  if (!seen_.insert({from, id.value()}).second) return;  // duplicate
+  auto payload = r.bytes();
+  if (!payload || !handler_) return;
+  handler_(from, payload.value());
+}
+
+}  // namespace nonrep::net

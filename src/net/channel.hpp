@@ -1,0 +1,65 @@
+// Reliable endpoint: acknowledgement + bounded retransmission + dedup.
+//
+// Realises trusted-interceptor assumption 2: under a bounded number of
+// temporary failures every message is eventually delivered exactly once to
+// the application handler. Retransmission counts are exported for the
+// communication-overhead experiments (§6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "net/network.hpp"
+
+namespace nonrep::net {
+
+struct ReliableConfig {
+  TimeMs retry_interval = 50;
+  int max_retries = 20;  // bounded-failure assumption: enough for tests
+};
+
+class ReliableEndpoint {
+ public:
+  using Handler = std::function<void(const Address& from, BytesView payload)>;
+
+  ReliableEndpoint(SimNetwork& network, Address address, ReliableConfig config = {});
+  ~ReliableEndpoint();
+
+  ReliableEndpoint(const ReliableEndpoint&) = delete;
+  ReliableEndpoint& operator=(const ReliableEndpoint&) = delete;
+
+  const Address& address() const noexcept { return address_; }
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// At-least-once send with receiver-side dedup => exactly-once upcall.
+  void send(const Address& to, Bytes payload);
+
+  std::uint64_t retransmissions() const noexcept { return retransmissions_; }
+  std::uint64_t gave_up() const noexcept { return gave_up_; }
+
+ private:
+  void on_raw(const Address& from, BytesView raw);
+  void try_send(const Address& to, std::uint64_t msg_id);
+
+  SimNetwork& network_;
+  Address address_;
+  ReliableConfig config_;
+  Handler handler_;
+
+  struct Pending {
+    Address to;
+    Bytes payload;
+    int attempts = 0;
+    bool acked = false;
+    SimNetwork::TimerHandle retry_timer;  // cancelled on ACK
+  };
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::set<std::pair<Address, std::uint64_t>> seen_;  // dedup of delivered ids
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t gave_up_ = 0;
+};
+
+}  // namespace nonrep::net

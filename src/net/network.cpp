@@ -1,0 +1,121 @@
+#include "net/network.hpp"
+
+#include "util/serialize.hpp"
+
+namespace nonrep::net {
+
+SimNetwork::SimNetwork(std::shared_ptr<SimClock> clock, std::uint64_t seed)
+    : clock_(std::move(clock)), rng_([seed] {
+        BinaryWriter w;
+        w.u64(seed);
+        return std::move(w).take();
+      }()) {}
+
+void SimNetwork::register_endpoint(const Address& addr, Handler handler) {
+  endpoints_[addr] = std::move(handler);
+}
+
+void SimNetwork::unregister_endpoint(const Address& addr) { endpoints_.erase(addr); }
+
+void SimNetwork::set_link(const Address& from, const Address& to, LinkConfig config) {
+  links_[{from, to}] = config;
+}
+
+void SimNetwork::set_partitioned(const Address& a, const Address& b, bool partitioned) {
+  LinkConfig ab = link_for(a, b);
+  ab.partitioned = partitioned;
+  links_[{a, b}] = ab;
+  LinkConfig ba = link_for(b, a);
+  ba.partitioned = partitioned;
+  links_[{b, a}] = ba;
+}
+
+LinkConfig SimNetwork::link_for(const Address& from, const Address& to) const {
+  auto it = links_.find({from, to});
+  return it != links_.end() ? it->second : default_link_;
+}
+
+void SimNetwork::enqueue_delivery(const Address& from, const Address& to, Bytes payload,
+                                  TimeMs delay) {
+  Event e;
+  e.at = clock_->now() + delay;
+  e.seq = next_seq_++;
+  e.from = from;
+  e.to = to;
+  e.payload = std::move(payload);
+  events_.push(std::move(e));
+}
+
+void SimNetwork::send(const Address& from, const Address& to, Bytes payload) {
+  ++stats_.sent;
+  stats_.bytes_sent += payload.size();
+  const LinkConfig link = link_for(from, to);
+  if (link.partitioned || rng_.chance(link.drop)) {
+    ++stats_.dropped;
+    return;
+  }
+  const bool dup = rng_.chance(link.duplicate);
+  enqueue_delivery(from, to, payload, link.latency);
+  if (dup) {
+    ++stats_.duplicated;
+    enqueue_delivery(from, to, std::move(payload), link.latency + 1);
+  }
+}
+
+void SimNetwork::schedule(TimeMs delay, std::function<void()> fn) {
+  Event e;
+  e.at = clock_->now() + delay;
+  e.seq = next_seq_++;
+  e.timer = std::move(fn);
+  events_.push(std::move(e));
+}
+
+SimNetwork::TimerHandle SimNetwork::schedule_cancelable(TimeMs delay,
+                                                        std::function<void()> fn) {
+  auto handle = std::make_shared<bool>(true);
+  Event e;
+  e.at = clock_->now() + delay;
+  e.seq = next_seq_++;
+  e.timer = std::move(fn);
+  e.timer_active = handle;
+  events_.push(std::move(e));
+  return handle;
+}
+
+bool SimNetwork::step() {
+  // Discard cancelled timers without advancing the clock.
+  while (!events_.empty() && events_.top().timer_active &&
+         !*events_.top().timer_active) {
+    events_.pop();
+  }
+  if (events_.empty()) return false;
+  Event e = events_.top();
+  events_.pop();
+  if (e.at > clock_->now()) clock_->set(e.at);
+  if (e.timer) {
+    e.timer();
+    return true;
+  }
+  auto it = endpoints_.find(e.to);
+  if (it != endpoints_.end()) {
+    ++stats_.delivered;
+    it->second(e.from, e.payload);
+  }
+  return true;
+}
+
+std::size_t SimNetwork::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+bool SimNetwork::run_until(const std::function<bool()>& predicate, std::size_t max_events) {
+  std::size_t n = 0;
+  while (!predicate()) {
+    if (n++ >= max_events || !step()) return predicate();
+  }
+  return true;
+}
+
+}  // namespace nonrep::net

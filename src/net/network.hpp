@@ -1,0 +1,112 @@
+// Deterministic simulated network.
+//
+// Substitutes for the paper's Java-RMI transport. Trusted-interceptor
+// assumption 2 only demands "eventual message delivery (a bounded number
+// of temporary network and computer related failures)"; this simulator
+// provides exactly that with controllable per-link latency, loss,
+// duplication and partitions, driven by a virtual clock so every protocol
+// experiment is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+
+namespace nonrep::net {
+
+/// Endpoint address ("org-a", "ttp:notary", ...).
+using Address = std::string;
+
+struct LinkConfig {
+  TimeMs latency = 5;       // one-way delivery delay
+  double drop = 0.0;        // probability a send is lost
+  double duplicate = 0.0;   // probability a send is delivered twice
+  bool partitioned = false; // hard cut: nothing delivered
+};
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class SimNetwork {
+ public:
+  using Handler = std::function<void(const Address& from, BytesView payload)>;
+
+  SimNetwork(std::shared_ptr<SimClock> clock, std::uint64_t seed);
+
+  std::shared_ptr<SimClock> clock() const noexcept { return clock_; }
+
+  void register_endpoint(const Address& addr, Handler handler);
+  void unregister_endpoint(const Address& addr);
+
+  /// Directional link configuration; unspecified links use the default.
+  void set_link(const Address& from, const Address& to, LinkConfig config);
+  /// Symmetric partition toggle between two endpoints.
+  void set_partitioned(const Address& a, const Address& b, bool partitioned);
+  void set_default_link(LinkConfig config) { default_link_ = config; }
+
+  /// Queue a payload for delivery (subject to the link's fault model).
+  void send(const Address& from, const Address& to, Bytes payload);
+
+  /// Schedule a timer callback after `delay` of virtual time.
+  void schedule(TimeMs delay, std::function<void()> fn);
+
+  /// Cancellation flag for a timer: set `*handle = false` to cancel. A
+  /// cancelled timer neither fires nor advances the virtual clock.
+  using TimerHandle = std::shared_ptr<bool>;
+  TimerHandle schedule_cancelable(TimeMs delay, std::function<void()> fn);
+
+  /// Deliver the next pending event (advancing the clock). False if idle.
+  bool step();
+  /// Run until idle or `max_events`; returns events processed.
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+  /// Run until `predicate()` is true, idle, or `max_events` reached.
+  bool run_until(const std::function<bool()>& predicate,
+                 std::size_t max_events = static_cast<std::size_t>(-1));
+
+  bool idle() const noexcept { return events_.empty(); }
+  const NetworkStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+ private:
+  struct Event {
+    TimeMs at;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    Address from;
+    Address to;                   // empty for timers
+    Bytes payload;
+    std::function<void()> timer;      // set for timer events
+    std::shared_ptr<bool> timer_active;  // optional cancellation flag
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  LinkConfig link_for(const Address& from, const Address& to) const;
+  void enqueue_delivery(const Address& from, const Address& to, Bytes payload,
+                        TimeMs delay);
+
+  std::shared_ptr<SimClock> clock_;
+  crypto::Drbg rng_;
+  std::map<Address, Handler> endpoints_;
+  std::map<std::pair<Address, Address>, LinkConfig> links_;
+  LinkConfig default_link_{};
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::uint64_t next_seq_ = 0;
+  NetworkStats stats_{};
+};
+
+}  // namespace nonrep::net

@@ -1,0 +1,94 @@
+#include "net/rpc.hpp"
+
+#include "util/serialize.hpp"
+
+namespace nonrep::net {
+
+namespace {
+constexpr std::uint8_t kRequest = 1;
+constexpr std::uint8_t kResponse = 2;
+constexpr std::uint8_t kOneWay = 3;
+}  // namespace
+
+RpcEndpoint::RpcEndpoint(SimNetwork& network, Address address, ReliableConfig config)
+    : network_(network), endpoint_(network, std::move(address), config) {
+  endpoint_.set_handler(
+      [this](const Address& from, BytesView raw) { on_message(from, raw); });
+}
+
+void RpcEndpoint::notify(const Address& to, Bytes payload) {
+  BinaryWriter w;
+  w.u8(kOneWay);
+  w.u64(0);
+  w.bytes(payload);
+  endpoint_.send(to, std::move(w).take());
+}
+
+Result<Bytes> RpcEndpoint::call(const Address& to, Bytes request, TimeMs timeout) {
+  const std::uint64_t rpc_id = next_rpc_id_++;
+  outstanding_[rpc_id] = std::nullopt;
+
+  BinaryWriter w;
+  w.u8(kRequest);
+  w.u64(rpc_id);
+  w.bytes(request);
+  endpoint_.send(to, std::move(w).take());
+
+  // shared_ptr: the timer may fire after this frame returns.
+  auto timed_out = std::make_shared<bool>(false);
+  auto timer = network_.schedule_cancelable(timeout, [timed_out] { *timed_out = true; });
+
+  network_.run_until([&, timed_out] {
+    auto it = outstanding_.find(rpc_id);
+    return *timed_out || (it != outstanding_.end() && it->second.has_value());
+  });
+  *timer = false;  // cancel: a satisfied call must not drag the clock forward
+
+  auto it = outstanding_.find(rpc_id);
+  if (it == outstanding_.end() || !it->second.has_value()) {
+    outstanding_.erase(rpc_id);
+    return Error::make("rpc.timeout",
+                       "no response from " + to + " within " + std::to_string(timeout) + "ms");
+  }
+  Bytes response = std::move(*it->second);
+  outstanding_.erase(it);
+  return response;
+}
+
+void RpcEndpoint::on_message(const Address& from, BytesView raw) {
+  BinaryReader r(raw);
+  auto kind = r.u8();
+  if (!kind) return;
+  auto rpc_id = r.u64();
+  if (!rpc_id) return;
+  auto payload = r.bytes();
+  if (!payload) return;
+
+  switch (kind.value()) {
+    case kRequest: {
+      if (!request_handler_) return;
+      Bytes response = request_handler_(from, payload.value());
+      BinaryWriter w;
+      w.u8(kResponse);
+      w.u64(rpc_id.value());
+      w.bytes(response);
+      endpoint_.send(from, std::move(w).take());
+      break;
+    }
+    case kResponse: {
+      auto it = outstanding_.find(rpc_id.value());
+      if (it != outstanding_.end() && !it->second.has_value()) {
+        it->second = payload.value();
+      }
+      break;
+    }
+    case kOneWay: {
+      if (notify_handler_) notify_handler_(from, payload.value());
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace nonrep::net

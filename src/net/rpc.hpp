@@ -1,0 +1,56 @@
+// Request/response and one-way messaging over ReliableEndpoint.
+//
+// Provides the transport semantics the paper's B2BCoordinator interface
+// needs: `deliver` (one-way) and `deliverRequest` (send, then wait
+// synchronously for the response, §4.1). Calls pump the simulated network
+// until the response or a virtual-time timeout arrives; nested calls
+// (e.g. a server contacting a TTP while serving a request) re-enter the
+// pump safely.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/channel.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::net {
+
+class RpcEndpoint {
+ public:
+  /// Serves a request and returns the response payload.
+  using RequestHandler = std::function<Bytes(const Address& from, BytesView request)>;
+  /// Receives one-way notifications.
+  using NotifyHandler = std::function<void(const Address& from, BytesView payload)>;
+
+  RpcEndpoint(SimNetwork& network, Address address, ReliableConfig config = {});
+
+  const Address& address() const noexcept { return endpoint_.address(); }
+  SimNetwork& network() noexcept { return network_; }
+
+  void set_request_handler(RequestHandler handler) { request_handler_ = std::move(handler); }
+  void set_notify_handler(NotifyHandler handler) { notify_handler_ = std::move(handler); }
+
+  /// One-way, reliable (paper: `deliver`).
+  void notify(const Address& to, Bytes payload);
+
+  /// Request/response, reliable, bounded by virtual-time `timeout`
+  /// (paper: `deliverRequest`).
+  Result<Bytes> call(const Address& to, Bytes request, TimeMs timeout);
+
+  std::uint64_t retransmissions() const noexcept { return endpoint_.retransmissions(); }
+
+ private:
+  void on_message(const Address& from, BytesView raw);
+
+  SimNetwork& network_;
+  ReliableEndpoint endpoint_;
+  RequestHandler request_handler_;
+  NotifyHandler notify_handler_;
+
+  std::unordered_map<std::uint64_t, std::optional<Bytes>> outstanding_;
+  std::uint64_t next_rpc_id_ = 1;
+};
+
+}  // namespace nonrep::net

@@ -1,0 +1,50 @@
+#include "pki/authority.hpp"
+
+#include <cassert>
+
+namespace nonrep::pki {
+
+CertificateAuthority::CertificateAuthority(PartyId id,
+                                           std::shared_ptr<crypto::Signer> signer,
+                                           TimeMs not_before, TimeMs not_after)
+    : id_(std::move(id)), signer_(std::move(signer)) {
+  cert_.serial = id_.str() + "/root";
+  cert_.subject = id_;
+  cert_.issuer = id_;
+  cert_.algorithm = signer_->algorithm();
+  cert_.public_key = signer_->public_key();
+  cert_.not_before = not_before;
+  cert_.not_after = not_after;
+  cert_.is_ca = true;
+  cert_.issuer_algorithm = signer_->algorithm();
+  auto sig = signer_->sign(cert_.tbs());
+  assert(sig.ok());
+  cert_.issuer_signature = std::move(sig).take();
+}
+
+CertificateAuthority::CertificateAuthority(Certificate own_cert,
+                                           std::shared_ptr<crypto::Signer> signer)
+    : id_(own_cert.subject), signer_(std::move(signer)), cert_(std::move(own_cert)) {
+  assert(cert_.is_ca);
+}
+
+Certificate CertificateAuthority::issue(const PartyId& subject, crypto::SigAlgorithm alg,
+                                        BytesView public_key, TimeMs not_before,
+                                        TimeMs not_after, bool is_ca) {
+  Certificate cert;
+  cert.serial = id_.str() + "/" + std::to_string(next_serial_++);
+  cert.subject = subject;
+  cert.issuer = id_;
+  cert.algorithm = alg;
+  cert.public_key = Bytes(public_key.begin(), public_key.end());
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.is_ca = is_ca;
+  cert.issuer_algorithm = signer_->algorithm();
+  auto sig = signer_->sign(cert.tbs());
+  assert(sig.ok());
+  cert.issuer_signature = std::move(sig).take();
+  return cert;
+}
+
+}  // namespace nonrep::pki

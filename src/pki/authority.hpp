@@ -1,0 +1,33 @@
+// Certificate authority: issues subject and intermediate-CA certificates.
+#pragma once
+
+#include <memory>
+
+#include "pki/certificate.hpp"
+
+namespace nonrep::pki {
+
+class CertificateAuthority {
+ public:
+  /// A root CA signs its own certificate with `signer`.
+  CertificateAuthority(PartyId id, std::shared_ptr<crypto::Signer> signer,
+                       TimeMs not_before, TimeMs not_after);
+
+  /// An intermediate CA carries a certificate issued by its parent.
+  CertificateAuthority(Certificate own_cert, std::shared_ptr<crypto::Signer> signer);
+
+  const Certificate& certificate() const noexcept { return cert_; }
+  const PartyId& id() const noexcept { return id_; }
+
+  /// Issue a subject (or, if `is_ca`, an intermediate CA) certificate.
+  Certificate issue(const PartyId& subject, crypto::SigAlgorithm alg, BytesView public_key,
+                    TimeMs not_before, TimeMs not_after, bool is_ca = false);
+
+ private:
+  PartyId id_;
+  std::shared_ptr<crypto::Signer> signer_;
+  Certificate cert_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace nonrep::pki

@@ -1,0 +1,69 @@
+#include "pki/certificate.hpp"
+
+#include "util/serialize.hpp"
+
+namespace nonrep::pki {
+
+Bytes Certificate::tbs() const {
+  BinaryWriter w;
+  w.str(serial);
+  w.str(subject.str());
+  w.str(issuer.str());
+  w.u8(static_cast<std::uint8_t>(algorithm));
+  w.bytes(public_key);
+  w.u64(not_before);
+  w.u64(not_after);
+  w.u8(is_ca ? 1 : 0);
+  return std::move(w).take();
+}
+
+Bytes Certificate::encode() const {
+  BinaryWriter w;
+  w.bytes(tbs());
+  w.u8(static_cast<std::uint8_t>(issuer_algorithm));
+  w.bytes(issuer_signature);
+  return std::move(w).take();
+}
+
+Result<Certificate> Certificate::decode(BytesView b) {
+  BinaryReader outer(b);
+  auto tbs_bytes = outer.bytes();
+  if (!tbs_bytes) return tbs_bytes.error();
+  auto issuer_alg = outer.u8();
+  if (!issuer_alg) return issuer_alg.error();
+  auto sig = outer.bytes();
+  if (!sig) return sig.error();
+
+  BinaryReader r(tbs_bytes.value());
+  Certificate cert;
+  auto serial = r.str();
+  if (!serial) return serial.error();
+  cert.serial = serial.value();
+  auto subject = r.str();
+  if (!subject) return subject.error();
+  cert.subject = PartyId(subject.value());
+  auto issuer = r.str();
+  if (!issuer) return issuer.error();
+  cert.issuer = PartyId(issuer.value());
+  auto alg = r.u8();
+  if (!alg) return alg.error();
+  cert.algorithm = static_cast<crypto::SigAlgorithm>(alg.value());
+  auto key = r.bytes();
+  if (!key) return key.error();
+  cert.public_key = key.value();
+  auto nb = r.u64();
+  if (!nb) return nb.error();
+  cert.not_before = nb.value();
+  auto na = r.u64();
+  if (!na) return na.error();
+  cert.not_after = na.value();
+  auto ca = r.u8();
+  if (!ca) return ca.error();
+  cert.is_ca = ca.value() != 0;
+
+  cert.issuer_algorithm = static_cast<crypto::SigAlgorithm>(issuer_alg.value());
+  cert.issuer_signature = sig.value();
+  return cert;
+}
+
+}  // namespace nonrep::pki

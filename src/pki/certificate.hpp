@@ -1,0 +1,41 @@
+// Certificates binding a party identity to a signing key.
+//
+// §3.5 requires "a service to support signature verification that stores
+// certificates and certificate revocation information, and can be used to
+// verify certificate chains". Certificates here are a compact canonical
+// encoding (not X.509 ASN.1 — the paper's requirement is the trust
+// semantics, not the wire format).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/signer.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::pki {
+
+struct Certificate {
+  std::string serial;        // unique per issuer
+  PartyId subject;
+  PartyId issuer;
+  crypto::SigAlgorithm algorithm{};
+  Bytes public_key;          // subject's key, algorithm wire form
+  TimeMs not_before = 0;
+  TimeMs not_after = 0;
+  bool is_ca = false;        // may issue further certificates
+  crypto::SigAlgorithm issuer_algorithm{};
+  Bytes issuer_signature;    // over tbs()
+
+  /// Canonical to-be-signed bytes (everything except the signature).
+  Bytes tbs() const;
+  Bytes encode() const;
+  static Result<Certificate> decode(BytesView b);
+
+  bool self_signed() const { return subject == issuer; }
+  bool valid_at(TimeMs t) const { return t >= not_before && t <= not_after; }
+};
+
+}  // namespace nonrep::pki

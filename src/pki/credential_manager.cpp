@@ -1,0 +1,105 @@
+#include "pki/credential_manager.hpp"
+
+namespace nonrep::pki {
+
+Status CredentialManager::add_trusted_root(const Certificate& root) {
+  if (!root.self_signed() || !root.is_ca) {
+    return Error::make("pki.bad_root", "root must be self-signed CA certificate");
+  }
+  if (!crypto::verify(root.issuer_algorithm, root.public_key, root.tbs(),
+                      root.issuer_signature)) {
+    return Error::make("pki.bad_root_signature", root.subject.str());
+  }
+  roots_[root.subject.str()] = root;
+  return Status::ok_status();
+}
+
+void CredentialManager::add_certificate(const Certificate& cert) {
+  certs_[cert.subject.str()] = cert;
+}
+
+Status CredentialManager::install_crl(const RevocationList& crl) {
+  // The CRL must be signed by a known CA (root or stored intermediate).
+  const Certificate* issuer_cert = nullptr;
+  if (auto it = roots_.find(crl.issuer.str()); it != roots_.end()) {
+    issuer_cert = &it->second;
+  } else if (auto it2 = certs_.find(crl.issuer.str());
+             it2 != certs_.end() && it2->second.is_ca) {
+    issuer_cert = &it2->second;
+  }
+  if (issuer_cert == nullptr) {
+    return Error::make("pki.unknown_crl_issuer", crl.issuer.str());
+  }
+  if (!crypto::verify(issuer_cert->algorithm, issuer_cert->public_key, crl.tbs(),
+                      crl.signature)) {
+    return Error::make("pki.bad_crl_signature", crl.issuer.str());
+  }
+  auto existing = crls_.find(crl.issuer.str());
+  if (existing != crls_.end() && existing->second.issued_at > crl.issued_at) {
+    return Error::make("pki.stale_crl", "held CRL is fresher");
+  }
+  crls_[crl.issuer.str()] = crl;
+  return Status::ok_status();
+}
+
+Result<Certificate> CredentialManager::find(const PartyId& subject) const {
+  if (auto it = certs_.find(subject.str()); it != certs_.end()) return it->second;
+  if (auto it = roots_.find(subject.str()); it != roots_.end()) return it->second;
+  return Error::make("pki.unknown_party", subject.str());
+}
+
+bool CredentialManager::is_revoked(const PartyId& issuer, const std::string& serial) const {
+  auto it = crls_.find(issuer.str());
+  return it != crls_.end() && it->second.revoked_serials.contains(serial);
+}
+
+Status CredentialManager::verify_chain(const Certificate& leaf, TimeMs at) const {
+  constexpr int kMaxChain = 8;
+  Certificate current = leaf;
+  for (int depth = 0; depth < kMaxChain; ++depth) {
+    if (!current.valid_at(at)) {
+      return Error::make("pki.expired", current.subject.str() + " at t=" + std::to_string(at));
+    }
+    if (is_revoked(current.issuer, current.serial)) {
+      return Error::make("pki.revoked", current.serial);
+    }
+    // Trusted root reached?
+    if (auto it = roots_.find(current.issuer.str()); it != roots_.end()) {
+      const Certificate& root = it->second;
+      if (!crypto::verify(root.algorithm, root.public_key, current.tbs(),
+                          current.issuer_signature)) {
+        return Error::make("pki.bad_signature", current.subject.str());
+      }
+      return Status::ok_status();
+    }
+    // Otherwise walk to the stored intermediate.
+    auto it = certs_.find(current.issuer.str());
+    if (it == certs_.end()) {
+      return Error::make("pki.incomplete_chain", "no certificate for issuer " +
+                                                      current.issuer.str());
+    }
+    const Certificate& issuer_cert = it->second;
+    if (!issuer_cert.is_ca) {
+      return Error::make("pki.not_a_ca", issuer_cert.subject.str());
+    }
+    if (!crypto::verify(issuer_cert.algorithm, issuer_cert.public_key, current.tbs(),
+                        current.issuer_signature)) {
+      return Error::make("pki.bad_signature", current.subject.str());
+    }
+    current = issuer_cert;
+  }
+  return Error::make("pki.chain_too_long", leaf.subject.str());
+}
+
+Status CredentialManager::verify_signature(const PartyId& party, BytesView msg,
+                                           BytesView signature, TimeMs at) const {
+  auto cert = find(party);
+  if (!cert) return cert.error();
+  if (auto chain = verify_chain(cert.value(), at); !chain) return chain;
+  if (!crypto::verify(cert.value().algorithm, cert.value().public_key, msg, signature)) {
+    return Error::make("pki.signature_mismatch", party.str());
+  }
+  return Status::ok_status();
+}
+
+}  // namespace nonrep::pki

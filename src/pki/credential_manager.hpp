@@ -1,0 +1,48 @@
+// Per-party credential store and chain verifier (§3.5).
+//
+// Each trusted interceptor owns a CredentialManager holding: trusted root
+// certificates, known subject certificates, and the freshest CRL per
+// issuer. verify_chain() walks subject -> issuer(s) -> trusted root,
+// checking signatures, validity windows, CA flags and revocation.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "pki/certificate.hpp"
+#include "pki/revocation.hpp"
+
+namespace nonrep::pki {
+
+class CredentialManager {
+ public:
+  /// Anchor of trust; its signature is checked against its own key.
+  Status add_trusted_root(const Certificate& root);
+
+  /// Store a (non-root) certificate for later lookup/verification.
+  void add_certificate(const Certificate& cert);
+
+  /// Install a CRL after verifying the issuer's signature; stale CRLs
+  /// (older than the held one) are rejected.
+  Status install_crl(const RevocationList& crl);
+
+  /// Find the stored certificate for a party.
+  Result<Certificate> find(const PartyId& subject) const;
+
+  /// Full chain verification of `leaf` at time `at`.
+  Status verify_chain(const Certificate& leaf, TimeMs at) const;
+
+  /// Convenience: verify `signature` over `msg` as made by `party`,
+  /// resolving and chain-checking the party's certificate first.
+  Status verify_signature(const PartyId& party, BytesView msg, BytesView signature,
+                          TimeMs at) const;
+
+  bool is_revoked(const PartyId& issuer, const std::string& serial) const;
+
+ private:
+  std::unordered_map<std::string, Certificate> roots_;  // by subject id
+  std::unordered_map<std::string, Certificate> certs_;  // by subject id
+  std::unordered_map<std::string, RevocationList> crls_;  // by issuer id
+};
+
+}  // namespace nonrep::pki

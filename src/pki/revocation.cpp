@@ -1,0 +1,62 @@
+#include "pki/revocation.hpp"
+
+#include <cassert>
+
+#include "util/serialize.hpp"
+
+namespace nonrep::pki {
+
+Bytes RevocationList::tbs() const {
+  BinaryWriter w;
+  w.str(issuer.str());
+  w.u64(issued_at);
+  w.u32(static_cast<std::uint32_t>(revoked_serials.size()));
+  for (const auto& s : revoked_serials) w.str(s);
+  return std::move(w).take();
+}
+
+Bytes RevocationList::encode() const {
+  BinaryWriter w;
+  w.bytes(tbs());
+  w.bytes(signature);
+  return std::move(w).take();
+}
+
+Result<RevocationList> RevocationList::decode(BytesView b) {
+  BinaryReader outer(b);
+  auto tbs_bytes = outer.bytes();
+  if (!tbs_bytes) return tbs_bytes.error();
+  auto sig = outer.bytes();
+  if (!sig) return sig.error();
+
+  BinaryReader r(tbs_bytes.value());
+  RevocationList crl;
+  auto issuer = r.str();
+  if (!issuer) return issuer.error();
+  crl.issuer = PartyId(issuer.value());
+  auto at = r.u64();
+  if (!at) return at.error();
+  crl.issued_at = at.value();
+  auto count = r.u32();
+  if (!count) return count.error();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto s = r.str();
+    if (!s) return s.error();
+    crl.revoked_serials.insert(s.value());
+  }
+  crl.signature = sig.value();
+  return crl;
+}
+
+RevocationList RevocationAuthority::current(TimeMs now) const {
+  RevocationList crl;
+  crl.issuer = issuer_;
+  crl.issued_at = now;
+  crl.revoked_serials = revoked_;
+  auto sig = signer_->sign(crl.tbs());
+  assert(sig.ok());
+  crl.signature = std::move(sig).take();
+  return crl;
+}
+
+}  // namespace nonrep::pki

@@ -1,0 +1,41 @@
+// Certificate revocation lists (§3.5 "certificate revocation information").
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "pki/certificate.hpp"
+
+namespace nonrep::pki {
+
+/// A CA-signed list of revoked serials with an issue time. Relying parties
+/// treat a certificate as revoked if it appears on the freshest CRL they
+/// hold from that issuer.
+struct RevocationList {
+  PartyId issuer;
+  TimeMs issued_at = 0;
+  std::set<std::string> revoked_serials;
+  Bytes signature;  // issuer's signature over tbs()
+
+  Bytes tbs() const;
+  Bytes encode() const;
+  static Result<RevocationList> decode(BytesView b);
+};
+
+/// CA-side CRL maintenance.
+class RevocationAuthority {
+ public:
+  RevocationAuthority(PartyId issuer, std::shared_ptr<crypto::Signer> signer)
+      : issuer_(std::move(issuer)), signer_(std::move(signer)) {}
+
+  void revoke(const std::string& serial) { revoked_.insert(serial); }
+  RevocationList current(TimeMs now) const;
+
+ private:
+  PartyId issuer_;
+  std::shared_ptr<crypto::Signer> signer_;
+  std::set<std::string> revoked_;
+};
+
+}  // namespace nonrep::pki

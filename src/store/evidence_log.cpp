@@ -1,0 +1,141 @@
+#include "store/evidence_log.hpp"
+
+#include <fstream>
+
+#include "util/hex.hpp"
+#include "util/serialize.hpp"
+
+namespace nonrep::store {
+
+Bytes LogRecord::canonical() const {
+  BinaryWriter w;
+  w.u64(sequence);
+  w.u64(time);
+  w.str(run.str());
+  w.str(kind);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+crypto::Digest chain_digest(const crypto::Digest& prev, const LogRecord& record) {
+  crypto::Sha256 h;
+  h.update(BytesView(prev.data(), prev.size()));
+  const Bytes c = record.canonical();
+  h.update(c);
+  return h.finish();
+}
+
+namespace {
+
+Bytes encode_record(const LogRecord& r) {
+  BinaryWriter w;
+  w.bytes(r.canonical());
+  w.bytes(crypto::digest_bytes(r.chain));
+  return std::move(w).take();
+}
+
+Result<LogRecord> decode_record(BytesView b) {
+  BinaryReader outer(b);
+  auto canonical = outer.bytes();
+  if (!canonical) return canonical.error();
+  auto chain = outer.bytes();
+  if (!chain) return chain.error();
+
+  BinaryReader r(canonical.value());
+  LogRecord rec;
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  rec.sequence = seq.value();
+  auto time = r.u64();
+  if (!time) return time.error();
+  rec.time = time.value();
+  auto run = r.str();
+  if (!run) return run.error();
+  rec.run = RunId(run.value());
+  auto kind = r.str();
+  if (!kind) return kind.error();
+  rec.kind = kind.value();
+  auto payload = r.bytes();
+  if (!payload) return payload.error();
+  rec.payload = payload.value();
+  if (!crypto::digest_from_bytes(chain.value(), rec.chain)) {
+    return Error::make("log.bad_chain_digest", "wrong length");
+  }
+  return rec;
+}
+
+}  // namespace
+
+void FileLogBackend::append(const LogRecord& record) {
+  std::ofstream out(path_, std::ios::app);
+  out << to_hex(encode_record(record)) << '\n';
+}
+
+std::vector<LogRecord> FileLogBackend::load() {
+  std::vector<LogRecord> out;
+  std::ifstream in(path_);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto bytes = from_hex(line);
+    if (!bytes) continue;  // skip corrupt lines; verify_chain flags the gap
+    auto rec = decode_record(*bytes);
+    if (rec) out.push_back(rec.value());
+  }
+  return out;
+}
+
+EvidenceLog::EvidenceLog(std::unique_ptr<LogBackend> backend, std::shared_ptr<Clock> clock)
+    : backend_(std::move(backend)), clock_(std::move(clock)) {
+  records_ = backend_->load();
+  for (const auto& r : records_) payload_bytes_ += r.payload.size();
+}
+
+const LogRecord& EvidenceLog::append(const RunId& run, std::string kind, Bytes payload) {
+  LogRecord rec;
+  rec.sequence = records_.size();
+  rec.time = clock_->now();
+  rec.run = run;
+  rec.kind = std::move(kind);
+  rec.payload = std::move(payload);
+  const crypto::Digest prev = records_.empty() ? crypto::Digest{} : records_.back().chain;
+  rec.chain = chain_digest(prev, rec);
+  payload_bytes_ += rec.payload.size();
+  records_.push_back(std::move(rec));
+  backend_->append(records_.back());
+  return records_.back();
+}
+
+std::vector<LogRecord> EvidenceLog::find_run(const RunId& run) const {
+  std::vector<LogRecord> out;
+  for (const auto& r : records_) {
+    if (r.run == run) out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<LogRecord> EvidenceLog::find(const RunId& run, std::string_view kind) const {
+  for (const auto& r : records_) {
+    if (r.run == run && r.kind == kind) return r;
+  }
+  return std::nullopt;
+}
+
+Status EvidenceLog::verify_chain() const {
+  crypto::Digest prev{};
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const LogRecord& r = records_[i];
+    if (r.sequence != i) {
+      return Error::make("log.sequence_gap", "at index " + std::to_string(i));
+    }
+    const crypto::Digest expected = chain_digest(prev, r);
+    if (!constant_time_equal(BytesView(expected.data(), expected.size()),
+                             BytesView(r.chain.data(), r.chain.size()))) {
+      return Error::make("log.chain_mismatch", "record " + std::to_string(i));
+    }
+    prev = r.chain;
+  }
+  return Status::ok_status();
+}
+
+}  // namespace nonrep::store

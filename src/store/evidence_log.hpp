@@ -1,0 +1,89 @@
+// Hash-chained append-only evidence log (§3.5 "persistence", assumption 3).
+//
+// "Trusted interceptors have persistent storage for messages (or, more
+// precisely, evidence extracted from messages)." Records are chained:
+// chain_i = H(chain_{i-1} || record_i), so any later truncation or edit of
+// the audit trail is detectable (dispute-resolution requirement, §3.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::store {
+
+struct LogRecord {
+  std::uint64_t sequence = 0;
+  TimeMs time = 0;
+  RunId run;
+  std::string kind;  // e.g. "nro.request", "vote", "decision"
+  Bytes payload;     // encoded evidence token or protocol artefact
+  crypto::Digest chain{};  // H(prev_chain || canonical record bytes)
+
+  Bytes canonical() const;  // everything except `chain`
+};
+
+/// Storage backend; MemoryBackend for tests/sim, FileBackend for examples.
+class LogBackend {
+ public:
+  virtual ~LogBackend() = default;
+  virtual void append(const LogRecord& record) = 0;
+  virtual std::vector<LogRecord> load() = 0;
+};
+
+class MemoryLogBackend final : public LogBackend {
+ public:
+  void append(const LogRecord& record) override { records_.push_back(record); }
+  std::vector<LogRecord> load() override { return records_; }
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+/// One line per record: hex(encoded record). Survives process restarts.
+class FileLogBackend final : public LogBackend {
+ public:
+  explicit FileLogBackend(std::string path) : path_(std::move(path)) {}
+  void append(const LogRecord& record) override;
+  std::vector<LogRecord> load() override;
+
+ private:
+  std::string path_;
+};
+
+class EvidenceLog {
+ public:
+  EvidenceLog(std::unique_ptr<LogBackend> backend, std::shared_ptr<Clock> clock);
+
+  /// Append evidence; returns the record including its chain digest.
+  const LogRecord& append(const RunId& run, std::string kind, Bytes payload);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  const std::vector<LogRecord>& records() const noexcept { return records_; }
+  std::vector<LogRecord> find_run(const RunId& run) const;
+  std::optional<LogRecord> find(const RunId& run, std::string_view kind) const;
+
+  /// Re-computes the chain; detects any tampering of the loaded history.
+  Status verify_chain() const;
+
+  /// Total payload bytes held (space-overhead experiments, §6).
+  std::uint64_t payload_bytes() const noexcept { return payload_bytes_; }
+
+ private:
+  std::unique_ptr<LogBackend> backend_;
+  std::shared_ptr<Clock> clock_;
+  std::vector<LogRecord> records_;
+  std::uint64_t payload_bytes_ = 0;
+};
+
+/// Chain digest helper (exposed for tests).
+crypto::Digest chain_digest(const crypto::Digest& prev, const LogRecord& record);
+
+}  // namespace nonrep::store

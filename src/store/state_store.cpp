@@ -1,0 +1,24 @@
+#include "store/state_store.hpp"
+
+namespace nonrep::store {
+
+crypto::Digest StateStore::put(BytesView state) {
+  const crypto::Digest d = crypto::Sha256::hash(state);
+  auto [it, inserted] = blobs_.try_emplace(d, Bytes(state.begin(), state.end()));
+  if (inserted) stored_bytes_ += it->second.size();
+  return d;
+}
+
+Result<Bytes> StateStore::get(const crypto::Digest& digest) const {
+  auto it = blobs_.find(digest);
+  if (it == blobs_.end()) {
+    return Error::make("store.unknown_digest", "no state for digest");
+  }
+  return it->second;
+}
+
+bool StateStore::contains(const crypto::Digest& digest) const {
+  return blobs_.contains(digest);
+}
+
+}  // namespace nonrep::store

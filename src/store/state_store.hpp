@@ -1,0 +1,45 @@
+// Digest-addressed state store (§3.5).
+//
+// "Non-repudiation evidence will include a signed secure digest of state
+// that is held in a state store. Persistence services should support the
+// mapping of the state digest to the representation of state in the state
+// store." — i.e. content-addressed storage: put(state) -> digest,
+// get(digest) -> state, so any agreed state referenced by evidence can be
+// reconstructed and checked (§3.4 requirement ii).
+#pragma once
+
+#include <unordered_map>
+
+#include "crypto/sha256.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::store {
+
+class StateStore {
+ public:
+  /// Store a state snapshot; returns its digest (idempotent).
+  crypto::Digest put(BytesView state);
+
+  /// Retrieve the state for a digest.
+  Result<Bytes> get(const crypto::Digest& digest) const;
+
+  bool contains(const crypto::Digest& digest) const;
+  std::size_t size() const noexcept { return blobs_.size(); }
+  std::uint64_t stored_bytes() const noexcept { return stored_bytes_; }
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const crypto::Digest& d) const noexcept {
+      std::size_t h = 0;
+      for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+        h = (h << 8) | d[i];
+      }
+      return h;
+    }
+  };
+
+  std::unordered_map<crypto::Digest, Bytes, DigestHash> blobs_;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace nonrep::store

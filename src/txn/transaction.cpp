@@ -1,0 +1,88 @@
+#include "txn/transaction.hpp"
+
+namespace nonrep::txn {
+
+std::string to_string(TxnState s) {
+  switch (s) {
+    case TxnState::kActive: return "active";
+    case TxnState::kPreparing: return "preparing";
+    case TxnState::kCommitted: return "committed";
+    case TxnState::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+TransactionManager::TransactionManager(std::uint64_t seed) : seed_(seed) {}
+
+TxnId TransactionManager::begin() {
+  TxnId id("txn-" + std::to_string(seed_) + "-" + std::to_string(next_++));
+  txns_[id] = Txn{};
+  return id;
+}
+
+Status TransactionManager::enlist(const TxnId& txn, std::shared_ptr<Participant> participant) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
+  if (it->second.state != TxnState::kActive) {
+    return Error::make("txn.not_active", to_string(it->second.state));
+  }
+  it->second.participants.push_back(std::move(participant));
+  return Status::ok_status();
+}
+
+Result<bool> TransactionManager::commit(const TxnId& txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
+  Txn& t = it->second;
+  if (t.state != TxnState::kActive) {
+    return Error::make("txn.not_active", to_string(t.state));
+  }
+
+  // Phase 1: collect votes. Stop at the first no — later participants are
+  // never prepared and only the prepared prefix needs rolling back.
+  t.state = TxnState::kPreparing;
+  std::size_t prepared = 0;
+  bool all_yes = true;
+  for (auto& p : t.participants) {
+    if (!p->prepare(txn)) {
+      all_yes = false;
+      break;
+    }
+    ++prepared;
+  }
+
+  // Phase 2.
+  if (all_yes) {
+    for (auto& p : t.participants) p->commit(txn);
+    t.state = TxnState::kCommitted;
+    return true;
+  }
+  for (std::size_t i = 0; i < prepared; ++i) t.participants[i]->rollback(txn);
+  t.state = TxnState::kAborted;
+  return false;
+}
+
+Status TransactionManager::rollback(const TxnId& txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
+  Txn& t = it->second;
+  if (t.state != TxnState::kActive) {
+    return Error::make("txn.not_active", to_string(t.state));
+  }
+  for (auto& p : t.participants) p->rollback(txn);
+  t.state = TxnState::kAborted;
+  return Status::ok_status();
+}
+
+Result<TxnState> TransactionManager::state(const TxnId& txn) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
+  return it->second.state;
+}
+
+std::size_t TransactionManager::participant_count(const TxnId& txn) const {
+  auto it = txns_.find(txn);
+  return it != txns_.end() ? it->second.participants.size() : 0;
+}
+
+}  // namespace nonrep::txn

@@ -1,0 +1,79 @@
+// Distributed transactions (JTA analogue) — §6 / ref [6].
+//
+// "Our preliminary work in this area shows how B2BObjects can participate
+// in distributed (JTA [3]) transactions. We intend to build on this work
+// to provide component-based transactional and non-repudiable
+// interaction." This module is the JTA substrate: a TransactionManager
+// driving two-phase commit over enlisted participants (the XAResource
+// analogue). core/txn_resource.hpp adapts a shared B2BObject to it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::txn {
+
+struct TxnTag {};
+using TxnId = StringId<TxnTag>;
+
+enum class TxnState : std::uint8_t {
+  kActive = 1,     // work in progress, participants enlisting
+  kPreparing = 2,  // phase 1 running
+  kCommitted = 3,  // all participants voted yes and were committed
+  kAborted = 4,    // a participant voted no / rollback requested
+};
+
+std::string to_string(TxnState s);
+
+/// XAResource analogue. prepare() must leave the participant able to
+/// honour either commit() or rollback(); after voting no it must already
+/// have discarded its work.
+class Participant {
+ public:
+  virtual ~Participant() = default;
+  virtual std::string name() const = 0;
+  /// Phase 1: attempt to make the work durable/agreed; vote.
+  virtual bool prepare(const TxnId& txn) = 0;
+  /// Phase 2a: finalize (only after every participant voted yes).
+  virtual void commit(const TxnId& txn) = 0;
+  /// Phase 2b: undo (after any no-vote, or an explicit rollback).
+  virtual void rollback(const TxnId& txn) = 0;
+};
+
+class TransactionManager {
+ public:
+  explicit TransactionManager(std::uint64_t seed = 1);
+
+  TxnId begin();
+
+  /// Enlist a participant; only legal while the transaction is active.
+  Status enlist(const TxnId& txn, std::shared_ptr<Participant> participant);
+
+  /// Two-phase commit. Returns true if committed, false if rolled back
+  /// because some participant voted no (error only for unknown/finished
+  /// transactions).
+  Result<bool> commit(const TxnId& txn);
+
+  /// Roll back all enlisted participants.
+  Status rollback(const TxnId& txn);
+
+  Result<TxnState> state(const TxnId& txn) const;
+  std::size_t participant_count(const TxnId& txn) const;
+
+ private:
+  struct Txn {
+    TxnState state = TxnState::kActive;
+    std::vector<std::shared_ptr<Participant>> participants;
+  };
+
+  std::map<TxnId, Txn> txns_;
+  std::uint64_t next_ = 1;
+  std::uint64_t seed_;
+};
+
+}  // namespace nonrep::txn

@@ -1,0 +1,33 @@
+// Byte-buffer primitives shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nonrep {
+
+/// Owned byte buffer. All wire formats, digests and signatures use this.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over bytes (read side of every crypto/serialize API).
+using BytesView = std::span<const std::uint8_t>;
+
+/// Copy a string's characters into a byte buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Interpret a byte buffer as text (caller asserts it is valid text).
+std::string to_string(BytesView b);
+
+/// Concatenate buffers in order.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Constant-time equality; use for MACs/digests to avoid timing leaks.
+bool constant_time_equal(BytesView a, BytesView b) noexcept;
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+}  // namespace nonrep

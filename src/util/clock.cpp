@@ -1,0 +1,13 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+
+namespace nonrep {
+
+TimeMs WallClock::now() const {
+  using namespace std::chrono;
+  return static_cast<TimeMs>(
+      duration_cast<milliseconds>(system_clock::now().time_since_epoch()).count());
+}
+
+}  // namespace nonrep

@@ -1,0 +1,41 @@
+// Clock abstraction.
+//
+// Evidence must be time-stamped (§3.5). Protocol code takes a Clock so
+// tests and the network simulator can drive deterministic virtual time
+// while examples use the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace nonrep {
+
+/// Milliseconds since an arbitrary epoch.
+using TimeMs = std::uint64_t;
+
+/// Source of time for timestamps and timeouts.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMs now() const = 0;
+};
+
+/// Real wall-clock time (milliseconds since Unix epoch).
+class WallClock final : public Clock {
+ public:
+  TimeMs now() const override;
+};
+
+/// Manually advanced clock for deterministic tests and simulation.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimeMs start = 0) : now_(start) {}
+  TimeMs now() const override { return now_; }
+  void advance(TimeMs delta) { now_ += delta; }
+  void set(TimeMs t) { now_ = t; }
+
+ private:
+  TimeMs now_;
+};
+
+}  // namespace nonrep

@@ -1,0 +1,17 @@
+// Hex encoding/decoding for digests, ids and log records.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace nonrep {
+
+/// Lower-case hex encoding.
+std::string to_hex(BytesView b);
+
+/// Decode hex (case-insensitive). Returns nullopt on odd length or bad digit.
+std::optional<Bytes> from_hex(std::string_view s);
+
+}  // namespace nonrep

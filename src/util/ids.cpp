@@ -1,0 +1,5 @@
+#include "util/ids.hpp"
+
+// StringId is header-only; this translation unit exists so the target has a
+// stable home for future id utilities and keeps the build list uniform.
+namespace nonrep {}

@@ -1,0 +1,55 @@
+// Strongly-typed identifiers used across the middleware.
+//
+// The paper requires a unique request identifier per protocol run ("to
+// distinguish between protocol runs and to bind protocol steps to a run",
+// §3.2) and globally resolvable party/service names (URIs, §3.4).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace nonrep {
+
+/// Tagged wrapper so PartyId/RunId/ServiceUri cannot be mixed up.
+template <typename Tag>
+class StringId {
+ public:
+  StringId() = default;
+  explicit StringId(std::string v) : value_(std::move(v)) {}
+
+  const std::string& str() const noexcept { return value_; }
+  bool empty() const noexcept { return value_.empty(); }
+  Bytes bytes() const { return to_bytes(value_); }
+
+  friend auto operator<=>(const StringId&, const StringId&) = default;
+
+ private:
+  std::string value_;
+};
+
+struct PartyTag {};
+struct RunTag {};
+struct ServiceTag {};
+struct ObjectTag {};
+
+/// Identifies an organisation / principal (e.g. "org:supplier-a").
+using PartyId = StringId<PartyTag>;
+/// Identifies one protocol run; unique and unpredictable (random 128-bit).
+using RunId = StringId<RunTag>;
+/// Globally resolvable service name (URI form, §3.4 rule 2).
+using ServiceUri = StringId<ServiceTag>;
+/// Identifies a shared B2BObject (§3.4 rule 3).
+using ObjectId = StringId<ObjectTag>;
+
+}  // namespace nonrep
+
+template <typename Tag>
+struct std::hash<nonrep::StringId<Tag>> {
+  std::size_t operator()(const nonrep::StringId<Tag>& id) const noexcept {
+    return std::hash<std::string>{}(id.str());
+  }
+};

@@ -1,0 +1,82 @@
+// Minimal expected-style result type (C++20; std::expected is C++23).
+//
+// Protocol and verification failures are expected outcomes — a tampered
+// signature is data, not a programming error — so the library reports them
+// as Result values rather than exceptions.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nonrep {
+
+/// Describes why an operation failed. `code` is stable and machine-checkable;
+/// `detail` is human-oriented context.
+struct Error {
+  std::string code;
+  std::string detail;
+
+  static Error make(std::string code, std::string detail = {}) {
+    return Error{std::move(code), std::move(detail)};
+  }
+};
+
+/// Result<T>: either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_{};
+  bool failed_ = false;
+};
+
+}  // namespace nonrep

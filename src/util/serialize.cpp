@@ -1,0 +1,72 @@
+#include "util/serialize.hpp"
+
+namespace nonrep {
+
+void BinaryWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::bytes(BytesView b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void BinaryWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+Result<BytesView> BinaryReader::take(std::size_t n) {
+  if (remaining() < n) {
+    return Error::make("serialize.truncated",
+                       "needed " + std::to_string(n) + " bytes, have " +
+                           std::to_string(remaining()));
+  }
+  BytesView out = buf_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::uint8_t> BinaryReader::u8() {
+  auto r = take(1);
+  if (!r) return r.error();
+  return r.value()[0];
+}
+
+Result<std::uint32_t> BinaryReader::u32() {
+  auto r = take(4);
+  if (!r) return r.error();
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(r.value()[i]) << (8 * i);
+  return v;
+}
+
+Result<std::uint64_t> BinaryReader::u64() {
+  auto r = take(8);
+  if (!r) return r.error();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(r.value()[i]) << (8 * i);
+  return v;
+}
+
+Result<Bytes> BinaryReader::bytes() {
+  auto len = u32();
+  if (!len) return len.error();
+  auto r = take(len.value());
+  if (!r) return r.error();
+  return Bytes(r.value().begin(), r.value().end());
+}
+
+Result<std::string> BinaryReader::str() {
+  auto b = bytes();
+  if (!b) return b.error();
+  return std::string(b.value().begin(), b.value().end());
+}
+
+}  // namespace nonrep

@@ -1,0 +1,57 @@
+// Canonical binary serialization.
+//
+// Evidence is signed over a hash of the serialized form, so the encoding
+// must be canonical: same logical value => same bytes (§3.4 "agreed
+// representation of state"). Fixed little-endian integers and
+// length-prefixed buffers give that property.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace nonrep {
+
+/// Append-only canonical encoder.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Length-prefixed (u32) byte string.
+  void bytes(BytesView b);
+  /// Length-prefixed (u32) text.
+  void str(std::string_view s);
+
+  const Bytes& data() const noexcept { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Matching decoder. Every accessor returns an Error on truncation, so a
+/// corrupted or hostile message can never read out of bounds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(BytesView b) : buf_(b) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<Bytes> bytes();
+  Result<std::string> str();
+
+  bool at_end() const noexcept { return pos_ == buf_.size(); }
+  std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  Result<BytesView> take(std::size_t n);
+
+  BytesView buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nonrep

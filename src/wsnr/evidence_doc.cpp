@@ -1,0 +1,115 @@
+#include "wsnr/evidence_doc.hpp"
+
+#include "util/hex.hpp"
+
+namespace nonrep::wsnr {
+
+XmlNode render_token(const core::EvidenceToken& token) {
+  XmlNode node;
+  node.name = "NonRepudiationToken";
+  node.attributes["type"] = core::to_string(token.type);
+  node.attributes["run"] = token.run.str();
+  node.attributes["issuer"] = token.issuer.str();
+  node.attributes["issuedAt"] = std::to_string(token.issued_at);
+  node.add_child("SubjectDigest").text = to_hex(crypto::digest_bytes(token.subject));
+  node.add_child("Signature").text = to_hex(token.signature);
+  return node;
+}
+
+namespace {
+
+Result<core::EvidenceType> type_from_string(const std::string& s) {
+  using core::EvidenceType;
+  for (int i = 1; i <= 11; ++i) {
+    const auto t = static_cast<EvidenceType>(i);
+    if (core::to_string(t) == s) return t;
+  }
+  return Error::make("wsnr.bad_type", s);
+}
+
+}  // namespace
+
+Result<core::EvidenceToken> parse_token(const XmlNode& node) {
+  if (node.name != "NonRepudiationToken") {
+    return Error::make("wsnr.wrong_element", node.name);
+  }
+  core::EvidenceToken token;
+  auto type = type_from_string(node.attr("type"));
+  if (!type) return type.error();
+  token.type = type.value();
+  token.run = RunId(node.attr("run"));
+  token.issuer = PartyId(node.attr("issuer"));
+  try {
+    token.issued_at = std::stoull(node.attr("issuedAt"));
+  } catch (const std::exception&) {
+    return Error::make("wsnr.bad_time", node.attr("issuedAt"));
+  }
+
+  const XmlNode* digest = node.child("SubjectDigest");
+  if (digest == nullptr) return Error::make("wsnr.missing", "SubjectDigest");
+  auto digest_bytes = from_hex(digest->text);
+  if (!digest_bytes || !crypto::digest_from_bytes(*digest_bytes, token.subject)) {
+    return Error::make("wsnr.bad_digest", digest->text);
+  }
+  const XmlNode* sig = node.child("Signature");
+  if (sig == nullptr) return Error::make("wsnr.missing", "Signature");
+  auto sig_bytes = from_hex(sig->text);
+  if (!sig_bytes) return Error::make("wsnr.bad_signature_hex", "");
+  token.signature = *sig_bytes;
+  return token;
+}
+
+XmlNode render_bundle(const RunId& run,
+                      const std::vector<core::PresentedEvidence>& bundle) {
+  XmlNode root;
+  root.name = "EvidenceBundle";
+  root.attributes["run"] = run.str();
+  for (const auto& item : bundle) {
+    XmlNode& e = root.add_child("Evidence");
+    e.children.push_back(render_token(item.token));
+    e.add_child("Subject").text = to_hex(item.subject);
+  }
+  return root;
+}
+
+Result<std::vector<core::PresentedEvidence>> parse_bundle(const XmlNode& node) {
+  if (node.name != "EvidenceBundle") {
+    return Error::make("wsnr.wrong_element", node.name);
+  }
+  std::vector<core::PresentedEvidence> out;
+  for (const XmlNode* e : node.children_named("Evidence")) {
+    const XmlNode* token_node = e->child("NonRepudiationToken");
+    if (token_node == nullptr) return Error::make("wsnr.missing", "NonRepudiationToken");
+    auto token = parse_token(*token_node);
+    if (!token) return token.error();
+    const XmlNode* subject = e->child("Subject");
+    if (subject == nullptr) return Error::make("wsnr.missing", "Subject");
+    auto subject_bytes = from_hex(subject->text);
+    if (!subject_bytes) return Error::make("wsnr.bad_subject_hex", "");
+    out.push_back(core::PresentedEvidence{std::move(token).take(), *subject_bytes});
+  }
+  return out;
+}
+
+std::string token_document(const core::EvidenceToken& token) {
+  return to_xml(render_token(token));
+}
+
+Result<core::EvidenceToken> token_from_document(const std::string& xml) {
+  auto node = parse_xml(xml);
+  if (!node) return node.error();
+  return parse_token(node.value());
+}
+
+std::string bundle_document(const RunId& run,
+                            const std::vector<core::PresentedEvidence>& bundle) {
+  return to_xml(render_bundle(run, bundle));
+}
+
+Result<std::vector<core::PresentedEvidence>> bundle_from_document(const std::string& xml) {
+  auto node = parse_xml(xml);
+  if (!node) return node.error();
+  return parse_bundle(node.value());
+}
+
+}  // namespace nonrep::wsnr

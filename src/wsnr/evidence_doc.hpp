@@ -1,0 +1,36 @@
+// XML evidence documents: the agreed, renderable form of evidence.
+//
+// "The important requirement is that the representation can be
+// subsequently rendered meaningful and irrefutable" (§5). A rendered
+// token embeds everything a third party needs to re-verify it: type, run,
+// issuer, time, subject digest and signature (hex). A rendered *bundle*
+// additionally carries the subject bytes, so the whole dispute case for a
+// run travels as one document (e.g. inside a SOAP body).
+#pragma once
+
+#include "core/dispute.hpp"
+#include "core/evidence.hpp"
+#include "wsnr/xml.hpp"
+
+namespace nonrep::wsnr {
+
+/// <NonRepudiationToken type=".." run=".." issuer=".." issuedAt="..">
+///   <SubjectDigest>hex</SubjectDigest>
+///   <Signature>hex</Signature>
+/// </NonRepudiationToken>
+XmlNode render_token(const core::EvidenceToken& token);
+Result<core::EvidenceToken> parse_token(const XmlNode& node);
+
+/// <EvidenceBundle run="..."> <Evidence><NonRepudiationToken.../>
+///   <Subject>hex</Subject></Evidence>* </EvidenceBundle>
+XmlNode render_bundle(const RunId& run, const std::vector<core::PresentedEvidence>& bundle);
+Result<std::vector<core::PresentedEvidence>> parse_bundle(const XmlNode& node);
+
+/// Convenience: full document strings.
+std::string token_document(const core::EvidenceToken& token);
+Result<core::EvidenceToken> token_from_document(const std::string& xml);
+std::string bundle_document(const RunId& run,
+                            const std::vector<core::PresentedEvidence>& bundle);
+Result<std::vector<core::PresentedEvidence>> bundle_from_document(const std::string& xml);
+
+}  // namespace nonrep::wsnr

@@ -1,0 +1,212 @@
+#include "wsnr/xml.hpp"
+
+#include <cctype>
+
+namespace nonrep::wsnr {
+
+const XmlNode* XmlNode::child(const std::string& child_name) const {
+  for (const auto& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(const std::string& child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c.name == child_name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string XmlNode::attr(const std::string& key) const {
+  auto it = attributes.find(key);
+  return it != attributes.end() ? it->second : "";
+}
+
+XmlNode& XmlNode::add_child(std::string child_name) {
+  children.push_back(XmlNode{std::move(child_name), {}, "", {}});
+  return children.back();
+}
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void render(const XmlNode& node, std::string& out, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent + "<" + node.name;
+  for (const auto& [k, v] : node.attributes) {
+    out += " " + k + "=\"" + xml_escape(v) + "\"";
+  }
+  if (node.text.empty() && node.children.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += ">";
+  if (!node.text.empty()) {
+    out += xml_escape(node.text);
+    if (!node.children.empty()) out += "\n";
+  } else {
+    out += "\n";
+  }
+  for (const auto& c : node.children) render(c, out, depth + 1);
+  if (!node.children.empty()) out += indent;
+  out += "</" + node.name + ">\n";
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<XmlNode> parse() {
+    skip_ws();
+    auto node = element();
+    if (!node) return node;
+    skip_ws();
+    if (pos_ != s_.size()) {
+      return Error::make("xml.trailing", "content after root element");
+    }
+    return node;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> name_token() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '_' || s_[pos_] == ':' || s_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error::make("xml.bad_name", "at offset " + std::to_string(pos_));
+    return s_.substr(start, pos_ - start);
+  }
+
+  std::string unescape(const std::string& raw) {
+    std::string out;
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      const auto end = raw.find(';', i);
+      if (end == std::string::npos) {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      const std::string entity = raw.substr(i + 1, end - i - 1);
+      if (entity == "amp") out.push_back('&');
+      else if (entity == "lt") out.push_back('<');
+      else if (entity == "gt") out.push_back('>');
+      else if (entity == "quot") out.push_back('"');
+      else if (entity == "apos") out.push_back('\'');
+      else out += "&" + entity + ";";
+      i = end + 1;
+    }
+    return out;
+  }
+
+  Result<XmlNode> element() {
+    if (!consume('<')) return Error::make("xml.expected_element", "offset " + std::to_string(pos_));
+    XmlNode node;
+    auto n = name_token();
+    if (!n) return n.error();
+    node.name = n.value();
+
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (pos_ >= s_.size()) return Error::make("xml.truncated", "in tag " + node.name);
+      if (s_[pos_] == '/' || s_[pos_] == '>') break;
+      auto key = name_token();
+      if (!key) return key.error();
+      skip_ws();
+      if (!consume('=')) return Error::make("xml.expected_eq", key.value());
+      skip_ws();
+      if (!consume('"')) return Error::make("xml.expected_quote", key.value());
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() && s_[pos_] != '"') ++pos_;
+      if (pos_ >= s_.size()) return Error::make("xml.unterminated_attr", key.value());
+      node.attributes[key.value()] = unescape(s_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+    }
+
+    if (consume('/')) {
+      if (!consume('>')) return Error::make("xml.bad_self_close", node.name);
+      return node;
+    }
+    if (!consume('>')) return Error::make("xml.expected_gt", node.name);
+
+    // Content: text and child elements until </name>.
+    std::string text;
+    for (;;) {
+      if (pos_ >= s_.size()) return Error::make("xml.unterminated", node.name);
+      if (s_[pos_] == '<') {
+        if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '/') {
+          pos_ += 2;
+          auto closing = name_token();
+          if (!closing) return closing.error();
+          if (closing.value() != node.name) {
+            return Error::make("xml.mismatched_close",
+                               node.name + " vs " + closing.value());
+          }
+          if (!consume('>')) return Error::make("xml.expected_gt", node.name);
+          break;
+        }
+        auto c = element();
+        if (!c) return c.error();
+        node.children.push_back(std::move(c).take());
+      } else {
+        text.push_back(s_[pos_++]);
+      }
+    }
+    // Trim pure-whitespace formatting text.
+    const auto first = text.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos) {
+      const auto last = text.find_last_not_of(" \t\r\n");
+      node.text = unescape(text.substr(first, last - first + 1));
+    }
+    return node;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_xml(const XmlNode& root) {
+  std::string out;
+  render(root, out, 0);
+  return out;
+}
+
+Result<XmlNode> parse_xml(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace nonrep::wsnr

@@ -1,0 +1,52 @@
+// Minimal XML document model for Web-Service evidence rendering.
+//
+// §6: "Another area of work is the deployment of the middleware presented
+// to render Web Service interactions non-repudiable." And from related
+// work (§5, Wichert et al [23]): "their work did provide useful insights
+// into representation of evidence in XML documents. In our system the
+// exact representation of evidence is a matter for agreement between the
+// parties concerned, the important requirement is that the representation
+// can be subsequently rendered meaningful and irrefutable."
+//
+// This is a deliberately small, dependency-free element/text/attribute
+// model — enough to round-trip evidence documents (see evidence_doc.hpp),
+// not a general XML processor (no namespaces, DTDs or processing
+// instructions).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace nonrep::wsnr {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::string text;  // character content (element-only nodes leave it empty)
+  std::vector<XmlNode> children;
+
+  /// First child with `child_name`, or nullptr.
+  const XmlNode* child(const std::string& child_name) const;
+  /// All children with `child_name`.
+  std::vector<const XmlNode*> children_named(const std::string& child_name) const;
+  /// Attribute value or empty string.
+  std::string attr(const std::string& key) const;
+
+  XmlNode& add_child(std::string child_name);
+};
+
+/// Escape &, <, >, ", ' for text/attribute content.
+std::string xml_escape(const std::string& s);
+
+/// Serialize with 2-space indentation.
+std::string to_xml(const XmlNode& root);
+
+/// Parse one element tree. Rejects malformed input with an Error; never
+/// throws (evidence documents arrive from other organisations).
+Result<XmlNode> parse_xml(const std::string& text);
+
+}  // namespace nonrep::wsnr

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "access/roles.hpp"
+#include "common.hpp"
+
+namespace nonrep::access {
+namespace {
+
+struct AccessFixture : ::testing::Test {
+  AccessFixture() {
+    a = &world.add_party("a");
+    b = &world.add_party("b");
+    service = std::make_unique<RoleService>(*a->credentials);
+  }
+  test::TestWorld world;
+  test::Party* a = nullptr;
+  test::Party* b = nullptr;
+  std::unique_ptr<RoleService> service;
+};
+
+TEST_F(AccessFixture, CredentialActivatesRole) {
+  service->add_policy(RolePolicy{.role = "supplier"});
+  ASSERT_TRUE(service->present_credential(b->certificate, world.clock->now()).ok());
+  EXPECT_TRUE(service->has_role(b->id, "supplier"));
+  EXPECT_FALSE(service->has_role(a->id, "supplier"));
+}
+
+TEST_F(AccessFixture, AdmitPredicateFilters) {
+  service->add_policy(RolePolicy{
+      .role = "manufacturer",
+      .admit = [](const pki::Certificate& c) { return c.subject.str() == "org:a"; }});
+  ASSERT_TRUE(service->present_credential(a->certificate, world.clock->now()).ok());
+  ASSERT_TRUE(service->present_credential(b->certificate, world.clock->now()).ok());
+  EXPECT_TRUE(service->has_role(a->id, "manufacturer"));
+  EXPECT_FALSE(service->has_role(b->id, "manufacturer"));
+}
+
+TEST_F(AccessFixture, InvalidCredentialRejected) {
+  pki::Certificate forged = b->certificate;
+  forged.subject = PartyId("org:mallory");
+  auto status = service->present_credential(forged, world.clock->now());
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(service->has_role(PartyId("org:mallory"), "supplier"));
+}
+
+TEST_F(AccessFixture, EventDeactivatesRole) {
+  service->add_policy(RolePolicy{.role = "negotiator",
+                                 .deactivate_on = {"contract.signed"},
+                                 .reactivate_on = {"contract.reopened"}});
+  ASSERT_TRUE(service->present_credential(b->certificate, world.clock->now()).ok());
+  ASSERT_TRUE(service->has_role(b->id, "negotiator"));
+
+  service->on_event("contract.signed");
+  EXPECT_FALSE(service->has_role(b->id, "negotiator"));
+
+  service->on_event("contract.reopened");
+  EXPECT_TRUE(service->has_role(b->id, "negotiator"));
+}
+
+TEST_F(AccessFixture, UnrelatedEventIgnored) {
+  service->add_policy(RolePolicy{.role = "viewer", .deactivate_on = {"shutdown"}});
+  ASSERT_TRUE(service->present_credential(b->certificate, world.clock->now()).ok());
+  service->on_event("something.else");
+  EXPECT_TRUE(service->has_role(b->id, "viewer"));
+}
+
+TEST_F(AccessFixture, ActiveRolesEnumerated) {
+  service->add_policy(RolePolicy{.role = "r1"});
+  service->add_policy(RolePolicy{.role = "r2", .deactivate_on = {"e"}});
+  ASSERT_TRUE(service->present_credential(b->certificate, world.clock->now()).ok());
+  EXPECT_EQ(service->active_roles(b->id), (std::set<Role>{"r1", "r2"}));
+  service->on_event("e");
+  EXPECT_EQ(service->active_roles(b->id), (std::set<Role>{"r1"}));
+  EXPECT_TRUE(service->active_roles(PartyId("org:nobody")).empty());
+}
+
+TEST_F(AccessFixture, ExpiredCredentialRejected) {
+  world.clock->set(test::kFarFuture + 1000);
+  auto status = service->present_credential(b->certificate, world.clock->now());
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace nonrep::access

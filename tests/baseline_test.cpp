@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "core/baseline.hpp"
+#include "core/nr_interceptor.hpp"
+
+namespace nonrep::core {
+namespace {
+
+using container::Container;
+using container::DeploymentDescriptor;
+using container::Invocation;
+using container::Outcome;
+
+std::shared_ptr<container::Component> make_echo() {
+  auto c = std::make_shared<container::Component>();
+  c->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  return c;
+}
+
+struct BaselineFixture : ::testing::Test {
+  BaselineFixture() {
+    client = &world.add_party("client");
+    server = &world.add_party("server");
+    container.deploy(ServiceUri("svc://server/echo"), make_echo(), DeploymentDescriptor{});
+    auto executor = [this](Invocation& inv) { return container.invoke(inv); };
+    plain_server = std::make_shared<PlainInvocationServer>(*server->coordinator, executor);
+    asym_server = std::make_shared<AsymmetricInvocationServer>(*server->coordinator, executor);
+    server->coordinator->register_handler(plain_server);
+    server->coordinator->register_handler(asym_server);
+  }
+
+  Invocation make_inv(const std::string& payload = "x") {
+    Invocation inv;
+    inv.service = ServiceUri("svc://server/echo");
+    inv.method = "echo";
+    inv.arguments = to_bytes(payload);
+    inv.caller = client->id;
+    return inv;
+  }
+
+  test::TestWorld world;
+  test::Party* client = nullptr;
+  test::Party* server = nullptr;
+  Container container;
+  std::shared_ptr<PlainInvocationServer> plain_server;
+  std::shared_ptr<AsymmetricInvocationServer> asym_server;
+};
+
+TEST_F(BaselineFixture, PlainRoundTrip) {
+  PlainInvocationClient handler(*client->coordinator);
+  auto inv = make_inv("plain");
+  auto result = handler.invoke("server", inv);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(nonrep::to_string(result.payload), "plain");
+}
+
+TEST_F(BaselineFixture, PlainLeavesNoEvidence) {
+  PlainInvocationClient handler(*client->coordinator);
+  auto inv = make_inv();
+  ASSERT_TRUE(handler.invoke("server", inv).ok());
+  world.network.run();
+  EXPECT_EQ(client->log->size(), 0u);
+  EXPECT_EQ(server->log->size(), 0u);
+}
+
+TEST_F(BaselineFixture, PlainTimesOutCleanly) {
+  world.network.set_partitioned("client", "server", true);
+  PlainInvocationClient handler(*client->coordinator, InvocationConfig{.request_timeout = 200});
+  auto inv = make_inv();
+  EXPECT_EQ(handler.invoke("server", inv).outcome, Outcome::kTimeout);
+}
+
+TEST_F(BaselineFixture, AsymmetricRoundTrip) {
+  AsymmetricInvocationClient handler(*client->coordinator);
+  auto inv = make_inv("asym");
+  auto result = handler.invoke("server", inv);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(nonrep::to_string(result.payload), "asym");
+}
+
+TEST_F(BaselineFixture, AsymmetricServerHoldsOriginOnly) {
+  AsymmetricInvocationClient handler(*client->coordinator);
+  auto inv = make_inv();
+  ASSERT_TRUE(handler.invoke("server", inv).ok());
+  world.network.run();
+  // Server archived the client's NRO_req...
+  bool server_has_origin = false;
+  for (const auto& rec : server->log->records()) {
+    if (rec.kind == "token.NRO-request") server_has_origin = true;
+  }
+  EXPECT_TRUE(server_has_origin);
+  // ...but produced nothing for the client: the Wichert asymmetry.
+  bool client_has_receipt = false;
+  for (const auto& rec : client->log->records()) {
+    if (rec.kind == "token.NRR-request" || rec.kind == "token.NRO-response") {
+      client_has_receipt = true;
+    }
+  }
+  EXPECT_FALSE(client_has_receipt);
+}
+
+TEST_F(BaselineFixture, AsymmetricRejectsForgedOrigin) {
+  // Token over a different request than the one sent.
+  EvidenceService& ev = *client->evidence;
+  const RunId run = ev.new_run();
+  auto inv = make_inv();
+  auto bogus = ev.issue(EvidenceType::kNroRequest, run, to_bytes("other"));
+  ProtocolMessage m;
+  m.protocol = kAsymmetricProtocol;
+  m.run = run;
+  m.step = 1;
+  m.sender = client->id;
+  m.body = container::encode_invocation(inv);
+  m.tokens.push_back(bogus.value());
+  auto reply = client->coordinator->deliver_request("server", m, 1000);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, "evidence.subject_mismatch");
+}
+
+TEST_F(BaselineFixture, MessageCountsTellTheStory) {
+  // plain: 1 RPC = 2 sends + 2 acks = 4; asymmetric: same shape;
+  // full NR: 3 protocol messages + 3 acks = 6 (see invocation_test).
+  PlainInvocationClient plain(*client->coordinator);
+  world.network.reset_stats();
+  auto inv1 = make_inv();
+  ASSERT_TRUE(plain.invoke("server", inv1).ok());
+  world.network.run();
+  const std::uint64_t plain_sends = world.network.stats().sent;
+
+  AsymmetricInvocationClient asym(*client->coordinator);
+  world.network.reset_stats();
+  auto inv2 = make_inv();
+  ASSERT_TRUE(asym.invoke("server", inv2).ok());
+  world.network.run();
+  const std::uint64_t asym_sends = world.network.stats().sent;
+
+  EXPECT_EQ(plain_sends, 4u);
+  EXPECT_EQ(asym_sends, 4u);  // same messages, bigger payload
+}
+
+}  // namespace
+}  // namespace nonrep::core

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "crypto/bigint.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/rsa.hpp"
+#include "util/hex.hpp"
+
+namespace nonrep::crypto {
+namespace {
+
+BigUint from_hex_str(const std::string& s) {
+  auto b = from_hex(s.size() % 2 ? "0" + s : s);
+  return BigUint::from_bytes_be(*b);
+}
+
+TEST(BigUint, ZeroProperties) {
+  BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex_string(), "0");
+}
+
+TEST(BigUint, FromU64) {
+  BigUint v(0x123456789abcdef0ull);
+  EXPECT_EQ(v.to_hex_string(), "123456789abcdef0");
+  EXPECT_EQ(v.bit_length(), 61u);
+}
+
+TEST(BigUint, BytesRoundTrip) {
+  const Bytes raw = {0x01, 0x02, 0x03, 0x04, 0x05};
+  BigUint v = BigUint::from_bytes_be(raw);
+  EXPECT_EQ(v.to_bytes_be(5), raw);
+  EXPECT_EQ(v.to_hex_string(), "102030405");
+}
+
+TEST(BigUint, LeadingZerosTrimmed) {
+  const Bytes raw = {0x00, 0x00, 0x01};
+  BigUint v = BigUint::from_bytes_be(raw);
+  EXPECT_EQ(v, BigUint(1));
+  EXPECT_EQ(v.to_bytes_be(3), raw);
+}
+
+TEST(BigUint, Compare) {
+  EXPECT_LT(BigUint(1), BigUint(2));
+  EXPECT_GT(BigUint(0x100000000ull), BigUint(0xffffffffull));
+  EXPECT_EQ(BigUint(7), BigUint(7));
+}
+
+TEST(BigUint, AddCarries) {
+  BigUint a(0xffffffffull);
+  EXPECT_EQ(BigUint::add(a, BigUint(1)), BigUint(0x100000000ull));
+  EXPECT_EQ(BigUint::add(BigUint{}, BigUint{}), BigUint{});
+}
+
+TEST(BigUint, SubBorrows) {
+  BigUint a(0x100000000ull);
+  EXPECT_EQ(BigUint::sub(a, BigUint(1)), BigUint(0xffffffffull));
+  EXPECT_EQ(BigUint::sub(a, a), BigUint{});
+}
+
+TEST(BigUint, MulSchoolbook) {
+  EXPECT_EQ(BigUint::mul(BigUint(0xffffffffull), BigUint(0xffffffffull)),
+            BigUint(0xfffffffe00000001ull));
+  EXPECT_EQ(BigUint::mul(BigUint(0), BigUint(12345)), BigUint{});
+}
+
+TEST(BigUint, MulLarge) {
+  // (2^96)(2^96) = 2^192
+  BigUint a = BigUint(1).shl(96);
+  BigUint prod = BigUint::mul(a, a);
+  EXPECT_EQ(prod.bit_length(), 193u);
+  EXPECT_TRUE(prod.bit(192));
+}
+
+TEST(BigUint, Shifts) {
+  BigUint v(1);
+  EXPECT_EQ(v.shl(40).shr(40), v);
+  EXPECT_EQ(BigUint(0xff).shl(4).to_hex_string(), "ff0");
+  EXPECT_EQ(BigUint(0xff).shr(4), BigUint(0xf));
+  EXPECT_EQ(BigUint(1).shr(1), BigUint{});
+}
+
+TEST(BigUint, DivSmall) {
+  std::uint32_t rem = 0;
+  BigUint q = BigUint::div_small(BigUint(1000001), 10, rem);
+  EXPECT_EQ(q, BigUint(100000));
+  EXPECT_EQ(rem, 1u);
+}
+
+TEST(BigUint, ModSmall) {
+  EXPECT_EQ(BigUint::mod_small(BigUint(65537ull * 3 + 5), 65537), 5u);
+}
+
+TEST(BigUint, Mod) {
+  EXPECT_EQ(BigUint::mod(BigUint(100), BigUint(7)), BigUint(2));
+  EXPECT_EQ(BigUint::mod(BigUint(5), BigUint(7)), BigUint(5));
+  // 2^128 mod (2^64 - 59) — check against known arithmetic:
+  BigUint m = BigUint::sub(BigUint(1).shl(64), BigUint(59));
+  BigUint r = BigUint::mod(BigUint(1).shl(128), m);
+  // 2^128 = (2^64-59)(2^64+59) + 59^2 => r = 3481
+  EXPECT_EQ(r, BigUint(3481));
+}
+
+TEST(BigUint, ModExpSmallCases) {
+  // 5^3 mod 13 = 125 mod 13 = 8
+  EXPECT_EQ(BigUint::mod_exp(BigUint(5), BigUint(3), BigUint(13)), BigUint(8));
+  // Fermat: 2^(p-1) = 1 mod p for prime p = 101
+  EXPECT_EQ(BigUint::mod_exp(BigUint(2), BigUint(100), BigUint(101)), BigUint(1));
+  // a^0 = 1
+  EXPECT_EQ(BigUint::mod_exp(BigUint(7), BigUint(0), BigUint(11)), BigUint(1));
+}
+
+TEST(BigUint, ModExpLargeKnownValue) {
+  // 3^(2^64) mod (2^89-1, prime): verify via repeated squaring both ways.
+  BigUint m = BigUint::sub(BigUint(1).shl(89), BigUint(1));
+  BigUint direct = BigUint::mod_exp(BigUint(3), BigUint(1).shl(64), m);
+  BigUint square = BigUint(3);
+  for (int i = 0; i < 64; ++i) square = BigUint::mod(BigUint::mul(square, square), m);
+  EXPECT_EQ(direct, square);
+}
+
+TEST(Montgomery, RoundTripDomain) {
+  BigUint n = from_hex_str("c7f1a3");  // odd
+  Montgomery ctx(n);
+  BigUint x(123456);
+  EXPECT_EQ(ctx.from_mont(ctx.to_mont(x)), x);
+}
+
+TEST(Montgomery, MulMatchesNaive) {
+  BigUint n = from_hex_str("10000000000000001");  // 2^64+1, odd
+  Montgomery ctx(n);
+  BigUint a(0xdeadbeefcafebabeull);
+  BigUint b(0x123456789abcdef1ull);
+  BigUint expected = BigUint::mod(BigUint::mul(a, b), n);
+  BigUint got = ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+  EXPECT_EQ(got, expected);
+}
+
+class ModExpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModExpProperty, MatchesNaiveModMul) {
+  Drbg rng(to_bytes("modexp-prop-" + std::to_string(GetParam())));
+  // Random odd modulus of 96..160 bits, random base and small exponent.
+  Bytes mod_bytes = rng.generate(12 + GetParam() % 9);
+  mod_bytes[0] |= 0x80;
+  mod_bytes.back() |= 0x01;
+  BigUint m = BigUint::from_bytes_be(mod_bytes);
+  BigUint a = BigUint::mod(BigUint::from_bytes_be(rng.generate(8)), m);
+  const std::uint32_t e = static_cast<std::uint32_t>(rng.uniform(64)) + 1;
+
+  BigUint expected(1);
+  for (std::uint32_t i = 0; i < e; ++i) expected = BigUint::mod(BigUint::mul(expected, a), m);
+  EXPECT_EQ(BigUint::mod_exp(a, BigUint(e), m), expected) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, ModExpProperty, ::testing::Range(0, 24));
+
+class AddSubProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AddSubProperty, SubUndoesAdd) {
+  Drbg rng(to_bytes("addsub-" + std::to_string(GetParam())));
+  BigUint a = BigUint::from_bytes_be(rng.generate(1 + GetParam() % 40));
+  BigUint b = BigUint::from_bytes_be(rng.generate(1 + (GetParam() * 3) % 40));
+  EXPECT_EQ(BigUint::sub(BigUint::add(a, b), b), a);
+  EXPECT_EQ(BigUint::sub(BigUint::add(a, b), a), b);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, AddSubProperty, ::testing::Range(0, 20));
+
+class MulDivProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MulDivProperty, DivSmallUndoesMulSmall) {
+  Drbg rng(to_bytes("muldiv-" + std::to_string(GetParam())));
+  BigUint a = BigUint::from_bytes_be(rng.generate(1 + GetParam() % 32));
+  const std::uint32_t d = static_cast<std::uint32_t>(rng.uniform(0xfffffffeull)) + 1;
+  std::uint32_t rem = 0xcdcdcdcd;
+  BigUint q = BigUint::div_small(BigUint::mul(a, BigUint(d)), d, rem);
+  EXPECT_EQ(q, a);
+  EXPECT_EQ(rem, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, MulDivProperty, ::testing::Range(0, 20));
+
+TEST(Primality, KnownPrimes) {
+  Drbg rng(to_bytes("prime-test"));
+  EXPECT_TRUE(is_probable_prime(BigUint(2), rng));
+  EXPECT_TRUE(is_probable_prime(BigUint(3), rng));
+  EXPECT_TRUE(is_probable_prime(BigUint(65537), rng));
+  EXPECT_TRUE(is_probable_prime(from_hex_str("1fffffffffffffff"), rng));  // 2^61-1 Mersenne
+}
+
+TEST(Primality, KnownComposites) {
+  Drbg rng(to_bytes("prime-test-2"));
+  EXPECT_FALSE(is_probable_prime(BigUint(1), rng));
+  EXPECT_FALSE(is_probable_prime(BigUint(4), rng));
+  EXPECT_FALSE(is_probable_prime(BigUint(65537ull * 3), rng));
+  // Carmichael number 561 = 3*11*17 must be rejected by Miller-Rabin.
+  EXPECT_FALSE(is_probable_prime(BigUint(561), rng));
+  EXPECT_FALSE(is_probable_prime(BigUint(41041), rng));  // Carmichael
+}
+
+}  // namespace
+}  // namespace nonrep::crypto

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "contract/fsm.hpp"
+
+namespace nonrep::contract {
+namespace {
+
+// The paper's motivating negotiation: specify -> quote -> agree -> deliver.
+ContractFsm negotiation_fsm() {
+  return ContractFsm("draft",
+                     {
+                         {"draft", "specify", "specified"},
+                         {"specified", "quote", "quoted"},
+                         {"quoted", "revise", "specified"},
+                         {"quoted", "agree", "agreed"},
+                         {"agreed", "deliver", "delivered"},
+                     },
+                     {"delivered"});
+}
+
+TEST(Fsm, LegalTransitions) {
+  auto fsm = negotiation_fsm();
+  EXPECT_EQ(fsm.next("draft", "specify"), "specified");
+  EXPECT_EQ(fsm.next("quoted", "agree"), "agreed");
+}
+
+TEST(Fsm, IllegalTransitionIsNull) {
+  auto fsm = negotiation_fsm();
+  EXPECT_FALSE(fsm.next("draft", "deliver").has_value());
+  EXPECT_FALSE(fsm.next("nonstate", "specify").has_value());
+}
+
+TEST(Fsm, LegalEventsEnumerated) {
+  auto fsm = negotiation_fsm();
+  EXPECT_EQ(fsm.legal_events("quoted"), (std::set<EventName>{"revise", "agree"}));
+  EXPECT_TRUE(fsm.legal_events("delivered").empty());
+}
+
+TEST(Fsm, AcceptingStates) {
+  auto fsm = negotiation_fsm();
+  EXPECT_TRUE(fsm.is_accepting("delivered"));
+  EXPECT_FALSE(fsm.is_accepting("draft"));
+}
+
+TEST(Fsm, EmptyAcceptingSetMeansAllAccept) {
+  ContractFsm fsm("s", {{"s", "e", "t"}});
+  EXPECT_TRUE(fsm.is_accepting("s"));
+  EXPECT_TRUE(fsm.is_accepting("t"));
+}
+
+TEST(Monitor, HappyPathCompletes) {
+  ContractMonitor mon(negotiation_fsm());
+  EXPECT_TRUE(mon.observe("specify").ok());
+  EXPECT_TRUE(mon.observe("quote").ok());
+  EXPECT_TRUE(mon.observe("agree").ok());
+  EXPECT_TRUE(mon.observe("deliver").ok());
+  EXPECT_TRUE(mon.completed());
+  EXPECT_EQ(mon.history().size(), 4u);
+  EXPECT_TRUE(mon.violations().empty());
+}
+
+TEST(Monitor, ViolationRecordedAndStateUnchanged) {
+  ContractMonitor mon(negotiation_fsm());
+  ASSERT_TRUE(mon.observe("specify").ok());
+  auto status = mon.observe("deliver");  // illegal from "specified"
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "contract.violation");
+  EXPECT_EQ(mon.current(), "specified");
+  ASSERT_EQ(mon.violations().size(), 1u);
+  EXPECT_EQ(mon.violations()[0], "deliver");
+}
+
+TEST(Monitor, WouldAcceptDoesNotAdvance) {
+  ContractMonitor mon(negotiation_fsm());
+  EXPECT_TRUE(mon.would_accept("specify"));
+  EXPECT_FALSE(mon.would_accept("agree"));
+  EXPECT_EQ(mon.current(), "draft");
+}
+
+TEST(Monitor, RevisionLoop) {
+  ContractMonitor mon(negotiation_fsm());
+  ASSERT_TRUE(mon.observe("specify").ok());
+  ASSERT_TRUE(mon.observe("quote").ok());
+  ASSERT_TRUE(mon.observe("revise").ok());
+  ASSERT_TRUE(mon.observe("quote").ok());
+  ASSERT_TRUE(mon.observe("agree").ok());
+  EXPECT_EQ(mon.current(), "agreed");
+}
+
+TEST(Monitor, ResetRestoresInitial) {
+  ContractMonitor mon(negotiation_fsm());
+  ASSERT_TRUE(mon.observe("specify").ok());
+  mon.reset();
+  EXPECT_EQ(mon.current(), "draft");
+  EXPECT_TRUE(mon.history().empty());
+  EXPECT_TRUE(mon.violations().empty());
+}
+
+}  // namespace
+}  // namespace nonrep::contract

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "core/dispute.hpp"
+#include "core/fair_exchange.hpp"
+#include "core/nr_interceptor.hpp"
+#include "core/sharing.hpp"
+
+namespace nonrep::core {
+namespace {
+
+using container::Invocation;
+
+std::shared_ptr<container::Component> make_echo() {
+  auto c = std::make_shared<container::Component>();
+  c->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  return c;
+}
+
+struct DisputeFixture : ::testing::Test {
+  DisputeFixture() {
+    client = &world.add_party("client");
+    server = &world.add_party("server");
+    judge = &world.add_party("judge");  // supplies an independent credential view
+    container.deploy(ServiceUri("svc://server/echo"), make_echo(), {});
+    nr_server = install_nr_server(*server->coordinator, container);
+    adjudicator = std::make_unique<Adjudicator>(*judge->credentials, world.clock);
+  }
+
+  RunId run_exchange() {
+    DirectInvocationClient handler(*client->coordinator);
+    Invocation inv;
+    inv.service = ServiceUri("svc://server/echo");
+    inv.method = "echo";
+    inv.arguments = to_bytes("disputed payload");
+    inv.caller = client->id;
+    EXPECT_TRUE(handler.invoke("server", inv).ok());
+    world.network.run();
+    return handler.last_run();
+  }
+
+  test::TestWorld world;
+  test::Party* client = nullptr;
+  test::Party* server = nullptr;
+  test::Party* judge = nullptr;
+  container::Container container;
+  std::shared_ptr<DirectInvocationServer> nr_server;
+  std::unique_ptr<Adjudicator> adjudicator;
+};
+
+TEST_F(DisputeFixture, ClientBundleProvesFullExchange) {
+  const RunId run = run_exchange();
+  auto bundle = Adjudicator::bundle_from_log(*client->log, *client->states, run);
+  const Verdict v = adjudicator->adjudicate(run, bundle);
+  EXPECT_TRUE(v.client_sent_request);
+  EXPECT_TRUE(v.server_received_request);
+  EXPECT_TRUE(v.server_sent_response);
+  EXPECT_TRUE(v.client_received_response);
+  EXPECT_TRUE(v.exchange_complete());
+  EXPECT_TRUE(v.rejected.empty());
+  EXPECT_FALSE(v.receipt_by_affidavit);
+}
+
+TEST_F(DisputeFixture, ServerBundleProvesFullExchange) {
+  const RunId run = run_exchange();
+  auto bundle = Adjudicator::bundle_from_log(*server->log, *server->states, run);
+  const Verdict v = adjudicator->adjudicate(run, bundle);
+  EXPECT_TRUE(v.exchange_complete());
+}
+
+TEST_F(DisputeFixture, WithheldReceiptIsVisible) {
+  // Manual run where the client never sends NRR_resp.
+  EvidenceService& cev = *client->evidence;
+  Invocation inv;
+  inv.service = ServiceUri("svc://server/echo");
+  inv.method = "echo";
+  inv.arguments = to_bytes("x");
+  inv.caller = client->id;
+  const RunId run = cev.new_run();
+  inv.context[container::kRunIdContextKey] = run.str();
+  const Bytes req = request_subject(inv);
+  auto nro = cev.issue(EvidenceType::kNroRequest, run, req);
+  ProtocolMessage m1;
+  m1.protocol = kDirectInvocationProtocol;
+  m1.run = run;
+  m1.step = 1;
+  m1.sender = client->id;
+  m1.body = container::encode_invocation(inv);
+  m1.tokens.push_back(nro.value());
+  ASSERT_TRUE(client->coordinator->deliver_request("server", m1, 1000).ok());
+
+  auto bundle = Adjudicator::bundle_from_log(*server->log, *server->states, run);
+  const Verdict v = adjudicator->adjudicate(run, bundle);
+  EXPECT_TRUE(v.server_sent_response);
+  EXPECT_FALSE(v.client_received_response);
+  EXPECT_TRUE(v.receipt_outstanding());  // exactly the TTP-recovery case
+}
+
+TEST_F(DisputeFixture, AffidavitSubstitutesReceipt) {
+  auto& ttp = world.add_party("ttp");
+  auto optimistic = std::make_shared<OptimisticTtp>(*ttp.coordinator);
+  ttp.coordinator->register_handler(optimistic);
+
+  // Withheld receipt, then server reclaims.
+  EvidenceService& cev = *client->evidence;
+  Invocation inv;
+  inv.service = ServiceUri("svc://server/echo");
+  inv.method = "echo";
+  inv.arguments = to_bytes("x");
+  inv.caller = client->id;
+  const RunId run = cev.new_run();
+  inv.context[container::kRunIdContextKey] = run.str();
+  const Bytes req = request_subject(inv);
+  auto nro = cev.issue(EvidenceType::kNroRequest, run, req);
+  ProtocolMessage m1;
+  m1.protocol = kDirectInvocationProtocol;
+  m1.run = run;
+  m1.step = 1;
+  m1.sender = client->id;
+  m1.body = container::encode_invocation(inv);
+  m1.tokens.push_back(nro.value());
+  ASSERT_TRUE(client->coordinator->deliver_request("server", m1, 1000).ok());
+  ASSERT_TRUE(reclaim_receipt(*server->coordinator, *nr_server, run, "ttp", 1000).ok());
+
+  auto bundle = Adjudicator::bundle_from_log(*server->log, *server->states, run);
+  const Verdict v = adjudicator->adjudicate(run, bundle);
+  EXPECT_TRUE(v.exchange_complete());
+  EXPECT_TRUE(v.receipt_by_affidavit);
+}
+
+TEST_F(DisputeFixture, ForgedTokenRejectedNotCounted) {
+  const RunId run = run_exchange();
+  auto bundle = Adjudicator::bundle_from_log(*client->log, *client->states, run);
+  // Tamper with one token's signature.
+  ASSERT_FALSE(bundle.empty());
+  bundle[0].token.signature[0] ^= 1;
+  const Verdict v = adjudicator->adjudicate(run, bundle);
+  EXPECT_EQ(v.rejected.size(), 1u);
+  EXPECT_FALSE(v.exchange_complete());  // that claim is no longer sustained
+}
+
+TEST_F(DisputeFixture, TokensFromOtherRunIgnored) {
+  const RunId run1 = run_exchange();
+  const RunId run2 = run_exchange();
+  // Present run1's evidence for run2.
+  auto bundle = Adjudicator::bundle_from_log(*client->log, *client->states, run1);
+  const Verdict v = adjudicator->adjudicate(run2, bundle);
+  EXPECT_FALSE(v.client_sent_request);
+  EXPECT_EQ(v.rejected.size(), bundle.size());
+}
+
+TEST_F(DisputeFixture, SubjectSubstitutionRejected) {
+  const RunId run = run_exchange();
+  auto bundle = Adjudicator::bundle_from_log(*client->log, *client->states, run);
+  // Swap in different subject bytes under a valid token.
+  bundle[0].subject = to_bytes("a different request than was signed");
+  const Verdict v = adjudicator->adjudicate(run, bundle);
+  EXPECT_GE(v.rejected.size(), 1u);
+}
+
+TEST_F(DisputeFixture, AbortTokenYieldsAbortVerdict) {
+  auto& ttp = world.add_party("ttp");
+  auto optimistic = std::make_shared<OptimisticTtp>(*ttp.coordinator);
+  ttp.coordinator->register_handler(optimistic);
+  world.network.set_partitioned("client", "server", true);
+  OptimisticInvocationClient handler(*client->coordinator, "ttp",
+                                     InvocationConfig{.request_timeout = 200});
+  Invocation inv;
+  inv.service = ServiceUri("svc://server/echo");
+  inv.method = "echo";
+  inv.arguments = to_bytes("x");
+  inv.caller = client->id;
+  ASSERT_EQ(handler.invoke("server", inv).outcome, container::Outcome::kAborted);
+
+  auto bundle =
+      Adjudicator::bundle_from_log(*client->log, *client->states, handler.last_run());
+  const Verdict v = adjudicator->adjudicate(handler.last_run(), bundle);
+  EXPECT_TRUE(v.client_sent_request);
+  EXPECT_TRUE(v.run_aborted);
+  EXPECT_FALSE(v.receipt_outstanding());  // abort settles the run
+}
+
+TEST_F(DisputeFixture, SharingRoundVerdicts) {
+  // Build a 2-party shared object, run one agreed round, adjudicate the
+  // proposer's bundle: proposal + decision(commit) + both accept votes.
+  const ObjectId obj{"obj:d"};
+  auto& p0 = *client;
+  auto& p1 = *server;
+  membership::MembershipService m0, m1;
+  std::vector<membership::Member> members = {{p0.id, p0.address}, {p1.id, p1.address}};
+  m0.create_group(obj, members);
+  m1.create_group(obj, members);
+  auto c0 = std::make_shared<B2BObjectController>(*p0.coordinator, m0);
+  auto c1 = std::make_shared<B2BObjectController>(*p1.coordinator, m1);
+  p0.coordinator->register_handler(c0);
+  p1.coordinator->register_handler(c1);
+  ASSERT_TRUE(c0->host(obj, to_bytes("s0")).ok());
+  ASSERT_TRUE(c1->host(obj, to_bytes("s0")).ok());
+  ASSERT_TRUE(c0->propose_update(obj, to_bytes("s1")).ok());
+  world.network.run();
+
+  // The proposer's log holds several runs; find the round's run id via
+  // the proposal token.
+  RunId round_run;
+  for (const auto& rec : p0.log->records()) {
+    if (rec.kind == "token.proposal") round_run = rec.run;
+  }
+  ASSERT_FALSE(round_run.str().empty());
+  auto bundle = Adjudicator::bundle_from_log(*p0.log, *p0.states, round_run);
+  const Verdict v = adjudicator->adjudicate(round_run, bundle);
+  EXPECT_TRUE(v.update_proposed);
+  EXPECT_TRUE(v.update_agreed);
+  EXPECT_FALSE(v.update_rejected);
+  EXPECT_EQ(v.accept_votes, 2u);
+  EXPECT_EQ(v.reject_votes, 0u);
+  EXPECT_TRUE(v.rejected.empty());
+}
+
+TEST_F(DisputeFixture, VetoedRoundVerdict) {
+  const ObjectId obj{"obj:veto"};
+  auto& p0 = *client;
+  auto& p1 = *server;
+  membership::MembershipService m0, m1;
+  std::vector<membership::Member> members = {{p0.id, p0.address}, {p1.id, p1.address}};
+  m0.create_group(obj, members);
+  m1.create_group(obj, members);
+  auto c0 = std::make_shared<B2BObjectController>(*p0.coordinator, m0);
+  auto c1 = std::make_shared<B2BObjectController>(*p1.coordinator, m1);
+  p0.coordinator->register_handler(c0);
+  p1.coordinator->register_handler(c1);
+  ASSERT_TRUE(c0->host(obj, to_bytes("s0")).ok());
+  ASSERT_TRUE(c1->host(obj, to_bytes("s0")).ok());
+
+  class Never final : public StateValidator {
+   public:
+    bool validate(const ObjectId&, const PartyId&, BytesView, BytesView) override {
+      return false;
+    }
+  };
+  c1->add_validator(obj, std::make_shared<Never>());
+  ASSERT_FALSE(c0->propose_update(obj, to_bytes("s1")).ok());
+  world.network.run();
+
+  RunId round_run;
+  for (const auto& rec : p0.log->records()) {
+    if (rec.kind == "token.proposal") round_run = rec.run;
+  }
+  auto bundle = Adjudicator::bundle_from_log(*p0.log, *p0.states, round_run);
+  const Verdict v = adjudicator->adjudicate(round_run, bundle);
+  EXPECT_TRUE(v.update_proposed);
+  EXPECT_TRUE(v.update_rejected);
+  EXPECT_FALSE(v.update_agreed);
+  // The veto itself is attributable: one signed reject vote in evidence.
+  EXPECT_EQ(v.reject_votes, 1u);
+}
+
+TEST_F(DisputeFixture, EmptyBundleProvesNothing) {
+  const Verdict v = adjudicator->adjudicate(RunId("r"), {});
+  EXPECT_FALSE(v.client_sent_request);
+  EXPECT_FALSE(v.exchange_complete());
+  EXPECT_TRUE(v.rejected.empty());
+}
+
+}  // namespace
+}  // namespace nonrep::core

@@ -1,0 +1,170 @@
+// Failure injection: crashed parties, expiring locks, flapping links.
+// Safety must hold unconditionally; liveness under the bounded-failure
+// assumption (trusted-interceptor assumptions 2 and 5, §3.1).
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "core/nr_interceptor.hpp"
+#include "core/sharing.hpp"
+
+namespace nonrep::core {
+namespace {
+
+using container::Invocation;
+
+const ObjectId kObj{"obj:fi"};
+
+struct FailureFixture : ::testing::Test {
+  struct Node {
+    test::Party* party;
+    std::unique_ptr<membership::MembershipService> membership;
+    std::shared_ptr<B2BObjectController> controller;
+  };
+
+  void build(std::size_t n, SharingConfig config = {}) {
+    std::vector<membership::Member> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& p = world.add_party("p" + std::to_string(i));
+      members.push_back({p.id, p.address});
+      nodes.push_back({&p, std::make_unique<membership::MembershipService>(), nullptr});
+    }
+    for (auto& node : nodes) {
+      node.membership->create_group(kObj, members);
+      node.controller = std::make_shared<B2BObjectController>(*node.party->coordinator,
+                                                              *node.membership, config);
+      node.party->coordinator->register_handler(node.controller);
+      ASSERT_TRUE(node.controller->host(kObj, to_bytes("v1")).ok());
+    }
+  }
+
+  void crash(std::size_t i) {
+    // A crashed node stops answering: unregister its endpoint.
+    world.network.unregister_endpoint(nodes[i].party->address);
+  }
+
+  test::TestWorld world;
+  std::vector<Node> nodes;
+};
+
+TEST_F(FailureFixture, CrashedVoterBlocksCommitSafely) {
+  build(3, SharingConfig{.vote_timeout = 300});
+  crash(2);
+  auto v = nodes[0].controller->propose_update(kObj, to_bytes("v2"));
+  ASSERT_FALSE(v.ok());  // silence != agreement
+  world.network.run();
+  // Surviving replicas untouched and consistent.
+  EXPECT_EQ(nodes[0].controller->get(kObj).value().version, 1u);
+  EXPECT_EQ(nodes[1].controller->get(kObj).value().version, 1u);
+}
+
+TEST_F(FailureFixture, GroupRecoversByDisconnectingCrashedMember) {
+  build(3, SharingConfig{.vote_timeout = 300});
+  crash(2);
+  // The survivors vote the dead member out (§3.3 membership protocols)...
+  ASSERT_FALSE(nodes[0].controller->propose_update(kObj, to_bytes("v2")).ok());
+  world.network.run();
+  ASSERT_TRUE(nodes[0].controller->disconnect(kObj, nodes[2].party->id).ok());
+  world.network.run();
+  // ...after which updates flow again.
+  auto v = nodes[0].controller->propose_update(kObj, to_bytes("v2"));
+  ASSERT_TRUE(v.ok()) << v.error().code;
+  world.network.run();
+  EXPECT_EQ(nodes[1].controller->get(kObj).value().state, to_bytes("v2"));
+}
+
+TEST_F(FailureFixture, LockLeaseExpiryRestoresLiveness) {
+  // A proposer that locked the object and then died must not wedge the
+  // group forever: the lock lease expires.
+  build(3, SharingConfig{.vote_timeout = 200, .lock_lease = 1000});
+  // Node 0 starts a round that will fail (node 2 crashed after receiving
+  // the proposal — emulate by partitioning before the vote reply).
+  crash(2);
+  ASSERT_FALSE(nodes[0].controller->propose_update(kObj, to_bytes("wedged")).ok());
+  world.network.run();
+
+  // Node 1 may have taken the lock for that run. Advance past the lease.
+  world.clock->advance(2000);
+  ASSERT_TRUE(nodes[0].controller->disconnect(kObj, nodes[2].party->id).ok());
+  world.network.run();
+  auto v = nodes[1].controller->propose_update(kObj, to_bytes("v2"));
+  ASSERT_TRUE(v.ok()) << v.error().code;
+}
+
+TEST_F(FailureFixture, FlappingLinkEventuallyCompletes) {
+  build(2, SharingConfig{.vote_timeout = 30000});
+  // 50% loss both ways between the two parties.
+  world.network.set_link(nodes[0].party->address, nodes[1].party->address,
+                         net::LinkConfig{.latency = 5, .drop = 0.5});
+  world.network.set_link(nodes[1].party->address, nodes[0].party->address,
+                         net::LinkConfig{.latency = 5, .drop = 0.5});
+  for (int i = 2; i <= 6; ++i) {
+    auto v = nodes[0].controller->propose_update(kObj, to_bytes("v" + std::to_string(i)));
+    ASSERT_TRUE(v.ok()) << i << ": " << v.error().code;
+    world.network.run();
+  }
+  EXPECT_EQ(nodes[1].controller->get(kObj).value().version, 6u);
+}
+
+TEST_F(FailureFixture, ServerCrashMidExchangeLeavesClientWithProofOfAttempt) {
+  auto& client = world.add_party("client");
+  auto& server = world.add_party("server");
+  container::Container cont;
+  auto bean = std::make_shared<container::Component>();
+  bean->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  cont.deploy(ServiceUri("svc://server/echo"), bean, {});
+  auto nr = install_nr_server(*server.coordinator, cont);
+
+  world.network.unregister_endpoint("server");  // crash before the request lands
+  DirectInvocationClient handler(*client.coordinator,
+                                 InvocationConfig{.request_timeout = 300});
+  Invocation inv;
+  inv.service = ServiceUri("svc://server/echo");
+  inv.method = "echo";
+  inv.arguments = to_bytes("x");
+  inv.caller = client.id;
+  auto result = handler.invoke("server", inv);
+  EXPECT_EQ(result.outcome, container::Outcome::kTimeout);
+  // Client's own NRO_req is logged: proof it attempted the invocation.
+  EXPECT_TRUE(client.log->find(handler.last_run(), "token.NRO-request").has_value());
+  EXPECT_TRUE(client.log->verify_chain().ok());
+}
+
+TEST_F(FailureFixture, PartitionHealsAndExchangeSucceeds) {
+  auto& client = world.add_party("client");
+  auto& server = world.add_party("server");
+  container::Container cont;
+  auto bean = std::make_shared<container::Component>();
+  bean->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  cont.deploy(ServiceUri("svc://server/echo"), bean, {});
+  auto nr = install_nr_server(*server.coordinator, cont);
+
+  world.network.set_partitioned("client", "server", true);
+  DirectInvocationClient handler(*client.coordinator,
+                                 InvocationConfig{.request_timeout = 300});
+  Invocation inv;
+  inv.service = ServiceUri("svc://server/echo");
+  inv.method = "echo";
+  inv.arguments = to_bytes("x");
+  inv.caller = client.id;
+  EXPECT_EQ(handler.invoke("server", inv).outcome, container::Outcome::kTimeout);
+
+  world.network.set_partitioned("client", "server", false);
+  auto inv2 = inv;
+  auto result = handler.invoke("server", inv2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(handler.last_run_evidence().complete_for_client());
+}
+
+TEST_F(FailureFixture, DuplicatedDecisionIsIdempotent) {
+  build(3);
+  world.network.set_link(nodes[0].party->address, nodes[1].party->address,
+                         net::LinkConfig{.latency = 5, .duplicate = 1.0});
+  auto v = nodes[0].controller->propose_update(kObj, to_bytes("v2"));
+  ASSERT_TRUE(v.ok());
+  world.network.run();
+  EXPECT_EQ(nodes[1].controller->get(kObj).value().version, 2u);
+  EXPECT_EQ(nodes[1].controller->get(kObj).value().state, to_bytes("v2"));
+}
+
+}  // namespace
+}  // namespace nonrep::core

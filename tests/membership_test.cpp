@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "membership/membership.hpp"
+
+namespace nonrep::membership {
+namespace {
+
+Member m(const std::string& name) { return Member{PartyId("org:" + name), name}; }
+
+TEST(Membership, CreateAndQuery) {
+  MembershipService svc;
+  svc.create_group(ObjectId("obj:spec"), {m("a"), m("b"), m("c")});
+  auto view = svc.view(ObjectId("obj:spec"));
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().version, 1u);
+  EXPECT_EQ(view.value().size(), 3u);
+  EXPECT_TRUE(view.value().contains(PartyId("org:a")));
+  EXPECT_FALSE(view.value().contains(PartyId("org:z")));
+}
+
+TEST(Membership, UnknownGroup) {
+  MembershipService svc;
+  EXPECT_FALSE(svc.view(ObjectId("obj:none")).ok());
+  EXPECT_FALSE(svc.has_group(ObjectId("obj:none")));
+}
+
+TEST(Membership, ApplyChangeAdvancesVersion) {
+  MembershipService svc;
+  svc.create_group(ObjectId("o"), {m("a"), m("b")});
+  View next = svc.view(ObjectId("o")).value();
+  next.version = 2;
+  next.members[PartyId("org:c")] = "c";
+  ASSERT_TRUE(svc.apply_change(ObjectId("o"), next).ok());
+  EXPECT_EQ(svc.view(ObjectId("o")).value().size(), 3u);
+}
+
+TEST(Membership, VersionSkewRejected) {
+  MembershipService svc;
+  svc.create_group(ObjectId("o"), {m("a")});
+  View next = svc.view(ObjectId("o")).value();
+  next.version = 5;  // not current + 1
+  auto status = svc.apply_change(ObjectId("o"), next);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "membership.version_skew");
+}
+
+TEST(Membership, ApplyToUnknownGroupFails) {
+  MembershipService svc;
+  View v;
+  v.version = 2;
+  EXPECT_FALSE(svc.apply_change(ObjectId("o"), v).ok());
+}
+
+TEST(Membership, CanonicalIsOrderIndependent) {
+  View v1;
+  v1.version = 3;
+  v1.members[PartyId("org:b")] = "b";
+  v1.members[PartyId("org:a")] = "a";
+  View v2;
+  v2.version = 3;
+  v2.members[PartyId("org:a")] = "a";
+  v2.members[PartyId("org:b")] = "b";
+  EXPECT_EQ(v1.canonical(), v2.canonical());
+}
+
+TEST(Membership, CanonicalReflectsVersion) {
+  View v1, v2;
+  v1.version = 1;
+  v2.version = 2;
+  EXPECT_NE(v1.canonical(), v2.canonical());
+}
+
+TEST(Membership, RemoveMember) {
+  MembershipService svc;
+  svc.create_group(ObjectId("o"), {m("a"), m("b")});
+  View next = svc.view(ObjectId("o")).value();
+  next.version = 2;
+  next.members.erase(PartyId("org:b"));
+  ASSERT_TRUE(svc.apply_change(ObjectId("o"), next).ok());
+  EXPECT_FALSE(svc.view(ObjectId("o")).value().contains(PartyId("org:b")));
+}
+
+}  // namespace
+}  // namespace nonrep::membership

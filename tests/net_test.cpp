@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "util/serialize.hpp"
+
+namespace nonrep::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  NetFixture() : clock(std::make_shared<SimClock>(0)), net(clock, /*seed=*/7) {}
+  std::shared_ptr<SimClock> clock;
+  SimNetwork net;
+};
+
+TEST_F(NetFixture, DeliversWithLatency) {
+  std::vector<std::string> got;
+  net.register_endpoint("b", [&](const Address& from, BytesView payload) {
+    got.push_back(from + ":" + to_string(payload));
+  });
+  net.set_default_link(LinkConfig{.latency = 10});
+  net.send("a", "b", to_bytes("hi"));
+  EXPECT_TRUE(got.empty());
+  net.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "a:hi");
+  EXPECT_EQ(clock->now(), 10u);
+}
+
+TEST_F(NetFixture, OrdersByDeliveryTime) {
+  std::vector<std::string> got;
+  net.register_endpoint("x", [&](const Address&, BytesView p) {
+    got.push_back(to_string(p));
+  });
+  net.set_link("slow", "x", LinkConfig{.latency = 100});
+  net.set_link("fast", "x", LinkConfig{.latency = 1});
+  net.send("slow", "x", to_bytes("second"));
+  net.send("fast", "x", to_bytes("first"));
+  net.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "first");
+  EXPECT_EQ(got[1], "second");
+}
+
+TEST_F(NetFixture, FifoTieBreakIsDeterministic) {
+  std::vector<std::string> got;
+  net.register_endpoint("x", [&](const Address&, BytesView p) {
+    got.push_back(to_string(p));
+  });
+  for (int i = 0; i < 5; ++i) net.send("a", "x", to_bytes(std::to_string(i)));
+  net.run();
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], std::to_string(i));
+}
+
+TEST_F(NetFixture, DropsPerProbability) {
+  int delivered = 0;
+  net.register_endpoint("b", [&](const Address&, BytesView) { ++delivered; });
+  net.set_link("a", "b", LinkConfig{.latency = 1, .drop = 0.5});
+  for (int i = 0; i < 1000; ++i) net.send("a", "b", to_bytes("x"));
+  net.run();
+  EXPECT_GT(delivered, 400);
+  EXPECT_LT(delivered, 600);
+  EXPECT_EQ(net.stats().dropped + net.stats().delivered, 1000u);
+}
+
+TEST_F(NetFixture, DuplicatesPerProbability) {
+  int delivered = 0;
+  net.register_endpoint("b", [&](const Address&, BytesView) { ++delivered; });
+  net.set_link("a", "b", LinkConfig{.latency = 1, .duplicate = 1.0});
+  for (int i = 0; i < 10; ++i) net.send("a", "b", to_bytes("x"));
+  net.run();
+  EXPECT_EQ(delivered, 20);
+}
+
+TEST_F(NetFixture, PartitionBlocksBothDirections) {
+  int delivered = 0;
+  net.register_endpoint("a", [&](const Address&, BytesView) { ++delivered; });
+  net.register_endpoint("b", [&](const Address&, BytesView) { ++delivered; });
+  net.set_partitioned("a", "b", true);
+  net.send("a", "b", to_bytes("x"));
+  net.send("b", "a", to_bytes("y"));
+  net.run();
+  EXPECT_EQ(delivered, 0);
+  net.set_partitioned("a", "b", false);
+  net.send("a", "b", to_bytes("x"));
+  net.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetFixture, UnknownEndpointSilentlyDropped) {
+  net.send("a", "ghost", to_bytes("x"));
+  EXPECT_NO_FATAL_FAILURE(net.run());
+}
+
+TEST_F(NetFixture, TimersFireInOrder) {
+  std::vector<int> order;
+  net.schedule(30, [&] { order.push_back(3); });
+  net.schedule(10, [&] { order.push_back(1); });
+  net.schedule(20, [&] { order.push_back(2); });
+  net.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock->now(), 30u);
+}
+
+TEST_F(NetFixture, RunUntilPredicate) {
+  int count = 0;
+  net.register_endpoint("b", [&](const Address&, BytesView) { ++count; });
+  for (int i = 0; i < 10; ++i) net.send("a", "b", to_bytes("x"));
+  net.run_until([&] { return count >= 3; });
+  EXPECT_EQ(count, 3);
+  net.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST_F(NetFixture, StatsTracked) {
+  net.register_endpoint("b", [](const Address&, BytesView) {});
+  net.send("a", "b", Bytes(100, 0));
+  net.run();
+  EXPECT_EQ(net.stats().sent, 1u);
+  EXPECT_EQ(net.stats().delivered, 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 100u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().sent, 0u);
+}
+
+TEST_F(NetFixture, DeterministicAcrossRuns) {
+  // Same seed => same drop pattern.
+  auto run_once = [](std::uint64_t seed) {
+    auto clk = std::make_shared<SimClock>(0);
+    SimNetwork n(clk, seed);
+    std::vector<int> delivered;
+    n.register_endpoint("b", [&](const Address&, BytesView p) {
+      delivered.push_back(static_cast<int>(p[0]));
+    });
+    n.set_link("a", "b", LinkConfig{.latency = 1, .drop = 0.4});
+    for (int i = 0; i < 50; ++i) n.send("a", "b", Bytes{static_cast<std::uint8_t>(i)});
+    n.run();
+    return delivered;
+  };
+  EXPECT_EQ(run_once(11), run_once(11));
+  EXPECT_NE(run_once(11), run_once(12));
+}
+
+// ---- ReliableEndpoint ----
+
+struct ReliableFixture : NetFixture {
+  ReliableFixture()
+      : a(net, "a", ReliableConfig{.retry_interval = 20, .max_retries = 30}),
+        b(net, "b", ReliableConfig{.retry_interval = 20, .max_retries = 30}) {}
+  ReliableEndpoint a;
+  ReliableEndpoint b;
+};
+
+TEST_F(ReliableFixture, DeliversExactlyOnceOnCleanLink) {
+  int count = 0;
+  b.set_handler([&](const Address&, BytesView) { ++count; });
+  a.send("b", to_bytes("m"));
+  net.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(a.retransmissions(), 0u);
+}
+
+TEST_F(ReliableFixture, RetransmitsThroughLoss) {
+  int count = 0;
+  b.set_handler([&](const Address&, BytesView) { ++count; });
+  net.set_link("a", "b", LinkConfig{.latency = 1, .drop = 0.6});
+  net.set_link("b", "a", LinkConfig{.latency = 1, .drop = 0.6});
+  for (int i = 0; i < 20; ++i) a.send("b", to_bytes("m" + std::to_string(i)));
+  net.run();
+  EXPECT_EQ(count, 20);  // eventual delivery (assumption 2)
+  EXPECT_GT(a.retransmissions(), 0u);
+}
+
+TEST_F(ReliableFixture, DedupSuppressesDuplicateDelivery) {
+  int count = 0;
+  b.set_handler([&](const Address&, BytesView) { ++count; });
+  net.set_link("a", "b", LinkConfig{.latency = 1, .duplicate = 1.0});
+  a.send("b", to_bytes("m"));
+  net.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(ReliableFixture, LostAckHealedByRetransmit) {
+  int count = 0;
+  b.set_handler([&](const Address&, BytesView) { ++count; });
+  net.set_link("b", "a", LinkConfig{.latency = 1, .drop = 0.8});  // ACKs lossy
+  a.send("b", to_bytes("m"));
+  net.run();
+  EXPECT_EQ(count, 1);  // delivered once despite many resends
+}
+
+TEST_F(ReliableFixture, GivesUpAfterBoundedRetries) {
+  net.set_partitioned("a", "b", true);
+  a.send("b", to_bytes("m"));
+  net.run();
+  EXPECT_EQ(a.gave_up(), 1u);
+}
+
+// ---- RpcEndpoint ----
+
+struct RpcFixture : NetFixture {
+  RpcFixture() : client(net, "client"), server(net, "server") {}
+  RpcEndpoint client;
+  RpcEndpoint server;
+};
+
+TEST_F(RpcFixture, CallRoundTrip) {
+  server.set_request_handler([](const Address&, BytesView req) {
+    Bytes reply = to_bytes("echo:");
+    append(reply, req);
+    return reply;
+  });
+  auto result = client.call("server", to_bytes("ping"), 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(result.value()), "echo:ping");
+}
+
+TEST_F(RpcFixture, CallTimesOutWhenPartitioned) {
+  net.set_partitioned("client", "server", true);
+  auto result = client.call("server", to_bytes("ping"), 200);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "rpc.timeout");
+  EXPECT_GE(clock->now(), 200u);
+}
+
+TEST_F(RpcFixture, NotifyDelivered) {
+  std::vector<std::string> got;
+  server.set_notify_handler([&](const Address& from, BytesView p) {
+    got.push_back(from + "/" + to_string(p));
+  });
+  client.notify("server", to_bytes("oneway"));
+  net.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "client/oneway");
+}
+
+TEST_F(RpcFixture, NestedCallFromHandler) {
+  RpcEndpoint backend(net, "backend");
+  backend.set_request_handler([](const Address&, BytesView) { return to_bytes("deep"); });
+  server.set_request_handler([&](const Address&, BytesView) {
+    auto inner = server.call("backend", to_bytes("q"), 500);
+    return inner.ok() ? inner.value() : to_bytes("fail");
+  });
+  auto result = client.call("server", to_bytes("outer"), 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(result.value()), "deep");
+}
+
+TEST_F(RpcFixture, CallSurvivesLoss) {
+  server.set_request_handler([](const Address&, BytesView) { return to_bytes("ok"); });
+  net.set_link("client", "server", LinkConfig{.latency = 1, .drop = 0.5});
+  net.set_link("server", "client", LinkConfig{.latency = 1, .drop = 0.5});
+  for (int i = 0; i < 10; ++i) {
+    auto result = client.call("server", to_bytes("r" + std::to_string(i)), 5000);
+    ASSERT_TRUE(result.ok()) << i;
+  }
+}
+
+TEST_F(RpcFixture, ConcurrentCallsCorrelated) {
+  // Two servers with different replies; interleaved calls must not mix.
+  RpcEndpoint s2(net, "s2");
+  server.set_request_handler([](const Address&, BytesView) { return to_bytes("from-1"); });
+  s2.set_request_handler([&](const Address&, BytesView) {
+    auto r = s2.call("server", to_bytes("x"), 500);  // cross-talk during the other call
+    return to_bytes("from-2");
+  });
+  auto r2 = client.call("s2", to_bytes("b"), 1000);
+  auto r1 = client.call("server", to_bytes("a"), 1000);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(to_string(r1.value()), "from-1");
+  EXPECT_EQ(to_string(r2.value()), "from-2");
+}
+
+}  // namespace
+}  // namespace nonrep::net

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "pki/authority.hpp"
+#include "pki/credential_manager.hpp"
+#include "pki/revocation.hpp"
+
+namespace nonrep::pki {
+namespace {
+
+using crypto::Drbg;
+using crypto::RsaSigner;
+
+constexpr TimeMs kYear = 1000ull * 60 * 60 * 24 * 365;
+
+struct PkiFixture : ::testing::Test {
+  PkiFixture() : rng(to_bytes("pki-fixture")) {
+    ca_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+    ca = std::make_unique<CertificateAuthority>(PartyId("ca:root"), ca_signer, 0, kYear);
+    subject_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+    subject_cert = ca->issue(PartyId("org:a"), subject_signer->algorithm(),
+                             subject_signer->public_key(), 0, kYear);
+    EXPECT_TRUE(manager.add_trusted_root(ca->certificate()).ok());
+    manager.add_certificate(subject_cert);
+  }
+
+  Drbg rng;
+  std::shared_ptr<RsaSigner> ca_signer;
+  std::unique_ptr<CertificateAuthority> ca;
+  std::shared_ptr<RsaSigner> subject_signer;
+  Certificate subject_cert;
+  CredentialManager manager;
+};
+
+TEST_F(PkiFixture, CertificateEncodeDecode) {
+  auto decoded = Certificate::decode(subject_cert.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().subject, subject_cert.subject);
+  EXPECT_EQ(decoded.value().serial, subject_cert.serial);
+  EXPECT_EQ(decoded.value().issuer_signature, subject_cert.issuer_signature);
+  EXPECT_EQ(decoded.value().tbs(), subject_cert.tbs());
+}
+
+TEST_F(PkiFixture, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Certificate::decode(to_bytes("nonsense")).ok());
+}
+
+TEST_F(PkiFixture, RootIsSelfSignedCa) {
+  const Certificate& root = ca->certificate();
+  EXPECT_TRUE(root.self_signed());
+  EXPECT_TRUE(root.is_ca);
+  EXPECT_TRUE(
+      crypto::verify(root.algorithm, root.public_key, root.tbs(), root.issuer_signature));
+}
+
+TEST_F(PkiFixture, ChainVerifies) {
+  EXPECT_TRUE(manager.verify_chain(subject_cert, 100).ok());
+}
+
+TEST_F(PkiFixture, ExpiredCertificateRejected) {
+  auto status = manager.verify_chain(subject_cert, kYear + 1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.expired");
+}
+
+TEST_F(PkiFixture, NotYetValidRejected) {
+  Certificate future = ca->issue(PartyId("org:later"), subject_signer->algorithm(),
+                                 subject_signer->public_key(), 500, kYear);
+  manager.add_certificate(future);
+  EXPECT_FALSE(manager.verify_chain(future, 100).ok());
+  EXPECT_TRUE(manager.verify_chain(future, 600).ok());
+}
+
+TEST_F(PkiFixture, TamperedCertificateRejected) {
+  Certificate bad = subject_cert;
+  bad.subject = PartyId("org:mallory");  // claims someone else's key
+  auto status = manager.verify_chain(bad, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.bad_signature");
+}
+
+TEST_F(PkiFixture, IntermediateChainVerifies) {
+  auto inter_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+  Certificate inter_cert = ca->issue(PartyId("ca:intermediate"), inter_signer->algorithm(),
+                                     inter_signer->public_key(), 0, kYear, /*is_ca=*/true);
+  CertificateAuthority intermediate(inter_cert, inter_signer);
+
+  auto leaf_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+  Certificate leaf = intermediate.issue(PartyId("org:leaf"), leaf_signer->algorithm(),
+                                        leaf_signer->public_key(), 0, kYear);
+  manager.add_certificate(inter_cert);
+  manager.add_certificate(leaf);
+  EXPECT_TRUE(manager.verify_chain(leaf, 100).ok());
+}
+
+TEST_F(PkiFixture, ChainThroughNonCaRejected) {
+  auto leaf_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+  CertificateAuthority fake(subject_cert, subject_signer);  // abuses a non-CA cert
+  Certificate leaf = fake.issue(PartyId("org:victim"), leaf_signer->algorithm(),
+                                leaf_signer->public_key(), 0, kYear);
+  manager.add_certificate(leaf);
+  auto status = manager.verify_chain(leaf, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.not_a_ca");
+}
+
+TEST_F(PkiFixture, MissingIssuerRejected) {
+  auto other_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+  CertificateAuthority other_ca(PartyId("ca:unknown"), other_signer, 0, kYear);
+  Certificate orphan = other_ca.issue(PartyId("org:x"), other_signer->algorithm(),
+                                      other_signer->public_key(), 0, kYear);
+  auto status = manager.verify_chain(orphan, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.incomplete_chain");
+}
+
+TEST_F(PkiFixture, BadRootRejected) {
+  CredentialManager m2;
+  auto status = m2.add_trusted_root(subject_cert);  // not self-signed CA
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.bad_root");
+}
+
+TEST_F(PkiFixture, FindCertificate) {
+  auto found = manager.find(PartyId("org:a"));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().serial, subject_cert.serial);
+  EXPECT_FALSE(manager.find(PartyId("org:nobody")).ok());
+}
+
+TEST_F(PkiFixture, VerifySignatureEndToEnd) {
+  const Bytes msg = to_bytes("signed statement");
+  auto sig = subject_signer->sign(msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(manager.verify_signature(PartyId("org:a"), msg, sig.value(), 100).ok());
+  EXPECT_FALSE(
+      manager.verify_signature(PartyId("org:a"), to_bytes("other"), sig.value(), 100).ok());
+}
+
+TEST_F(PkiFixture, RevocationBlocksChain) {
+  RevocationAuthority ra(PartyId("ca:root"), ca_signer);
+  ra.revoke(subject_cert.serial);
+  ASSERT_TRUE(manager.install_crl(ra.current(50)).ok());
+  auto status = manager.verify_chain(subject_cert, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.revoked");
+}
+
+TEST_F(PkiFixture, CrlEncodeDecode) {
+  RevocationAuthority ra(PartyId("ca:root"), ca_signer);
+  ra.revoke("a/1");
+  ra.revoke("a/2");
+  const RevocationList crl = ra.current(123);
+  auto decoded = RevocationList::decode(crl.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().revoked_serials, crl.revoked_serials);
+  EXPECT_EQ(decoded.value().issued_at, 123u);
+}
+
+TEST_F(PkiFixture, ForgedCrlRejected) {
+  RevocationAuthority forger(PartyId("ca:root"), subject_signer);
+  forger.revoke(subject_cert.serial);
+  auto status = manager.install_crl(forger.current(50));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.bad_crl_signature");
+  EXPECT_TRUE(manager.verify_chain(subject_cert, 100).ok());  // still valid
+}
+
+TEST_F(PkiFixture, StaleCrlRejected) {
+  RevocationAuthority ra(PartyId("ca:root"), ca_signer);
+  ASSERT_TRUE(manager.install_crl(ra.current(100)).ok());
+  auto status = manager.install_crl(ra.current(50));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.stale_crl");
+}
+
+TEST_F(PkiFixture, UnknownCrlIssuerRejected) {
+  auto other_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+  RevocationAuthority ra(PartyId("ca:other"), other_signer);
+  auto status = manager.install_crl(ra.current(10));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.unknown_crl_issuer");
+}
+
+TEST_F(PkiFixture, RevocationOfIntermediateBlocksLeaf) {
+  auto inter_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+  Certificate inter_cert = ca->issue(PartyId("ca:inter2"), inter_signer->algorithm(),
+                                     inter_signer->public_key(), 0, kYear, true);
+  CertificateAuthority intermediate(inter_cert, inter_signer);
+  auto leaf_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+  Certificate leaf = intermediate.issue(PartyId("org:leaf2"), leaf_signer->algorithm(),
+                                        leaf_signer->public_key(), 0, kYear);
+  manager.add_certificate(inter_cert);
+  manager.add_certificate(leaf);
+  ASSERT_TRUE(manager.verify_chain(leaf, 100).ok());
+
+  RevocationAuthority ra(PartyId("ca:root"), ca_signer);
+  ra.revoke(inter_cert.serial);
+  ASSERT_TRUE(manager.install_crl(ra.current(60)).ok());
+  EXPECT_FALSE(manager.verify_chain(leaf, 100).ok());
+}
+
+TEST_F(PkiFixture, SerialNumbersUnique) {
+  auto c1 = ca->issue(PartyId("org:s1"), subject_signer->algorithm(),
+                      subject_signer->public_key(), 0, kYear);
+  auto c2 = ca->issue(PartyId("org:s2"), subject_signer->algorithm(),
+                      subject_signer->public_key(), 0, kYear);
+  EXPECT_NE(c1.serial, c2.serial);
+}
+
+TEST_F(PkiFixture, MerkleCertifiedParty) {
+  Drbg mrng(to_bytes("merkle-party"));
+  auto msigner = std::make_shared<crypto::MerkleSchemeSigner>(mrng, 3);
+  Certificate mcert = ca->issue(PartyId("org:merkle"), msigner->algorithm(),
+                                msigner->public_key(), 0, kYear);
+  manager.add_certificate(mcert);
+  ASSERT_TRUE(manager.verify_chain(mcert, 100).ok());
+  auto sig = msigner->sign(to_bytes("hash-based evidence"));
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(manager
+                  .verify_signature(PartyId("org:merkle"), to_bytes("hash-based evidence"),
+                                    sig.value(), 100)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace nonrep::pki

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "store/evidence_log.hpp"
+#include "store/state_store.hpp"
+
+namespace nonrep::store {
+namespace {
+
+std::shared_ptr<SimClock> make_clock() { return std::make_shared<SimClock>(1000); }
+
+TEST(EvidenceLog, AppendAndFind) {
+  EvidenceLog log(std::make_unique<MemoryLogBackend>(), make_clock());
+  log.append(RunId("r1"), "token.NRO-request", to_bytes("payload-1"));
+  log.append(RunId("r2"), "token.NRR-request", to_bytes("payload-2"));
+  log.append(RunId("r1"), "token.NRO-response", to_bytes("payload-3"));
+
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.find_run(RunId("r1")).size(), 2u);
+  auto rec = log.find(RunId("r1"), "token.NRO-response");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(to_string(rec->payload), "payload-3");
+  EXPECT_FALSE(log.find(RunId("r1"), "token.missing").has_value());
+}
+
+TEST(EvidenceLog, ChainVerifies) {
+  EvidenceLog log(std::make_unique<MemoryLogBackend>(), make_clock());
+  for (int i = 0; i < 20; ++i) {
+    log.append(RunId("r"), "kind", to_bytes("p" + std::to_string(i)));
+  }
+  EXPECT_TRUE(log.verify_chain().ok());
+}
+
+TEST(EvidenceLog, SequenceAndTimeRecorded) {
+  auto clock = make_clock();
+  EvidenceLog log(std::make_unique<MemoryLogBackend>(), clock);
+  log.append(RunId("r"), "k", to_bytes("a"));
+  clock->advance(10);
+  log.append(RunId("r"), "k", to_bytes("b"));
+  EXPECT_EQ(log.records()[0].sequence, 0u);
+  EXPECT_EQ(log.records()[1].sequence, 1u);
+  EXPECT_EQ(log.records()[1].time - log.records()[0].time, 10u);
+}
+
+TEST(EvidenceLog, PayloadBytesAccumulated) {
+  EvidenceLog log(std::make_unique<MemoryLogBackend>(), make_clock());
+  log.append(RunId("r"), "k", Bytes(100, 1));
+  log.append(RunId("r"), "k", Bytes(50, 2));
+  EXPECT_EQ(log.payload_bytes(), 150u);
+}
+
+TEST(EvidenceLog, ChainDigestDetectsTamper) {
+  EvidenceLog log(std::make_unique<MemoryLogBackend>(), make_clock());
+  log.append(RunId("r"), "k", to_bytes("original"));
+  // Simulate a tampered reload: mutate a record and recheck manually.
+  LogRecord tampered = log.records()[0];
+  tampered.payload = to_bytes("doctored");
+  EXPECT_NE(chain_digest(crypto::Digest{}, tampered), log.records()[0].chain);
+}
+
+TEST(EvidenceLog, FileBackendRoundTrip) {
+  const std::string path = "/tmp/nonrep_log_test.log";
+  std::remove(path.c_str());
+  {
+    EvidenceLog log(std::make_unique<FileLogBackend>(path), make_clock());
+    log.append(RunId("r1"), "token.NRO-request", to_bytes("persisted"));
+    log.append(RunId("r2"), "vote", Bytes{0x00, 0xff, 0x10});
+  }
+  EvidenceLog reloaded(std::make_unique<FileLogBackend>(path), make_clock());
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_TRUE(reloaded.verify_chain().ok());
+  auto rec = reloaded.find(RunId("r1"), "token.NRO-request");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(to_string(rec->payload), "persisted");
+  std::remove(path.c_str());
+}
+
+TEST(EvidenceLog, FileBackendTamperDetectedOnReload) {
+  const std::string path = "/tmp/nonrep_log_tamper.log";
+  std::remove(path.c_str());
+  {
+    EvidenceLog log(std::make_unique<FileLogBackend>(path), make_clock());
+    log.append(RunId("r1"), "k", to_bytes("a"));
+    log.append(RunId("r1"), "k", to_bytes("b"));
+  }
+  // Truncate the first line (drop a record) — the chain must not verify.
+  {
+    EvidenceLog log(std::make_unique<FileLogBackend>(path), make_clock());
+    EXPECT_TRUE(log.verify_chain().ok());
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  in.close();
+  std::ofstream out(path, std::ios::trunc);
+  out << line2 << '\n';  // second record without its predecessor
+  out.close();
+  EvidenceLog log(std::make_unique<FileLogBackend>(path), make_clock());
+  EXPECT_FALSE(log.verify_chain().ok());
+  std::remove(path.c_str());
+}
+
+TEST(EvidenceLog, EmptyChainVerifies) {
+  EvidenceLog log(std::make_unique<MemoryLogBackend>(), make_clock());
+  EXPECT_TRUE(log.verify_chain().ok());
+}
+
+TEST(StateStore, PutGetRoundTrip) {
+  StateStore store;
+  const Bytes state = to_bytes("shared state v1");
+  const crypto::Digest d = store.put(state);
+  auto got = store.get(d);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), state);
+  EXPECT_TRUE(store.contains(d));
+}
+
+TEST(StateStore, DigestIsContentAddress) {
+  StateStore store;
+  const crypto::Digest d1 = store.put(to_bytes("same"));
+  const crypto::Digest d2 = store.put(to_bytes("same"));
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(StateStore, UnknownDigest) {
+  StateStore store;
+  crypto::Digest d{};
+  auto got = store.get(d);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, "store.unknown_digest");
+}
+
+TEST(StateStore, StoredBytesCounted) {
+  StateStore store;
+  store.put(Bytes(10, 1));
+  store.put(Bytes(10, 1));  // duplicate: not recounted
+  store.put(Bytes(5, 2));
+  EXPECT_EQ(store.stored_bytes(), 15u);
+}
+
+TEST(StateStore, ManyDistinctStates) {
+  StateStore store;
+  std::vector<crypto::Digest> digests;
+  for (int i = 0; i < 100; ++i) {
+    digests.push_back(store.put(to_bytes("state-" + std::to_string(i))));
+  }
+  EXPECT_EQ(store.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    auto got = store.get(digests[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(to_string(got.value()), "state-" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace nonrep::store

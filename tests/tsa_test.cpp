@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "tsa/timestamp.hpp"
+
+namespace nonrep::tsa {
+namespace {
+
+struct TsaFixture : ::testing::Test {
+  TsaFixture() {
+    auto key = crypto::rsa_generate(world.rng(), 512);
+    signer = std::make_shared<crypto::RsaSigner>(std::move(key));
+    cert = world.ca().issue(PartyId("tsa:main"), signer->algorithm(), signer->public_key(),
+                            0, test::kFarFuture);
+    party = &world.add_party("a");
+    party->credentials->add_certificate(cert);
+    authority = std::make_unique<TimestampAuthority>(PartyId("tsa:main"), signer,
+                                                     world.clock);
+  }
+
+  test::TestWorld world;
+  std::shared_ptr<crypto::RsaSigner> signer;
+  pki::Certificate cert;
+  test::Party* party = nullptr;
+  std::unique_ptr<TimestampAuthority> authority;
+};
+
+TEST_F(TsaFixture, StampAndVerify) {
+  const Bytes data = to_bytes("evidence blob");
+  auto token = authority->stamp(data);
+  ASSERT_TRUE(token.ok());
+  EXPECT_EQ(token.value().time, world.clock->now());
+  EXPECT_TRUE(
+      verify_timestamp(token.value(), data, *party->credentials, world.clock->now()).ok());
+}
+
+TEST_F(TsaFixture, VerifyRejectsOtherData) {
+  auto token = authority->stamp(to_bytes("original"));
+  ASSERT_TRUE(token.ok());
+  auto status = verify_timestamp(token.value(), to_bytes("forged"), *party->credentials,
+                                 world.clock->now());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "tsa.digest_mismatch");
+}
+
+TEST_F(TsaFixture, VerifyRejectsTamperedSignature) {
+  auto token = authority->stamp(to_bytes("data"));
+  ASSERT_TRUE(token.ok());
+  TimestampToken bad = token.value();
+  bad.signature[0] ^= 1;
+  EXPECT_FALSE(
+      verify_timestamp(bad, to_bytes("data"), *party->credentials, world.clock->now()).ok());
+}
+
+TEST_F(TsaFixture, VerifyRejectsForgedTime) {
+  auto token = authority->stamp(to_bytes("data"));
+  ASSERT_TRUE(token.ok());
+  TimestampToken bad = token.value();
+  bad.time += 1000;  // claims a different time than was signed
+  EXPECT_FALSE(
+      verify_timestamp(bad, to_bytes("data"), *party->credentials, world.clock->now()).ok());
+}
+
+TEST_F(TsaFixture, TokenEncodeDecode) {
+  auto token = authority->stamp(to_bytes("data"));
+  ASSERT_TRUE(token.ok());
+  auto decoded = TimestampToken::decode(token.value().encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().time, token.value().time);
+  EXPECT_EQ(decoded.value().authority, token.value().authority);
+  EXPECT_EQ(decoded.value().signature, token.value().signature);
+  EXPECT_TRUE(verify_timestamp(decoded.value(), to_bytes("data"), *party->credentials,
+                               world.clock->now())
+                  .ok());
+}
+
+TEST_F(TsaFixture, DecodeRejectsGarbage) {
+  EXPECT_FALSE(TimestampToken::decode(to_bytes("junk")).ok());
+}
+
+TEST_F(TsaFixture, TimeAdvancesWithClock) {
+  auto t1 = authority->stamp(to_bytes("x"));
+  world.clock->advance(500);
+  auto t2 = authority->stamp(to_bytes("x"));
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2.value().time - t1.value().time, 500u);
+}
+
+TEST_F(TsaFixture, UnknownAuthorityRejected) {
+  TimestampAuthority rogue(PartyId("tsa:rogue"), signer, world.clock);
+  auto token = rogue.stamp(to_bytes("data"));
+  ASSERT_TRUE(token.ok());
+  auto status = verify_timestamp(token.value(), to_bytes("data"), *party->credentials,
+                                 world.clock->now());
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace nonrep::tsa
+
+// ---- Integration with the evidence service (§3.5 time-stamping) ----
+#include "core/nr_interceptor.hpp"
+
+namespace nonrep::tsa {
+namespace {
+
+struct TsaEvidenceFixture : ::testing::Test {
+  TsaEvidenceFixture() {
+    auto key = crypto::rsa_generate(world.rng(), 512);
+    signer = std::make_shared<crypto::RsaSigner>(std::move(key));
+    cert = world.ca().issue(PartyId("tsa:main"), signer->algorithm(), signer->public_key(),
+                            0, test::kFarFuture);
+    a = &world.add_party("a");
+    b = &world.add_party("b");
+    a->credentials->add_certificate(cert);
+    b->credentials->add_certificate(cert);
+    authority =
+        std::make_shared<TimestampAuthority>(PartyId("tsa:main"), signer, world.clock);
+    a->evidence->set_timestamp_authority(
+        std::make_shared<EvidenceTimestamper>(authority));
+  }
+
+  test::TestWorld world;
+  std::shared_ptr<crypto::RsaSigner> signer;
+  pki::Certificate cert;
+  test::Party* a = nullptr;
+  test::Party* b = nullptr;
+  std::shared_ptr<TimestampAuthority> authority;
+};
+
+TEST_F(TsaEvidenceFixture, IssuedTokensAreCountersigned) {
+  auto token = a->evidence->issue(core::EvidenceType::kNroRequest, RunId("r"),
+                                  to_bytes("subject"));
+  ASSERT_TRUE(token.ok());
+  auto record = a->evidence->timestamp_record(RunId("r"), core::EvidenceType::kNroRequest);
+  ASSERT_TRUE(record.ok());
+  auto stamp = TimestampToken::decode(record.value());
+  ASSERT_TRUE(stamp.ok());
+  // The timestamp covers the encoded evidence token and verifies against
+  // the TSA certificate from *any* party's credential view.
+  EXPECT_TRUE(verify_timestamp(stamp.value(), token.value().encode(), *b->credentials,
+                               world.clock->now())
+                  .ok());
+  EXPECT_EQ(stamp.value().time, world.clock->now());
+}
+
+TEST_F(TsaEvidenceFixture, PartiesWithoutTsaHaveNoRecord) {
+  auto token = b->evidence->issue(core::EvidenceType::kNroRequest, RunId("r"),
+                                  to_bytes("subject"));
+  ASSERT_TRUE(token.ok());
+  auto record = b->evidence->timestamp_record(RunId("r"), core::EvidenceType::kNroRequest);
+  ASSERT_FALSE(record.ok());
+  EXPECT_EQ(record.error().code, "evidence.no_timestamp");
+}
+
+TEST_F(TsaEvidenceFixture, WholeExchangeCountersigned) {
+  auto& server = world.add_party("server");
+  server.credentials->add_certificate(cert);
+  container::Container cont;
+  auto bean = std::make_shared<container::Component>();
+  bean->bind("echo", [](const container::Invocation& inv) -> Result<Bytes> {
+    return inv.arguments;
+  });
+  cont.deploy(ServiceUri("svc://server/echo"), bean, {});
+  auto nr = core::install_nr_server(*server.coordinator, cont);
+
+  core::DirectInvocationClient handler(*a->coordinator);
+  container::Invocation inv;
+  inv.service = ServiceUri("svc://server/echo");
+  inv.method = "echo";
+  inv.arguments = to_bytes("x");
+  inv.caller = a->id;
+  ASSERT_TRUE(handler.invoke("server", inv).ok());
+  world.network.run();
+  // The client's own tokens (NRO_req, NRR_resp) carry timestamps.
+  EXPECT_TRUE(a->evidence
+                  ->timestamp_record(handler.last_run(), core::EvidenceType::kNroRequest)
+                  .ok());
+  EXPECT_TRUE(a->evidence
+                  ->timestamp_record(handler.last_run(), core::EvidenceType::kNrrResponse)
+                  .ok());
+  EXPECT_TRUE(a->log->verify_chain().ok());
+}
+
+}  // namespace
+}  // namespace nonrep::tsa

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "core/nr_interceptor.hpp"
+#include "core/ttp.hpp"
+
+namespace nonrep::core {
+namespace {
+
+using container::Container;
+using container::DeploymentDescriptor;
+using container::Invocation;
+using container::Outcome;
+
+std::shared_ptr<container::Component> make_echo() {
+  auto c = std::make_shared<container::Component>();
+  c->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  return c;
+}
+
+struct TtpFixture : ::testing::Test {
+  TtpFixture() {
+    client = &world.add_party("client");
+    server = &world.add_party("server");
+    ttp = &world.add_party("ttp");
+    container.deploy(ServiceUri("svc://server/echo"), make_echo(), DeploymentDescriptor{});
+    server_handler = install_nr_server(*server->coordinator, container);
+  }
+
+  void install_relay(Router router) {
+    relay = std::make_shared<InlineTtpRelay>(*ttp->coordinator, std::move(router));
+    ttp->coordinator->register_handler(relay);
+  }
+
+  Invocation make_inv(const std::string& payload = "hello") {
+    Invocation inv;
+    inv.service = ServiceUri("svc://server/echo");
+    inv.method = "echo";
+    inv.arguments = to_bytes(payload);
+    inv.caller = client->id;
+    return inv;
+  }
+
+  test::TestWorld world;
+  test::Party* client = nullptr;
+  test::Party* server = nullptr;
+  test::Party* ttp = nullptr;
+  Container container;
+  std::shared_ptr<DirectInvocationServer> server_handler;
+  std::shared_ptr<InlineTtpRelay> relay;
+};
+
+Router direct_router() {
+  return [](const net::Address&) { return std::nullopt; };
+}
+
+TEST_F(TtpFixture, SingleInlineTtpRelaysExchange) {
+  install_relay(direct_router());
+  InlineTtpInvocationClient handler(*client->coordinator, "ttp");
+  auto inv = make_inv("through-ttp");
+  auto result = handler.invoke("server", inv);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(nonrep::to_string(result.payload), "through-ttp");
+  EXPECT_TRUE(handler.last_run_evidence().complete_for_client());
+  EXPECT_TRUE(handler.last_run_has_affidavit());
+  EXPECT_EQ(relay->relayed(), 1u);
+}
+
+TEST_F(TtpFixture, TtpArchivesAllEvidence) {
+  install_relay(direct_router());
+  InlineTtpInvocationClient handler(*client->coordinator, "ttp");
+  auto inv = make_inv();
+  ASSERT_TRUE(handler.invoke("server", inv).ok());
+  world.network.run();  // flush step 3 relay
+  // The TTP's archive alone can settle a dispute: it holds all four
+  // exchange tokens plus its own affidavit.
+  EXPECT_GE(ttp->log->size(), 5u);
+  EXPECT_TRUE(ttp->log->verify_chain().ok());
+  std::size_t kinds = 0;
+  for (const char* kind : {"token.NRO-request", "token.NRR-request", "token.NRO-response",
+                           "token.NRR-response", "token.affidavit"}) {
+    bool found = false;
+    for (const auto& rec : ttp->log->records()) {
+      if (rec.kind == kind) found = true;
+    }
+    kinds += found ? 1 : 0;
+  }
+  EXPECT_EQ(kinds, 5u);
+}
+
+TEST_F(TtpFixture, ServerReceivesRelayedReceipt) {
+  install_relay(direct_router());
+  InlineTtpInvocationClient handler(*client->coordinator, "ttp");
+  auto inv = make_inv();
+  ASSERT_TRUE(handler.invoke("server", inv).ok());
+  world.network.run();
+  // The relay forwarded the client's NRR_resp to the server.
+  EXPECT_TRUE(server->log->find_run(RunId("")).empty());  // sanity: no empty-run records
+  bool server_has_receipt = false;
+  for (const auto& rec : server->log->records()) {
+    if (rec.kind == "token.NRR-response") server_has_receipt = true;
+  }
+  EXPECT_TRUE(server_has_receipt);
+}
+
+TEST_F(TtpFixture, DistributedInlineTtpChain) {
+  // client -> ttp (as TTP_A) -> ttp-b (as TTP_B) -> server (Figure 3(b)).
+  auto& ttp_b = world.add_party("ttp-b");
+  auto relay_b = std::make_shared<InlineTtpRelay>(*ttp_b.coordinator, direct_router());
+  ttp_b.coordinator->register_handler(relay_b);
+  // TTP_A routes everything via TTP_B.
+  install_relay([](const net::Address&) { return std::make_optional<net::Address>("ttp-b"); });
+
+  InlineTtpInvocationClient handler(*client->coordinator, "ttp");
+  auto inv = make_inv("two-hops");
+  auto result = handler.invoke("server", inv);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(nonrep::to_string(result.payload), "two-hops");
+  EXPECT_TRUE(handler.last_run_evidence().complete_for_client());
+  world.network.run();
+  EXPECT_EQ(relay->relayed(), 1u);
+  EXPECT_EQ(relay_b->relayed(), 1u);
+  // Both TTP archives hold the evidence.
+  EXPECT_GE(ttp->log->size(), 4u);
+  EXPECT_GE(ttp_b.log->size(), 4u);
+}
+
+TEST_F(TtpFixture, RelayRejectsBadClientEvidence) {
+  install_relay(direct_router());
+  // Hand-craft a relay message with a token over the wrong subject.
+  EvidenceService& ev = *client->evidence;
+  auto inv = make_inv();
+  auto bogus = client->evidence->issue(EvidenceType::kNroRequest, RunId("run-x"),
+                                       to_bytes("unrelated"));
+  ASSERT_TRUE(bogus.ok());
+  ProtocolMessage m1;
+  m1.protocol = kInlineTtpProtocol;
+  m1.run = RunId("run-x");
+  m1.step = 1;
+  m1.sender = client->id;
+  m1.body = encode_relay_body("server", container::encode_invocation(inv));
+  m1.tokens.push_back(std::move(bogus).take());
+  auto reply = client->coordinator->deliver_request("ttp", m1, 1000);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, "evidence.subject_mismatch");
+  (void)ev;
+}
+
+TEST_F(TtpFixture, RelayReportsUnreachableServer) {
+  install_relay(direct_router());
+  world.network.set_partitioned("ttp", "server", true);
+  InlineTtpInvocationClient handler(*client->coordinator, "ttp",
+                                    InvocationConfig{.request_timeout = 30000});
+  auto inv = make_inv();
+  auto result = handler.invoke("server", inv);
+  EXPECT_FALSE(result.ok());
+  // The client keeps proof that it attempted the call.
+  EXPECT_TRUE(handler.last_run_evidence().has_nro_request);
+}
+
+TEST_F(TtpFixture, RelayBodyEncodingRoundTrip) {
+  const Bytes inner = to_bytes("inner-payload");
+  auto decoded = decode_relay_body(encode_relay_body("server-x", inner));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().first, "server-x");
+  EXPECT_EQ(decoded.value().second, inner);
+  EXPECT_FALSE(decode_relay_body(to_bytes("junk")).ok());
+}
+
+TEST_F(TtpFixture, AtMostOnceThroughRelay) {
+  install_relay(direct_router());
+  InlineTtpInvocationClient handler(*client->coordinator, "ttp");
+  auto inv = make_inv();
+  ASSERT_TRUE(handler.invoke("server", inv).ok());
+  auto inv2 = make_inv();
+  ASSERT_TRUE(handler.invoke("server", inv2).ok());
+  world.network.run();
+  EXPECT_EQ(container.executions(), 2u);  // one per run, none duplicated
+}
+
+}  // namespace
+}  // namespace nonrep::core

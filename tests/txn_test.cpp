@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "core/txn_resource.hpp"
+#include "txn/transaction.hpp"
+
+namespace nonrep::txn {
+namespace {
+
+/// Scripted participant for TM semantics tests.
+class ScriptedParticipant final : public Participant {
+ public:
+  ScriptedParticipant(std::string name, bool vote) : name_(std::move(name)), vote_(vote) {}
+  std::string name() const override { return name_; }
+  bool prepare(const TxnId&) override {
+    ++prepares;
+    return vote_;
+  }
+  void commit(const TxnId&) override { ++commits; }
+  void rollback(const TxnId&) override { ++rollbacks; }
+
+  int prepares = 0;
+  int commits = 0;
+  int rollbacks = 0;
+
+ private:
+  std::string name_;
+  bool vote_;
+};
+
+TEST(TransactionManager, CommitWhenAllVoteYes) {
+  TransactionManager tm;
+  auto p1 = std::make_shared<ScriptedParticipant>("p1", true);
+  auto p2 = std::make_shared<ScriptedParticipant>("p2", true);
+  const TxnId txn = tm.begin();
+  ASSERT_TRUE(tm.enlist(txn, p1).ok());
+  ASSERT_TRUE(tm.enlist(txn, p2).ok());
+  auto result = tm.commit(txn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value());
+  EXPECT_EQ(tm.state(txn).value(), TxnState::kCommitted);
+  EXPECT_EQ(p1->commits, 1);
+  EXPECT_EQ(p2->commits, 1);
+  EXPECT_EQ(p1->rollbacks, 0);
+}
+
+TEST(TransactionManager, RollbackOnNoVote) {
+  TransactionManager tm;
+  auto p1 = std::make_shared<ScriptedParticipant>("p1", true);
+  auto p2 = std::make_shared<ScriptedParticipant>("p2", false);
+  auto p3 = std::make_shared<ScriptedParticipant>("p3", true);
+  const TxnId txn = tm.begin();
+  ASSERT_TRUE(tm.enlist(txn, p1).ok());
+  ASSERT_TRUE(tm.enlist(txn, p2).ok());
+  ASSERT_TRUE(tm.enlist(txn, p3).ok());
+  auto result = tm.commit(txn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value());
+  EXPECT_EQ(tm.state(txn).value(), TxnState::kAborted);
+  EXPECT_EQ(p1->rollbacks, 1);   // prepared, so rolled back
+  EXPECT_EQ(p2->rollbacks, 0);   // voted no: nothing to undo
+  EXPECT_EQ(p3->prepares, 0);    // never reached
+  EXPECT_EQ(p1->commits + p2->commits + p3->commits, 0);
+}
+
+TEST(TransactionManager, ExplicitRollback) {
+  TransactionManager tm;
+  auto p = std::make_shared<ScriptedParticipant>("p", true);
+  const TxnId txn = tm.begin();
+  ASSERT_TRUE(tm.enlist(txn, p).ok());
+  ASSERT_TRUE(tm.rollback(txn).ok());
+  EXPECT_EQ(tm.state(txn).value(), TxnState::kAborted);
+  EXPECT_EQ(p->rollbacks, 1);
+}
+
+TEST(TransactionManager, UnknownTransactionErrors) {
+  TransactionManager tm;
+  EXPECT_FALSE(tm.commit(TxnId("nope")).ok());
+  EXPECT_FALSE(tm.rollback(TxnId("nope")).ok());
+  EXPECT_FALSE(tm.state(TxnId("nope")).ok());
+  EXPECT_FALSE(tm.enlist(TxnId("nope"), std::make_shared<ScriptedParticipant>("p", true)).ok());
+}
+
+TEST(TransactionManager, DoubleCommitRejected) {
+  TransactionManager tm;
+  const TxnId txn = tm.begin();
+  ASSERT_TRUE(tm.commit(txn).ok());
+  auto second = tm.commit(txn);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, "txn.not_active");
+}
+
+TEST(TransactionManager, EnlistAfterCommitRejected) {
+  TransactionManager tm;
+  const TxnId txn = tm.begin();
+  ASSERT_TRUE(tm.commit(txn).ok());
+  EXPECT_FALSE(tm.enlist(txn, std::make_shared<ScriptedParticipant>("p", true)).ok());
+}
+
+TEST(TransactionManager, DistinctTxnIds) {
+  TransactionManager tm;
+  EXPECT_NE(tm.begin(), tm.begin());
+}
+
+}  // namespace
+}  // namespace nonrep::txn
+
+namespace nonrep::core {
+namespace {
+
+const ObjectId kObj{"obj:txn"};
+
+struct TxnSharingFixture : ::testing::Test {
+  struct Node {
+    test::Party* party;
+    std::unique_ptr<membership::MembershipService> membership;
+    std::shared_ptr<B2BObjectController> controller;
+  };
+
+  TxnSharingFixture() {
+    std::vector<membership::Member> members;
+    for (int i = 0; i < 3; ++i) {
+      auto& p = world.add_party("p" + std::to_string(i));
+      members.push_back({p.id, p.address});
+      nodes.push_back({&p, std::make_unique<membership::MembershipService>(), nullptr});
+    }
+    for (auto& node : nodes) {
+      node.membership->create_group(kObj, members);
+      node.controller =
+          std::make_shared<B2BObjectController>(*node.party->coordinator, *node.membership);
+      node.party->coordinator->register_handler(node.controller);
+      EXPECT_TRUE(node.controller->host(kObj, to_bytes("state-0")).ok());
+    }
+  }
+
+  test::TestWorld world;
+  std::vector<Node> nodes;
+};
+
+class VetoValidator final : public StateValidator {
+ public:
+  bool validate(const ObjectId&, const PartyId&, BytesView, BytesView proposed) override {
+    return nonrep::to_string(proposed).rfind("bad", 0) != 0;
+  }
+};
+
+TEST_F(TxnSharingFixture, TransactionCommitsSharedUpdate) {
+  txn::TransactionManager tm;
+  auto resource = std::make_shared<B2BTransactionalResource>(*nodes[0].controller, kObj);
+  const txn::TxnId txn = tm.begin();
+  ASSERT_TRUE(tm.enlist(txn, resource).ok());
+  ASSERT_TRUE(resource->stage(to_bytes("state-1")).ok());
+  auto committed = tm.commit(txn);
+  world.network.run();
+  ASSERT_TRUE(committed.ok());
+  EXPECT_TRUE(committed.value());
+  for (auto& node : nodes) {
+    EXPECT_EQ(node.controller->get(kObj).value().state, to_bytes("state-1"));
+  }
+}
+
+TEST_F(TxnSharingFixture, GroupVetoAbortsWholeTransaction) {
+  nodes[1].controller->add_validator(kObj, std::make_shared<VetoValidator>());
+  txn::TransactionManager tm;
+  auto resource = std::make_shared<B2BTransactionalResource>(*nodes[0].controller, kObj);
+  auto local = std::make_shared<txn::ScriptedParticipant>("db", true);
+  const txn::TxnId txn = tm.begin();
+  ASSERT_TRUE(tm.enlist(txn, local).ok());
+  ASSERT_TRUE(tm.enlist(txn, resource).ok());
+  ASSERT_TRUE(resource->stage(to_bytes("bad-state")).ok());
+  auto committed = tm.commit(txn);
+  world.network.run();
+  ASSERT_TRUE(committed.ok());
+  EXPECT_FALSE(committed.value());             // global abort
+  EXPECT_EQ(local->rollbacks, 1);              // local resource undone too
+  for (auto& node : nodes) {
+    EXPECT_EQ(node.controller->get(kObj).value().state, to_bytes("state-0"));
+  }
+}
+
+TEST_F(TxnSharingFixture, LocalNoVoteCompensatesSharedUpdate) {
+  // Shared resource prepares first (group agrees), then a local resource
+  // vetoes: the shared state must be compensated back, group-wide.
+  txn::TransactionManager tm;
+  auto resource = std::make_shared<B2BTransactionalResource>(*nodes[0].controller, kObj);
+  auto local = std::make_shared<txn::ScriptedParticipant>("db", false);
+  const txn::TxnId txn = tm.begin();
+  ASSERT_TRUE(tm.enlist(txn, resource).ok());  // prepares first
+  ASSERT_TRUE(tm.enlist(txn, local).ok());     // votes no
+  ASSERT_TRUE(resource->stage(to_bytes("state-1")).ok());
+  auto committed = tm.commit(txn);
+  world.network.run();
+  ASSERT_TRUE(committed.ok());
+  EXPECT_FALSE(committed.value());
+  // Compensating round restored state-0 everywhere (version advanced twice).
+  for (auto& node : nodes) {
+    auto got = node.controller->get(kObj);
+    EXPECT_EQ(got.value().state, to_bytes("state-0"));
+    EXPECT_EQ(got.value().version, 3u);  // v1 -> v2 (prepare) -> v3 (compensation)
+  }
+}
+
+TEST_F(TxnSharingFixture, ReadOnlyResourceVotesYes) {
+  txn::TransactionManager tm;
+  auto resource = std::make_shared<B2BTransactionalResource>(*nodes[0].controller, kObj);
+  const txn::TxnId txn = tm.begin();
+  ASSERT_TRUE(tm.enlist(txn, resource).ok());
+  auto committed = tm.commit(txn);  // nothing staged
+  ASSERT_TRUE(committed.ok());
+  EXPECT_TRUE(committed.value());
+  EXPECT_EQ(nodes[0].controller->get(kObj).value().version, 1u);
+}
+
+TEST_F(TxnSharingFixture, StageRequiresHostedObject) {
+  B2BTransactionalResource resource(*nodes[0].controller, ObjectId("obj:ghost"));
+  EXPECT_FALSE(resource.stage(to_bytes("x")).ok());
+}
+
+TEST_F(TxnSharingFixture, EvidenceCoversPreparedAndCompensatingRounds) {
+  txn::TransactionManager tm;
+  auto resource = std::make_shared<B2BTransactionalResource>(*nodes[0].controller, kObj);
+  auto local = std::make_shared<txn::ScriptedParticipant>("db", false);
+  const txn::TxnId txn = tm.begin();
+  ASSERT_TRUE(tm.enlist(txn, resource).ok());
+  ASSERT_TRUE(tm.enlist(txn, local).ok());
+  ASSERT_TRUE(resource->stage(to_bytes("state-1")).ok());
+  (void)tm.commit(txn);
+  world.network.run();
+  // Two full coordination rounds in the proposer's log: 2 proposals.
+  int proposals = 0;
+  for (const auto& rec : nodes[0].party->log->records()) {
+    if (rec.kind == "token.proposal") ++proposals;
+  }
+  EXPECT_EQ(proposals, 2);
+  EXPECT_TRUE(nodes[0].party->log->verify_chain().ok());
+}
+
+}  // namespace
+}  // namespace nonrep::core

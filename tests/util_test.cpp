@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/hex.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+#include "util/serialize.hpp"
+
+namespace nonrep {
+namespace {
+
+TEST(Bytes, ToBytesRoundTrip) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, ToBytesEmpty) {
+  EXPECT_TRUE(to_bytes("").empty());
+  EXPECT_EQ(to_string(Bytes{}), "");
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = to_bytes("ab");
+  const Bytes b = to_bytes("cd");
+  const Bytes c = concat({a, b});
+  EXPECT_EQ(to_string(c), "abcd");
+}
+
+TEST(Bytes, ConcatEmptyParts) {
+  EXPECT_TRUE(concat({}).empty());
+  const Bytes a = to_bytes("x");
+  EXPECT_EQ(to_string(concat({a, Bytes{}, a})), "xx");
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = to_bytes("secret");
+  const Bytes b = to_bytes("secret");
+  const Bytes c = to_bytes("secreT");
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, to_bytes("secre")));
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, Append) {
+  Bytes a = to_bytes("ab");
+  append(a, to_bytes("cd"));
+  EXPECT_EQ(to_string(a), "abcd");
+}
+
+TEST(Hex, EncodeDecode) {
+  const Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(b), "0001abff");
+  auto decoded = from_hex("0001abff");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, b);
+}
+
+TEST(Hex, DecodeCaseInsensitive) {
+  auto decoded = from_hex("ABCDEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(to_hex(*decoded), "abcdef");
+}
+
+TEST(Hex, DecodeRejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, DecodeRejectsBadDigit) { EXPECT_FALSE(from_hex("zz").has_value()); }
+
+TEST(Hex, EmptyString) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  auto decoded = from_hex("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Result, ValueAccess) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, ErrorAccess) {
+  Result<int> r = Error::make("code.x", "detail");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "code.x");
+  EXPECT_EQ(r.error().detail, "detail");
+}
+
+TEST(Result, Take) {
+  Result<std::string> r = std::string("move-me");
+  EXPECT_EQ(std::move(r).take(), "move-me");
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  Status s = Error::make("bad", "reason");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "bad");
+}
+
+TEST(Ids, StrongTyping) {
+  const PartyId p("org:a");
+  const RunId r("run-1");
+  EXPECT_EQ(p.str(), "org:a");
+  EXPECT_EQ(r.str(), "run-1");
+  EXPECT_TRUE(PartyId{}.empty());
+}
+
+TEST(Ids, Comparison) {
+  EXPECT_EQ(PartyId("a"), PartyId("a"));
+  EXPECT_NE(PartyId("a"), PartyId("b"));
+  EXPECT_LT(PartyId("a"), PartyId("b"));
+}
+
+TEST(Ids, Hashable) {
+  std::hash<PartyId> h;
+  EXPECT_EQ(h(PartyId("x")), h(PartyId("x")));
+}
+
+TEST(Serialize, IntegersRoundTrip) {
+  BinaryWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, BytesAndStrings) {
+  BinaryWriter w;
+  w.bytes(to_bytes("payload"));
+  w.str("text");
+  BinaryReader r(w.data());
+  EXPECT_EQ(to_string(r.bytes().value()), "payload");
+  EXPECT_EQ(r.str().value(), "text");
+}
+
+TEST(Serialize, EmptyBuffers) {
+  BinaryWriter w;
+  w.bytes(Bytes{});
+  w.str("");
+  BinaryReader r(w.data());
+  EXPECT_TRUE(r.bytes().value().empty());
+  EXPECT_TRUE(r.str().value().empty());
+}
+
+TEST(Serialize, TruncationDetected) {
+  BinaryWriter w;
+  w.u64(7);
+  Bytes data = w.data();
+  data.pop_back();
+  BinaryReader r(data);
+  auto v = r.u64();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "serialize.truncated");
+}
+
+TEST(Serialize, LengthPrefixBeyondBufferDetected) {
+  BinaryWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  BinaryReader r(w.data());
+  auto v = r.bytes();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "serialize.truncated");
+}
+
+TEST(Serialize, CanonicalDeterminism) {
+  auto encode = [] {
+    BinaryWriter w;
+    w.str("a");
+    w.u32(1);
+    w.bytes(to_bytes("b"));
+    return w.data();
+  };
+  EXPECT_EQ(encode(), encode());
+}
+
+TEST(Clock, SimClockAdvances) {
+  SimClock c(100);
+  EXPECT_EQ(c.now(), 100u);
+  c.advance(50);
+  EXPECT_EQ(c.now(), 150u);
+  c.set(10);
+  EXPECT_EQ(c.now(), 10u);
+}
+
+TEST(Clock, WallClockMonotoneEnough) {
+  WallClock c;
+  const TimeMs a = c.now();
+  const TimeMs b = c.now();
+  EXPECT_LE(a, b);
+  EXPECT_GT(a, 1600000000000ull);  // after 2020
+}
+
+class SerializeRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SerializeRoundTrip, RandomBuffers) {
+  const std::size_t n = GetParam();
+  Bytes buf(n);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  BinaryWriter w;
+  w.bytes(buf);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.bytes().value(), buf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerializeRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 15, 16, 17, 255, 256, 1024, 65536));
+
+}  // namespace
+}  // namespace nonrep

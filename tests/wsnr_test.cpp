@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "core/dispute.hpp"
+#include "core/nr_interceptor.hpp"
+#include "wsnr/evidence_doc.hpp"
+#include "wsnr/xml.hpp"
+
+namespace nonrep::wsnr {
+namespace {
+
+TEST(Xml, EscapeRoundTrip) {
+  EXPECT_EQ(xml_escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+}
+
+TEST(Xml, SerializeSimple) {
+  XmlNode n;
+  n.name = "Token";
+  n.attributes["type"] = "NRO";
+  n.add_child("Digest").text = "abcd";
+  const std::string xml = to_xml(n);
+  EXPECT_NE(xml.find("<Token type=\"NRO\">"), std::string::npos);
+  EXPECT_NE(xml.find("<Digest>abcd</Digest>"), std::string::npos);
+}
+
+TEST(Xml, ParseRoundTrip) {
+  XmlNode n;
+  n.name = "Bundle";
+  n.attributes["run"] = "r-1";
+  n.attributes["note"] = "a<b & \"q\"";
+  auto& child = n.add_child("Item");
+  child.text = "text & <escaped>";
+  n.add_child("Empty");
+
+  auto parsed = parse_xml(to_xml(n));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().code;
+  EXPECT_EQ(parsed.value().name, "Bundle");
+  EXPECT_EQ(parsed.value().attr("run"), "r-1");
+  EXPECT_EQ(parsed.value().attr("note"), "a<b & \"q\"");
+  ASSERT_NE(parsed.value().child("Item"), nullptr);
+  EXPECT_EQ(parsed.value().child("Item")->text, "text & <escaped>");
+  ASSERT_NE(parsed.value().child("Empty"), nullptr);
+}
+
+TEST(Xml, ParseSelfClosing) {
+  auto parsed = parse_xml("<A><B x=\"1\"/><B x=\"2\"/></A>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().children_named("B").size(), 2u);
+  EXPECT_EQ(parsed.value().children_named("B")[1]->attr("x"), "2");
+}
+
+TEST(Xml, ParseRejectsMismatchedClose) {
+  auto parsed = parse_xml("<A><B></A></B>");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "xml.mismatched_close");
+}
+
+TEST(Xml, ParseRejectsTruncation) {
+  EXPECT_FALSE(parse_xml("<A><B>").ok());
+  EXPECT_FALSE(parse_xml("<A attr=\"x>").ok());
+  EXPECT_FALSE(parse_xml("").ok());
+  EXPECT_FALSE(parse_xml("just text").ok());
+}
+
+TEST(Xml, ParseRejectsTrailingContent) {
+  auto parsed = parse_xml("<A/><B/>");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "xml.trailing");
+}
+
+struct EvidenceDocFixture : ::testing::Test {
+  EvidenceDocFixture() {
+    a = &world.add_party("a");
+    b = &world.add_party("b");
+  }
+  test::TestWorld world;
+  test::Party* a = nullptr;
+  test::Party* b = nullptr;
+};
+
+TEST_F(EvidenceDocFixture, TokenDocumentRoundTrip) {
+  const Bytes subject = to_bytes("the signed request");
+  auto token = a->evidence->issue(core::EvidenceType::kNroRequest, RunId("run-9"), subject);
+  ASSERT_TRUE(token.ok());
+
+  const std::string xml = token_document(token.value());
+  EXPECT_NE(xml.find("NonRepudiationToken"), std::string::npos);
+  EXPECT_NE(xml.find("NRO-request"), std::string::npos);
+
+  auto parsed = token_from_document(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().code;
+  EXPECT_EQ(parsed.value().run, RunId("run-9"));
+  EXPECT_EQ(parsed.value().issuer, a->id);
+  EXPECT_EQ(parsed.value().signature, token.value().signature);
+  // Crucially: the rendered representation remains *irrefutable* — it
+  // still verifies against the original subject.
+  EXPECT_TRUE(b->evidence->verify(parsed.value(), subject).ok());
+}
+
+TEST_F(EvidenceDocFixture, AllTokenTypesRender) {
+  for (int i = 1; i <= 11; ++i) {
+    auto token = a->evidence->issue(static_cast<core::EvidenceType>(i), RunId("r"),
+                                    to_bytes("s"));
+    ASSERT_TRUE(token.ok()) << i;
+    auto parsed = token_from_document(token_document(token.value()));
+    ASSERT_TRUE(parsed.ok()) << i;
+    EXPECT_EQ(parsed.value().type, static_cast<core::EvidenceType>(i)) << i;
+  }
+}
+
+TEST_F(EvidenceDocFixture, TamperedDocumentFailsVerification) {
+  const Bytes subject = to_bytes("payload");
+  auto token = a->evidence->issue(core::EvidenceType::kNroRequest, RunId("r"), subject);
+  std::string xml = token_document(token.value());
+  // Flip a hex digit of the signature.
+  const auto pos = xml.find("<Signature>");
+  ASSERT_NE(pos, std::string::npos);
+  xml[pos + 12] = xml[pos + 12] == 'a' ? 'b' : 'a';
+  auto parsed = token_from_document(xml);
+  if (parsed.ok()) {
+    EXPECT_FALSE(b->evidence->verify(parsed.value(), subject).ok());
+  }
+}
+
+TEST_F(EvidenceDocFixture, BundleDocumentRoundTrip) {
+  const RunId run("run-bundle");
+  std::vector<core::PresentedEvidence> bundle;
+  for (int i = 0; i < 3; ++i) {
+    const Bytes subject = to_bytes("subject-" + std::to_string(i));
+    auto token = a->evidence->issue(static_cast<core::EvidenceType>(i + 1), run, subject);
+    ASSERT_TRUE(token.ok());
+    bundle.push_back({token.value(), subject});
+  }
+  const std::string xml = bundle_document(run, bundle);
+  auto parsed = bundle_from_document(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().code;
+  ASSERT_EQ(parsed.value().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed.value()[i].subject, bundle[i].subject);
+    EXPECT_TRUE(b->evidence->verify(parsed.value()[i].token, parsed.value()[i].subject).ok());
+  }
+}
+
+TEST_F(EvidenceDocFixture, BundleFeedsAdjudicator) {
+  // Full pipeline: run an exchange, export the client's case as XML, ship
+  // it to a judge, re-import, adjudicate.
+  auto& server = world.add_party("server");
+  container::Container cont;
+  auto bean = std::make_shared<container::Component>();
+  bean->bind("echo", [](const container::Invocation& inv) -> Result<Bytes> {
+    return inv.arguments;
+  });
+  cont.deploy(ServiceUri("svc://server/echo"), bean, {});
+  auto nr = core::install_nr_server(*server.coordinator, cont);
+  core::DirectInvocationClient handler(*a->coordinator);
+  container::Invocation inv;
+  inv.service = ServiceUri("svc://server/echo");
+  inv.method = "echo";
+  inv.arguments = to_bytes("x");
+  inv.caller = a->id;
+  ASSERT_TRUE(handler.invoke("server", inv).ok());
+  world.network.run();
+  const RunId run = handler.last_run();
+
+  auto bundle = core::Adjudicator::bundle_from_log(*a->log, *a->states, run);
+  const std::string xml = bundle_document(run, bundle);
+
+  auto imported = bundle_from_document(xml);
+  ASSERT_TRUE(imported.ok());
+  core::Adjudicator judge(*b->credentials, world.clock);
+  const core::Verdict v = judge.adjudicate(run, imported.value());
+  EXPECT_TRUE(v.exchange_complete());
+  EXPECT_TRUE(v.rejected.empty());
+}
+
+TEST_F(EvidenceDocFixture, ParseRejectsWrongElement) {
+  EXPECT_FALSE(token_from_document("<SomethingElse/>").ok());
+  EXPECT_FALSE(bundle_from_document("<NonRepudiationToken/>").ok());
+}
+
+TEST_F(EvidenceDocFixture, ParseRejectsMissingFields) {
+  EXPECT_FALSE(token_from_document(
+      "<NonRepudiationToken type=\"NRO-request\" run=\"r\" issuer=\"a\" issuedAt=\"1\"/>")
+          .ok());
+  EXPECT_FALSE(token_from_document(
+      "<NonRepudiationToken type=\"bogus\" run=\"r\" issuer=\"a\" issuedAt=\"1\"/>")
+          .ok());
+}
+
+}  // namespace
+}  // namespace nonrep::wsnr
