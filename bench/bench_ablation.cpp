@@ -48,7 +48,8 @@ struct AblationRig {
     if (with_tsa) {
       tsa_signer = std::make_shared<crypto::RsaSigner>(crypto::rsa_generate(rng, 512));
       auto tsa_cert = ca.issue(PartyId("tsa:x"), tsa_signer->algorithm(),
-                               tsa_signer->public_key(), 0, nonrep::test::kFarFuture);
+                               tsa_signer->public_key(), 0, nonrep::test::kFarFuture)
+                          .take();
       client->evidence->credentials().add_certificate(tsa_cert);
       server->evidence->credentials().add_certificate(tsa_cert);
       authority = std::make_shared<tsa::TimestampAuthority>(PartyId("tsa:x"), tsa_signer,
@@ -84,7 +85,8 @@ struct AblationRig {
     auto credentials = std::make_shared<pki::CredentialManager>();
     (void)credentials->add_trusted_root(ca.certificate());
     credentials->add_certificate(ca.issue(p->id, signer->algorithm(), signer->public_key(),
-                                          0, nonrep::test::kFarFuture));
+                                          0, nonrep::test::kFarFuture)
+                                     .take());
     std::unique_ptr<store::LogBackend> backend;
     if (file_log) {
       const std::string path = "/tmp/nonrep_ablation_" + name + ".log";

@@ -1,0 +1,57 @@
+#include "bench/harness.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace nonrep::bench {
+namespace {
+
+std::string report_name(const char* argv0) {
+  std::string name = argv0 != nullptr ? argv0 : "bench";
+  if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return "BENCH_" + name + ".json";
+}
+
+bool has_flag(int argc, char** argv, const char* prefix) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.emplace_back(argv != nullptr && argv[0] != nullptr ? argv[0] : "bench");
+  if (!has_flag(argc, argv, "--benchmark_out=") &&
+      !has_flag(argc, argv, "--benchmark_list_tests")) {
+    args.emplace_back("--benchmark_out=" + report_name(args.front().c_str()));
+    args.emplace_back("--benchmark_out_format=json");
+  }
+  if (!has_flag(argc, argv, "--benchmark_min_warmup_time=")) {
+    args.emplace_back("--benchmark_min_warmup_time=0.05");
+  }
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace nonrep::bench
+
+int main(int argc, char** argv) { return nonrep::bench::run(argc, argv); }

@@ -1,0 +1,14 @@
+// Shared benchmark entry point. Every bench binary links this instead of
+// benchmark_main so runs are uniform — a fixed warmup budget and a JSON
+// report written to the working directory as BENCH_<name>.json (argv[0]
+// basename minus the "bench_" prefix) — keeping perf numbers comparable
+// across PRs. Explicit --benchmark_* flags always win over the defaults.
+#pragma once
+
+namespace nonrep::bench {
+
+/// Runs every registered Google Benchmark case. Called by the harness's
+/// main(); exposed so a custom main can compose extra setup around it.
+int run(int argc, char** argv);
+
+}  // namespace nonrep::bench

@@ -47,7 +47,8 @@ int main() {
     auto org = std::make_unique<Org>();
     org->id = PartyId("org:" + name);
     auto signer = std::make_shared<crypto::RsaSigner>(crypto::rsa_generate(rng, 512));
-    auto cert = ca.issue(org->id, signer->algorithm(), signer->public_key(), 0, kValidity);
+    auto cert =
+        ca.issue(org->id, signer->algorithm(), signer->public_key(), 0, kValidity).take();
     auto credentials = std::make_shared<pki::CredentialManager>();
     if (!credentials->add_trusted_root(ca.certificate()).ok()) std::abort();
     credentials->add_certificate(cert);

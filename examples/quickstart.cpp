@@ -38,7 +38,7 @@ Org make_org(const std::string& name, pki::CertificateAuthority& ca,
   auto root_ok = credentials->add_trusted_root(ca.certificate());
   if (!root_ok.ok()) std::abort();
   credentials->add_certificate(
-      ca.issue(org.id, signer->algorithm(), signer->public_key(), 0, kValidity));
+      ca.issue(org.id, signer->algorithm(), signer->public_key(), 0, kValidity).take());
   for (const auto& cert : known) credentials->add_certificate(cert);
   org.evidence = std::make_shared<core::EvidenceService>(
       org.id, signer,  credentials,

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs every bench executable and collects the BENCH_<name>.json reports.
+#
+# Usage: scripts/run_benches.sh [--quick] [build-dir] [out-dir]
+#   --quick    pass a tiny --benchmark_min_time for smoke/CI runs
+#   build-dir  defaults to ./build
+#   out-dir    defaults to ./bench_results
+set -euo pipefail
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+  shift
+fi
+build_dir="${1:-build}"
+out_dir="${2:-bench_results}"
+
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: $build_dir/bench not found — build first: cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+out_dir="$(cd "$out_dir" && pwd)"
+
+extra_args=()
+if [[ $quick -eq 1 ]]; then
+  extra_args+=("--benchmark_min_time=0.01" "--benchmark_min_warmup_time=0")
+fi
+
+failed=0
+for bench in "$build_dir"/bench/bench_*; do
+  [[ -x "$bench" && ! -d "$bench" ]] || continue
+  name="$(basename "$bench")"
+  bench_abs="$(cd "$(dirname "$bench")" && pwd)/$name"
+  echo "=== $name ==="
+  if (cd "$out_dir" && "$bench_abs" "${extra_args[@]}"); then
+    echo "--- wrote $out_dir/BENCH_${name#bench_}.json"
+  else
+    echo "!!! $name failed" >&2
+    failed=1
+  fi
+done
+
+ls -l "$out_dir"/BENCH_*.json
+exit $failed

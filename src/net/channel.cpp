@@ -20,7 +20,7 @@ ReliableEndpoint::~ReliableEndpoint() { network_.unregister_endpoint(address_); 
 
 void ReliableEndpoint::send(const Address& to, Bytes payload) {
   const std::uint64_t id = next_msg_id_++;
-  pending_[id] = Pending{to, std::move(payload), 0, false};
+  pending_[id] = Pending{to, std::move(payload), 0, false, {}};
   try_send(to, id);
 }
 

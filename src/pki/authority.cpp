@@ -1,7 +1,5 @@
 #include "pki/authority.hpp"
 
-#include <cassert>
-
 namespace nonrep::pki {
 
 CertificateAuthority::CertificateAuthority(PartyId id,
@@ -18,19 +16,23 @@ CertificateAuthority::CertificateAuthority(PartyId id,
   cert_.is_ca = true;
   cert_.issuer_algorithm = signer_->algorithm();
   auto sig = signer_->sign(cert_.tbs());
-  assert(sig.ok());
-  cert_.issuer_signature = std::move(sig).take();
+  if (sig.ok()) {
+    cert_.issuer_signature = std::move(sig).take();
+  } else {
+    // Leave the signature empty: add_trusted_root and verify_chain reject
+    // such a certificate, so the failure cannot be silently trusted.
+    status_ = sig.error();
+  }
 }
 
 CertificateAuthority::CertificateAuthority(Certificate own_cert,
                                            std::shared_ptr<crypto::Signer> signer)
-    : id_(own_cert.subject), signer_(std::move(signer)), cert_(std::move(own_cert)) {
-  assert(cert_.is_ca);
-}
+    : id_(own_cert.subject), signer_(std::move(signer)), cert_(std::move(own_cert)) {}
 
-Certificate CertificateAuthority::issue(const PartyId& subject, crypto::SigAlgorithm alg,
-                                        BytesView public_key, TimeMs not_before,
-                                        TimeMs not_after, bool is_ca) {
+Result<Certificate> CertificateAuthority::issue(const PartyId& subject,
+                                                crypto::SigAlgorithm alg,
+                                                BytesView public_key, TimeMs not_before,
+                                                TimeMs not_after, bool is_ca) {
   Certificate cert;
   cert.serial = id_.str() + "/" + std::to_string(next_serial_++);
   cert.subject = subject;
@@ -42,7 +44,7 @@ Certificate CertificateAuthority::issue(const PartyId& subject, crypto::SigAlgor
   cert.is_ca = is_ca;
   cert.issuer_algorithm = signer_->algorithm();
   auto sig = signer_->sign(cert.tbs());
-  assert(sig.ok());
+  if (!sig.ok()) return sig.error();
   cert.issuer_signature = std::move(sig).take();
   return cert;
 }

@@ -1,7 +1,5 @@
 #include "pki/revocation.hpp"
 
-#include <cassert>
-
 #include "util/serialize.hpp"
 
 namespace nonrep::pki {
@@ -48,13 +46,13 @@ Result<RevocationList> RevocationList::decode(BytesView b) {
   return crl;
 }
 
-RevocationList RevocationAuthority::current(TimeMs now) const {
+Result<RevocationList> RevocationAuthority::current(TimeMs now) const {
   RevocationList crl;
   crl.issuer = issuer_;
   crl.issued_at = now;
   crl.revoked_serials = revoked_;
   auto sig = signer_->sign(crl.tbs());
-  assert(sig.ok());
+  if (!sig.ok()) return sig.error();
   crl.signature = std::move(sig).take();
   return crl;
 }

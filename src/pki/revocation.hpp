@@ -30,7 +30,10 @@ class RevocationAuthority {
       : issuer_(std::move(issuer)), signer_(std::move(signer)) {}
 
   void revoke(const std::string& serial) { revoked_.insert(serial); }
-  RevocationList current(TimeMs now) const;
+
+  /// Signs and returns the current CRL; fails when the backing signer fails,
+  /// so a revocation that cannot be published is never silently dropped.
+  Result<RevocationList> current(TimeMs now) const;
 
  private:
   PartyId issuer_;

@@ -59,7 +59,8 @@ class TestWorld {
     auto key = crypto::rsa_generate(rng_, rsa_bits_);
     party->signer = std::make_shared<crypto::RsaSigner>(std::move(key));
     party->certificate = ca_->issue(party->id, party->signer->algorithm(),
-                                    party->signer->public_key(), 0, kFarFuture);
+                                    party->signer->public_key(), 0, kFarFuture)
+                             .take();
 
     party->credentials = std::make_shared<pki::CredentialManager>();
     auto root_ok = party->credentials->add_trusted_root(ca_->certificate());
@@ -89,7 +90,7 @@ class TestWorld {
 
   /// Push a fresh CRL to every party.
   void broadcast_crl() {
-    const auto crl = revocation_->current(clock->now());
+    const auto crl = revocation_->current(clock->now()).take();
     for (auto& p : parties_) (void)p->credentials->install_crl(crl);
   }
 

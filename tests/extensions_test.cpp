@@ -66,8 +66,10 @@ TEST(ForwardSecureSigner, ExhaustionSurfacesCleanly) {
 
   crypto::Drbg rng(to_bytes("tiny-merkle"));
   auto signer = std::make_shared<crypto::MerkleSchemeSigner>(rng, 1);  // 2 signatures
-  auto cert = world.ca().issue(PartyId("org:tiny"), signer->algorithm(),
-                               signer->public_key(), 0, test::kFarFuture);
+  auto cert = world.ca()
+                  .issue(PartyId("org:tiny"), signer->algorithm(), signer->public_key(),
+                         0, test::kFarFuture)
+                  .take();
   auto credentials = std::make_shared<pki::CredentialManager>();
   ASSERT_TRUE(credentials->add_trusted_root(world.ca().certificate()).ok());
   credentials->add_certificate(cert);

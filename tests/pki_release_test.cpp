@@ -1,0 +1,106 @@
+// Release-mode (NDEBUG) regression for chain verification. The library once
+// policed CA-ness and signing success with assert(), which compiles out under
+// NDEBUG; this whole binary — including its own util/crypto/pki objects — is
+// built with NDEBUG to prove the rejection paths hold without asserts.
+#include <gtest/gtest.h>
+
+#ifndef NDEBUG
+#error "pki_release_test must be compiled with NDEBUG"
+#endif
+
+#include "crypto/drbg.hpp"
+#include "pki/authority.hpp"
+#include "pki/credential_manager.hpp"
+#include "pki/revocation.hpp"
+
+namespace nonrep::pki {
+namespace {
+
+using crypto::Drbg;
+using crypto::RsaSigner;
+
+constexpr TimeMs kYear = 1000ull * 60 * 60 * 24 * 365;
+
+struct PkiReleaseFixture : ::testing::Test {
+  PkiReleaseFixture() : rng(to_bytes("pki-release-fixture")) {
+    ca_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+    ca = std::make_unique<CertificateAuthority>(PartyId("ca:root"), ca_signer, 0, kYear);
+    subject_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+    subject_cert = ca->issue(PartyId("org:a"), subject_signer->algorithm(),
+                             subject_signer->public_key(), 0, kYear)
+                       .take();
+    EXPECT_TRUE(manager.add_trusted_root(ca->certificate()).ok());
+    manager.add_certificate(subject_cert);
+  }
+
+  Drbg rng;
+  std::shared_ptr<RsaSigner> ca_signer;
+  std::unique_ptr<CertificateAuthority> ca;
+  std::shared_ptr<RsaSigner> subject_signer;
+  Certificate subject_cert;
+  CredentialManager manager;
+};
+
+TEST_F(PkiReleaseFixture, ValidChainStillVerifies) {
+  EXPECT_TRUE(manager.verify_chain(subject_cert, 100).ok());
+}
+
+TEST_F(PkiReleaseFixture, NonCaIssuerRejected) {
+  auto leaf_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+  CertificateAuthority fake(subject_cert, subject_signer);  // abuses a non-CA cert
+  Certificate leaf = fake.issue(PartyId("org:victim"), leaf_signer->algorithm(),
+                                leaf_signer->public_key(), 0, kYear)
+                         .take();
+  manager.add_certificate(leaf);
+  auto status = manager.verify_chain(leaf, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.not_a_ca");
+}
+
+TEST_F(PkiReleaseFixture, ExpiredChainRejected) {
+  auto status = manager.verify_chain(subject_cert, kYear + 1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.expired");
+}
+
+TEST_F(PkiReleaseFixture, RevokedChainRejected) {
+  RevocationAuthority ra(PartyId("ca:root"), ca_signer);
+  ra.revoke(subject_cert.serial);
+  ASSERT_TRUE(manager.install_crl(ra.current(50).take()).ok());
+  auto status = manager.verify_chain(subject_cert, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.revoked");
+}
+
+TEST_F(PkiReleaseFixture, RevokedIntermediateRejected) {
+  auto inter_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+  Certificate inter_cert = ca->issue(PartyId("ca:inter"), inter_signer->algorithm(),
+                                     inter_signer->public_key(), 0, kYear, /*is_ca=*/true)
+                               .take();
+  CertificateAuthority intermediate(inter_cert, inter_signer);
+  auto leaf_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
+  Certificate leaf = intermediate.issue(PartyId("org:leaf"), leaf_signer->algorithm(),
+                                        leaf_signer->public_key(), 0, kYear)
+                         .take();
+  manager.add_certificate(inter_cert);
+  manager.add_certificate(leaf);
+  ASSERT_TRUE(manager.verify_chain(leaf, 100).ok());
+
+  RevocationAuthority ra(PartyId("ca:root"), ca_signer);
+  ra.revoke(inter_cert.serial);
+  ASSERT_TRUE(manager.install_crl(ra.current(60).take()).ok());
+  auto status = manager.verify_chain(leaf, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.revoked");
+}
+
+TEST_F(PkiReleaseFixture, TamperedSignatureRejected) {
+  Certificate bad = subject_cert;
+  bad.subject = PartyId("org:mallory");
+  auto status = manager.verify_chain(bad, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.bad_signature");
+}
+
+}  // namespace
+}  // namespace nonrep::pki

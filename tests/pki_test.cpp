@@ -19,7 +19,8 @@ struct PkiFixture : ::testing::Test {
     ca = std::make_unique<CertificateAuthority>(PartyId("ca:root"), ca_signer, 0, kYear);
     subject_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
     subject_cert = ca->issue(PartyId("org:a"), subject_signer->algorithm(),
-                             subject_signer->public_key(), 0, kYear);
+                             subject_signer->public_key(), 0, kYear)
+                       .take();
     EXPECT_TRUE(manager.add_trusted_root(ca->certificate()).ok());
     manager.add_certificate(subject_cert);
   }
@@ -65,7 +66,8 @@ TEST_F(PkiFixture, ExpiredCertificateRejected) {
 
 TEST_F(PkiFixture, NotYetValidRejected) {
   Certificate future = ca->issue(PartyId("org:later"), subject_signer->algorithm(),
-                                 subject_signer->public_key(), 500, kYear);
+                                 subject_signer->public_key(), 500, kYear)
+                           .take();
   manager.add_certificate(future);
   EXPECT_FALSE(manager.verify_chain(future, 100).ok());
   EXPECT_TRUE(manager.verify_chain(future, 600).ok());
@@ -82,12 +84,14 @@ TEST_F(PkiFixture, TamperedCertificateRejected) {
 TEST_F(PkiFixture, IntermediateChainVerifies) {
   auto inter_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
   Certificate inter_cert = ca->issue(PartyId("ca:intermediate"), inter_signer->algorithm(),
-                                     inter_signer->public_key(), 0, kYear, /*is_ca=*/true);
+                                     inter_signer->public_key(), 0, kYear, /*is_ca=*/true)
+                               .take();
   CertificateAuthority intermediate(inter_cert, inter_signer);
 
   auto leaf_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
   Certificate leaf = intermediate.issue(PartyId("org:leaf"), leaf_signer->algorithm(),
-                                        leaf_signer->public_key(), 0, kYear);
+                                        leaf_signer->public_key(), 0, kYear)
+                         .take();
   manager.add_certificate(inter_cert);
   manager.add_certificate(leaf);
   EXPECT_TRUE(manager.verify_chain(leaf, 100).ok());
@@ -97,7 +101,8 @@ TEST_F(PkiFixture, ChainThroughNonCaRejected) {
   auto leaf_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
   CertificateAuthority fake(subject_cert, subject_signer);  // abuses a non-CA cert
   Certificate leaf = fake.issue(PartyId("org:victim"), leaf_signer->algorithm(),
-                                leaf_signer->public_key(), 0, kYear);
+                                leaf_signer->public_key(), 0, kYear)
+                         .take();
   manager.add_certificate(leaf);
   auto status = manager.verify_chain(leaf, 100);
   ASSERT_FALSE(status.ok());
@@ -108,7 +113,8 @@ TEST_F(PkiFixture, MissingIssuerRejected) {
   auto other_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
   CertificateAuthority other_ca(PartyId("ca:unknown"), other_signer, 0, kYear);
   Certificate orphan = other_ca.issue(PartyId("org:x"), other_signer->algorithm(),
-                                      other_signer->public_key(), 0, kYear);
+                                      other_signer->public_key(), 0, kYear)
+                           .take();
   auto status = manager.verify_chain(orphan, 100);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.error().code, "pki.incomplete_chain");
@@ -140,7 +146,7 @@ TEST_F(PkiFixture, VerifySignatureEndToEnd) {
 TEST_F(PkiFixture, RevocationBlocksChain) {
   RevocationAuthority ra(PartyId("ca:root"), ca_signer);
   ra.revoke(subject_cert.serial);
-  ASSERT_TRUE(manager.install_crl(ra.current(50)).ok());
+  ASSERT_TRUE(manager.install_crl(ra.current(50).take()).ok());
   auto status = manager.verify_chain(subject_cert, 100);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.error().code, "pki.revoked");
@@ -150,7 +156,7 @@ TEST_F(PkiFixture, CrlEncodeDecode) {
   RevocationAuthority ra(PartyId("ca:root"), ca_signer);
   ra.revoke("a/1");
   ra.revoke("a/2");
-  const RevocationList crl = ra.current(123);
+  const RevocationList crl = ra.current(123).take();
   auto decoded = RevocationList::decode(crl.encode());
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.value().revoked_serials, crl.revoked_serials);
@@ -160,7 +166,7 @@ TEST_F(PkiFixture, CrlEncodeDecode) {
 TEST_F(PkiFixture, ForgedCrlRejected) {
   RevocationAuthority forger(PartyId("ca:root"), subject_signer);
   forger.revoke(subject_cert.serial);
-  auto status = manager.install_crl(forger.current(50));
+  auto status = manager.install_crl(forger.current(50).take());
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.error().code, "pki.bad_crl_signature");
   EXPECT_TRUE(manager.verify_chain(subject_cert, 100).ok());  // still valid
@@ -168,8 +174,8 @@ TEST_F(PkiFixture, ForgedCrlRejected) {
 
 TEST_F(PkiFixture, StaleCrlRejected) {
   RevocationAuthority ra(PartyId("ca:root"), ca_signer);
-  ASSERT_TRUE(manager.install_crl(ra.current(100)).ok());
-  auto status = manager.install_crl(ra.current(50));
+  ASSERT_TRUE(manager.install_crl(ra.current(100).take()).ok());
+  auto status = manager.install_crl(ra.current(50).take());
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.error().code, "pki.stale_crl");
 }
@@ -177,7 +183,7 @@ TEST_F(PkiFixture, StaleCrlRejected) {
 TEST_F(PkiFixture, UnknownCrlIssuerRejected) {
   auto other_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
   RevocationAuthority ra(PartyId("ca:other"), other_signer);
-  auto status = manager.install_crl(ra.current(10));
+  auto status = manager.install_crl(ra.current(10).take());
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.error().code, "pki.unknown_crl_issuer");
 }
@@ -185,26 +191,30 @@ TEST_F(PkiFixture, UnknownCrlIssuerRejected) {
 TEST_F(PkiFixture, RevocationOfIntermediateBlocksLeaf) {
   auto inter_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
   Certificate inter_cert = ca->issue(PartyId("ca:inter2"), inter_signer->algorithm(),
-                                     inter_signer->public_key(), 0, kYear, true);
+                                     inter_signer->public_key(), 0, kYear, true)
+                               .take();
   CertificateAuthority intermediate(inter_cert, inter_signer);
   auto leaf_signer = std::make_shared<RsaSigner>(crypto::rsa_generate(rng, 512));
   Certificate leaf = intermediate.issue(PartyId("org:leaf2"), leaf_signer->algorithm(),
-                                        leaf_signer->public_key(), 0, kYear);
+                                        leaf_signer->public_key(), 0, kYear)
+                         .take();
   manager.add_certificate(inter_cert);
   manager.add_certificate(leaf);
   ASSERT_TRUE(manager.verify_chain(leaf, 100).ok());
 
   RevocationAuthority ra(PartyId("ca:root"), ca_signer);
   ra.revoke(inter_cert.serial);
-  ASSERT_TRUE(manager.install_crl(ra.current(60)).ok());
+  ASSERT_TRUE(manager.install_crl(ra.current(60).take()).ok());
   EXPECT_FALSE(manager.verify_chain(leaf, 100).ok());
 }
 
 TEST_F(PkiFixture, SerialNumbersUnique) {
   auto c1 = ca->issue(PartyId("org:s1"), subject_signer->algorithm(),
-                      subject_signer->public_key(), 0, kYear);
+                      subject_signer->public_key(), 0, kYear)
+                .take();
   auto c2 = ca->issue(PartyId("org:s2"), subject_signer->algorithm(),
-                      subject_signer->public_key(), 0, kYear);
+                      subject_signer->public_key(), 0, kYear)
+                .take();
   EXPECT_NE(c1.serial, c2.serial);
 }
 
@@ -212,7 +222,8 @@ TEST_F(PkiFixture, MerkleCertifiedParty) {
   Drbg mrng(to_bytes("merkle-party"));
   auto msigner = std::make_shared<crypto::MerkleSchemeSigner>(mrng, 3);
   Certificate mcert = ca->issue(PartyId("org:merkle"), msigner->algorithm(),
-                                msigner->public_key(), 0, kYear);
+                                msigner->public_key(), 0, kYear)
+                          .take();
   manager.add_certificate(mcert);
   ASSERT_TRUE(manager.verify_chain(mcert, 100).ok());
   auto sig = msigner->sign(to_bytes("hash-based evidence"));
@@ -221,6 +232,41 @@ TEST_F(PkiFixture, MerkleCertifiedParty) {
                   .verify_signature(PartyId("org:merkle"), to_bytes("hash-based evidence"),
                                     sig.value(), 100)
                   .ok());
+}
+
+TEST_F(PkiFixture, RootSelfSignStatusOk) {
+  EXPECT_TRUE(ca->status().ok());
+}
+
+TEST_F(PkiFixture, IssueReportsSignerFailure) {
+  // A height-1 Merkle signer holds two one-time keys: the root CA's
+  // self-signature consumes one, the first issuance the other. The second
+  // issuance must surface the signer failure instead of asserting.
+  Drbg mrng(to_bytes("exhaustible-ca"));
+  auto msigner = std::make_shared<crypto::MerkleSchemeSigner>(mrng, 1);
+  CertificateAuthority mca(PartyId("ca:merkle"), msigner, 0, kYear);
+  EXPECT_TRUE(mca.status().ok());
+  auto first = mca.issue(PartyId("org:one"), subject_signer->algorithm(),
+                         subject_signer->public_key(), 0, kYear);
+  ASSERT_TRUE(first.ok());
+  auto second = mca.issue(PartyId("org:two"), subject_signer->algorithm(),
+                          subject_signer->public_key(), 0, kYear);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, "merkle.exhausted");
+}
+
+TEST_F(PkiFixture, RootSelfSignFailureNotTrusted) {
+  // Exhaust a Merkle signer, then build a root CA from it: the self-signed
+  // certificate carries an empty signature and must be rejected as a root.
+  Drbg mrng(to_bytes("dead-root"));
+  auto msigner = std::make_shared<crypto::MerkleSchemeSigner>(mrng, 1);
+  for (int i = 0; i < 2; ++i) (void)msigner->sign(to_bytes("burn"));
+  CertificateAuthority dead(PartyId("ca:dead"), msigner, 0, kYear);
+  EXPECT_FALSE(dead.status().ok());
+  CredentialManager m2;
+  auto status = m2.add_trusted_root(dead.certificate());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.bad_root_signature");
 }
 
 }  // namespace

@@ -10,8 +10,10 @@ struct TsaFixture : ::testing::Test {
   TsaFixture() {
     auto key = crypto::rsa_generate(world.rng(), 512);
     signer = std::make_shared<crypto::RsaSigner>(std::move(key));
-    cert = world.ca().issue(PartyId("tsa:main"), signer->algorithm(), signer->public_key(),
-                            0, test::kFarFuture);
+    cert = world.ca()
+               .issue(PartyId("tsa:main"), signer->algorithm(), signer->public_key(), 0,
+                      test::kFarFuture)
+               .take();
     party = &world.add_party("a");
     party->credentials->add_certificate(cert);
     authority = std::make_unique<TimestampAuthority>(PartyId("tsa:main"), signer,
@@ -109,8 +111,10 @@ struct TsaEvidenceFixture : ::testing::Test {
   TsaEvidenceFixture() {
     auto key = crypto::rsa_generate(world.rng(), 512);
     signer = std::make_shared<crypto::RsaSigner>(std::move(key));
-    cert = world.ca().issue(PartyId("tsa:main"), signer->algorithm(), signer->public_key(),
-                            0, test::kFarFuture);
+    cert = world.ca()
+               .issue(PartyId("tsa:main"), signer->algorithm(), signer->public_key(), 0,
+                      test::kFarFuture)
+               .take();
     a = &world.add_party("a");
     b = &world.add_party("b");
     a->credentials->add_certificate(cert);
