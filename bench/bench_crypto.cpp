@@ -64,6 +64,20 @@ void BM_RsaSign(benchmark::State& state) {
 }
 BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
 
+void BM_RsaSignNoCrt(benchmark::State& state) {
+  // Full-width m^d path (what legacy v1-format keys use) — the delta to
+  // BM_RsaSign is the CRT win.
+  const RsaPrivateKey& crt_key = rsa_key(static_cast<std::size_t>(state.range(0)));
+  RsaPrivateKey key;
+  key.pub = crt_key.pub;
+  key.d = crt_key.d;
+  const Bytes msg = to_bytes("evidence subject bytes");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_sign(key, msg));
+  }
+}
+BENCHMARK(BM_RsaSignNoCrt)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
 void BM_RsaVerify(benchmark::State& state) {
   const RsaPrivateKey& key = rsa_key(static_cast<std::size_t>(state.range(0)));
   const Bytes msg = to_bytes("evidence subject bytes");

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare two Google-Benchmark JSON reports and print a speedup table.
+
+Usage: bench_diff.py BASELINE.json FRESH.json [--tolerance X] [--fail-on-regression]
+
+Benchmarks are matched by name. Speedup is baseline/fresh real_time (>1 is
+faster). With --fail-on-regression, exits 1 if any benchmark present in both
+files runs slower than TOLERANCE x the baseline (default 2.0 — generous, so
+machine noise and debug-vs-release skew don't flap CI; real regressions on
+crypto hot paths are an order of magnitude, not tens of percent).
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=2.0,
+                    help="fail when fresh > tolerance * baseline")
+    ap.add_argument("--fail-on-regression", action="store_true")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    width = max((len(n) for n in base | fresh), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  {'speedup':>8}")
+    regressions = []
+    for name in sorted(base | fresh):
+        if name not in base:
+            t, u = fresh[name]
+            print(f"{name:<{width}}  {'—':>12}  {t:>10.1f} {u}  {'new':>8}")
+            continue
+        if name not in fresh:
+            t, u = base[name]
+            print(f"{name:<{width}}  {t:>10.1f} {u}  {'—':>12}  {'gone':>8}")
+            continue
+        (bt, bu), (ft, fu) = base[name], fresh[name]
+        if bu != fu:  # units should match for same-named benchmarks
+            print(f"{name:<{width}}  unit mismatch ({bu} vs {fu}), skipped")
+            continue
+        speedup = bt / ft if ft > 0 else float("inf")
+        flag = ""
+        if ft > args.tolerance * bt:
+            regressions.append((name, speedup))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {bt:>10.1f} {bu}  {ft:>10.1f} {fu}  {speedup:>7.2f}x{flag}")
+
+    if regressions and args.fail_on_regression:
+        print(f"\n{len(regressions)} regression(s) beyond {args.tolerance}x tolerance:",
+              file=sys.stderr)
+        for name, speedup in regressions:
+            print(f"  {name}: {speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,15 @@ fi
 
 mkdir -p "$out_dir"
 out_dir="$(cd "$out_dir" && pwd)"
+script_dir="$(cd "$(dirname "$0")" && pwd)"
+
+# Snapshot the committed crypto baseline (if present) before the run
+# overwrites it, so we can print a speedup table afterwards.
+crypto_baseline=""
+if [[ -f "$out_dir/BENCH_crypto.json" ]]; then
+  crypto_baseline="$(mktemp)"
+  cp "$out_dir/BENCH_crypto.json" "$crypto_baseline"
+fi
 
 extra_args=()
 if [[ $quick -eq 1 ]]; then
@@ -43,4 +52,23 @@ for bench in "$build_dir"/bench/bench_*; do
 done
 
 ls -l "$out_dir"/BENCH_*.json
+
+# Bench diff: compare the fresh crypto report against the pre-run baseline
+# and fail on crypto regressions beyond a generous tolerance.
+if [[ -n "$crypto_baseline" && -f "$out_dir/BENCH_crypto.json" ]]; then
+  if command -v python3 >/dev/null; then
+    echo "=== bench diff (crypto, vs committed baseline) ==="
+    # Quick/CI runs execute on arbitrary shared runners against a baseline
+    # recorded elsewhere, so widen the tolerance there: it still catches the
+    # order-of-magnitude regressions that matter on crypto hot paths without
+    # flapping on hardware skew. Full local runs use the tight bound.
+    tolerance=2.0
+    [[ $quick -eq 1 ]] && tolerance=4.0
+    python3 "$script_dir/bench_diff.py" --fail-on-regression --tolerance "$tolerance" \
+      "$crypto_baseline" "$out_dir/BENCH_crypto.json" || failed=1
+  else
+    echo "note: python3 not found, skipping bench diff" >&2
+  fi
+  rm -f "$crypto_baseline"
+fi
 exit $failed

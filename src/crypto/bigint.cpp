@@ -1,13 +1,80 @@
 #include "crypto/bigint.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cassert>
 
 namespace nonrep::crypto {
 
+namespace {
+
+// ---- 64x64 -> 128 multiply-accumulate primitives ----
+//
+// The whole bigint layer funnels through fused_mul_add: lo/hi of
+// a*b + c + d, which cannot overflow 128 bits since
+// (2^64-1)^2 + 2*(2^64-1) = 2^128 - 1.
+
+#if defined(__SIZEOF_INT128__)
+
+inline std::uint64_t fused_mul_add(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                                   std::uint64_t d, std::uint64_t& hi) {
+  const unsigned __int128 t =
+      static_cast<unsigned __int128>(a) * b + c + d;
+  hi = static_cast<std::uint64_t>(t >> 64);
+  return static_cast<std::uint64_t>(t);
+}
+
+#else  // portable mulhi fallback via 32-bit halves
+
+inline std::uint64_t fused_mul_add(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                                   std::uint64_t d, std::uint64_t& hi) {
+  const std::uint64_t a_lo = a & 0xffffffffu, a_hi = a >> 32;
+  const std::uint64_t b_lo = b & 0xffffffffu, b_hi = b >> 32;
+  const std::uint64_t ll = a_lo * b_lo;
+  const std::uint64_t lh = a_lo * b_hi;
+  const std::uint64_t hl = a_hi * b_lo;
+  const std::uint64_t hh = a_hi * b_hi;
+  // cross <= (2^32-1) + 2*(2^32-1)^2 / 2^32 < 2^33 + ... — fits: the sum of
+  // three 32-bit-ish terms is at most 3*(2^32-1), well inside 64 bits.
+  const std::uint64_t cross = (ll >> 32) + (lh & 0xffffffffu) + (hl & 0xffffffffu);
+  std::uint64_t lo = (cross << 32) | (ll & 0xffffffffu);
+  std::uint64_t carry = hh + (lh >> 32) + (hl >> 32) + (cross >> 32);
+  const std::uint64_t lo2 = lo + c;
+  carry += lo2 < lo ? 1u : 0u;
+  const std::uint64_t lo3 = lo2 + d;
+  carry += lo3 < lo2 ? 1u : 0u;
+  hi = carry;
+  return lo3;
+}
+
+#endif
+
+// Add with carry-in/out.
+inline std::uint64_t addc(std::uint64_t a, std::uint64_t b, std::uint64_t& carry) {
+  const std::uint64_t s1 = a + b;
+  const std::uint64_t c1 = s1 < a ? 1u : 0u;
+  const std::uint64_t s2 = s1 + carry;
+  carry = c1 + (s2 < s1 ? 1u : 0u);
+  return s2;
+}
+
+// ---- 32-bit digit views used by the long-division routine ----
+
+std::vector<std::uint32_t> to_digits(const std::vector<std::uint64_t>& limbs) {
+  std::vector<std::uint32_t> d(limbs.size() * 2);
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    d[2 * i] = static_cast<std::uint32_t>(limbs[i]);
+    d[2 * i + 1] = static_cast<std::uint32_t>(limbs[i] >> 32);
+  }
+  while (!d.empty() && d.back() == 0) d.pop_back();
+  return d;
+}
+
+}  // namespace
+
 BigUint::BigUint(std::uint64_t v) {
-  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
-  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+  if (v != 0) limbs_.push_back(v);
 }
 
 void BigUint::trim() {
@@ -16,11 +83,11 @@ void BigUint::trim() {
 
 BigUint BigUint::from_bytes_be(BytesView b) {
   BigUint out;
-  out.limbs_.assign((b.size() + 3) / 4, 0);
+  out.limbs_.assign((b.size() + 7) / 8, 0);
   for (std::size_t i = 0; i < b.size(); ++i) {
     const std::size_t byte_from_lsb = b.size() - 1 - i;
-    out.limbs_[byte_from_lsb / 4] |=
-        static_cast<std::uint32_t>(b[i]) << (8 * (byte_from_lsb % 4));
+    out.limbs_[byte_from_lsb / 8] |=
+        static_cast<std::uint64_t>(b[i]) << (8 * (byte_from_lsb % 8));
   }
   out.trim();
   return out;
@@ -30,10 +97,10 @@ Bytes BigUint::to_bytes_be(std::size_t size) const {
   Bytes out(size, 0);
   for (std::size_t i = 0; i < size; ++i) {
     const std::size_t byte_from_lsb = i;
-    const std::size_t limb = byte_from_lsb / 4;
+    const std::size_t limb = byte_from_lsb / 8;
     if (limb < limbs_.size()) {
       out[size - 1 - i] =
-          static_cast<std::uint8_t>(limbs_[limb] >> (8 * (byte_from_lsb % 4)));
+          static_cast<std::uint8_t>(limbs_[limb] >> (8 * (byte_from_lsb % 8)));
     }
   }
   return out;
@@ -46,19 +113,14 @@ Bytes BigUint::to_bytes_be() const {
 
 std::size_t BigUint::bit_length() const noexcept {
   if (limbs_.empty()) return 0;
-  std::uint32_t top = limbs_.back();
-  std::size_t bits = (limbs_.size() - 1) * 32;
-  while (top != 0) {
-    ++bits;
-    top >>= 1;
-  }
-  return bits;
+  return limbs_.size() * 64 -
+         static_cast<std::size_t>(std::countl_zero(limbs_.back()));
 }
 
 bool BigUint::bit(std::size_t i) const noexcept {
-  const std::size_t limb = i / 32;
+  const std::size_t limb = i / 64;
   if (limb >= limbs_.size()) return false;
-  return (limbs_[limb] >> (i % 32)) & 1u;
+  return (limbs_[limb] >> (i % 64)) & 1u;
 }
 
 int BigUint::cmp(const BigUint& a, const BigUint& b) noexcept {
@@ -76,13 +138,11 @@ BigUint BigUint::add(const BigUint& a, const BigUint& b) {
   out.limbs_.resize(n + 1, 0);
   std::uint64_t carry = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t sum = carry;
-    if (i < a.limbs_.size()) sum += a.limbs_[i];
-    if (i < b.limbs_.size()) sum += b.limbs_[i];
-    out.limbs_[i] = static_cast<std::uint32_t>(sum);
-    carry = sum >> 32;
+    const std::uint64_t ai = i < a.limbs_.size() ? a.limbs_[i] : 0;
+    const std::uint64_t bi = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    out.limbs_[i] = addc(ai, bi, carry);
   }
-  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.limbs_[n] = carry;
   out.trim();
   return out;
 }
@@ -91,17 +151,14 @@ BigUint BigUint::sub(const BigUint& a, const BigUint& b) {
   assert(cmp(a, b) >= 0);
   BigUint out;
   out.limbs_.resize(a.limbs_.size(), 0);
-  std::int64_t borrow = 0;
+  std::uint64_t borrow = 0;
   for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
-    if (i < b.limbs_.size()) diff -= b.limbs_[i];
-    if (diff < 0) {
-      diff += (std::int64_t{1} << 32);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+    const std::uint64_t bi = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    const std::uint64_t d1 = a.limbs_[i] - bi;
+    const std::uint64_t borrow1 = a.limbs_[i] < bi ? 1u : 0u;
+    const std::uint64_t d2 = d1 - borrow;
+    borrow = borrow1 + (d1 < borrow ? 1u : 0u);
+    out.limbs_[i] = d2;
   }
   out.trim();
   return out;
@@ -115,18 +172,9 @@ BigUint BigUint::mul(const BigUint& a, const BigUint& b) {
     std::uint64_t carry = 0;
     const std::uint64_t ai = a.limbs_[i];
     for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
-      const std::uint64_t cur =
-          static_cast<std::uint64_t>(out.limbs_[i + j]) + ai * b.limbs_[j] + carry;
-      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+      out.limbs_[i + j] = fused_mul_add(ai, b.limbs_[j], out.limbs_[i + j], carry, carry);
     }
-    std::size_t k = i + b.limbs_.size();
-    while (carry != 0) {
-      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
-      out.limbs_[k] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-      ++k;
-    }
+    out.limbs_[i + b.limbs_.size()] = carry;
   }
   out.trim();
   return out;
@@ -134,15 +182,14 @@ BigUint BigUint::mul(const BigUint& a, const BigUint& b) {
 
 BigUint BigUint::shl(std::size_t bits) const {
   if (is_zero()) return BigUint{};
-  const std::size_t limb_shift = bits / 32;
-  const std::size_t bit_shift = bits % 32;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
   BigUint out;
   out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
     if (bit_shift != 0) {
-      out.limbs_[i + limb_shift + 1] |=
-          static_cast<std::uint32_t>(static_cast<std::uint64_t>(limbs_[i]) >> (32 - bit_shift));
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
     }
   }
   out.trim();
@@ -150,16 +197,15 @@ BigUint BigUint::shl(std::size_t bits) const {
 }
 
 BigUint BigUint::shr(std::size_t bits) const {
-  const std::size_t limb_shift = bits / 32;
+  const std::size_t limb_shift = bits / 64;
   if (limb_shift >= limbs_.size()) return BigUint{};
-  const std::size_t bit_shift = bits % 32;
+  const std::size_t bit_shift = bits % 64;
   BigUint out;
   out.limbs_.assign(limbs_.size() - limb_shift, 0);
   for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
     out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
     if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
-      out.limbs_[i] |= static_cast<std::uint32_t>(
-          static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift));
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
     }
   }
   out.trim();
@@ -172,9 +218,15 @@ BigUint BigUint::div_small(const BigUint& a, std::uint32_t divisor, std::uint32_
   out.limbs_.assign(a.limbs_.size(), 0);
   std::uint64_t rem = 0;
   for (std::size_t i = a.limbs_.size(); i-- > 0;) {
-    const std::uint64_t cur = (rem << 32) | a.limbs_[i];
-    out.limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
-    rem = cur % divisor;
+    // Process the 64-bit limb as two 32-bit halves so the running value
+    // (rem << 32 | half) always fits in 64 bits.
+    const std::uint64_t hi_in = (rem << 32) | (a.limbs_[i] >> 32);
+    const std::uint64_t q_hi = hi_in / divisor;
+    rem = hi_in % divisor;
+    const std::uint64_t lo_in = (rem << 32) | (a.limbs_[i] & 0xffffffffu);
+    const std::uint64_t q_lo = lo_in / divisor;
+    rem = lo_in % divisor;
+    out.limbs_[i] = (q_hi << 32) | q_lo;
   }
   remainder = static_cast<std::uint32_t>(rem);
   out.trim();
@@ -187,15 +239,108 @@ std::uint32_t BigUint::mod_small(const BigUint& a, std::uint32_t divisor) {
   return rem;
 }
 
-BigUint BigUint::mod(const BigUint& a, const BigUint& m) {
+// Knuth algorithm D over 32-bit digits (Hacker's Delight divmnu).
+BigUint BigUint::divmod(const BigUint& a, const BigUint& m, BigUint& rem) {
   assert(!m.is_zero());
-  if (cmp(a, m) < 0) return a;
-  const std::size_t shift_max = a.bit_length() - m.bit_length();
-  BigUint rem = a;
-  for (std::size_t s = shift_max + 1; s-- > 0;) {
-    const BigUint shifted = m.shl(s);
-    if (cmp(rem, shifted) >= 0) rem = sub(rem, shifted);
+  if (cmp(a, m) < 0) {
+    rem = a;
+    return BigUint{};
   }
+  const std::vector<std::uint32_t> v_raw = to_digits(m.limbs_);
+  if (v_raw.size() == 1) {
+    std::uint32_t r = 0;
+    BigUint q = div_small(a, v_raw[0], r);
+    rem = BigUint(r);
+    return q;
+  }
+  std::vector<std::uint32_t> u = to_digits(a.limbs_);
+  const std::size_t n = v_raw.size();
+  const std::size_t mq = u.size() - n;  // quotient has mq+1 digits
+
+  // Normalize so the divisor's top digit has its high bit set.
+  const int s = std::countl_zero(v_raw.back());
+  std::vector<std::uint32_t> v(n);
+  for (std::size_t i = n; i-- > 0;) {
+    v[i] = (v_raw[i] << s);
+    if (s != 0 && i > 0) v[i] |= static_cast<std::uint32_t>(v_raw[i - 1] >> (32 - s));
+  }
+  u.push_back(0);
+  if (s != 0) {
+    for (std::size_t i = u.size(); i-- > 0;) {
+      u[i] = (u[i] << s);
+      if (i > 0) u[i] |= static_cast<std::uint32_t>(u[i - 1] >> (32 - s));
+    }
+  }
+
+  constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+  std::vector<std::uint32_t> q(mq + 1, 0);
+  for (std::size_t j = mq + 1; j-- > 0;) {
+    const std::uint64_t num = (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = num / v[n - 1];
+    std::uint64_t rhat = num % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply-and-subtract qhat * v from u[j .. j+n].
+    std::uint64_t carry = 0;
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t =
+          static_cast<std::int64_t>(u[i + j]) -
+          static_cast<std::int64_t>(static_cast<std::uint32_t>(p)) - borrow;
+      u[i + j] = static_cast<std::uint32_t>(t);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(t);
+
+    if (t < 0) {
+      // qhat was one too large: add the divisor back.
+      --qhat;
+      std::uint64_t carry2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t t2 =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + carry2;
+        u[i + j] = static_cast<std::uint32_t>(t2);
+        carry2 = t2 >> 32;
+      }
+      u[j + n] += static_cast<std::uint32_t>(carry2);
+    }
+    q[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  // Denormalize the remainder (u[0..n)) and pack digits back into limbs.
+  std::vector<std::uint32_t> r(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = u[i] >> s;
+    if (s != 0 && i + 1 < u.size()) {
+      r[i] |= static_cast<std::uint32_t>(static_cast<std::uint64_t>(u[i + 1]) << (32 - s));
+    }
+  }
+
+  const auto pack = [](const std::vector<std::uint32_t>& digits) {
+    BigUint out;
+    out.limbs_.assign((digits.size() + 1) / 2, 0);
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+      out.limbs_[i / 2] |= static_cast<std::uint64_t>(digits[i]) << (32 * (i % 2));
+    }
+    out.trim();
+    return out;
+  };
+  rem = pack(r);
+  return pack(q);
+}
+
+BigUint BigUint::mod(const BigUint& a, const BigUint& m) {
+  BigUint rem;
+  (void)divmod(a, m, rem);
   return rem;
 }
 
@@ -210,7 +355,7 @@ std::string BigUint::to_hex_string() const {
   std::string out;
   bool leading = true;
   for (std::size_t i = limbs_.size(); i-- > 0;) {
-    for (int nib = 7; nib >= 0; --nib) {
+    for (int nib = 15; nib >= 0; --nib) {
       const unsigned d = (limbs_[i] >> (4 * nib)) & 0xf;
       if (leading && d == 0) continue;
       leading = false;
@@ -223,10 +368,12 @@ std::string BigUint::to_hex_string() const {
 // ---- Montgomery ----
 
 namespace {
-// -n^{-1} mod 2^32 via Newton iteration (n odd).
-std::uint32_t neg_inverse_u32(std::uint32_t n) {
-  std::uint32_t x = n;  // inverse mod 2^3 seed trick: x = n works mod 2^3 for odd n? Use standard loop.
-  for (int i = 0; i < 5; ++i) x *= 2 - n * x;  // doubles precision each step
+// -n^{-1} mod 2^64 via Newton iteration (n odd). The seed x = n is correct
+// to 3 bits (n*n == 1 mod 8 for odd n); each step doubles the precision, so
+// five iterations reach 96 >= 64 correct bits (six for margin).
+std::uint64_t neg_inverse_u64(std::uint64_t n) {
+  std::uint64_t x = n;
+  for (int i = 0; i < 6; ++i) x *= 2 - n * x;
   return ~x + 1;  // -(n^{-1})
 }
 }  // namespace
@@ -234,57 +381,42 @@ std::uint32_t neg_inverse_u32(std::uint32_t n) {
 Montgomery::Montgomery(const BigUint& modulus) : n_(modulus) {
   assert(n_.is_odd());
   k_ = n_.limbs_.size();
-  n0_inv_ = neg_inverse_u32(n_.limbs_[0]);
+  n0_inv_ = neg_inverse_u64(n_.limbs_[0]);
 
-  // R mod n and R^2 mod n by shift-and-reduce: start at 1, double 2*k*32
-  // times for R^2; record R mod n halfway.
-  BigUint x(1);
-  const std::size_t total = 2 * k_ * 32;
-  for (std::size_t i = 0; i < total; ++i) {
-    x = BigUint::add(x, x);
-    if (BigUint::cmp(x, n_) >= 0) x = BigUint::sub(x, n_);
-    if (i + 1 == k_ * 32) one_mont_ = x;  // R mod n
-  }
-  r2_ = x;
+  // R = 2^(64k). One long division gives R mod n; one wide multiply plus a
+  // second reduction gives R^2 mod n. (The previous implementation doubled
+  // bit-by-bit: O(k^2 * bits) limb work; this is two O(k^2) operations.)
+  one_mont_ = BigUint::mod(BigUint(1).shl(64 * k_), n_);
+  r2_ = BigUint::mod(BigUint::mul(one_mont_, one_mont_), n_);
 }
 
 BigUint Montgomery::mul(const BigUint& a_mont, const BigUint& b_mont) const {
-  // CIOS Montgomery multiplication.
-  std::vector<std::uint32_t> t(k_ + 2, 0);
+  // CIOS Montgomery multiplication over 64-bit limbs.
+  std::vector<std::uint64_t> t(k_ + 2, 0);
   for (std::size_t i = 0; i < k_; ++i) {
-    const std::uint64_t ai =
-        i < a_mont.limbs_.size() ? a_mont.limbs_[i] : 0;
+    const std::uint64_t ai = i < a_mont.limbs_.size() ? a_mont.limbs_[i] : 0;
     // t += ai * b
     std::uint64_t carry = 0;
     for (std::size_t j = 0; j < k_; ++j) {
       const std::uint64_t bj = j < b_mont.limbs_.size() ? b_mont.limbs_[j] : 0;
-      const std::uint64_t cur = static_cast<std::uint64_t>(t[j]) + ai * bj + carry;
-      t[j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+      t[j] = fused_mul_add(ai, bj, t[j], carry, carry);
     }
     {
-      const std::uint64_t cur = static_cast<std::uint64_t>(t[k_]) + carry;
-      t[k_] = static_cast<std::uint32_t>(cur);
-      t[k_ + 1] += static_cast<std::uint32_t>(cur >> 32);
+      const std::uint64_t sum = t[k_] + carry;
+      t[k_ + 1] += sum < carry ? 1u : 0u;
+      t[k_] = sum;
     }
-    // m = t[0] * n0' mod 2^32 ; t += m * n ; t >>= 32
-    const std::uint32_t m = t[0] * n0_inv_;
-    carry = 0;
-    {
-      const std::uint64_t cur =
-          static_cast<std::uint64_t>(t[0]) + static_cast<std::uint64_t>(m) * n_.limbs_[0];
-      carry = cur >> 32;
-    }
+    // m = t[0] * n0' mod 2^64 ; t += m * n ; t >>= 64
+    const std::uint64_t m = t[0] * n0_inv_;
+    std::uint64_t carry2 = 0;
+    (void)fused_mul_add(m, n_.limbs_[0], t[0], 0, carry2);
     for (std::size_t j = 1; j < k_; ++j) {
-      const std::uint64_t cur = static_cast<std::uint64_t>(t[j]) +
-                                static_cast<std::uint64_t>(m) * n_.limbs_[j] + carry;
-      t[j - 1] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+      t[j - 1] = fused_mul_add(m, n_.limbs_[j], t[j], carry2, carry2);
     }
     {
-      const std::uint64_t cur = static_cast<std::uint64_t>(t[k_]) + carry;
-      t[k_ - 1] = static_cast<std::uint32_t>(cur);
-      t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
+      const std::uint64_t sum = t[k_] + carry2;
+      t[k_ - 1] = sum;
+      t[k_] = t[k_ + 1] + (sum < carry2 ? 1u : 0u);
       t[k_ + 1] = 0;
     }
   }
@@ -301,12 +433,41 @@ BigUint Montgomery::to_mont(const BigUint& x) const { return mul(x, r2_); }
 BigUint Montgomery::from_mont(const BigUint& x) const { return mul(x, BigUint(1)); }
 
 BigUint Montgomery::exp(const BigUint& a, const BigUint& e) const {
-  const BigUint base = to_mont(BigUint::cmp(a, n_) >= 0 ? BigUint::mod(a, n_) : a);
-  BigUint acc = one_mont_;
   const std::size_t bits = e.bit_length();
-  for (std::size_t i = bits; i-- > 0;) {
-    acc = mul(acc, acc);
-    if (e.bit(i)) acc = mul(acc, base);
+  if (bits == 0) return from_mont(one_mont_);  // a^0 = 1 mod n
+  const BigUint base = to_mont(BigUint::cmp(a, n_) >= 0 ? BigUint::mod(a, n_) : a);
+
+  // Short exponents (e = 65537 on the verify path, the CRT fault check)
+  // don't amortize the 15-multiply window table; a plain left-to-right
+  // ladder is ~half the Montgomery multiplications there.
+  if (bits <= 32) {
+    BigUint acc = base;
+    for (std::size_t i = bits - 1; i-- > 0;) {
+      acc = mul(acc, acc);
+      if (e.bit(i)) acc = mul(acc, base);
+    }
+    return from_mont(acc);
+  }
+
+  // table[w] = base^w in the Montgomery domain.
+  std::array<BigUint, 16> table;
+  table[0] = one_mont_;
+  for (std::size_t w = 1; w < 16; ++w) table[w] = mul(table[w - 1], base);
+
+  const std::size_t windows = (bits + 3) / 4;
+  BigUint acc;
+  for (std::size_t w = windows; w-- > 0;) {
+    unsigned win = 0;
+    for (std::size_t j = 4; j-- > 0;) win = (win << 1) | (e.bit(w * 4 + j) ? 1u : 0u);
+    if (w + 1 == windows) {
+      acc = table[win];  // top window holds the msb, so win != 0
+    } else {
+      acc = mul(acc, acc);
+      acc = mul(acc, acc);
+      acc = mul(acc, acc);
+      acc = mul(acc, acc);
+      if (win != 0) acc = mul(acc, table[win]);
+    }
   }
   return from_mont(acc);
 }

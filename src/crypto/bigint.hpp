@@ -1,10 +1,12 @@
 // Arbitrary-precision unsigned integers for RSA.
 //
 // Design notes:
-//  * 32-bit limbs, little-endian order, 64-bit intermediates.
-//  * Modular exponentiation uses Montgomery multiplication (CIOS), so the
-//    only division ever needed is by a single limb (used for trial
-//    division and the e|1+phi(e-t) key-generation identity in rsa.cpp).
+//  * 64-bit limbs, little-endian order, 128-bit intermediate products
+//    (portable 32-bit mulhi fallback when __int128 is unavailable).
+//  * Modular exponentiation uses Montgomery multiplication (CIOS) with
+//    fixed 4-bit windows; general division (Knuth algorithm D over 32-bit
+//    digits) backs `mod`/`divmod` and the Montgomery R^2 setup, and is
+//    needed only at key-generation / context-construction time.
 #pragma once
 
 #include <cstdint>
@@ -52,8 +54,10 @@ class BigUint {
   static BigUint div_small(const BigUint& a, std::uint32_t divisor, std::uint32_t& remainder);
   static std::uint32_t mod_small(const BigUint& a, std::uint32_t divisor);
 
-  /// this mod m computed by shift-and-subtract (used only to reduce values
-  /// at most a few bits longer than m; modexp goes through Montgomery).
+  /// Full long division: a = q*m + rem with rem < m. `m` must be non-zero.
+  static BigUint divmod(const BigUint& a, const BigUint& m, BigUint& rem);
+
+  /// a mod m via long division.
   static BigUint mod(const BigUint& a, const BigUint& m);
 
   /// a^e mod m; m must be odd (Montgomery).
@@ -65,27 +69,33 @@ class BigUint {
   friend class Montgomery;
   void trim();
 
-  std::vector<std::uint32_t> limbs_;  // little-endian
+  std::vector<std::uint64_t> limbs_;  // little-endian
 };
 
-/// Montgomery context for a fixed odd modulus.
+/// Montgomery context for a fixed odd modulus. Construction costs one long
+/// division plus one wide multiply; callers on hot paths should build the
+/// context once per modulus and reuse it (RSA keys cache one per key).
 class Montgomery {
  public:
   explicit Montgomery(const BigUint& modulus);
 
   const BigUint& modulus() const noexcept { return n_; }
+  /// R mod n — the Montgomery-domain representation of 1.
+  const BigUint& one_mont() const noexcept { return one_mont_; }
 
   BigUint to_mont(const BigUint& x) const;
   BigUint from_mont(const BigUint& x) const;
   BigUint mul(const BigUint& a_mont, const BigUint& b_mont) const;
   /// a^e mod n with a in normal domain; returns normal domain.
+  /// Fixed 4-bit-window ladder: 16-entry table, 4 squarings + at most one
+  /// multiply per window.
   BigUint exp(const BigUint& a, const BigUint& e) const;
 
  private:
   BigUint n_;
   BigUint r2_;        // R^2 mod n
   BigUint one_mont_;  // R mod n
-  std::uint32_t n0_inv_;  // -n^{-1} mod 2^32
+  std::uint64_t n0_inv_;  // -n^{-1} mod 2^64
   std::size_t k_;         // limb count of n
 };
 

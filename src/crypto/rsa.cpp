@@ -20,9 +20,14 @@ constexpr std::array<std::uint32_t, 60> kSmallPrimes = {
     131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
     211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283};
 
-// EMSA-PKCS1-v1_5 encoding: 0x00 0x01 FF..FF 0x00 DigestInfo H(msg).
-Bytes emsa_encode(BytesView msg, std::size_t em_len) {
-  const Digest h = Sha256::hash(msg);
+// Private-key wire format versions (first byte of the encoding).
+constexpr std::uint8_t kRsaPrivV1 = 1;  // n, e, d
+constexpr std::uint8_t kRsaPrivV2 = 2;  // n, e, d, p, q, dp, dq, qinv
+
+// EMSA-PKCS1-v1_5 encoding over a precomputed digest:
+// 0x00 0x01 FF..FF 0x00 DigestInfo H. Taking the digest (not the message)
+// lets sign/verify hash the message exactly once.
+Bytes emsa_encode(const Digest& h, std::size_t em_len) {
   const std::size_t t_len = kSha256DigestInfo.size() + h.size();
   // em_len >= t_len + 11 is guaranteed for >= 512-bit moduli.
   Bytes em(em_len, 0xff);
@@ -46,15 +51,21 @@ BigUint random_in_range(Drbg& rng, const BigUint& below) {
 
 BigUint random_prime(Drbg& rng, std::size_t bits) {
   const std::size_t bytes = (bits + 7) / 8;
+  const unsigned top_bits = static_cast<unsigned>((bits - 1) % 8) + 1;
   for (;;) {
     Bytes raw = rng.generate(bytes);
-    // Force exact bit length and oddness.
-    raw[0] |= 0x80;
+    // Mask to the exact bit count, then force the top TWO bits (and
+    // oddness): with both primes >= 0.75 * 2^(bits-1), the product always
+    // reaches the full modulus bit length — no trim loop needed.
+    raw[0] &= static_cast<std::uint8_t>(0xff >> (8 - top_bits));
+    raw[0] |= static_cast<std::uint8_t>(1u << (top_bits - 1));
+    if (top_bits >= 2) {
+      raw[0] |= static_cast<std::uint8_t>(1u << (top_bits - 2));
+    } else {
+      raw[1] |= 0x80;  // second-highest bit lives in the next byte
+    }
     raw[bytes - 1] |= 0x01;
-    BigUint candidate = BigUint::from_bytes_be(raw);
-    // Trim to requested bit count.
-    while (candidate.bit_length() > bits) candidate = candidate.shr(1);
-    if (!candidate.is_odd()) candidate = BigUint::add(candidate, BigUint(1));
+    const BigUint candidate = BigUint::from_bytes_be(raw);
 
     bool divisible = false;
     for (std::uint32_t p : kSmallPrimes) {
@@ -66,6 +77,21 @@ BigUint random_prime(Drbg& rng, std::size_t bits) {
     if (divisible) continue;
     if (is_probable_prime(candidate, rng)) return candidate;
   }
+}
+
+// CRT signing: m^d mod n via two half-size exponentiations.
+// m1 = m^dp mod p, m2 = m^dq mod q, h = qinv*(m1 - m2) mod p, s = m2 + h*q.
+BigUint crt_sign(const RsaPrivateKey& key, const BigUint& m) {
+  const Montgomery& mp = key.montgomery_p();
+  const Montgomery& mq = key.montgomery_q();
+  const BigUint m1 = mp.exp(m, key.dp);
+  const BigUint m2 = mq.exp(m, key.dq);
+  const BigUint m2_mod_p = BigUint::mod(m2, key.p);
+  const BigUint diff = m1 >= m2_mod_p
+                           ? BigUint::sub(m1, m2_mod_p)
+                           : BigUint::sub(BigUint::add(m1, key.p), m2_mod_p);
+  const BigUint h = BigUint::mod(BigUint::mul(key.qinv, diff), key.p);
+  return BigUint::add(m2, BigUint::mul(h, key.q));
 }
 
 }  // namespace
@@ -85,17 +111,21 @@ bool is_probable_prime(const BigUint& n, Drbg& rng, int rounds) {
   }
 
   const Montgomery ctx(n);
+  const BigUint minus1_mont = ctx.to_mont(n_minus_1);
   for (int round = 0; round < rounds; ++round) {
     // Base in [2, n-2].
     BigUint a = random_in_range(rng, n_minus_1);
     if (a < BigUint(2)) a = BigUint(2);
 
-    BigUint x = ctx.exp(a, d);
+    const BigUint x = ctx.exp(a, d);
     if (x == BigUint(1) || x == n_minus_1) continue;
+    // Square through the Montgomery context: one reduction-free mul per
+    // step instead of a full-width multiply + long division.
+    BigUint xm = ctx.to_mont(x);
     bool witness = true;
     for (std::size_t i = 1; i < s; ++i) {
-      x = BigUint::mod(BigUint::mul(x, x), n);
-      if (x == n_minus_1) {
+      xm = ctx.mul(xm, xm);
+      if (xm == minus1_mont) {
         witness = false;
         break;
       }
@@ -113,8 +143,9 @@ RsaPrivateKey rsa_generate(Drbg& rng, std::size_t bits) {
     if (p == q) continue;
 
     const BigUint n = BigUint::mul(p, q);
-    const BigUint phi =
-        BigUint::mul(BigUint::sub(p, BigUint(1)), BigUint::sub(q, BigUint(1)));
+    const BigUint p_minus_1 = BigUint::sub(p, BigUint(1));
+    const BigUint q_minus_1 = BigUint::sub(q, BigUint(1));
+    const BigUint phi = BigUint::mul(p_minus_1, q_minus_1);
     // gcd(e, phi) must be 1; phi mod e == 0 would make e share a factor.
     const std::uint32_t phi_mod_e = BigUint::mod_small(phi, e);
     if (phi_mod_e == 0) continue;
@@ -144,6 +175,13 @@ RsaPrivateKey rsa_generate(Drbg& rng, std::size_t bits) {
     key.pub.n = n;
     key.pub.e = e;
     key.d = d;
+    key.p = p;
+    key.q = q;
+    key.dp = BigUint::mod(d, p_minus_1);
+    key.dq = BigUint::mod(d, q_minus_1);
+    // qinv = q^{-1} mod p = q^{p-2} mod p (Fermat; p is prime). Reuses the
+    // key's cached p-context, which signing needs anyway.
+    key.qinv = key.montgomery_p().exp(q, BigUint::sub(p, BigUint(2)));
 
     // Self-check on a fixed message to reject rare pathological keys.
     const Bytes probe = to_bytes("rsa.keygen.selfcheck");
@@ -153,9 +191,21 @@ RsaPrivateKey rsa_generate(Drbg& rng, std::size_t bits) {
 
 Bytes rsa_sign(const RsaPrivateKey& key, BytesView msg) {
   const std::size_t k = key.pub.modulus_bytes();
-  const Bytes em = emsa_encode(msg, k);
+  const Bytes em = emsa_encode(Sha256::hash(msg), k);
   const BigUint m = BigUint::from_bytes_be(em);
-  const BigUint s = BigUint::mod_exp(m, key.d, key.pub.n);
+  BigUint s;
+  if (key.has_crt()) {
+    s = crt_sign(key, m);
+    // Fault self-check: a miscomputation in either CRT half would emit a
+    // signature that both fails verification and leaks the factorization
+    // (Boneh–DeMillo–Lipton). Recombine-and-verify is cheap (e = 65537),
+    // and on mismatch we recompute via the full-width path.
+    if (key.pub.montgomery().exp(s, BigUint(key.pub.e)) != m) {
+      s = key.pub.montgomery().exp(m, key.d);
+    }
+  } else {
+    s = key.pub.montgomery().exp(m, key.d);
+  }
   return s.to_bytes_be(k);
 }
 
@@ -164,9 +214,9 @@ bool rsa_verify(const RsaPublicKey& key, BytesView msg, BytesView signature) {
   if (signature.size() != k) return false;
   const BigUint s = BigUint::from_bytes_be(signature);
   if (s >= key.n) return false;
-  const BigUint m = BigUint::mod_exp(s, BigUint(key.e), key.n);
+  const BigUint m = key.montgomery().exp(s, BigUint(key.e));
   const Bytes em = m.to_bytes_be(k);
-  const Bytes expected = emsa_encode(msg, k);
+  const Bytes expected = emsa_encode(Sha256::hash(msg), k);
   return constant_time_equal(em, expected);
 }
 
@@ -188,6 +238,56 @@ Result<RsaPublicKey> RsaPublicKey::decode(BytesView b) {
   key.e = e_val.value();
   if (key.n.is_zero() || !key.n.is_odd()) {
     return Error::make("rsa.bad_key", "modulus must be odd and non-zero");
+  }
+  return key;
+}
+
+Bytes RsaPrivateKey::encode() const {
+  BinaryWriter w;
+  w.u8(has_crt() ? kRsaPrivV2 : kRsaPrivV1);
+  w.bytes(pub.n.to_bytes_be());
+  w.u32(pub.e);
+  w.bytes(d.to_bytes_be());
+  if (has_crt()) {
+    w.bytes(p.to_bytes_be());
+    w.bytes(q.to_bytes_be());
+    w.bytes(dp.to_bytes_be());
+    w.bytes(dq.to_bytes_be());
+    w.bytes(qinv.to_bytes_be());
+  }
+  return std::move(w).take();
+}
+
+Result<RsaPrivateKey> RsaPrivateKey::decode(BytesView b) {
+  BinaryReader r(b);
+  auto version = r.u8();
+  if (!version) return version.error();
+  if (version.value() != kRsaPrivV1 && version.value() != kRsaPrivV2) {
+    return Error::make("rsa.bad_key", "unknown private key version");
+  }
+  RsaPrivateKey key;
+  const auto read_biguint = [&r](BigUint& out) -> Status {
+    auto raw = r.bytes();
+    if (!raw) return raw.error();
+    out = BigUint::from_bytes_be(raw.value());
+    return Status::ok_status();
+  };
+  if (auto s = read_biguint(key.pub.n); !s) return s.error();
+  auto e_val = r.u32();
+  if (!e_val) return e_val.error();
+  key.pub.e = e_val.value();
+  if (auto s = read_biguint(key.d); !s) return s.error();
+  if (key.pub.n.is_zero() || !key.pub.n.is_odd() || key.d.is_zero()) {
+    return Error::make("rsa.bad_key", "modulus must be odd, exponents non-zero");
+  }
+  if (version.value() == kRsaPrivV2) {
+    for (BigUint* field : {&key.p, &key.q, &key.dp, &key.dq, &key.qinv}) {
+      if (auto s = read_biguint(*field); !s) return s.error();
+    }
+    if (!key.p.is_odd() || !key.q.is_odd() ||
+        BigUint::mul(key.p, key.q) != key.pub.n) {
+      return Error::make("rsa.bad_key", "CRT parameters inconsistent with modulus");
+    }
   }
   return key;
 }

@@ -5,9 +5,17 @@
 // with Miller–Rabin primality testing; e is fixed to 65537 and the private
 // exponent is recovered via the identity d = (1 + phi*(e - phi^{-1} mod e))/e,
 // which needs only single-limb division (see bigint.hpp design notes).
+//
+// Hot-path design: each key lazily builds and caches the Montgomery context
+// for its modulus, so repeated sign/verify calls pay the context setup once.
+// Private keys carry the CRT parameters (p, q, dp, dq, qinv); signing runs
+// two half-size exponentiations and recombines, with a fault self-check
+// (verify s^e == m before emitting) that falls back to the full-width path
+// on any miscomputation so an invalid signature can never escape.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "crypto/bigint.hpp"
 #include "crypto/drbg.hpp"
@@ -21,20 +29,60 @@ struct RsaPublicKey {
   std::uint32_t e = 65537;
   std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
 
+  /// Cached Montgomery context for n, built on first use and shared across
+  /// copies made afterwards. Not serialized. Not thread-safe to build
+  /// concurrently (the codebase is single-threaded per party). The modulus
+  /// check guards against code mutating the public `n` field after first
+  /// use — a stale context would silently compute mod the wrong modulus.
+  const Montgomery& montgomery() const {
+    if (!mont_ || mont_->modulus() != n) mont_ = std::make_shared<const Montgomery>(n);
+    return *mont_;
+  }
+
   Bytes encode() const;
   static Result<RsaPublicKey> decode(BytesView b);
+
+ private:
+  mutable std::shared_ptr<const Montgomery> mont_;
 };
 
 struct RsaPrivateKey {
   RsaPublicKey pub;
   BigUint d;
+  // CRT parameters; empty on keys decoded from the legacy (n,e,d) wire
+  // format, in which case signing uses the full-width exponentiation.
+  BigUint p, q, dp, dq, qinv;
+
+  bool has_crt() const noexcept { return !p.is_zero() && !q.is_zero(); }
+
+  const Montgomery& montgomery_p() const {
+    if (!mont_p_ || mont_p_->modulus() != p) mont_p_ = std::make_shared<const Montgomery>(p);
+    return *mont_p_;
+  }
+  const Montgomery& montgomery_q() const {
+    if (!mont_q_ || mont_q_->modulus() != q) mont_q_ = std::make_shared<const Montgomery>(q);
+    return *mont_q_;
+  }
+
+  /// Versioned canonical encoding: v2 carries the CRT parameters, v1 is the
+  /// legacy (n, e, d) triple. encode() emits v1 when CRT parameters are
+  /// absent, so old-format round-trips stay byte-identical.
+  Bytes encode() const;
+  /// Decodes either version; v1 blobs yield a key with has_crt() == false.
+  static Result<RsaPrivateKey> decode(BytesView b);
+
+ private:
+  mutable std::shared_ptr<const Montgomery> mont_p_;
+  mutable std::shared_ptr<const Montgomery> mont_q_;
 };
 
 /// Generate a key pair with modulus of `bits` (>= 256; tests use 512,
 /// benches 1024/2048). Deterministic given the DRBG state.
 RsaPrivateKey rsa_generate(Drbg& rng, std::size_t bits);
 
-/// Sign SHA-256(msg) with PKCS#1 v1.5 DigestInfo padding.
+/// Sign SHA-256(msg) with PKCS#1 v1.5 DigestInfo padding. Uses CRT when the
+/// key carries CRT parameters (with recombine-and-verify fault check),
+/// full-width m^d otherwise.
 Bytes rsa_sign(const RsaPrivateKey& key, BytesView msg);
 
 /// Verify; false on any mismatch (never throws on malformed signatures).

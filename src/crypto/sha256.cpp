@@ -100,13 +100,17 @@ void Sha256::update(BytesView data) {
 
 Digest Sha256::finish() {
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad_byte = 0x80;
-  update(BytesView(&pad_byte, 1));
-  static constexpr std::uint8_t zero = 0;
-  while (buffer_len_ != 56) update(BytesView(&zero, 1));
-  std::uint8_t len_be[8];
-  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
-  update(BytesView(len_be, 8));
+  // One padding buffer: 0x80, zeros to the next 56-mod-64 boundary, then the
+  // 8-byte big-endian bit length — a single update() instead of one per byte.
+  std::array<std::uint8_t, 72> pad{};
+  pad[0] = 0x80;
+  const std::size_t zeros =
+      (buffer_len_ < 56 ? 55 : 119) - buffer_len_;  // bytes between 0x80 and the length
+  for (int i = 0; i < 8; ++i) {
+    pad[1 + zeros + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(BytesView(pad.data(), zeros + 9));
 
   Digest out{};
   for (int i = 0; i < 8; ++i) {

@@ -1,5 +1,6 @@
 #include "crypto/signer.hpp"
 
+#include "crypto/sha256.hpp"
 #include "util/serialize.hpp"
 
 namespace nonrep::crypto {
@@ -41,6 +42,23 @@ bool verify(SigAlgorithm alg, BytesView public_key, BytesView msg, BytesView sig
     }
   }
   return false;
+}
+
+bool VerifierCache::verify(SigAlgorithm alg, BytesView public_key, BytesView msg,
+                           BytesView signature) {
+  if (alg != SigAlgorithm::kRsa) {
+    return crypto::verify(alg, public_key, msg, signature);
+  }
+  const Digest dg = Sha256::hash(public_key);
+  std::string cache_key(reinterpret_cast<const char*>(dg.data()), dg.size());
+  auto it = rsa_keys_.find(cache_key);
+  if (it == rsa_keys_.end()) {
+    auto decoded = RsaPublicKey::decode(public_key);
+    if (!decoded) return false;
+    if (rsa_keys_.size() >= kMaxEntries) rsa_keys_.clear();
+    it = rsa_keys_.emplace(std::move(cache_key), std::move(decoded).take()).first;
+  }
+  return rsa_verify(it->second, msg, signature);
 }
 
 }  // namespace nonrep::crypto

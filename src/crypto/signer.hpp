@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "crypto/merkle.hpp"
 #include "crypto/rsa.hpp"
@@ -38,6 +39,24 @@ class Signer {
 /// Verify `signature` over `msg` against a serialized public key.
 /// Returns false for malformed keys/signatures — never throws.
 bool verify(SigAlgorithm alg, BytesView public_key, BytesView msg, BytesView signature);
+
+/// Memoizes decoded RSA public keys (and their lazily-built Montgomery
+/// contexts) keyed by a digest of the serialized key bytes, so steady-state
+/// verification skips the decode and context setup and performs exactly one
+/// Montgomery exponentiation. Non-RSA algorithms pass through unchanged.
+class VerifierCache {
+ public:
+  bool verify(SigAlgorithm alg, BytesView public_key, BytesView msg, BytesView signature);
+
+  void clear() { rsa_keys_.clear(); }
+  std::size_t size() const noexcept { return rsa_keys_.size(); }
+
+ private:
+  // Decoded keys by SHA-256 of the wire-form key. Bounded: cleared wholesale
+  // if an adversarial workload pushes past kMaxEntries distinct keys.
+  static constexpr std::size_t kMaxEntries = 1024;
+  std::unordered_map<std::string, RsaPublicKey> rsa_keys_;
+};
 
 class RsaSigner final : public Signer {
  public:

@@ -1,21 +1,44 @@
 #include "pki/credential_manager.hpp"
 
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
 namespace nonrep::pki {
+
+namespace {
+
+std::string cert_digest(const Certificate& cert) {
+  const crypto::Digest d = crypto::Sha256::hash(cert.encode());
+  return std::string(reinterpret_cast<const char*>(d.data()), d.size());
+}
+
+}  // namespace
+
+void CredentialManager::invalidate_caches() const {
+  // Only the chain cache depends on trust state. The VerifierCache is
+  // content-addressed (keyed by a digest of the key bytes), so its entries
+  // can never go stale and survive root/cert/CRL changes.
+  chain_cache_.clear();
+}
 
 Status CredentialManager::add_trusted_root(const Certificate& root) {
   if (!root.self_signed() || !root.is_ca) {
     return Error::make("pki.bad_root", "root must be self-signed CA certificate");
   }
-  if (!crypto::verify(root.issuer_algorithm, root.public_key, root.tbs(),
-                      root.issuer_signature)) {
+  if (!verifier_cache_.verify(root.issuer_algorithm, root.public_key, root.tbs(),
+                              root.issuer_signature)) {
     return Error::make("pki.bad_root_signature", root.subject.str());
   }
   roots_[root.subject.str()] = root;
+  invalidate_caches();
   return Status::ok_status();
 }
 
 void CredentialManager::add_certificate(const Certificate& cert) {
   certs_[cert.subject.str()] = cert;
+  // A new or replaced intermediate can change the outcome of cached walks.
+  invalidate_caches();
 }
 
 Status CredentialManager::install_crl(const RevocationList& crl) {
@@ -30,8 +53,8 @@ Status CredentialManager::install_crl(const RevocationList& crl) {
   if (issuer_cert == nullptr) {
     return Error::make("pki.unknown_crl_issuer", crl.issuer.str());
   }
-  if (!crypto::verify(issuer_cert->algorithm, issuer_cert->public_key, crl.tbs(),
-                      crl.signature)) {
+  if (!verifier_cache_.verify(issuer_cert->algorithm, issuer_cert->public_key, crl.tbs(),
+                              crl.signature)) {
     return Error::make("pki.bad_crl_signature", crl.issuer.str());
   }
   auto existing = crls_.find(crl.issuer.str());
@@ -39,6 +62,8 @@ Status CredentialManager::install_crl(const RevocationList& crl) {
     return Error::make("pki.stale_crl", "held CRL is fresher");
   }
   crls_[crl.issuer.str()] = crl;
+  // Freshly revoked serials must not be served from cached chain walks.
+  invalidate_caches();
   return Status::ok_status();
 }
 
@@ -54,9 +79,24 @@ bool CredentialManager::is_revoked(const PartyId& issuer, const std::string& ser
 }
 
 Status CredentialManager::verify_chain(const Certificate& leaf, TimeMs at) const {
+  const std::string digest = cert_digest(leaf);
+  if (auto it = chain_cache_.find(digest); it != chain_cache_.end()) {
+    // Trust state is unchanged since the walk (any mutation clears the
+    // cache), so only the time-dependent validity check remains.
+    if (at >= it->second.not_before && at <= it->second.not_after) {
+      ++chain_cache_hits_;
+      return Status::ok_status();
+    }
+    return Error::make("pki.expired",
+                       leaf.subject.str() + " at t=" + std::to_string(at));
+  }
+
   constexpr int kMaxChain = 8;
+  VerifiedChain window{leaf.not_before, leaf.not_after};
   Certificate current = leaf;
   for (int depth = 0; depth < kMaxChain; ++depth) {
+    window.not_before = std::max(window.not_before, current.not_before);
+    window.not_after = std::min(window.not_after, current.not_after);
     if (!current.valid_at(at)) {
       return Error::make("pki.expired", current.subject.str() + " at t=" + std::to_string(at));
     }
@@ -66,10 +106,13 @@ Status CredentialManager::verify_chain(const Certificate& leaf, TimeMs at) const
     // Trusted root reached?
     if (auto it = roots_.find(current.issuer.str()); it != roots_.end()) {
       const Certificate& root = it->second;
-      if (!crypto::verify(root.algorithm, root.public_key, current.tbs(),
-                          current.issuer_signature)) {
+      if (!verifier_cache_.verify(root.algorithm, root.public_key, current.tbs(),
+                                  current.issuer_signature)) {
         return Error::make("pki.bad_signature", current.subject.str());
       }
+      // The walk never time-checks the root itself, so the cached window
+      // deliberately excludes it — cached and uncached answers must agree.
+      chain_cache_.emplace(digest, window);
       return Status::ok_status();
     }
     // Otherwise walk to the stored intermediate.
@@ -82,8 +125,8 @@ Status CredentialManager::verify_chain(const Certificate& leaf, TimeMs at) const
     if (!issuer_cert.is_ca) {
       return Error::make("pki.not_a_ca", issuer_cert.subject.str());
     }
-    if (!crypto::verify(issuer_cert.algorithm, issuer_cert.public_key, current.tbs(),
-                        current.issuer_signature)) {
+    if (!verifier_cache_.verify(issuer_cert.algorithm, issuer_cert.public_key, current.tbs(),
+                                current.issuer_signature)) {
       return Error::make("pki.bad_signature", current.subject.str());
     }
     current = issuer_cert;
@@ -96,7 +139,8 @@ Status CredentialManager::verify_signature(const PartyId& party, BytesView msg,
   auto cert = find(party);
   if (!cert) return cert.error();
   if (auto chain = verify_chain(cert.value(), at); !chain) return chain;
-  if (!crypto::verify(cert.value().algorithm, cert.value().public_key, msg, signature)) {
+  if (!verifier_cache_.verify(cert.value().algorithm, cert.value().public_key, msg,
+                              signature)) {
     return Error::make("pki.signature_mismatch", party.str());
   }
   return Status::ok_status();

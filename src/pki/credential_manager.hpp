@@ -4,11 +4,22 @@
 // certificates, known subject certificates, and the freshest CRL per
 // issuer. verify_chain() walks subject -> issuer(s) -> trusted root,
 // checking signatures, validity windows, CA flags and revocation.
+//
+// Steady-state verification is cached two ways:
+//  * a VerifierCache memoizes decoded signing keys (and their Montgomery
+//    contexts) by key digest, and
+//  * successful chain walks are cached by leaf-certificate digest together
+//    with the chain's intersected validity window, so re-verifying the same
+//    leaf at a covered time does no signature work at all.
+// Both caches are invalidated whenever the trust state changes (certificate
+// added, root added, CRL installed), so a revocation can never be masked by
+// a stale cache entry.
 #pragma once
 
 #include <string>
 #include <unordered_map>
 
+#include "crypto/signer.hpp"
 #include "pki/certificate.hpp"
 #include "pki/revocation.hpp"
 
@@ -39,10 +50,30 @@ class CredentialManager {
 
   bool is_revoked(const PartyId& issuer, const std::string& serial) const;
 
+  /// Cache observability (tests and benches).
+  std::size_t chain_cache_size() const noexcept { return chain_cache_.size(); }
+  std::size_t chain_cache_hits() const noexcept { return chain_cache_hits_; }
+
  private:
+  // A successfully verified chain, valid for any time inside the
+  // intersection of the chain's validity windows.
+  struct VerifiedChain {
+    TimeMs not_before = 0;
+    TimeMs not_after = 0;
+  };
+
+  void invalidate_caches() const;
+
   std::unordered_map<std::string, Certificate> roots_;  // by subject id
   std::unordered_map<std::string, Certificate> certs_;  // by subject id
   std::unordered_map<std::string, RevocationList> crls_;  // by issuer id
+
+  // Keyed by SHA-256 of the leaf certificate's full encoding. Mutable: the
+  // caches are logically const memoization of const queries (single-threaded
+  // per party, like the rest of the manager).
+  mutable std::unordered_map<std::string, VerifiedChain> chain_cache_;
+  mutable crypto::VerifierCache verifier_cache_;
+  mutable std::size_t chain_cache_hits_ = 0;
 };
 
 }  // namespace nonrep::pki

@@ -182,6 +182,144 @@ TEST_P(MulDivProperty, DivSmallUndoesMulSmall) {
 
 INSTANTIATE_TEST_SUITE_P(RandomCases, MulDivProperty, ::testing::Range(0, 20));
 
+// ---- Differential suite: 64-bit limb ops vs byte-at-a-time references ----
+//
+// The reference implementations work digit-by-digit in base 256 on
+// big-endian byte strings — slow, obviously correct, and sharing no code
+// with the limb-based fast paths they check.
+
+Bytes ref_trim(Bytes v) {
+  std::size_t lead = 0;
+  while (lead < v.size() && v[lead] == 0) ++lead;
+  return Bytes(v.begin() + static_cast<std::ptrdiff_t>(lead), v.end());
+}
+
+Bytes ref_add(BytesView a, BytesView b) {
+  Bytes out(std::max(a.size(), b.size()) + 1, 0);
+  int carry = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    int sum = carry;
+    if (i < a.size()) sum += a[a.size() - 1 - i];
+    if (i < b.size()) sum += b[b.size() - 1 - i];
+    out[out.size() - 1 - i] = static_cast<std::uint8_t>(sum & 0xff);
+    carry = sum >> 8;
+  }
+  return ref_trim(out);
+}
+
+Bytes ref_sub(BytesView a, BytesView b) {  // requires a >= b
+  Bytes out(a.size(), 0);
+  int borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    int diff = a[a.size() - 1 - i] - borrow;
+    if (i < b.size()) diff -= b[b.size() - 1 - i];
+    borrow = diff < 0 ? 1 : 0;
+    out[out.size() - 1 - i] = static_cast<std::uint8_t>(diff + (borrow << 8));
+  }
+  return ref_trim(out);
+}
+
+Bytes ref_mul(BytesView a, BytesView b) {
+  Bytes out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    int carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::size_t k = out.size() - 1 - i - j;
+      const int cur = out[k] + a[a.size() - 1 - i] * b[b.size() - 1 - j] + carry;
+      out[k] = static_cast<std::uint8_t>(cur & 0xff);
+      carry = cur >> 8;
+    }
+    std::size_t k = out.size() - 1 - i - b.size();
+    while (carry != 0) {
+      const int cur = out[k] + carry;
+      out[k] = static_cast<std::uint8_t>(cur & 0xff);
+      carry = cur >> 8;
+      if (k == 0) break;
+      --k;
+    }
+  }
+  return ref_trim(out);
+}
+
+// Random byte string whose length sweeps across limb boundaries.
+Bytes random_operand(Drbg& rng, std::size_t max_len) {
+  const std::size_t len = rng.uniform(max_len + 1);
+  return rng.generate(len);
+}
+
+class BigUintDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigUintDifferential, AddMatchesReference) {
+  Drbg rng(to_bytes("diff-add-" + std::to_string(GetParam())));
+  const Bytes a = random_operand(rng, 70), b = random_operand(rng, 70);
+  EXPECT_EQ(BigUint::add(BigUint::from_bytes_be(a), BigUint::from_bytes_be(b)).to_bytes_be(),
+            ref_add(a, b));
+}
+
+TEST_P(BigUintDifferential, SubMatchesReference) {
+  Drbg rng(to_bytes("diff-sub-" + std::to_string(GetParam())));
+  Bytes a = random_operand(rng, 70), b = random_operand(rng, 70);
+  BigUint ba = BigUint::from_bytes_be(a), bb = BigUint::from_bytes_be(b);
+  if (ba < bb) {
+    std::swap(a, b);
+    std::swap(ba, bb);
+  }
+  EXPECT_EQ(BigUint::sub(ba, bb).to_bytes_be(), ref_sub(a, b));
+}
+
+TEST_P(BigUintDifferential, MulMatchesReference) {
+  Drbg rng(to_bytes("diff-mul-" + std::to_string(GetParam())));
+  const Bytes a = random_operand(rng, 48), b = random_operand(rng, 48);
+  EXPECT_EQ(BigUint::mul(BigUint::from_bytes_be(a), BigUint::from_bytes_be(b)).to_bytes_be(),
+            ref_mul(a, b));
+}
+
+TEST_P(BigUintDifferential, DivmodReconstructsDividend) {
+  Drbg rng(to_bytes("diff-div-" + std::to_string(GetParam())));
+  const Bytes a = rng.generate(1 + rng.uniform(80));
+  Bytes m_raw = rng.generate(1 + rng.uniform(40));
+  m_raw[0] |= 0x01;  // non-zero (low byte of the top digit suffices)
+  const BigUint ba = BigUint::from_bytes_be(a);
+  const BigUint bm = BigUint::from_bytes_be(m_raw);
+  BigUint rem;
+  const BigUint q = BigUint::divmod(ba, bm, rem);
+  EXPECT_LT(BigUint::cmp(rem, bm), 0);
+  // q*m + rem == a, recombined with the reference arithmetic.
+  EXPECT_EQ(ref_add(ref_mul(q.to_bytes_be(), bm.to_bytes_be()), rem.to_bytes_be()),
+            ref_trim(Bytes(a.begin(), a.end())));
+}
+
+TEST_P(BigUintDifferential, ShiftsMatchMulByPowerOfTwo) {
+  Drbg rng(to_bytes("diff-shift-" + std::to_string(GetParam())));
+  const Bytes a = rng.generate(1 + rng.uniform(40));
+  const std::size_t s = rng.uniform(130);
+  const BigUint ba = BigUint::from_bytes_be(a);
+  // 2^s as a reference byte string: 1 followed by s zero bits.
+  Bytes pow2(s / 8 + 1, 0);
+  pow2[0] = static_cast<std::uint8_t>(1u << (s % 8));
+  EXPECT_EQ(ba.shl(s).to_bytes_be(), ref_mul(a, pow2));
+  EXPECT_EQ(ba.shl(s).shr(s), ba);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, BigUintDifferential, ::testing::Range(0, 40));
+
+TEST(BigUintDivmod, EdgeCases) {
+  BigUint rem;
+  // Dividend smaller than divisor.
+  EXPECT_EQ(BigUint::divmod(BigUint(5), BigUint(9), rem), BigUint{});
+  EXPECT_EQ(rem, BigUint(5));
+  // Exact division, multi-limb.
+  const BigUint m = BigUint::from_bytes_be(Bytes{0x01, 0x23, 0x45, 0x67, 0x89,
+                                                 0xab, 0xcd, 0xef, 0x01, 0x02});
+  const BigUint prod = BigUint::mul(m, BigUint(0xfedcba9876543210ull));
+  EXPECT_EQ(BigUint::divmod(prod, m, rem), BigUint(0xfedcba9876543210ull));
+  EXPECT_TRUE(rem.is_zero());
+  // Divisor of exactly one 64-bit limb (exercises the digit fast path edge).
+  EXPECT_EQ(BigUint::divmod(BigUint(1).shl(100), BigUint(1).shl(64), rem),
+            BigUint(1).shl(36));
+  EXPECT_TRUE(rem.is_zero());
+}
+
 TEST(Primality, KnownPrimes) {
   Drbg rng(to_bytes("prime-test"));
   EXPECT_TRUE(is_probable_prime(BigUint(2), rng));

@@ -269,5 +269,78 @@ TEST_F(PkiFixture, RootSelfSignFailureNotTrusted) {
   EXPECT_EQ(status.error().code, "pki.bad_root_signature");
 }
 
+// ---- Verification caches ----
+
+TEST_F(PkiFixture, ChainCacheHitsOnRepeatVerification) {
+  EXPECT_EQ(manager.chain_cache_size(), 0u);
+  ASSERT_TRUE(manager.verify_chain(subject_cert, 100).ok());
+  EXPECT_EQ(manager.chain_cache_size(), 1u);
+  EXPECT_EQ(manager.chain_cache_hits(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(manager.verify_chain(subject_cert, 100 + i).ok());
+  }
+  EXPECT_EQ(manager.chain_cache_hits(), 3u);
+  EXPECT_EQ(manager.chain_cache_size(), 1u);
+}
+
+TEST_F(PkiFixture, ChainCacheRespectsValidityWindow) {
+  ASSERT_TRUE(manager.verify_chain(subject_cert, 100).ok());
+  // A cached entry must not vouch for times outside the chain's window.
+  auto status = manager.verify_chain(subject_cert, kYear + 1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.expired");
+}
+
+TEST_F(PkiFixture, CrlInstallInvalidatesChainCache) {
+  ASSERT_TRUE(manager.verify_chain(subject_cert, 100).ok());
+  ASSERT_TRUE(manager.verify_chain(subject_cert, 100).ok());
+  EXPECT_GE(manager.chain_cache_hits(), 1u);
+
+  RevocationAuthority ra(PartyId("ca:root"), ca_signer);
+  ra.revoke(subject_cert.serial);
+  ASSERT_TRUE(manager.install_crl(ra.current(50).take()).ok());
+
+  // The revocation must take effect despite the earlier cached success.
+  EXPECT_EQ(manager.chain_cache_size(), 0u);
+  auto status = manager.verify_chain(subject_cert, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.revoked");
+}
+
+TEST_F(PkiFixture, CachedSignatureVerificationStaysCorrect) {
+  const Bytes msg = to_bytes("evidence bytes");
+  auto sig = subject_signer->sign(msg);
+  ASSERT_TRUE(sig.ok());
+  // Repeated verifies (hitting both caches) agree with the cold path.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(manager.verify_signature(PartyId("org:a"), msg, sig.value(), 100).ok());
+  }
+  Bytes tampered = sig.value();
+  tampered[tampered.size() / 2] ^= 0x01;
+  EXPECT_FALSE(manager.verify_signature(PartyId("org:a"), msg, tampered, 100).ok());
+}
+
+TEST(VerifierCache, MatchesUncachedVerify) {
+  Drbg rng(to_bytes("verifier-cache"));
+  RsaSigner signer(crypto::rsa_generate(rng, 512));
+  const Bytes pub = signer.public_key();
+  const Bytes msg = to_bytes("m");
+  auto sig = signer.sign(msg);
+  ASSERT_TRUE(sig.ok());
+
+  crypto::VerifierCache cache;
+  EXPECT_TRUE(cache.verify(crypto::SigAlgorithm::kRsa, pub, msg, sig.value()));
+  EXPECT_EQ(cache.size(), 1u);
+  // Cached key, wrong message / tampered signature still rejected.
+  EXPECT_FALSE(cache.verify(crypto::SigAlgorithm::kRsa, pub, to_bytes("n"), sig.value()));
+  Bytes bad = sig.value();
+  bad[0] ^= 1;
+  EXPECT_FALSE(cache.verify(crypto::SigAlgorithm::kRsa, pub, msg, bad));
+  EXPECT_EQ(cache.size(), 1u);
+  // Garbage keys are not cached.
+  EXPECT_FALSE(cache.verify(crypto::SigAlgorithm::kRsa, to_bytes("junk"), msg, sig.value()));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 }  // namespace
 }  // namespace nonrep::pki

@@ -334,7 +334,7 @@ TEST_F(SharingFixture, EntityInterceptorRoutesWritesThroughController) {
   // Deploy an entity bean whose method rewrites the state, fronted by the
   // B2BObject interceptor (Figure 8 wiring).
   auto entity = std::make_shared<EntityComponent>(to_bytes("ok:v1"));
-  entity->bind("put", [entity](const container::Invocation& inv) -> Result<Bytes> {
+  entity->bind("put", [](const container::Invocation& inv) -> Result<Bytes> {
     return inv.arguments;  // result payload == proposed new state
   });
   container::Container server_container;
@@ -383,8 +383,10 @@ TEST_F(SharingFixture, DescriptorDrivenRollupFacade) {
   // whose "reprice" method performs three entity operations that §4.3
   // rolls up into one coordination event.
   auto entity = std::make_shared<EntityComponent>(to_bytes("ok:v1"));
-  entity->bind("put", [entity](const container::Invocation& inv) -> Result<Bytes> {
-    entity->set_state(inv.arguments);
+  // Capture a raw pointer: the handler is stored inside the entity itself,
+  // so a shared_ptr capture would be a reference cycle (leaks under LSan).
+  entity->bind("put", [e = entity.get()](const container::Invocation& inv) -> Result<Bytes> {
+    e->set_state(inv.arguments);
     return inv.arguments;
   });
   container::Container server;
@@ -427,8 +429,10 @@ TEST_F(SharingFixture, RollupFacadeVetoFailsInvocation) {
   build(2);
   nodes[1].controller->add_validator(kSpec, std::make_shared<PrefixValidator>());
   auto entity = std::make_shared<EntityComponent>(to_bytes("ok:v1"));
-  entity->bind("put", [entity](const container::Invocation& inv) -> Result<Bytes> {
-    entity->set_state(inv.arguments);
+  // Capture a raw pointer: the handler is stored inside the entity itself,
+  // so a shared_ptr capture would be a reference cycle (leaks under LSan).
+  entity->bind("put", [e = entity.get()](const container::Invocation& inv) -> Result<Bytes> {
+    e->set_state(inv.arguments);
     return inv.arguments;
   });
   container::Container server;
