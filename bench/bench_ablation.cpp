@@ -71,7 +71,7 @@ struct AblationRig {
         return std::make_shared<crypto::RsaSigner>(crypto::rsa_generate(rng, 1024));
       case Scheme::kMerkle:
         // height 12: 4096 one-time signatures per key.
-        return std::make_shared<crypto::MerkleSchemeSigner>(rng, 12);
+        return crypto::MerkleSchemeSigner::create(rng, 12).take();
     }
     return nullptr;
   }

@@ -123,12 +123,12 @@ void BM_MerkleSign(benchmark::State& state) {
   // in keygen, excluded here by pausing timing).
   Drbg rng(to_bytes("bench-merkle"));
   const auto height = static_cast<std::size_t>(state.range(0));
-  auto signer = std::make_unique<MerkleSigner>(rng, height);
+  auto signer = std::make_unique<MerkleSigner>(MerkleSigner::create(rng, height).take());
   const Bytes msg = to_bytes("evidence");
   for (auto _ : state) {
     if (signer->exhausted()) {
       state.PauseTiming();
-      signer = std::make_unique<MerkleSigner>(rng, height);
+      signer = std::make_unique<MerkleSigner>(MerkleSigner::create(rng, height).take());
       state.ResumeTiming();
     }
     benchmark::DoNotOptimize(signer->sign(msg));
@@ -139,7 +139,7 @@ BENCHMARK(BM_MerkleSign)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 void BM_MerkleVerify(benchmark::State& state) {
   Drbg rng(to_bytes("bench-merkle-v"));
   const auto height = static_cast<std::size_t>(state.range(0));
-  MerkleSigner signer(rng, height);
+  auto signer = MerkleSigner::create(rng, height).take();
   const Bytes msg = to_bytes("evidence");
   const Bytes sig = std::move(signer.sign(msg)).take();
   for (auto _ : state) {
@@ -152,7 +152,7 @@ BENCHMARK(BM_MerkleVerify)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 void BM_MerkleKeygen(benchmark::State& state) {
   Drbg rng(to_bytes("bench-merkle-k"));
   for (auto _ : state) {
-    MerkleSigner signer(rng, static_cast<std::size_t>(state.range(0)));
+    auto signer = MerkleSigner::create(rng, static_cast<std::size_t>(state.range(0))).take();
     benchmark::DoNotOptimize(signer.root());
   }
   state.counters["signatures_available"] =

@@ -71,4 +71,20 @@ if [[ -n "$crypto_baseline" && -f "$out_dir/BENCH_crypto.json" ]]; then
   fi
   rm -f "$crypto_baseline"
 fi
+
+# Journal durability bench: print the group-commit ROI from the fresh report
+# (acceptance floor: batched append >= 5x per-record fdatasync).
+if [[ -f "$out_dir/BENCH_journal.json" ]] && command -v python3 >/dev/null; then
+  python3 - "$out_dir/BENCH_journal.json" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+times = {b["name"]: b["real_time"] for b in report.get("benchmarks", [])
+         if b.get("run_type", "iteration") == "iteration"}
+per_record = times.get("BM_JournalAppend_EveryRecord")
+batched = times.get("BM_JournalAppend_Batch")
+if per_record and batched:
+    print(f"=== journal group commit: batched append {per_record / batched:.1f}x "
+          f"per-record sync ===")
+PYEOF
+fi
 exit $failed

@@ -148,6 +148,9 @@ BigUint BigUint::add(const BigUint& a, const BigUint& b) {
 }
 
 BigUint BigUint::sub(const BigUint& a, const BigUint& b) {
+  // Internal invariant, kept as an assert (PR 3 audit): every library call
+  // site orders its operands first; no wire-decoded value reaches sub()
+  // unchecked.
   assert(cmp(a, b) >= 0);
   BigUint out;
   out.limbs_.resize(a.limbs_.size(), 0);
@@ -213,6 +216,9 @@ BigUint BigUint::shr(std::size_t bits) const {
 }
 
 BigUint BigUint::div_small(const BigUint& a, std::uint32_t divisor, std::uint32_t& remainder) {
+  // Internal invariant, kept as an assert (PR 3 audit): divmod routes a
+  // zero modulus away before delegating here, and direct callers pass
+  // constants.
   assert(divisor != 0);
   BigUint out;
   out.limbs_.assign(a.limbs_.size(), 0);
@@ -241,6 +247,9 @@ std::uint32_t BigUint::mod_small(const BigUint& a, std::uint32_t divisor) {
 
 // Knuth algorithm D over 32-bit digits (Hacker's Delight divmnu).
 BigUint BigUint::divmod(const BigUint& a, const BigUint& m, BigUint& rem) {
+  // Internal invariant, kept as an assert (PR 3 audit): hostile input is
+  // screened at the wire boundary — RsaPublicKey/RsaPrivateKey::decode
+  // reject zero or even moduli before any arithmetic runs.
   assert(!m.is_zero());
   if (cmp(a, m) < 0) {
     rem = a;
@@ -379,6 +388,9 @@ std::uint64_t neg_inverse_u64(std::uint64_t n) {
 }  // namespace
 
 Montgomery::Montgomery(const BigUint& modulus) : n_(modulus) {
+  // Internal invariant, kept as an assert (PR 3 audit): contexts are built
+  // only for RSA moduli/primes that the decode layer has already verified
+  // to be odd (an even n has no inverse mod 2^64).
   assert(n_.is_odd());
   k_ = n_.limbs_.size();
   n0_inv_ = neg_inverse_u64(n_.limbs_[0]);

@@ -18,8 +18,17 @@ constexpr std::size_t kLamportPubSize = 256 * 2 * kSha256DigestSize;
 
 }  // namespace
 
-MerkleSigner::MerkleSigner(Drbg& rng, std::size_t height) {
-  assert(height >= 1 && height <= 12);
+Result<MerkleSigner> MerkleSigner::create(Drbg& rng, std::size_t height) {
+  if (height < 1 || height > 12) {
+    return Error::make("merkle.bad_height",
+                       "supported tree heights are 1..12, got " + std::to_string(height));
+  }
+  MerkleSigner signer;
+  signer.build(rng, height);
+  return signer;
+}
+
+void MerkleSigner::build(Drbg& rng, std::size_t height) {
   const std::size_t n = std::size_t{1} << height;
   leaves_.reserve(n);
   std::vector<Digest> level;
@@ -57,7 +66,7 @@ Result<Bytes> MerkleSigner::sign(BytesView msg) {
   }
   const std::size_t leaf = next_leaf_++;
   Leaf& l = leaves_[leaf];
-  assert(!l.consumed);
+  assert(!l.consumed);  // internal invariant: next_leaf_ only moves forward
   l.consumed = true;
 
   Bytes out;
@@ -130,4 +139,19 @@ bool merkle_verify(const Digest& root, std::size_t tree_height, BytesView msg,
                              BytesView(root.data(), root.size()));
 }
 
+Digest merkle_root(const std::vector<Digest>& leaves) {
+  if (leaves.empty()) return Digest{};
+  std::vector<Digest> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Digest> next;
+    next.reserve((level.size() + 1) / 2);
+    std::size_t i = 0;
+    for (; i + 1 < level.size(); i += 2) next.push_back(hash_pair(level[i], level[i + 1]));
+    if (i < level.size()) next.push_back(level[i]);  // odd node promotes
+    level = std::move(next);
+  }
+  return level[0];
+}
+
 }  // namespace nonrep::crypto
+

@@ -20,10 +20,13 @@ namespace nonrep::crypto {
 
 class MerkleSigner {
  public:
-  /// Builds 2^height one-time keys (height <= 12 enforced).
-  MerkleSigner(Drbg& rng, std::size_t height);
+  /// Builds 2^height one-time keys. Heights outside [1, 12] are a caller
+  /// error (2^height Lamport key pairs are materialized up front), reported
+  /// as "merkle.bad_height" rather than asserted.
+  static Result<MerkleSigner> create(Drbg& rng, std::size_t height);
 
   const Digest& root() const noexcept { return root_; }
+  std::size_t height() const noexcept { return levels_.size() - 1; }
   std::size_t capacity() const noexcept { return leaves_.size(); }
   std::size_t used() const noexcept { return next_leaf_; }
   bool exhausted() const noexcept { return next_leaf_ >= leaves_.size(); }
@@ -37,6 +40,8 @@ class MerkleSigner {
     bool consumed = false;
   };
 
+  MerkleSigner() = default;  // only create() builds instances
+  void build(Drbg& rng, std::size_t height);
   std::vector<Digest> auth_path(std::size_t leaf) const;
 
   std::vector<Leaf> leaves_;
@@ -58,5 +63,11 @@ struct MerkleSignatureView {
 };
 std::optional<MerkleSignatureView> parse_merkle_signature(BytesView signature,
                                                           std::size_t tree_height);
+
+/// Plain Merkle tree root over an ordered list of leaf digests (an odd node
+/// is promoted unchanged to the next level). Empty input yields the all-zero
+/// digest. Used by the journal's segment checkpoints; independent of the
+/// one-time signature tree above.
+Digest merkle_root(const std::vector<Digest>& leaves);
 
 }  // namespace nonrep::crypto

@@ -15,11 +15,18 @@ std::string to_string(SigAlgorithm alg) {
   return "unknown";
 }
 
+Result<std::shared_ptr<MerkleSchemeSigner>> MerkleSchemeSigner::create(Drbg& rng,
+                                                                       std::size_t height) {
+  auto signer = MerkleSigner::create(rng, height);
+  if (!signer) return signer.error();
+  return std::make_shared<MerkleSchemeSigner>(std::move(signer).take());
+}
+
 Bytes MerkleSchemeSigner::public_key() const {
   // root digest || tree height
   BinaryWriter w;
   w.bytes(digest_bytes(signer_.root()));
-  w.u32(static_cast<std::uint32_t>(height_));
+  w.u32(static_cast<std::uint32_t>(signer_.height()));
   return std::move(w).take();
 }
 

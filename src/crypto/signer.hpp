@@ -74,8 +74,11 @@ class RsaSigner final : public Signer {
 
 class MerkleSchemeSigner final : public Signer {
  public:
-  MerkleSchemeSigner(Drbg& rng, std::size_t height)
-      : signer_(rng, height), height_(height) {}
+  /// Validated construction: "merkle.bad_height" outside [1, 12].
+  static Result<std::shared_ptr<MerkleSchemeSigner>> create(Drbg& rng, std::size_t height);
+
+  /// Wraps an already-built (hence already-validated) tree.
+  explicit MerkleSchemeSigner(MerkleSigner signer) : signer_(std::move(signer)) {}
 
   SigAlgorithm algorithm() const noexcept override { return SigAlgorithm::kMerkle; }
   Bytes public_key() const override;
@@ -85,7 +88,6 @@ class MerkleSchemeSigner final : public Signer {
 
  private:
   MerkleSigner signer_;
-  std::size_t height_;
 };
 
 }  // namespace nonrep::crypto

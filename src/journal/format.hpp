@@ -1,0 +1,90 @@
+// On-disk format of the durable evidence journal (§3.5 persistence).
+//
+// A journal is a directory of append-only segment files:
+//
+//   seg-00000000000000000000.wal     first data sequence 0
+//   seg-00000000000000000147.wal     first data sequence 147
+//   ...
+//
+// Each segment starts with a fixed header and is followed by length-prefixed
+// record frames:
+//
+//   segment header (28 bytes)
+//   +--------+---------+-----------+----------+------------+
+//   | magic  | version | first_seq | reserved | header CRC |
+//   |  u32   |  u32    |   u64     |   u64    |    u32     |
+//   +--------+---------+-----------+----------+------------+
+//
+//   record frame (8-byte frame header + body)
+//   +----------+----------+------  body  ---------------------+
+//   | body_len | body CRC | type u8 | sequence u64 | payload  |
+//   |   u32    |  u32C    |         |              |          |
+//   +----------+----------+---------------------------------- +
+//
+// All integers are little-endian. The CRC is CRC32C over the body, so a torn
+// or bit-flipped frame is detected by a plain forward scan with no crypto.
+// Data frames carry monotonically increasing sequence numbers; a sealed
+// segment ends with exactly one checkpoint frame whose payload commits to a
+// Merkle root over the SHA-256 digests of every data-frame body in the
+// segment, letting an auditor verify one segment without replaying the rest
+// of the chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::journal {
+
+inline constexpr std::uint32_t kSegmentMagic = 0x4c4a524eu;  // "NRJL" on disk
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kSegmentHeaderBytes = 28;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+/// type byte + sequence, prepended to every payload inside the body.
+inline constexpr std::size_t kRecordPrefixBytes = 9;
+/// Upper bound on a single body; a length field beyond this is corruption,
+/// not a large record, so the scanner never allocates from a wild length.
+inline constexpr std::uint64_t kMaxBodyBytes = 64ull << 20;
+
+enum class RecordType : std::uint8_t {
+  kData = 1,
+  kCheckpoint = 2,
+};
+
+/// One decoded journal record (frame body minus the framing).
+struct Record {
+  std::uint64_t sequence = 0;
+  RecordType type = RecordType::kData;
+  Bytes payload;
+};
+
+/// Payload of a checkpoint frame: the seal of one segment.
+struct Checkpoint {
+  std::uint64_t record_count = 0;    // data frames in the segment
+  std::uint64_t first_sequence = 0;  // == segment header first_seq
+  std::uint64_t last_sequence = 0;   // meaningful when record_count > 0
+  crypto::Digest merkle_root{};      // over data-frame body digests, in order
+
+  Bytes encode() const;
+  static Result<Checkpoint> decode(BytesView b);
+};
+
+/// Segment file name for a given first sequence ("seg-<20 digits>.wal").
+std::string segment_filename(std::uint64_t first_sequence);
+/// Inverse of segment_filename; error if the name is not a segment name.
+Result<std::uint64_t> parse_segment_filename(std::string_view name);
+
+Bytes encode_segment_header(std::uint64_t first_sequence);
+/// Validates magic/version/CRC; returns first_sequence.
+Result<std::uint64_t> decode_segment_header(BytesView b);
+
+/// Full frame (header + body) ready to append to a segment.
+Bytes encode_frame(RecordType type, std::uint64_t sequence, BytesView payload);
+
+/// Leaf digest a checkpoint commits to: SHA-256 of the frame body.
+crypto::Digest body_digest(BytesView body);
+
+}  // namespace nonrep::journal

@@ -1,0 +1,157 @@
+#include "journal/reader.hpp"
+
+#include <filesystem>
+
+#include <unistd.h>
+
+namespace nonrep::journal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status truncate_file(const std::string& path, std::uint64_t to_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(to_bytes)) != 0) {
+    return Error::make("journal.io", "truncate failed on " + path);
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
+Result<RecoveryReport> Reader::recover(const std::string& dir, RecoverMode mode) {
+  RecoveryReport report;
+
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return report;  // empty journal
+  auto segments = Segment::list(dir);
+  if (!segments) return segments.error();
+
+  bool stopped = false;  // defect found: reject everything after it
+  for (std::size_t i = 0; i < segments.value().size(); ++i) {
+    const std::string& path = segments.value()[i];
+    const bool last = i + 1 == segments.value().size();
+    if (stopped) {
+      report.clean = false;
+      SegmentStatus st;
+      st.path = path;
+      st.defect = Error::make("journal.after_defect",
+                              "segment follows a defective predecessor");
+      report.segments.push_back(std::move(st));
+      continue;
+    }
+
+    auto scanned = Segment::scan(path);
+    if (!scanned) return scanned.error();
+    Segment::ScanResult& scan = scanned.value();
+
+    SegmentStatus st;
+    st.path = path;
+    st.first_sequence = scan.first_sequence;
+    st.valid_bytes = scan.valid_bytes;
+    st.file_bytes = scan.file_bytes;
+    st.sealed = scan.sealed;
+    st.defect = scan.defect;
+
+    // Cross-segment continuity: a segment must pick up exactly where the
+    // previous one left off. Checked whenever the header parsed — even on a
+    // segment with its own tail defect — so a vanished middle segment can
+    // never splice later records after the gap.
+    if (scan.valid_bytes >= kSegmentHeaderBytes &&
+        scan.first_sequence != report.next_sequence) {
+      st.defect = Error::make("journal.sequence_gap",
+                              "segment starts at " + std::to_string(scan.first_sequence) +
+                                  ", expected " + std::to_string(report.next_sequence));
+      st.sealed = false;
+      scan.records.clear();  // nothing in this segment can be trusted
+      st.valid_bytes = 0;
+    }
+
+    std::vector<crypto::Digest> leaves;
+    for (auto& rec : scan.records) {
+      if (rec.record.type != RecordType::kData) continue;
+      leaves.push_back(rec.body_digest);
+      report.records.push_back(std::move(rec.record));
+      ++st.data_records;
+      report.next_sequence = report.records.back().sequence + 1;
+    }
+
+    if (st.defect.has_value()) {
+      report.clean = false;
+      stopped = true;
+      // A torn tail on the last segment is the expected crash signature;
+      // repair truncates it so the journal is appendable again. A file cut
+      // short inside its own header holds nothing and is removed. Anything
+      // else (mid-journal damage, checkpoint mismatch on a non-final
+      // segment, a corrupted header over real data) is preserved for
+      // inspection and leaves the journal read-only.
+      bool repaired = false;
+      if (mode == RecoverMode::kRepair && last) {
+        if (st.valid_bytes >= kSegmentHeaderBytes && st.file_bytes > st.valid_bytes) {
+          auto truncated = truncate_file(path, st.valid_bytes);
+          if (!truncated.ok()) return truncated.error();
+          report.truncated_bytes += st.file_bytes - st.valid_bytes;
+          st.file_bytes = st.valid_bytes;
+          repaired = true;
+        } else if (st.file_bytes < kSegmentHeaderBytes) {
+          std::error_code rm_ec;
+          if (!fs::remove(path, rm_ec) || rm_ec) {
+            return Error::make("journal.io", "cannot remove torn segment " + path);
+          }
+          report.truncated_bytes += st.file_bytes;
+          st.file_bytes = 0;
+          st.valid_bytes = 0;
+          repaired = true;
+        }
+      }
+      if (!repaired) report.resumable = false;
+    }
+
+    if (last && !st.sealed && st.valid_bytes >= kSegmentHeaderBytes &&
+        st.file_bytes == st.valid_bytes) {
+      report.tail_path = path;
+      report.tail_first_sequence = st.first_sequence;
+      report.tail_valid_bytes = st.valid_bytes;
+      report.tail_leaves = std::move(leaves);
+    }
+    report.segments.push_back(std::move(st));
+  }
+  return report;
+}
+
+AuditReport Reader::audit(const std::string& dir) {
+  AuditReport out;
+
+  auto recovered = recover(dir, RecoverMode::kScanOnly);
+  if (!recovered) {
+    out.problems.push_back(recovered.error().code + ": " + recovered.error().detail);
+    return out;
+  }
+  const RecoveryReport& report = recovered.value();
+
+  out.ok = true;
+  for (std::size_t i = 0; i < report.segments.size(); ++i) {
+    const SegmentStatus& st = report.segments[i];
+    const bool last = i + 1 == report.segments.size();
+    SegmentAudit audit;
+    audit.path = st.path;
+    audit.first_sequence = st.first_sequence;
+    audit.data_records = st.data_records;
+    audit.file_bytes = st.file_bytes;
+    audit.sealed = st.sealed;
+    audit.checkpoint_ok = st.sealed;  // scan verifies the seal before setting it
+    audit.defect = st.defect;
+    if (st.defect.has_value()) {
+      out.ok = false;
+      out.problems.push_back(st.path + ": " + st.defect->code + " — " + st.defect->detail);
+    } else if (!st.sealed && !last) {
+      out.ok = false;
+      out.problems.push_back(st.path + ": non-final segment is not sealed");
+    }
+    out.total_records += st.data_records;
+    out.segments.push_back(std::move(audit));
+  }
+  return out;
+}
+
+}  // namespace nonrep::journal

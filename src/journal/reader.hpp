@@ -1,0 +1,90 @@
+// Read side of the durable evidence journal: full scans, crash recovery and
+// auditing.
+//
+// Recovery semantics (§3.5 persistence + dispute-resolution requirements):
+// segments are scanned in sequence order; every record up to the first
+// defect is kept, everything after it is rejected. In repair mode a defect
+// at the tail of the *last* segment is treated as a torn write from a crash
+// and truncated so a Writer can resume; a defect anywhere else is damage
+// that repair never papers over — the journal stays read-only until an
+// operator (or the audit tool) has looked at it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "journal/segment.hpp"
+
+namespace nonrep::journal {
+
+struct SegmentStatus {
+  std::string path;
+  std::uint64_t first_sequence = 0;
+  std::uint64_t data_records = 0;
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  bool sealed = false;
+  std::optional<Error> defect;
+};
+
+struct RecoveryReport {
+  /// Every valid data record across all segments, in sequence order.
+  std::vector<Record> records;
+  std::vector<SegmentStatus> segments;
+  /// Sequence the next append must use.
+  std::uint64_t next_sequence = 0;
+  /// Bytes removed by repair (torn tail frames).
+  std::uint64_t truncated_bytes = 0;
+  /// False when any defect was found (even one repaired away).
+  bool clean = true;
+  /// True when a Writer may append again: either the journal was clean, or
+  /// the only defect was a torn tail that repair removed. Mid-journal damage
+  /// leaves the journal read-only.
+  bool resumable = true;
+  /// Merkle leaves of the final segment when it is left unsealed — what a
+  /// resuming Writer still owes the eventual checkpoint.
+  std::vector<crypto::Digest> tail_leaves;
+  /// Set when the final segment is unsealed and resumable.
+  std::optional<std::string> tail_path;
+  std::uint64_t tail_first_sequence = 0;
+  std::uint64_t tail_valid_bytes = 0;
+};
+
+enum class RecoverMode : std::uint8_t {
+  kScanOnly = 0,  // never writes; audit tool / read paths
+  kRepair = 1,    // truncate torn tails of the last segment
+};
+
+struct SegmentAudit {
+  std::string path;
+  std::uint64_t first_sequence = 0;
+  std::uint64_t data_records = 0;
+  std::uint64_t file_bytes = 0;
+  bool sealed = false;
+  bool checkpoint_ok = false;  // sealed with a matching Merkle root
+  std::optional<Error> defect;
+};
+
+struct AuditReport {
+  std::vector<SegmentAudit> segments;
+  std::uint64_t total_records = 0;
+  std::vector<std::string> problems;  // human-readable defect list
+  bool ok = false;  // every segment clean, contiguous, tail possibly unsealed
+};
+
+class Reader {
+ public:
+  /// Scan the whole journal. An empty or missing directory recovers to an
+  /// empty journal (next_sequence 0). Only I/O errors fail the call.
+  static Result<RecoveryReport> recover(const std::string& dir, RecoverMode mode);
+
+  /// Read-only structural audit: segment headers, frame CRCs, sequence
+  /// continuity across segments, and checkpoint Merkle roots. An unsealed
+  /// final segment is reported but does not fail the audit; an unsealed or
+  /// defective non-final segment does.
+  static AuditReport audit(const std::string& dir);
+};
+
+}  // namespace nonrep::journal

@@ -1,0 +1,163 @@
+#include "journal/segment.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "crypto/merkle.hpp"
+#include "util/crc32c.hpp"
+
+namespace nonrep::journal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Result<Bytes> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error::make("journal.io", "cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size < 0) return Error::make("journal.io", "cannot stat " + path);
+  in.seekg(0, std::ios::beg);
+  Bytes out(static_cast<std::size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(out.data()), size)) {
+    return Error::make("journal.io", "short read on " + path);
+  }
+  return out;
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t read_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+crypto::Digest checkpoint_merkle_root(const std::vector<crypto::Digest>& leaves) {
+  return crypto::merkle_root(leaves);
+}
+
+Result<Segment::ScanResult> Segment::scan(const std::string& path) {
+  auto data = read_file(path);
+  if (!data) return data.error();
+  const Bytes& buf = data.value();
+
+  ScanResult out;
+  out.file_bytes = buf.size();
+
+  auto header = decode_segment_header(buf);
+  if (!header) {
+    out.defect = header.error();
+    return out;
+  }
+  out.first_sequence = header.value();
+  out.valid_bytes = kSegmentHeaderBytes;
+
+  std::vector<crypto::Digest> leaves;
+  std::uint64_t expected_seq = out.first_sequence;
+  std::size_t offset = kSegmentHeaderBytes;
+  while (offset < buf.size()) {
+    if (out.sealed) {
+      out.defect = Error::make("journal.frame_after_seal",
+                               "bytes follow the checkpoint at offset " +
+                                   std::to_string(offset));
+      break;
+    }
+    if (buf.size() - offset < kFrameHeaderBytes) {
+      out.defect = Error::make("journal.torn_frame",
+                               "partial frame header at offset " + std::to_string(offset));
+      break;
+    }
+    const std::uint32_t body_len = read_u32le(buf.data() + offset);
+    const std::uint32_t stored_crc = read_u32le(buf.data() + offset + 4);
+    if (body_len < kRecordPrefixBytes || body_len > kMaxBodyBytes) {
+      out.defect = Error::make("journal.bad_length",
+                               "frame length " + std::to_string(body_len) +
+                                   " at offset " + std::to_string(offset));
+      break;
+    }
+    if (buf.size() - offset - kFrameHeaderBytes < body_len) {
+      out.defect = Error::make("journal.torn_frame",
+                               "partial frame body at offset " + std::to_string(offset));
+      break;
+    }
+    const BytesView body(buf.data() + offset + kFrameHeaderBytes, body_len);
+    if (crc32c(body) != stored_crc) {
+      out.defect = Error::make("journal.bad_crc",
+                               "checksum mismatch at offset " + std::to_string(offset));
+      break;
+    }
+
+    ScannedRecord rec;
+    rec.offset = offset;
+    rec.record.type = static_cast<RecordType>(body[0]);
+    rec.record.sequence = read_u64le(body.data() + 1);
+    rec.record.payload.assign(body.begin() + kRecordPrefixBytes, body.end());
+
+    if (rec.record.type == RecordType::kData) {
+      if (rec.record.sequence != expected_seq) {
+        out.defect = Error::make("journal.sequence_gap",
+                                 "expected sequence " + std::to_string(expected_seq) +
+                                     ", found " + std::to_string(rec.record.sequence));
+        break;
+      }
+      ++expected_seq;
+      rec.body_digest = body_digest(body);
+      leaves.push_back(rec.body_digest);
+    } else if (rec.record.type == RecordType::kCheckpoint) {
+      auto cp = Checkpoint::decode(rec.record.payload);
+      if (!cp) {
+        out.defect = cp.error();
+        break;
+      }
+      const bool counts_match =
+          cp->record_count == leaves.size() && cp->first_sequence == out.first_sequence &&
+          (cp->record_count == 0 || cp->last_sequence == expected_seq - 1);
+      if (!counts_match || cp->merkle_root != checkpoint_merkle_root(leaves)) {
+        out.defect = Error::make("journal.checkpoint_mismatch",
+                                 "seal does not match segment contents");
+        break;
+      }
+      out.sealed = true;
+      out.checkpoint = cp.value();
+    } else {
+      out.defect = Error::make("journal.bad_type",
+                               "unknown record type at offset " + std::to_string(offset));
+      break;
+    }
+
+    out.records.push_back(std::move(rec));
+    offset += kFrameHeaderBytes + body_len;
+    out.valid_bytes = offset;
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> Segment::list(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Error::make("journal.io", "not a directory: " + dir);
+  }
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    auto seq = parse_segment_filename(entry.path().filename().string());
+    if (seq) found.emplace_back(seq.value(), entry.path().string());
+  }
+  if (ec) return Error::make("journal.io", "cannot list " + dir + ": " + ec.message());
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (auto& [seq, path] : found) out.push_back(std::move(path));
+  return out;
+}
+
+}  // namespace nonrep::journal

@@ -1,0 +1,310 @@
+#include "journal/writer.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "journal/reader.hpp"
+#include "journal/segment.hpp"
+
+namespace nonrep::journal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Error errno_error(const std::string& what) {
+  return Error::make("journal.io", what + ": " + std::strerror(errno));
+}
+
+Status write_all(int fd, BytesView data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::ok_status();
+}
+
+/// Persist a directory entry (segment creation/removal) across power loss.
+Status fsync_dir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return errno_error("open " + dir);
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) return errno_error("fsync " + dir);
+  return Status::ok_status();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Writer>> Writer::open(Options options) {
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Error::make("journal.io", "cannot create " + options.dir + ": " + ec.message());
+  }
+  auto report = Reader::recover(options.dir, RecoverMode::kRepair);
+  if (!report) return report.error();
+  return resume(std::move(options), report.value());
+}
+
+Result<std::unique_ptr<Writer>> Writer::resume(Options options,
+                                               const RecoveryReport& report) {
+  if (!report.resumable) {
+    return Error::make("journal.unrecoverable",
+                       "journal has damage beyond a torn tail; audit before writing");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Error::make("journal.io", "cannot create " + options.dir + ": " + ec.message());
+  }
+
+  std::unique_ptr<Writer> w(new Writer(std::move(options)));
+  w->next_seq_ = report.next_sequence;
+  w->last_sync_ = std::chrono::steady_clock::now();
+  if (report.tail_path.has_value()) {
+    // Continue the unsealed final segment in place.
+    const int fd = ::open(report.tail_path->c_str(), O_WRONLY | O_APPEND);
+    if (fd < 0) return errno_error("open " + *report.tail_path);
+    w->fd_ = fd;
+    w->active_path_ = *report.tail_path;
+    w->active_first_seq_ = report.tail_first_sequence;
+    w->active_bytes_ = report.tail_valid_bytes;
+    w->leaves_ = report.tail_leaves;
+  }
+  return w;
+}
+
+Writer::~Writer() { (void)close(); }
+
+Status Writer::open_segment_locked(std::uint64_t first_sequence) {
+  active_path_ = (fs::path(opt_.dir) / segment_filename(first_sequence)).string();
+  const int fd = ::open(active_path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return errno_error("open " + active_path_);
+  fd_ = fd;
+  active_first_seq_ = first_sequence;
+  leaves_.clear();
+  const Bytes header = encode_segment_header(first_sequence);
+  auto written = write_all(fd_, header);
+  if (!written.ok()) return written;
+  active_bytes_ = header.size();
+  return fsync_dir(opt_.dir);
+}
+
+Status Writer::flush_locked() {
+  if (pending_.empty()) return Status::ok_status();
+  auto written = write_all(fd_, pending_);
+  if (!written.ok()) return written;
+  active_bytes_ += pending_.size();
+  written_lsn_ += pending_records_;
+  pending_.clear();
+  pending_records_ = 0;
+  ++stats_.flushes;
+  return Status::ok_status();
+}
+
+Status Writer::fdatasync_locked() {
+  if (::fdatasync(fd_) != 0) return errno_error("fdatasync " + active_path_);
+  ++stats_.syncs;
+  synced_lsn_ = written_lsn_;
+  last_sync_ = std::chrono::steady_clock::now();
+  return Status::ok_status();
+}
+
+Status Writer::group_sync(std::unique_lock<std::mutex>& lock, std::uint64_t target_lsn) {
+  while (synced_lsn_ < target_lsn) {
+    if (!io_error_.ok()) return io_error_;
+    if (sync_in_progress_) {
+      // Another appender is the sync leader; its fdatasync covers every
+      // record already written, ours included if we were flushed first.
+      cv_.wait(lock);
+      continue;
+    }
+    // Become the leader: one device barrier commits every record written so
+    // far, on behalf of all concurrent appenders waiting here.
+    sync_in_progress_ = true;
+    const std::uint64_t covers = written_lsn_;
+    const int fd = fd_;
+    lock.unlock();
+    const int rc = ::fdatasync(fd);
+    lock.lock();
+    sync_in_progress_ = false;
+    if (rc != 0) {
+      io_error_ = errno_error("fdatasync " + active_path_);
+      cv_.notify_all();
+      return io_error_;
+    }
+    ++stats_.syncs;
+    if (covers > synced_lsn_) synced_lsn_ = covers;
+    last_sync_ = std::chrono::steady_clock::now();
+    cv_.notify_all();
+  }
+  return Status::ok_status();
+}
+
+Status Writer::seal_locked(std::unique_lock<std::mutex>& lock) {
+  if (fd_ < 0) return Status::ok_status();
+  // Drain any in-flight leader before touching the fd lifecycle. New
+  // appends are excluded by sealing_ (set by our caller).
+  while (sync_in_progress_) cv_.wait(lock);
+
+  auto flushed = flush_locked();
+  if (!flushed.ok()) return flushed;
+
+  Checkpoint cp;
+  cp.record_count = leaves_.size();
+  cp.first_sequence = active_first_seq_;
+  cp.last_sequence = leaves_.empty() ? 0 : next_seq_ - 1;
+  cp.merkle_root = checkpoint_merkle_root(leaves_);
+  const Bytes frame = encode_frame(RecordType::kCheckpoint, cp.last_sequence, cp.encode());
+  auto written = write_all(fd_, frame);
+  if (!written.ok()) return written;
+  active_bytes_ += frame.size();
+  auto synced = fdatasync_locked();
+  if (!synced.ok()) return synced;
+  cv_.notify_all();  // waiters in group_sync: everything is durable now
+
+  ::close(fd_);
+  fd_ = -1;
+  leaves_.clear();
+  return Status::ok_status();
+}
+
+Status Writer::maybe_rotate_locked(std::unique_lock<std::mutex>& lock) {
+  if (fd_ < 0 || active_bytes_ + pending_.size() < opt_.segment_max_bytes) {
+    return Status::ok_status();
+  }
+  sealing_ = true;
+  auto sealed = seal_locked(lock);
+  if (sealed.ok()) sealed = open_segment_locked(next_seq_);
+  sealing_ = false;
+  cv_.notify_all();
+  if (!sealed.ok()) return sealed;
+  ++stats_.rotations;
+  return Status::ok_status();
+}
+
+Result<std::uint64_t> Writer::append(BytesView payload) {
+  // What the scanner would reject as corruption must never be written: an
+  // acknowledged-but-unrecoverable record is worse than an error here.
+  if (payload.size() > kMaxBodyBytes - kRecordPrefixBytes) {
+    return Error::make("journal.payload_too_large",
+                       std::to_string(payload.size()) + " bytes exceeds the " +
+                           std::to_string(kMaxBodyBytes) + "-byte body limit");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  while (sealing_) cv_.wait(lock);
+  if (closed_) return Error::make("journal.closed", "writer is closed");
+  if (!io_error_.ok()) return io_error_.error();
+
+  if (fd_ < 0) {
+    auto opened = open_segment_locked(next_seq_);
+    if (!opened.ok()) {
+      io_error_ = opened;
+      return opened.error();
+    }
+  }
+
+  const std::uint64_t seq = next_seq_++;
+  const Bytes frame = encode_frame(RecordType::kData, seq, payload);
+  leaves_.push_back(
+      body_digest(BytesView(frame.data() + kFrameHeaderBytes, frame.size() - kFrameHeaderBytes)));
+  nonrep::append(pending_, frame);  // qualified: Writer::append shadows
+  ++pending_records_;
+  ++appended_lsn_;
+  const std::uint64_t my_lsn = appended_lsn_;
+  ++stats_.appends;
+
+  Status committed = Status::ok_status();
+  switch (opt_.sync) {
+    case SyncPolicy::kEveryRecord:
+      committed = flush_locked();
+      if (committed.ok()) committed = group_sync(lock, my_lsn);
+      break;
+    case SyncPolicy::kEveryBatch:
+      if (pending_records_ >= opt_.batch_records) {
+        committed = flush_locked();
+        if (committed.ok()) committed = group_sync(lock, written_lsn_);
+      }
+      break;
+    case SyncPolicy::kTimed:
+      committed = flush_locked();
+      if (committed.ok() &&
+          std::chrono::steady_clock::now() - last_sync_ >=
+              std::chrono::milliseconds(opt_.sync_interval_ms)) {
+        committed = group_sync(lock, written_lsn_);
+      }
+      break;
+  }
+  if (!committed.ok()) {
+    io_error_ = committed;
+    return committed.error();
+  }
+
+  auto rotated = maybe_rotate_locked(lock);
+  if (!rotated.ok()) {
+    io_error_ = rotated;
+    return rotated.error();
+  }
+  return seq;
+}
+
+Status Writer::sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (sealing_) cv_.wait(lock);
+  if (closed_ || fd_ < 0) return io_error_;
+  if (!io_error_.ok()) return io_error_;
+  auto flushed = flush_locked();
+  if (flushed.ok()) flushed = group_sync(lock, written_lsn_);
+  if (!flushed.ok()) io_error_ = flushed;
+  return flushed;
+}
+
+Status Writer::close() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (sealing_) cv_.wait(lock);
+  if (closed_) return io_error_;
+  sealing_ = true;
+  auto sealed = seal_locked(lock);
+  sealing_ = false;
+  closed_ = true;
+  cv_.notify_all();
+  if (!sealed.ok() && io_error_.ok()) io_error_ = sealed;
+  return sealed;
+}
+
+void Writer::simulate_crash() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (sealing_ || sync_in_progress_) cv_.wait(lock);
+  // Whatever never reached the OS is gone, exactly as in a real crash; the
+  // fd is abandoned without a seal or a final sync.
+  pending_.clear();
+  pending_records_ = 0;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::uint64_t Writer::next_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+Writer::Stats Writer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace nonrep::journal

@@ -1,0 +1,132 @@
+// Append side of the durable evidence journal.
+//
+// A Writer owns one journal directory and appends data records with
+// monotonically increasing sequence numbers. Durability is governed by a
+// sync policy:
+//
+//   kEveryRecord  append() returns only after the record is fdatasync'd.
+//                 Concurrent appenders group-commit: whoever becomes the
+//                 sync leader flushes the device once for every record
+//                 written so far, and the others just wait for their LSN.
+//   kEveryBatch   records accumulate in memory; every batch_records appends
+//                 trigger one write+fdatasync. Highest throughput; a crash
+//                 can lose at most the unsynced tail of the current batch.
+//   kTimed        records are written through to the OS on every append
+//                 (visible to a scan if only the process dies) and
+//                 fdatasync'd at most every sync_interval_ms.
+//
+// When a segment reaches segment_max_bytes it is sealed — a checkpoint frame
+// committing to the Merkle root of the segment's record digests is appended
+// and synced — and a new segment starts. close() (and the destructor) seal
+// the active segment the same way, so every cleanly closed segment ends in a
+// verifiable checkpoint; only a crash leaves an unsealed tail for recovery.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "journal/format.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::journal {
+
+struct RecoveryReport;  // reader.hpp
+
+enum class SyncPolicy : std::uint8_t {
+  kEveryRecord = 0,
+  kEveryBatch = 1,
+  kTimed = 2,
+};
+
+struct Options {
+  std::string dir;
+  std::uint64_t segment_max_bytes = 4ull << 20;
+  SyncPolicy sync = SyncPolicy::kEveryBatch;
+  /// kEveryBatch: appends per fdatasync.
+  std::size_t batch_records = 64;
+  /// kTimed: maximum age of un-synced data, in wall milliseconds.
+  std::uint32_t sync_interval_ms = 50;
+};
+
+class Writer {
+ public:
+  /// Opens (creating the directory if needed) and recovers the journal tail:
+  /// torn bytes after the last valid frame of the final segment are
+  /// truncated, sequence numbering resumes after the last durable record,
+  /// and an unsealed final segment is continued in place.
+  static Result<std::unique_ptr<Writer>> open(Options options);
+
+  /// Same, reusing an already-computed repair-mode recovery report so a
+  /// caller that just loaded the journal does not scan it twice.
+  static Result<std::unique_ptr<Writer>> resume(Options options,
+                                                const RecoveryReport& report);
+
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Appends one data record; returns its sequence number. Thread-safe.
+  Result<std::uint64_t> append(BytesView payload);
+
+  /// Forces everything appended so far onto the device.
+  Status sync();
+
+  /// Seals the active segment (checkpoint + sync) and stops the writer.
+  /// Idempotent; also run by the destructor.
+  Status close();
+
+  /// Test hook: drop any buffered records and abandon the fd without sealing
+  /// or syncing — the on-disk state is exactly what a crash would leave.
+  void simulate_crash();
+
+  std::uint64_t next_sequence() const;
+
+  struct Stats {
+    std::uint64_t appends = 0;
+    std::uint64_t flushes = 0;  // write() batches issued
+    std::uint64_t syncs = 0;    // fdatasync() calls
+    std::uint64_t rotations = 0;
+  };
+  Stats stats() const;
+
+ private:
+  explicit Writer(Options options) : opt_(std::move(options)) {}
+
+  // All _locked members require mu_ held.
+  Status open_segment_locked(std::uint64_t first_sequence);
+  Status flush_locked();                 // pending_ -> fd
+  Status fdatasync_locked();             // device barrier (lock held throughout)
+  Status group_sync(std::unique_lock<std::mutex>& lock, std::uint64_t target_lsn);
+  Status seal_locked(std::unique_lock<std::mutex>& lock);  // checkpoint + sync
+  Status maybe_rotate_locked(std::unique_lock<std::mutex>& lock);
+
+  Options opt_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int fd_ = -1;
+  std::string active_path_;
+  std::uint64_t active_first_seq_ = 0;
+  std::uint64_t active_bytes_ = 0;  // bytes in the fd (header + frames)
+  std::vector<crypto::Digest> leaves_;  // Merkle leaves of the active segment
+
+  Bytes pending_;                  // encoded frames not yet written to the fd
+  std::size_t pending_records_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t appended_lsn_ = 0;  // records handed to append()
+  std::uint64_t written_lsn_ = 0;   // records written to the fd
+  std::uint64_t synced_lsn_ = 0;    // records known durable
+  bool sync_in_progress_ = false;
+  bool sealing_ = false;  // checkpoint/rotation in flight; appends wait
+  bool closed_ = false;
+  std::chrono::steady_clock::time_point last_sync_{};
+  Status io_error_;  // first unrecovered I/O failure, sticky
+  Stats stats_;
+};
+
+}  // namespace nonrep::journal

@@ -25,16 +25,14 @@ crypto::Digest chain_digest(const crypto::Digest& prev, const LogRecord& record)
   return h.finish();
 }
 
-namespace {
-
-Bytes encode_record(const LogRecord& r) {
+Bytes encode_log_record(const LogRecord& r) {
   BinaryWriter w;
   w.bytes(r.canonical());
   w.bytes(crypto::digest_bytes(r.chain));
   return std::move(w).take();
 }
 
-Result<LogRecord> decode_record(BytesView b) {
+Result<LogRecord> decode_log_record(BytesView b) {
   BinaryReader outer(b);
   auto canonical = outer.bytes();
   if (!canonical) return canonical.error();
@@ -64,11 +62,12 @@ Result<LogRecord> decode_record(BytesView b) {
   return rec;
 }
 
-}  // namespace
-
-void FileLogBackend::append(const LogRecord& record) {
+Status FileLogBackend::append(const LogRecord& record) {
   std::ofstream out(path_, std::ios::app);
-  out << to_hex(encode_record(record)) << '\n';
+  out << to_hex(encode_log_record(record)) << '\n';
+  out.flush();
+  if (!out) return Error::make("log.io", "append failed on " + path_);
+  return Status::ok_status();
 }
 
 std::vector<LogRecord> FileLogBackend::load() {
@@ -79,7 +78,7 @@ std::vector<LogRecord> FileLogBackend::load() {
     if (line.empty()) continue;
     auto bytes = from_hex(line);
     if (!bytes) continue;  // skip corrupt lines; verify_chain flags the gap
-    auto rec = decode_record(*bytes);
+    auto rec = decode_log_record(*bytes);
     if (rec) out.push_back(rec.value());
   }
   return out;
@@ -102,7 +101,8 @@ const LogRecord& EvidenceLog::append(const RunId& run, std::string kind, Bytes p
   rec.chain = chain_digest(prev, rec);
   payload_bytes_ += rec.payload.size();
   records_.push_back(std::move(rec));
-  backend_->append(records_.back());
+  auto persisted = backend_->append(records_.back());
+  if (!persisted.ok() && backend_status_.ok()) backend_status_ = persisted;
   return records_.back();
 }
 

@@ -30,17 +30,28 @@ struct LogRecord {
   Bytes canonical() const;  // everything except `chain`
 };
 
-/// Storage backend; MemoryBackend for tests/sim, FileBackend for examples.
+/// Storage backend; MemoryBackend for tests/sim, FileBackend for legacy
+/// files, JournalLogBackend (store/journal_backend.hpp) for durable
+/// deployments. append() reports persistence failures so the caller can
+/// stop treating the record as evidence.
 class LogBackend {
  public:
   virtual ~LogBackend() = default;
-  virtual void append(const LogRecord& record) = 0;
+  virtual Status append(const LogRecord& record) = 0;
   virtual std::vector<LogRecord> load() = 0;
 };
 
 class MemoryLogBackend final : public LogBackend {
  public:
-  void append(const LogRecord& record) override { records_.push_back(record); }
+  MemoryLogBackend() = default;
+  /// Pre-seeded view over already-loaded records (audit tooling).
+  explicit MemoryLogBackend(std::vector<LogRecord> records)
+      : records_(std::move(records)) {}
+
+  Status append(const LogRecord& record) override {
+    records_.push_back(record);
+    return Status::ok_status();
+  }
   std::vector<LogRecord> load() override { return records_; }
 
  private:
@@ -48,10 +59,12 @@ class MemoryLogBackend final : public LogBackend {
 };
 
 /// One line per record: hex(encoded record). Survives process restarts.
+/// Legacy format — no checksums, no batching; superseded by the journal
+/// backend, kept for old deployments and as the migration source.
 class FileLogBackend final : public LogBackend {
  public:
   explicit FileLogBackend(std::string path) : path_(std::move(path)) {}
-  void append(const LogRecord& record) override;
+  Status append(const LogRecord& record) override;
   std::vector<LogRecord> load() override;
 
  private:
@@ -76,14 +89,26 @@ class EvidenceLog {
   /// Total payload bytes held (space-overhead experiments, §6).
   std::uint64_t payload_bytes() const noexcept { return payload_bytes_; }
 
+  /// First persistence failure reported by the backend, if any. Records are
+  /// always kept in memory so a protocol run can finish; a caller that needs
+  /// durable evidence must check this (or the backend's own sync status).
+  const Status& backend_status() const noexcept { return backend_status_; }
+
  private:
   std::unique_ptr<LogBackend> backend_;
   std::shared_ptr<Clock> clock_;
   std::vector<LogRecord> records_;
   std::uint64_t payload_bytes_ = 0;
+  Status backend_status_;
 };
 
 /// Chain digest helper (exposed for tests).
 crypto::Digest chain_digest(const crypto::Digest& prev, const LogRecord& record);
+
+/// Canonical wire form of a whole record, chain digest included — the byte
+/// string both file and journal backends persist (exposed for the journal
+/// backend, migration and the audit tool).
+Bytes encode_log_record(const LogRecord& record);
+Result<LogRecord> decode_log_record(BytesView b);
 
 }  // namespace nonrep::store

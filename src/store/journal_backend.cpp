@@ -1,0 +1,110 @@
+#include "store/journal_backend.hpp"
+
+#include <filesystem>
+
+namespace nonrep::store {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<JournalLogBackend>> JournalLogBackend::open(
+    journal::Options options) {
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Error::make("journal.io", "cannot create " + options.dir + ": " + ec.message());
+  }
+  auto recovered = journal::Reader::recover(options.dir, journal::RecoverMode::kRepair);
+  if (!recovered) return recovered.error();
+  auto writer = journal::Writer::resume(options, recovered.value());
+  if (!writer) return writer.error();
+  return std::unique_ptr<JournalLogBackend>(new JournalLogBackend(
+      std::move(writer).take(), std::move(recovered).take()));
+}
+
+Status JournalLogBackend::append(const LogRecord& record) {
+  // The journal's own sequence numbering and the evidence log's must stay in
+  // lockstep — a divergence means the journal holds records this log never
+  // produced (or lost some). Checked *before* persisting, so a rogue record
+  // is rejected without ever entering the journal.
+  const std::uint64_t next = writer_->next_sequence();
+  if (next != record.sequence) {
+    return Error::make("journal.sequence_divergence",
+                       "journal would assign " + std::to_string(next) +
+                           ", record carries " + std::to_string(record.sequence));
+  }
+  auto seq = writer_->append(encode_log_record(record));
+  if (!seq) return seq.error();
+  return Status::ok_status();
+}
+
+std::vector<LogRecord> JournalLogBackend::load() {
+  std::vector<LogRecord> out;
+  out.reserve(recovery_.records.size());
+  for (const auto& rec : recovery_.records) {
+    auto decoded = decode_log_record(rec.payload);
+    if (decoded) out.push_back(std::move(decoded).take());
+    // An undecodable payload survives in the journal (its CRC was fine) but
+    // cannot enter the evidence log; verify_chain reports the gap.
+  }
+  return out;
+}
+
+Result<std::uint64_t> migrate_file_log(const std::string& legacy_path,
+                                       journal::Options options) {
+  std::error_code ec;
+  if (!fs::is_regular_file(legacy_path, ec)) {
+    return Error::make("log.migrate_missing", "no legacy log at " + legacy_path);
+  }
+  if (fs::exists(options.dir, ec)) {
+    auto existing = journal::Segment::list(options.dir);
+    if (existing && !existing.value().empty()) {
+      return Error::make("log.migrate_exists",
+                         "journal at " + options.dir + " already has segments");
+    }
+  }
+
+  FileLogBackend legacy(legacy_path);
+  const std::vector<LogRecord> records = legacy.load();
+
+  // Build the journal in a staging directory so a mid-migration failure
+  // (disk full, crash) leaves options.dir untouched and the migration
+  // safely re-runnable; stale staging from a previous failed run is wiped.
+  const std::string staging = options.dir + ".migrating";
+  fs::remove_all(staging, ec);
+  journal::Options staged_options = options;
+  staged_options.dir = staging;
+  {
+    auto writer = journal::Writer::open(staged_options);
+    if (!writer) return writer.error();
+    for (const auto& rec : records) {
+      auto seq = writer.value()->append(encode_log_record(rec));
+      if (!seq) return seq.error();
+    }
+    auto closed = writer.value()->close();
+    if (!closed.ok()) return closed.error();
+  }
+
+  if (!fs::exists(options.dir, ec)) {
+    fs::rename(staging, options.dir, ec);
+    if (ec) return Error::make("journal.io", "cannot publish journal: " + ec.message());
+  } else {
+    // Destination directory exists (verified segment-free above): move the
+    // sealed segments in, lowest sequence first.
+    auto segs = journal::Segment::list(staging);
+    if (!segs) return segs.error();
+    for (const auto& seg : segs.value()) {
+      fs::rename(seg, fs::path(options.dir) / fs::path(seg).filename(), ec);
+      if (ec) return Error::make("journal.io", "cannot publish segment: " + ec.message());
+    }
+    fs::remove_all(staging, ec);
+  }
+
+  fs::rename(legacy_path, legacy_path + ".migrated", ec);
+  if (ec) {
+    return Error::make("journal.io",
+                       "migrated, but cannot rename legacy file: " + ec.message());
+  }
+  return static_cast<std::uint64_t>(records.size());
+}
+
+}  // namespace nonrep::store

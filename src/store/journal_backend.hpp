@@ -1,0 +1,48 @@
+// Journal-backed evidence persistence (§3.5, assumption 3) — the durable
+// replacement for the legacy one-hex-line-per-record FileLogBackend.
+//
+// Records keep their hash-chaining semantics (EvidenceLog computes chain
+// digests exactly as before); this backend persists the canonical record
+// bytes inside the segmented write-ahead journal, gaining CRC-checked
+// framing, group commit, segment rotation with Merkle checkpoints, and
+// crash recovery that truncates torn tails and resumes sequence numbering.
+#pragma once
+
+#include "journal/reader.hpp"
+#include "journal/writer.hpp"
+#include "store/evidence_log.hpp"
+
+namespace nonrep::store {
+
+class JournalLogBackend final : public LogBackend {
+ public:
+  /// Opens the journal at options.dir, running crash recovery (repair mode:
+  /// torn tails are truncated) before the writer resumes.
+  static Result<std::unique_ptr<JournalLogBackend>> open(journal::Options options);
+
+  Status append(const LogRecord& record) override;
+  std::vector<LogRecord> load() override;
+
+  /// Durability escape hatch for batched/timed sync policies.
+  Status sync() { return writer_->sync(); }
+
+  journal::Writer& writer() noexcept { return *writer_; }
+  const journal::RecoveryReport& recovery() const noexcept { return recovery_; }
+
+ private:
+  JournalLogBackend(std::unique_ptr<journal::Writer> writer,
+                    journal::RecoveryReport recovery)
+      : writer_(std::move(writer)), recovery_(std::move(recovery)) {}
+
+  std::unique_ptr<journal::Writer> writer_;
+  journal::RecoveryReport recovery_;
+};
+
+/// One-shot migration of a legacy FileLogBackend hex file into a journal
+/// directory. Refuses to run if the journal already contains segments; on
+/// success the legacy file is renamed to "<path>.migrated" and the number
+/// of records moved is returned.
+Result<std::uint64_t> migrate_file_log(const std::string& legacy_path,
+                                       journal::Options options);
+
+}  // namespace nonrep::store

@@ -1,12 +1,19 @@
 #include "store/state_store.hpp"
 
+#include <filesystem>
+
+#include "journal/reader.hpp"
+#include "journal/writer.hpp"
+
 namespace nonrep::store {
 
-crypto::Digest StateStore::put(BytesView state) {
+crypto::Digest StateStore::put(BytesView state) { return get_or_put(state).first; }
+
+std::pair<crypto::Digest, bool> StateStore::get_or_put(BytesView state) {
   const crypto::Digest d = crypto::Sha256::hash(state);
   auto [it, inserted] = blobs_.try_emplace(d, Bytes(state.begin(), state.end()));
   if (inserted) stored_bytes_ += it->second.size();
-  return d;
+  return {d, inserted};
 }
 
 Result<Bytes> StateStore::get(const crypto::Digest& digest) const {
@@ -19,6 +26,41 @@ Result<Bytes> StateStore::get(const crypto::Digest& digest) const {
 
 bool StateStore::contains(const crypto::Digest& digest) const {
   return blobs_.contains(digest);
+}
+
+Status StateStore::snapshot_to(const std::string& dir) const {
+  auto existing = journal::Segment::list(dir);
+  if (existing && !existing.value().empty()) {
+    return Error::make("store.snapshot_exists",
+                       "journal at " + dir + " already has segments");
+  }
+  auto writer = journal::Writer::open(journal::Options{
+      .dir = dir, .sync = journal::SyncPolicy::kEveryBatch});
+  if (!writer) return writer.error();
+  for (const auto& [digest, blob] : blobs_) {
+    (void)digest;  // recomputed from content on restore
+    auto seq = writer.value()->append(blob);
+    if (!seq) return seq.error();
+  }
+  return writer.value()->close();
+}
+
+Result<std::size_t> StateStore::restore_from(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Error::make("store.snapshot_missing", "no snapshot journal at " + dir);
+  }
+  auto recovered = journal::Reader::recover(dir, journal::RecoverMode::kScanOnly);
+  if (!recovered) return recovered.error();
+  if (!recovered.value().clean) {
+    return Error::make("store.snapshot_corrupt",
+                       "snapshot journal at " + dir + " does not scan clean");
+  }
+  std::size_t fresh = 0;
+  for (const auto& rec : recovered.value().records) {
+    if (get_or_put(rec.payload).second) ++fresh;
+  }
+  return fresh;
 }
 
 }  // namespace nonrep::store

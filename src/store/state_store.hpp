@@ -8,7 +8,10 @@
 // reconstructed and checked (§3.4 requirement ii).
 #pragma once
 
+#include <cstring>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "crypto/sha256.hpp"
 #include "util/result.hpp"
@@ -20,6 +23,12 @@ class StateStore {
   /// Store a state snapshot; returns its digest (idempotent).
   crypto::Digest put(BytesView state);
 
+  /// Insert-if-absent variant: returns the digest plus whether the blob was
+  /// newly stored. The store never removes or evicts entries, so the stored
+  /// copy (and its digest address) stays valid for the store's lifetime —
+  /// which is what lets snapshot/restore stream blobs without re-checking.
+  std::pair<crypto::Digest, bool> get_or_put(BytesView state);
+
   /// Retrieve the state for a digest.
   Result<Bytes> get(const crypto::Digest& digest) const;
 
@@ -27,16 +36,26 @@ class StateStore {
   std::size_t size() const noexcept { return blobs_.size(); }
   std::uint64_t stored_bytes() const noexcept { return stored_bytes_; }
 
+  /// Persist every blob into a fresh journal at `dir` (one data record per
+  /// blob, sealed with the segment checkpoint on success). Fails if the
+  /// directory already holds segments.
+  Status snapshot_to(const std::string& dir) const;
+
+  /// Merge all blobs from a snapshot journal into this store; returns how
+  /// many were new. The snapshot must scan clean (CRCs, checkpoints).
+  Result<std::size_t> restore_from(const std::string& dir);
+
  private:
   struct DigestHash {
     std::size_t operator()(const crypto::Digest& d) const noexcept {
-      std::size_t h = 0;
-      for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
-        h = (h << 8) | d[i];
-      }
+      // The digest is uniform SHA-256 output; its first word is already a
+      // perfectly mixed hash value.
+      std::size_t h;
+      std::memcpy(&h, d.data(), sizeof(h));
       return h;
     }
   };
+  static_assert(sizeof(std::size_t) <= crypto::kSha256DigestSize);
 
   std::unordered_map<crypto::Digest, Bytes, DigestHash> blobs_;
   std::uint64_t stored_bytes_ = 0;

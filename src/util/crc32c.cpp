@@ -1,0 +1,62 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace nonrep {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+// Slicing-by-4 tables: table[0] is the classic byte-at-a-time table, tables
+// 1..3 fold in bytes that sit deeper in the register so the hot loop
+// consumes four input bytes per iteration with no data-dependent chain
+// between table lookups.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+};
+
+constexpr Tables build_tables() {
+  Tables out{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    out.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = out.t[0][i];
+    for (std::size_t k = 1; k < 4; ++k) {
+      crc = out.t[0][crc & 0xffu] ^ (crc >> 8);
+      out.t[k][i] = crc;
+    }
+  }
+  return out;
+}
+
+constexpr Tables kTables = build_tables();
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t state, BytesView data) noexcept {
+  std::uint32_t crc = ~state;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    crc ^= static_cast<std::uint32_t>(data[i]) |
+           (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    crc = kTables.t[3][crc & 0xffu] ^ kTables.t[2][(crc >> 8) & 0xffu] ^
+          kTables.t[1][(crc >> 16) & 0xffu] ^ kTables.t[0][crc >> 24];
+  }
+  for (; i < data.size(); ++i) {
+    crc = kTables.t[0][(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(BytesView data) noexcept { return crc32c_extend(0, data); }
+
+}  // namespace nonrep

@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the frame checksum of the
+// durable evidence journal.
+//
+// A CRC is deliberately *not* a cryptographic check: it detects torn writes
+// and media corruption cheaply at scan time, while end-to-end integrity of
+// journal contents is carried by the evidence hash chain and the per-segment
+// Merkle checkpoints (both SHA-256). Keeping the two concerns separate lets
+// crash recovery run a fast tail scan without touching the crypto layer.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace nonrep {
+
+/// One-shot CRC32C over `data`.
+std::uint32_t crc32c(BytesView data) noexcept;
+
+/// Incremental form: feed the previous return value back in as `state` to
+/// extend a running checksum (state 0 == fresh).
+std::uint32_t crc32c_extend(std::uint32_t state, BytesView data) noexcept;
+
+}  // namespace nonrep

@@ -49,9 +49,12 @@ class TestWorld {
         std::make_unique<pki::RevocationAuthority>(PartyId("ca:root"), ca_signer);
   }
 
-  /// Create a party named `name` with coordinator address `name`.
+  /// Create a party named `name` with coordinator address `name`. Pass a
+  /// `log_backend` to persist the party's evidence somewhere real (e.g. a
+  /// JournalLogBackend); the default is in-memory.
   Party& add_party(const std::string& name,
-                   net::ReliableConfig reliable = {}) {
+                   net::ReliableConfig reliable = {},
+                   std::unique_ptr<store::LogBackend> log_backend = nullptr) {
     auto party = std::make_unique<Party>();
     party->id = PartyId("org:" + name);
     party->address = name;
@@ -72,8 +75,8 @@ class TestWorld {
       party->credentials->add_certificate(other->certificate);
     }
 
-    party->log = std::make_shared<store::EvidenceLog>(
-        std::make_unique<store::MemoryLogBackend>(), clock);
+    if (!log_backend) log_backend = std::make_unique<store::MemoryLogBackend>();
+    party->log = std::make_shared<store::EvidenceLog>(std::move(log_backend), clock);
     party->states = std::make_shared<store::StateStore>();
     party->evidence = std::make_shared<core::EvidenceService>(
         party->id, party->signer, party->credentials, party->log, party->states, clock,

@@ -283,7 +283,7 @@ TEST(Lamport, FingerprintStable) {
 
 TEST(Merkle, SignVerifyAcrossAllLeaves) {
   Drbg rng(to_bytes("merkle"));
-  MerkleSigner signer(rng, 3);
+  auto signer = MerkleSigner::create(rng, 3).take();
   EXPECT_EQ(signer.capacity(), 8u);
   for (int i = 0; i < 8; ++i) {
     const Bytes msg = to_bytes("msg-" + std::to_string(i));
@@ -293,9 +293,23 @@ TEST(Merkle, SignVerifyAcrossAllLeaves) {
   }
 }
 
+TEST(Merkle, RejectsBadHeight) {
+  // Height 0 (degenerate tree) and >12 (2^h Lamport keys materialized up
+  // front) are caller errors, reported instead of asserted.
+  Drbg rng(to_bytes("merkle-height"));
+  auto zero = MerkleSigner::create(rng, 0);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.error().code, "merkle.bad_height");
+  auto huge = MerkleSigner::create(rng, 13);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.error().code, "merkle.bad_height");
+  EXPECT_FALSE(MerkleSchemeSigner::create(rng, 0).ok());
+  EXPECT_TRUE(MerkleSchemeSigner::create(rng, 1).ok());
+}
+
 TEST(Merkle, ExhaustionReported) {
   Drbg rng(to_bytes("merkle-exhaust"));
-  MerkleSigner signer(rng, 1);
+  auto signer = MerkleSigner::create(rng, 1).take();
   ASSERT_TRUE(signer.sign(to_bytes("a")).ok());
   ASSERT_TRUE(signer.sign(to_bytes("b")).ok());
   auto r = signer.sign(to_bytes("c"));
@@ -306,14 +320,14 @@ TEST(Merkle, ExhaustionReported) {
 
 TEST(Merkle, RejectsWrongMessage) {
   Drbg rng(to_bytes("merkle2"));
-  MerkleSigner signer(rng, 2);
+  auto signer = MerkleSigner::create(rng, 2).take();
   auto sig = signer.sign(to_bytes("m"));
   EXPECT_FALSE(merkle_verify(signer.root(), 2, to_bytes("n"), sig.value()));
 }
 
 TEST(Merkle, RejectsWrongRoot) {
   Drbg rng(to_bytes("merkle3"));
-  MerkleSigner signer(rng, 2);
+  auto signer = MerkleSigner::create(rng, 2).take();
   auto sig = signer.sign(to_bytes("m"));
   Digest wrong = signer.root();
   wrong[0] ^= 1;
@@ -322,7 +336,7 @@ TEST(Merkle, RejectsWrongRoot) {
 
 TEST(Merkle, RejectsTamperedAuthPath) {
   Drbg rng(to_bytes("merkle4"));
-  MerkleSigner signer(rng, 2);
+  auto signer = MerkleSigner::create(rng, 2).take();
   auto sig = signer.sign(to_bytes("m"));
   Bytes tampered = sig.value();
   tampered[tampered.size() - 1] ^= 1;  // last auth path byte
@@ -331,7 +345,7 @@ TEST(Merkle, RejectsTamperedAuthPath) {
 
 TEST(Merkle, RejectsWrongHeightParse) {
   Drbg rng(to_bytes("merkle5"));
-  MerkleSigner signer(rng, 2);
+  auto signer = MerkleSigner::create(rng, 2).take();
   auto sig = signer.sign(to_bytes("m"));
   EXPECT_FALSE(parse_merkle_signature(sig.value(), 3).has_value());
   EXPECT_TRUE(parse_merkle_signature(sig.value(), 2).has_value());
@@ -340,7 +354,7 @@ TEST(Merkle, RejectsWrongHeightParse) {
 TEST(Merkle, ForwardSecurityWipesUsedKeys) {
   // After signing, the consumed leaf index advances monotonically.
   Drbg rng(to_bytes("merkle6"));
-  MerkleSigner signer(rng, 2);
+  auto signer = MerkleSigner::create(rng, 2).take();
   (void)signer.sign(to_bytes("a"));
   EXPECT_EQ(signer.used(), 1u);
   (void)signer.sign(to_bytes("b"));
@@ -360,7 +374,8 @@ TEST(Signer, RsaThroughInterface) {
 
 TEST(Signer, MerkleThroughInterface) {
   Drbg rng(to_bytes("signer-merkle"));
-  MerkleSchemeSigner signer(rng, 3);
+  auto signer_sp = MerkleSchemeSigner::create(rng, 3).take();
+  auto& signer = *signer_sp;
   auto sig = signer.sign(to_bytes("m"));
   ASSERT_TRUE(sig.ok());
   EXPECT_TRUE(

@@ -65,7 +65,7 @@ TEST(ForwardSecureSigner, ExhaustionSurfacesCleanly) {
   auto& server = world.add_party("server");
 
   crypto::Drbg rng(to_bytes("tiny-merkle"));
-  auto signer = std::make_shared<crypto::MerkleSchemeSigner>(rng, 1);  // 2 signatures
+  auto signer = crypto::MerkleSchemeSigner::create(rng, 1).take();  // 2 signatures
   auto cert = world.ca()
                   .issue(PartyId("org:tiny"), signer->algorithm(), signer->public_key(),
                          0, test::kFarFuture)

@@ -3,9 +3,16 @@
 // assumption (trusted-interceptor assumptions 2 and 5, §3.1).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "common.hpp"
 #include "core/nr_interceptor.hpp"
 #include "core/sharing.hpp"
+#include "journal/reader.hpp"
+#include "journal/segment.hpp"
+#include "journal/writer.hpp"
+#include "store/journal_backend.hpp"
 
 namespace nonrep::core {
 namespace {
@@ -153,6 +160,180 @@ TEST_F(FailureFixture, PartitionHealsAndExchangeSucceeds) {
   auto result = handler.invoke("server", inv2);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(handler.last_run_evidence().complete_for_client());
+}
+
+// ---- journal failure injection ----
+//
+// The durable evidence journal must honour the same contract as the rest of
+// this suite: safety unconditionally — after arbitrary corruption at any
+// byte offset, recovery keeps exactly the records before the damage and
+// rejects everything after it, never fabricating or reordering evidence.
+
+struct JournalCorruptionFixture : ::testing::Test {
+  std::string dir;
+  std::string segment;
+  Bytes pristine;
+  // End offset (exclusive) of every data frame, in file order.
+  std::vector<std::uint64_t> data_frame_ends;
+
+  void SetUp() override {
+    namespace fs = std::filesystem;
+    dir = (fs::temp_directory_path() / "nonrep_fi_journal").string();
+    fs::remove_all(dir);
+    auto w = journal::Writer::open(
+        {.dir = dir, .sync = journal::SyncPolicy::kEveryBatch, .batch_records = 4});
+    ASSERT_TRUE(w.ok());
+    for (int i = 0; i < 24; ++i) {
+      // Varied payload sizes so frame boundaries land at irregular offsets.
+      Bytes p(static_cast<std::size_t>(5 + (i * 7) % 40), static_cast<std::uint8_t>(i));
+      ASSERT_TRUE(w.value()->append(p).ok());
+    }
+    ASSERT_TRUE(w.value()->close().ok());  // single sealed segment
+
+    auto segs = journal::Segment::list(dir);
+    ASSERT_TRUE(segs.ok());
+    ASSERT_EQ(segs.value().size(), 1u);
+    segment = segs.value()[0];
+    std::ifstream in(segment, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+
+    // Walk the frame layout of the pristine file.
+    std::size_t off = journal::kSegmentHeaderBytes;
+    while (off + journal::kFrameHeaderBytes <= pristine.size()) {
+      const std::uint32_t len = static_cast<std::uint32_t>(pristine[off]) |
+                                (static_cast<std::uint32_t>(pristine[off + 1]) << 8) |
+                                (static_cast<std::uint32_t>(pristine[off + 2]) << 16) |
+                                (static_cast<std::uint32_t>(pristine[off + 3]) << 24);
+      const std::uint8_t type = pristine[off + journal::kFrameHeaderBytes];
+      off += journal::kFrameHeaderBytes + len;
+      if (type == static_cast<std::uint8_t>(journal::RecordType::kData)) {
+        data_frame_ends.push_back(off);
+      }
+    }
+    ASSERT_EQ(off, pristine.size());
+    ASSERT_EQ(data_frame_ends.size(), 24u);
+  }
+
+  void restore_file(const Bytes& bytes) {
+    std::ofstream out(segment, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Records that must survive when everything from `offset` on is suspect:
+  /// the data frames that end at or before it.
+  std::size_t intact_until(std::uint64_t offset) const {
+    std::size_t n = 0;
+    while (n < data_frame_ends.size() && data_frame_ends[n] <= offset) ++n;
+    return n;
+  }
+};
+
+TEST_F(JournalCorruptionFixture, BitFlipAtEveryOffsetKeepsPrefixOnly) {
+  for (std::uint64_t offset = 0; offset < pristine.size(); offset += 13) {
+    Bytes mutated = pristine;
+    mutated[offset] ^= 0x01;
+    restore_file(mutated);
+
+    auto report = journal::Reader::recover(dir, journal::RecoverMode::kScanOnly);
+    ASSERT_TRUE(report.ok()) << "offset " << offset;
+    // The frame containing the flipped byte (and everything after) must be
+    // rejected; every record before it must survive bit-exact.
+    const std::size_t expected = intact_until(offset);
+    ASSERT_EQ(report->records.size(), expected) << "offset " << offset;
+    for (std::size_t i = 0; i < expected; ++i) {
+      EXPECT_EQ(report->records[i].sequence, i) << "offset " << offset;
+    }
+    EXPECT_FALSE(report->clean) << "offset " << offset;
+    EXPECT_FALSE(journal::Reader::audit(dir).ok) << "offset " << offset;
+  }
+  restore_file(pristine);
+  EXPECT_TRUE(journal::Reader::audit(dir).ok);
+}
+
+TEST_F(JournalCorruptionFixture, TruncationAtEveryOffsetKeepsPrefixOnly) {
+  for (std::uint64_t cut = 0; cut < pristine.size(); cut += 17) {
+    Bytes mutated(pristine.begin(), pristine.begin() + static_cast<std::ptrdiff_t>(cut));
+    restore_file(mutated);
+
+    auto report = journal::Reader::recover(dir, journal::RecoverMode::kScanOnly);
+    ASSERT_TRUE(report.ok()) << "cut " << cut;
+    const std::size_t expected = intact_until(cut);
+    ASSERT_EQ(report->records.size(), expected) << "cut " << cut;
+    for (std::size_t i = 0; i < expected; ++i) {
+      EXPECT_EQ(report->records[i].sequence, i) << "cut " << cut;
+    }
+  }
+  restore_file(pristine);
+  EXPECT_TRUE(journal::Reader::audit(dir).ok);
+}
+
+TEST_F(FailureFixture, EndToEndRunSurvivesTornWriteAndAudits) {
+  namespace fs = std::filesystem;
+  const std::string jdir = (fs::temp_directory_path() / "nonrep_fi_e2e_journal").string();
+  fs::remove_all(jdir);
+
+  // A client whose evidence log is journal-backed performs a real
+  // non-repudiable exchange.
+  auto backend =
+      store::JournalLogBackend::open({.dir = jdir, .sync = journal::SyncPolicy::kEveryRecord})
+          .take();
+  auto* journal_backend = backend.get();
+  auto& client = world.add_party("client", {}, std::move(backend));
+  auto& server = world.add_party("server");
+  container::Container cont;
+  auto bean = std::make_shared<container::Component>();
+  bean->bind("echo", [](const Invocation& inv) -> Result<Bytes> { return inv.arguments; });
+  cont.deploy(ServiceUri("svc://server/echo"), bean,
+              container::DeploymentDescriptor{.non_repudiation = true});
+  auto nr = install_nr_server(*server.coordinator, cont);
+
+  DirectInvocationClient handler(*client.coordinator);
+  Invocation inv;
+  inv.service = ServiceUri("svc://server/echo");
+  inv.method = "echo";
+  inv.arguments = to_bytes("payload");
+  inv.caller = client.id;
+  auto result = handler.invoke("server", inv);
+  world.network.run();
+  ASSERT_TRUE(result.ok());
+  const RunId run = handler.last_run();
+  const std::size_t logged = client.log->size();
+  ASSERT_GT(logged, 0u);
+  EXPECT_TRUE(client.log->backend_status().ok());
+
+  // Crash: the process dies mid-append, leaving a torn final record.
+  journal_backend->writer().simulate_crash();
+  {
+    auto segs = journal::Segment::list(jdir);
+    ASSERT_TRUE(segs.ok());
+    const Bytes torn =
+        journal::encode_frame(journal::RecordType::kData, logged, to_bytes("torn"));
+    std::ofstream out(segs.value().back(), std::ios::binary | std::ios::app);
+    out.write(reinterpret_cast<const char*>(torn.data()),
+              static_cast<std::streamsize>(torn.size()) / 2);
+  }
+
+  // Restart: recovery truncates the torn record, keeps every complete one
+  // with sequence continuity, and the evidence chain still verifies.
+  auto reopened =
+      store::JournalLogBackend::open({.dir = jdir, .sync = journal::SyncPolicy::kEveryRecord});
+  ASSERT_TRUE(reopened.ok()) << reopened.error().detail;
+  EXPECT_GT(reopened.value()->recovery().truncated_bytes, 0u);
+  store::EvidenceLog recovered(std::move(reopened).take(), world.clock);
+  ASSERT_EQ(recovered.size(), logged);
+  EXPECT_TRUE(recovered.verify_chain().ok());
+  EXPECT_TRUE(recovered.find(run, "token.NRO-request").has_value());
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered.records()[i].sequence, i);
+  }
+  // The recovered log keeps appending where it left off.
+  recovered.append(run, "post-recovery", to_bytes("x"));
+  EXPECT_TRUE(recovered.backend_status().ok());
+  EXPECT_TRUE(recovered.verify_chain().ok());
+
+  // And the journal directory audits clean (CRCs, sequences, checkpoints).
+  EXPECT_TRUE(journal::Reader::audit(jdir).ok);
 }
 
 TEST_F(FailureFixture, DuplicatedDecisionIsIdempotent) {

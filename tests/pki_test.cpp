@@ -220,7 +220,7 @@ TEST_F(PkiFixture, SerialNumbersUnique) {
 
 TEST_F(PkiFixture, MerkleCertifiedParty) {
   Drbg mrng(to_bytes("merkle-party"));
-  auto msigner = std::make_shared<crypto::MerkleSchemeSigner>(mrng, 3);
+  auto msigner = crypto::MerkleSchemeSigner::create(mrng, 3).take();
   Certificate mcert = ca->issue(PartyId("org:merkle"), msigner->algorithm(),
                                 msigner->public_key(), 0, kYear)
                           .take();
@@ -243,7 +243,7 @@ TEST_F(PkiFixture, IssueReportsSignerFailure) {
   // self-signature consumes one, the first issuance the other. The second
   // issuance must surface the signer failure instead of asserting.
   Drbg mrng(to_bytes("exhaustible-ca"));
-  auto msigner = std::make_shared<crypto::MerkleSchemeSigner>(mrng, 1);
+  auto msigner = crypto::MerkleSchemeSigner::create(mrng, 1).take();
   CertificateAuthority mca(PartyId("ca:merkle"), msigner, 0, kYear);
   EXPECT_TRUE(mca.status().ok());
   auto first = mca.issue(PartyId("org:one"), subject_signer->algorithm(),
@@ -259,7 +259,7 @@ TEST_F(PkiFixture, RootSelfSignFailureNotTrusted) {
   // Exhaust a Merkle signer, then build a root CA from it: the self-signed
   // certificate carries an empty signature and must be rejected as a root.
   Drbg mrng(to_bytes("dead-root"));
-  auto msigner = std::make_shared<crypto::MerkleSchemeSigner>(mrng, 1);
+  auto msigner = crypto::MerkleSchemeSigner::create(mrng, 1).take();
   for (int i = 0; i < 2; ++i) (void)msigner->sign(to_bytes("burn"));
   CertificateAuthority dead(PartyId("ca:dead"), msigner, 0, kYear);
   EXPECT_FALSE(dead.status().ok());

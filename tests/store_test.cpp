@@ -1,15 +1,26 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
+#include "journal/reader.hpp"
 #include "store/evidence_log.hpp"
+#include "store/journal_backend.hpp"
 #include "store/state_store.hpp"
 
 namespace nonrep::store {
 namespace {
 
+namespace fs = std::filesystem;
+
 std::shared_ptr<SimClock> make_clock() { return std::make_shared<SimClock>(1000); }
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / ("nonrep_store_" + name)).string();
+  fs::remove_all(dir);
+  return dir;
+}
 
 TEST(EvidenceLog, AppendAndFind) {
   EvidenceLog log(std::make_unique<MemoryLogBackend>(), make_clock());
@@ -140,6 +151,197 @@ TEST(StateStore, StoredBytesCounted) {
   store.put(Bytes(10, 1));  // duplicate: not recounted
   store.put(Bytes(5, 2));
   EXPECT_EQ(store.stored_bytes(), 15u);
+}
+
+TEST(StateStore, GetOrPutReportsFreshness) {
+  StateStore store;
+  auto [d1, fresh1] = store.get_or_put(to_bytes("state"));
+  EXPECT_TRUE(fresh1);
+  auto [d2, fresh2] = store.get_or_put(to_bytes("state"));
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stored_bytes(), 5u);  // the duplicate was not recounted
+}
+
+TEST(StateStore, SnapshotRestoreRoundTrip) {
+  const std::string dir = temp_dir("snapshot");
+  StateStore original;
+  for (int i = 0; i < 40; ++i) original.put(to_bytes("state-" + std::to_string(i)));
+  ASSERT_TRUE(original.snapshot_to(dir).ok());
+
+  // The snapshot itself is a sealed, auditable journal.
+  EXPECT_TRUE(journal::Reader::audit(dir).ok);
+
+  StateStore restored;
+  restored.put(to_bytes("state-7"));  // overlap: must not be double-counted
+  auto fresh = restored.restore_from(dir);
+  ASSERT_TRUE(fresh.ok()) << fresh.error().detail;
+  EXPECT_EQ(fresh.value(), 39u);
+  EXPECT_EQ(restored.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    const Bytes blob = to_bytes("state-" + std::to_string(i));
+    auto got = restored.get(crypto::Sha256::hash(blob));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(got.value(), blob);
+  }
+}
+
+TEST(StateStore, SnapshotRefusesExistingJournal) {
+  const std::string dir = temp_dir("snapshot_exists");
+  StateStore store;
+  store.put(to_bytes("a"));
+  ASSERT_TRUE(store.snapshot_to(dir).ok());
+  auto second = store.snapshot_to(dir);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, "store.snapshot_exists");
+}
+
+TEST(StateStore, RestoreRejectsCorruptSnapshot) {
+  const std::string dir = temp_dir("snapshot_corrupt");
+  StateStore store;
+  for (int i = 0; i < 10; ++i) store.put(Bytes(64, static_cast<std::uint8_t>(i)));
+  ASSERT_TRUE(store.snapshot_to(dir).ok());
+  // Flip one byte somewhere in the middle of the single segment.
+  std::string seg;
+  for (const auto& e : fs::directory_iterator(dir)) seg = e.path().string();
+  {
+    std::fstream f(seg, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(200);
+    char c;
+    f.seekg(200);
+    f.get(c);
+    c = static_cast<char>(c ^ 0x20);
+    f.seekp(200);
+    f.put(c);
+  }
+  StateStore restored;
+  auto result = restored.restore_from(dir);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "store.snapshot_corrupt");
+}
+
+// ---- journal-backed evidence log ----
+
+TEST(JournalBackend, RoundTripAcrossRestart) {
+  const std::string dir = temp_dir("backend_roundtrip");
+  auto clock = make_clock();
+  {
+    auto backend = JournalLogBackend::open({.dir = dir});
+    ASSERT_TRUE(backend.ok()) << backend.error().detail;
+    EvidenceLog log(std::move(backend).take(), clock);
+    log.append(RunId("r1"), "token.NRO-request", to_bytes("persisted"));
+    log.append(RunId("r2"), "vote", Bytes{0x00, 0xff, 0x10});
+    EXPECT_TRUE(log.backend_status().ok());
+  }
+  auto backend = JournalLogBackend::open({.dir = dir});
+  ASSERT_TRUE(backend.ok());
+  EvidenceLog reloaded(std::move(backend).take(), clock);
+  ASSERT_EQ(reloaded.size(), 2u);
+  EXPECT_TRUE(reloaded.verify_chain().ok());
+  auto rec = reloaded.find(RunId("r1"), "token.NRO-request");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(to_string(rec->payload), "persisted");
+  // Appends continue the chain and the journal sequence.
+  reloaded.append(RunId("r3"), "decision", to_bytes("more"));
+  EXPECT_TRUE(reloaded.backend_status().ok());
+  EXPECT_TRUE(reloaded.verify_chain().ok());
+}
+
+TEST(JournalBackend, SequenceDivergenceSurfaces) {
+  const std::string dir = temp_dir("backend_divergence");
+  auto backend =
+      JournalLogBackend::open({.dir = dir, .sync = journal::SyncPolicy::kEveryRecord});
+  ASSERT_TRUE(backend.ok());
+  // Hand the backend a record whose embedded sequence does not match the
+  // journal's: the mismatch must be reported, not silently persisted.
+  LogRecord rogue;
+  rogue.sequence = 5;  // journal would assign 0
+  rogue.kind = "k";
+  auto status = backend.value()->append(rogue);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "journal.sequence_divergence");
+  // The rogue record never entered the journal: the real sequence-0 record
+  // still lands, and a reload sees only it.
+  LogRecord genuine;
+  genuine.sequence = 0;
+  genuine.kind = "k";
+  EXPECT_TRUE(backend.value()->append(genuine).ok());
+  backend.value()->writer().simulate_crash();
+  auto reopened = JournalLogBackend::open({.dir = dir});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->recovery().records.size(), 1u);
+}
+
+TEST(JournalBackend, MigrationFromLegacyHexLog) {
+  const std::string legacy = "/tmp/nonrep_store_legacy.log";
+  const std::string dir = temp_dir("backend_migrate");
+  std::remove(legacy.c_str());
+  std::remove((legacy + ".migrated").c_str());
+  auto clock = make_clock();
+  {
+    EvidenceLog log(std::make_unique<FileLogBackend>(legacy), clock);
+    for (int i = 0; i < 8; ++i) {
+      log.append(RunId("r" + std::to_string(i % 3)), "kind", to_bytes("p" + std::to_string(i)));
+    }
+  }
+  auto migrated = migrate_file_log(legacy, {.dir = dir});
+  ASSERT_TRUE(migrated.ok()) << migrated.error().detail;
+  EXPECT_EQ(migrated.value(), 8u);
+  EXPECT_FALSE(fs::exists(legacy));
+  EXPECT_TRUE(fs::exists(legacy + ".migrated"));
+
+  // Hash chain, sequence numbers and payloads all survive the format change.
+  auto backend = JournalLogBackend::open({.dir = dir});
+  ASSERT_TRUE(backend.ok());
+  EvidenceLog log(std::move(backend).take(), clock);
+  ASSERT_EQ(log.size(), 8u);
+  EXPECT_TRUE(log.verify_chain().ok());
+  EXPECT_EQ(to_string(log.records()[5].payload), "p5");
+  // And the migrated journal is sealed + auditable.
+  EXPECT_TRUE(journal::Reader::audit(dir).ok);
+
+  // One-shot: a second migration attempt must refuse.
+  {
+    EvidenceLog again(std::make_unique<FileLogBackend>(legacy), clock);
+    again.append(RunId("r"), "k", to_bytes("x"));
+  }
+  auto second = migrate_file_log(legacy, {.dir = dir});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, "log.migrate_exists");
+  std::remove(legacy.c_str());
+  std::remove((legacy + ".migrated").c_str());
+}
+
+TEST(JournalBackend, MigrationSurvivesStaleStagingAndExistingDir) {
+  const std::string legacy = "/tmp/nonrep_store_legacy2.log";
+  const std::string dir = temp_dir("backend_migrate2");
+  std::remove(legacy.c_str());
+  std::remove((legacy + ".migrated").c_str());
+  auto clock = make_clock();
+  {
+    EvidenceLog log(std::make_unique<FileLogBackend>(legacy), clock);
+    for (int i = 0; i < 4; ++i) log.append(RunId("r"), "k", to_bytes("p" + std::to_string(i)));
+  }
+  // A previous migration died mid-way: its staging directory is still there,
+  // and the (segment-free) destination directory already exists.
+  fs::create_directories(dir);
+  fs::create_directories(dir + ".migrating");
+  {
+    std::ofstream junk((fs::path(dir + ".migrating") / "seg-00000000000000000000.wal"));
+    junk << "partial garbage";
+  }
+  auto migrated = migrate_file_log(legacy, {.dir = dir});
+  ASSERT_TRUE(migrated.ok()) << migrated.error().detail;
+  EXPECT_EQ(migrated.value(), 4u);
+  EXPECT_FALSE(fs::exists(dir + ".migrating"));
+  EXPECT_TRUE(journal::Reader::audit(dir).ok);
+  auto backend = JournalLogBackend::open({.dir = dir});
+  ASSERT_TRUE(backend.ok());
+  EvidenceLog log(std::move(backend).take(), clock);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_TRUE(log.verify_chain().ok());
+  std::remove((legacy + ".migrated").c_str());
 }
 
 TEST(StateStore, ManyDistinctStates) {
