@@ -24,13 +24,21 @@ mkdir -p "$out_dir"
 out_dir="$(cd "$out_dir" && pwd)"
 script_dir="$(cd "$(dirname "$0")" && pwd)"
 
-# Snapshot the committed crypto baseline (if present) before the run
-# overwrites it, so we can print a speedup table afterwards.
-crypto_baseline=""
-if [[ -f "$out_dir/BENCH_crypto.json" ]]; then
-  crypto_baseline="$(mktemp)"
-  cp "$out_dir/BENCH_crypto.json" "$crypto_baseline"
-fi
+# Snapshot the committed baselines of every gated bench before the run
+# overwrites them, so we can diff (and fail on regressions) afterwards.
+# crypto is pure CPU (tight tolerance); invocation rides the virtual
+# network and journal does real fsync work, so they get more headroom.
+gated_benches=(crypto invocation journal)
+declare -A gate_tolerance=([crypto]=2.0 [invocation]=3.0 [journal]=3.0)
+declare -A gate_tolerance_quick=([crypto]=4.0 [invocation]=6.0 [journal]=6.0)
+declare -A gate_baseline=()
+for nm in "${gated_benches[@]}"; do
+  if [[ -f "$out_dir/BENCH_$nm.json" ]]; then
+    tmp="$(mktemp)"
+    cp "$out_dir/BENCH_$nm.json" "$tmp"
+    gate_baseline[$nm]="$tmp"
+  fi
+done
 
 extra_args=()
 if [[ $quick -eq 1 ]]; then
@@ -53,23 +61,24 @@ done
 
 ls -l "$out_dir"/BENCH_*.json
 
-# Bench diff: compare the fresh crypto report against the pre-run baseline
-# and fail on crypto regressions beyond a generous tolerance.
-if [[ -n "$crypto_baseline" && -f "$out_dir/BENCH_crypto.json" ]]; then
-  if command -v python3 >/dev/null; then
-    echo "=== bench diff (crypto, vs committed baseline) ==="
-    # Quick/CI runs execute on arbitrary shared runners against a baseline
-    # recorded elsewhere, so widen the tolerance there: it still catches the
-    # order-of-magnitude regressions that matter on crypto hot paths without
-    # flapping on hardware skew. Full local runs use the tight bound.
-    tolerance=2.0
-    [[ $quick -eq 1 ]] && tolerance=4.0
+# Bench diff: compare each fresh gated report against its pre-run baseline
+# and fail on regressions beyond tolerance. Quick/CI runs execute on
+# arbitrary shared runners against a baseline recorded elsewhere, so the
+# tolerance widens there: it still catches the order-of-magnitude
+# regressions that matter without flapping on hardware skew.
+if command -v python3 >/dev/null; then
+  for nm in "${gated_benches[@]}"; do
+    baseline="${gate_baseline[$nm]:-}"
+    [[ -n "$baseline" && -f "$out_dir/BENCH_$nm.json" ]] || continue
+    tolerance="${gate_tolerance[$nm]}"
+    [[ $quick -eq 1 ]] && tolerance="${gate_tolerance_quick[$nm]}"
+    echo "=== bench diff ($nm, vs committed baseline, tolerance ${tolerance}x) ==="
     python3 "$script_dir/bench_diff.py" --fail-on-regression --tolerance "$tolerance" \
-      "$crypto_baseline" "$out_dir/BENCH_crypto.json" || failed=1
-  else
-    echo "note: python3 not found, skipping bench diff" >&2
-  fi
-  rm -f "$crypto_baseline"
+      "$baseline" "$out_dir/BENCH_$nm.json" || failed=1
+    rm -f "$baseline"
+  done
+else
+  echo "note: python3 not found, skipping bench diff" >&2
 fi
 
 # Journal durability bench: print the group-commit ROI from the fresh report
@@ -85,6 +94,37 @@ batched = times.get("BM_JournalAppend_Batch")
 if per_record and batched:
     print(f"=== journal group commit: batched append {per_record / batched:.1f}x "
           f"per-record sync ===")
+PYEOF
+fi
+
+# Concurrency scaling table: throughput per worker-thread count and speedup
+# over the single-thread row, for each BM_*/threads:N family.
+if [[ -f "$out_dir/BENCH_concurrency.json" ]] && command -v python3 >/dev/null; then
+  python3 - "$out_dir/BENCH_concurrency.json" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+families = {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b["name"]
+    if "/threads:" not in name:
+        continue
+    family = name.split("/threads:")[0]
+    threads = int(name.split("/threads:")[1].split("/")[0])
+    ips = b.get("items_per_second")
+    if ips:
+        families.setdefault(family, {})[threads] = ips
+if families:
+    print("=== concurrency scaling (items/s; speedup vs 1 thread) ===")
+    for family, rows in families.items():
+        base = rows.get(1)
+        cells = []
+        for threads in sorted(rows):
+            ips = rows[threads]
+            speedup = f" ({ips / base:.2f}x)" if base else ""
+            cells.append(f"{threads}t: {ips / 1000:.1f}k/s{speedup}")
+        print(f"  {family:<36} " + "  ".join(cells))
 PYEOF
 fi
 exit $failed

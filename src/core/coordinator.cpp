@@ -14,10 +14,12 @@ Coordinator::Coordinator(std::shared_ptr<EvidenceService> evidence, net::SimNetw
 }
 
 void Coordinator::register_handler(std::shared_ptr<ProtocolHandler> handler) {
+  std::unique_lock lk(handlers_mu_);
   handlers_[handler->protocol()] = std::move(handler);
 }
 
 bool Coordinator::has_handler(const std::string& protocol) const {
+  std::shared_lock lk(handlers_mu_);
   return handlers_.contains(protocol);
 }
 
@@ -43,13 +45,19 @@ Bytes Coordinator::on_request(const net::Address& from, BytesView raw) {
     bad.sender = party();
     return make_error_reply(bad, party(), msg.error()).encode();
   }
-  auto it = handlers_.find(msg.value().protocol);
-  if (it == handlers_.end()) {
+  std::shared_ptr<ProtocolHandler> handler;
+  {
+    std::shared_lock lk(handlers_mu_);
+    if (auto it = handlers_.find(msg.value().protocol); it != handlers_.end()) {
+      handler = it->second;
+    }
+  }
+  if (!handler) {
     return make_error_reply(msg.value(), party(),
                             Error::make("coordinator.no_handler", msg.value().protocol))
         .encode();
   }
-  auto reply = it->second->process_request(from, msg.value());
+  auto reply = handler->process_request(from, msg.value());
   if (!reply) return make_error_reply(msg.value(), party(), reply.error()).encode();
   return reply.value().encode();
 }
@@ -57,9 +65,14 @@ Bytes Coordinator::on_request(const net::Address& from, BytesView raw) {
 void Coordinator::on_notify(const net::Address& from, BytesView raw) {
   auto msg = ProtocolMessage::decode(raw);
   if (!msg) return;  // malformed one-way messages are dropped (assumption 4)
-  auto it = handlers_.find(msg.value().protocol);
-  if (it == handlers_.end()) return;
-  it->second->process(from, msg.value());
+  std::shared_ptr<ProtocolHandler> handler;
+  {
+    std::shared_lock lk(handlers_mu_);
+    if (auto it = handlers_.find(msg.value().protocol); it != handlers_.end()) {
+      handler = it->second;
+    }
+  }
+  if (handler) handler->process(from, msg.value());
 }
 
 }  // namespace nonrep::core

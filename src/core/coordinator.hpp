@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 
 #include "core/protocol_message.hpp"
 #include "net/rpc.hpp"
@@ -63,8 +64,13 @@ class Coordinator {
   void on_notify(const net::Address& from, BytesView raw);
 
   std::shared_ptr<EvidenceService> evidence_;
-  net::RpcEndpoint rpc_;
+  // Read on delivery strands while late handlers register (e.g. a TTP
+  // attached mid-scenario), hence reader/writer locked.
+  mutable std::shared_mutex handlers_mu_;
   std::map<std::string, std::shared_ptr<ProtocolHandler>> handlers_;
+  // Declared last => destroyed first: its teardown waits out in-flight
+  // delivery upcalls while the handler registry above is still alive.
+  net::RpcEndpoint rpc_;
 };
 
 }  // namespace nonrep::core

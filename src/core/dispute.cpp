@@ -1,6 +1,7 @@
 #include "core/dispute.hpp"
 
 #include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nonrep::core {
 
@@ -36,10 +37,21 @@ bool Adjudicator::verify_item(const RunId& run, const PresentedEvidence& item) c
 }
 
 Verdict Adjudicator::adjudicate(const RunId& run,
-                                const std::vector<PresentedEvidence>& bundle) const {
+                                const std::vector<PresentedEvidence>& bundle,
+                                util::ThreadPool* pool) const {
+  // Phase 1 — the expensive part (one chain walk + signature check per
+  // item), embarrassingly parallel across the pool.
+  std::vector<char> verified(bundle.size(), 0);
+  util::parallel_for(pool, bundle.size(), [&](std::size_t i) {
+    verified[i] = verify_item(run, bundle[i]) ? 1 : 0;
+  });
+
+  // Phase 2 — fold verdicts in presentation order, independent of which
+  // worker finished first.
   Verdict verdict;
-  for (const auto& item : bundle) {
-    if (!verify_item(run, item)) {
+  for (std::size_t i = 0; i < bundle.size(); ++i) {
+    const auto& item = bundle[i];
+    if (!verified[i]) {
       verdict.rejected.push_back(item.token);
       continue;
     }

@@ -30,11 +30,8 @@
 namespace nonrep::core {
 
 /// One item of presented evidence: a token and the subject bytes that the
-/// token's digest is claimed to cover.
-struct PresentedEvidence {
-  EvidenceToken token;
-  Bytes subject;
-};
+/// token's digest is claimed to cover (shared with the batched-verify API).
+using PresentedEvidence = EvidenceCheck;
 
 /// What the presenting party can irrefutably establish about a run.
 struct Verdict {
@@ -78,8 +75,12 @@ class Adjudicator {
   Adjudicator(const pki::CredentialManager& credentials, std::shared_ptr<Clock> clock)
       : credentials_(&credentials), clock_(std::move(clock)) {}
 
-  /// Judge a bundle of evidence presented for `run`.
-  Verdict adjudicate(const RunId& run, const std::vector<PresentedEvidence>& bundle) const;
+  /// Judge a bundle of evidence presented for `run`. With a pool, the
+  /// per-item signature verifications fan across the workers (the verdict
+  /// fold stays sequential and deterministic); a null pool is the plain
+  /// single-threaded judgement.
+  Verdict adjudicate(const RunId& run, const std::vector<PresentedEvidence>& bundle,
+                     util::ThreadPool* pool = nullptr) const;
 
   /// Convenience: build a bundle from a party's log + state store.
   static std::vector<PresentedEvidence> bundle_from_log(const store::EvidenceLog& log,

@@ -2,6 +2,7 @@
 
 #include "util/hex.hpp"
 #include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nonrep::core {
 
@@ -94,7 +95,10 @@ EvidenceService::EvidenceService(PartyId self, std::shared_ptr<crypto::Signer> s
         return std::move(w).take();
       }()) {}
 
-RunId EvidenceService::new_run() { return RunId(to_hex(rng_.generate(16))); }
+RunId EvidenceService::new_run() {
+  std::lock_guard lk(rng_mu_);
+  return RunId(to_hex(rng_.generate(16)));
+}
 
 Result<EvidenceToken> EvidenceService::issue(EvidenceType type, const RunId& run,
                                              BytesView subject) {
@@ -133,6 +137,15 @@ Status EvidenceService::verify(const EvidenceToken& token, BytesView subject) co
   }
   return credentials_->verify_signature(token.issuer, token.tbs(), token.signature,
                                         clock_->now());
+}
+
+std::vector<Status> EvidenceService::verify_batch(const std::vector<EvidenceCheck>& items,
+                                                  util::ThreadPool* pool) const {
+  std::vector<Status> verdicts(items.size(), Status::ok_status());
+  util::parallel_for(pool, items.size(), [&](std::size_t i) {
+    verdicts[i] = verify(items[i].token, items[i].subject);
+  });
+  return verdicts;
 }
 
 Status EvidenceService::accept(const EvidenceToken& token, BytesView subject) {

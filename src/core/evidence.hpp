@@ -12,7 +12,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "crypto/drbg.hpp"
 #include "crypto/sha256.hpp"
@@ -23,6 +25,10 @@
 #include "util/clock.hpp"
 #include "util/ids.hpp"
 #include "util/result.hpp"
+
+namespace nonrep::util {
+class ThreadPool;
+}
 
 namespace nonrep::core {
 
@@ -67,6 +73,14 @@ struct EvidenceToken {
   static Result<EvidenceToken> decode(BytesView b);
 };
 
+/// One signed evidence record together with the subject bytes its digest
+/// is claimed to cover — the unit of batched verification (and of a
+/// presented dispute bundle, core/dispute.hpp).
+struct EvidenceCheck {
+  EvidenceToken token;
+  Bytes subject;
+};
+
 /// Per-party evidence services: token issue/verify plus the persistence
 /// duties of assumption 3 (every issued and accepted token is logged; the
 /// subject state is stored digest-addressed so evidence can be rendered
@@ -100,6 +114,14 @@ class EvidenceService {
   /// Verification only (no persistence side effects).
   Status verify(const EvidenceToken& token, BytesView subject) const;
 
+  /// Batched verification: fan the records across `pool` (RSA signature
+  /// checks dominate, so throughput scales with workers) and join the
+  /// per-record verdicts, index-aligned with `items`. With a null pool it
+  /// degrades to a sequential loop — same results, same order. Used by
+  /// audit-style log validation and the dispute path.
+  std::vector<Status> verify_batch(const std::vector<EvidenceCheck>& items,
+                                   util::ThreadPool* pool = nullptr) const;
+
   /// Attach a time-stamping authority: every subsequently *issued* token
   /// is countersigned by the TSA and the timestamp token logged alongside
   /// it (§3.5: evidence "should be time-stamped ... to support the
@@ -120,6 +142,7 @@ class EvidenceService {
   std::shared_ptr<store::EvidenceLog> log_;
   std::shared_ptr<store::StateStore> states_;
   std::shared_ptr<Clock> clock_;
+  std::mutex rng_mu_;  // new_run() may race between a party's handler frames
   crypto::Drbg rng_;
   std::shared_ptr<TimestampHook> tsa_;
 };

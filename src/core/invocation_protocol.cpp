@@ -120,27 +120,34 @@ Result<ProtocolMessage> DirectInvocationServer::process_request(const net::Addre
   }
   if (auto ok = ev.accept(nro_req.value(), req); !ok) return ok.error();
 
-  auto existing = runs_.find(msg.run);
-  RunEvidence& run_evidence = runs_[msg.run].evidence;
-  run_evidence.has_nro_request = true;
+  {
+    std::lock_guard lk(runs_mu_);
+    runs_[msg.run].evidence.has_nro_request = true;
+  }
 
   // Execute (container enforces at-most-once on the run id). Duplicate
   // step-1 messages re-enter here; the container returns the recorded
   // result without re-execution, so the reply is regenerated losslessly.
-  (void)existing;
   InvocationResult result = executor_ ? executor_(invocation)
                                       : InvocationResult::failure(Outcome::kNotExecuted,
                                                                   "no executor bound");
 
   const Bytes resp = response_subject(msg.run, result);
-  runs_[msg.run].response_subject = resp;
+  {
+    std::lock_guard lk(runs_mu_);
+    runs_[msg.run].response_subject = resp;
+  }
 
   auto nrr_req = ev.issue(EvidenceType::kNrrRequest, msg.run, req);
   if (!nrr_req) return nrr_req.error();
-  run_evidence.has_nrr_request = true;
   auto nro_resp = ev.issue(EvidenceType::kNroResponse, msg.run, resp);
   if (!nro_resp) return nro_resp.error();
-  run_evidence.has_nro_response = true;
+  {
+    std::lock_guard lk(runs_mu_);
+    RunEvidence& run_evidence = runs_[msg.run].evidence;
+    run_evidence.has_nrr_request = true;
+    run_evidence.has_nro_response = true;
+  }
 
   ProtocolMessage reply;
   reply.protocol = kDirectInvocationProtocol;
@@ -155,28 +162,39 @@ Result<ProtocolMessage> DirectInvocationServer::process_request(const net::Addre
 
 void DirectInvocationServer::process(const net::Address& /*from*/, const ProtocolMessage& msg) {
   if (msg.step != 3) return;
-  auto it = runs_.find(msg.run);
-  if (it == runs_.end()) return;  // unknown run: ignore (assumption 4)
+  Bytes expected_subject;
+  {
+    std::lock_guard lk(runs_mu_);
+    auto it = runs_.find(msg.run);
+    if (it == runs_.end()) return;  // unknown run: ignore (assumption 4)
+    expected_subject = it->second.response_subject;
+  }
 
   auto nrr_resp = msg.token(EvidenceType::kNrrResponse);
   if (!nrr_resp) return;
   EvidenceService& ev = coordinator_->evidence();
-  if (ev.accept(nrr_resp.value(), it->second.response_subject)) {
-    it->second.evidence.has_nrr_response = true;
+  if (ev.accept(nrr_resp.value(), expected_subject)) {
+    std::lock_guard lk(runs_mu_);
+    if (auto it = runs_.find(msg.run); it != runs_.end()) {
+      it->second.evidence.has_nrr_response = true;
+    }
   }
 }
 
 bool DirectInvocationServer::run_complete(const RunId& run) const {
+  std::lock_guard lk(runs_mu_);
   auto it = runs_.find(run);
   return it != runs_.end() && it->second.evidence.complete_for_server();
 }
 
 RunEvidence DirectInvocationServer::evidence_for(const RunId& run) const {
+  std::lock_guard lk(runs_mu_);
   auto it = runs_.find(run);
   return it != runs_.end() ? it->second.evidence : RunEvidence{};
 }
 
 Result<Bytes> DirectInvocationServer::response_subject_for(const RunId& run) const {
+  std::lock_guard lk(runs_mu_);
   auto it = runs_.find(run);
   if (it == runs_.end()) {
     return Error::make("nr.invocation.unknown_run", run.str());
@@ -185,6 +203,7 @@ Result<Bytes> DirectInvocationServer::response_subject_for(const RunId& run) con
 }
 
 void DirectInvocationServer::mark_receipt_substitute(const RunId& run) {
+  std::lock_guard lk(runs_mu_);
   auto it = runs_.find(run);
   if (it != runs_.end()) it->second.evidence.receipt_substituted = true;
 }

@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "container/container.hpp"
 #include "core/coordinator.hpp"
@@ -110,6 +111,11 @@ class DirectInvocationServer final : public ProtocolHandler {
     Bytes response_subject;  // canonical response the NRR_resp must cover
     RunEvidence evidence;
   };
+  // A party's strand serializes its upcalls, but a handler that blocks on
+  // a nested call yields the strand — the resumed frame then runs
+  // concurrently with the successor's upcalls, so the run table needs its
+  // own lock (as must any stateful ProtocolHandler used that way).
+  mutable std::mutex runs_mu_;
   std::map<RunId, PendingRun> runs_;
 };
 

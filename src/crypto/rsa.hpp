@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "crypto/bigint.hpp"
 #include "crypto/drbg.hpp"
@@ -27,14 +28,33 @@ namespace nonrep::crypto {
 struct RsaPublicKey {
   BigUint n;
   std::uint32_t e = 65537;
+
+  RsaPublicKey() = default;
+  // The context cache carries a mutex, so copies are spelled out: they
+  // share the already-built Montgomery context (snapshot under the source's
+  // lock) but get their own lock. Moves fall back to these.
+  RsaPublicKey(const RsaPublicKey& o) : n(o.n), e(o.e), mont_(o.mont_snapshot()) {}
+  RsaPublicKey& operator=(const RsaPublicKey& o) {
+    if (this != &o) {
+      n = o.n;
+      e = o.e;
+      auto snap = o.mont_snapshot();
+      std::lock_guard lk(mont_mu_);
+      mont_ = std::move(snap);
+    }
+    return *this;
+  }
+
   std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
 
   /// Cached Montgomery context for n, built on first use and shared across
-  /// copies made afterwards. Not serialized. Not thread-safe to build
-  /// concurrently (the codebase is single-threaded per party). The modulus
-  /// check guards against code mutating the public `n` field after first
-  /// use — a stale context would silently compute mod the wrong modulus.
+  /// copies made afterwards. Not serialized. Thread-safe to build and read
+  /// concurrently (verification fans out across the worker pool); `n` must
+  /// not be mutated once the key is shared between threads — the modulus
+  /// check only guards single-threaded reassignment, where a stale context
+  /// would silently compute mod the wrong modulus.
   const Montgomery& montgomery() const {
+    std::lock_guard lk(mont_mu_);
     if (!mont_ || mont_->modulus() != n) mont_ = std::make_shared<const Montgomery>(n);
     return *mont_;
   }
@@ -43,6 +63,12 @@ struct RsaPublicKey {
   static Result<RsaPublicKey> decode(BytesView b);
 
  private:
+  std::shared_ptr<const Montgomery> mont_snapshot() const {
+    std::lock_guard lk(mont_mu_);
+    return mont_;
+  }
+
+  mutable std::mutex mont_mu_;
   mutable std::shared_ptr<const Montgomery> mont_;
 };
 
@@ -53,13 +79,44 @@ struct RsaPrivateKey {
   // format, in which case signing uses the full-width exponentiation.
   BigUint p, q, dp, dq, qinv;
 
+  RsaPrivateKey() = default;
+  RsaPrivateKey(const RsaPrivateKey& o)
+      : pub(o.pub), d(o.d), p(o.p), q(o.q), dp(o.dp), dq(o.dq), qinv(o.qinv) {
+    std::lock_guard lk(o.mont_mu_);
+    mont_p_ = o.mont_p_;
+    mont_q_ = o.mont_q_;
+  }
+  RsaPrivateKey& operator=(const RsaPrivateKey& o) {
+    if (this != &o) {
+      pub = o.pub;
+      d = o.d;
+      p = o.p;
+      q = o.q;
+      dp = o.dp;
+      dq = o.dq;
+      qinv = o.qinv;
+      std::shared_ptr<const Montgomery> sp, sq;
+      {
+        std::lock_guard lk(o.mont_mu_);
+        sp = o.mont_p_;
+        sq = o.mont_q_;
+      }
+      std::lock_guard lk(mont_mu_);
+      mont_p_ = std::move(sp);
+      mont_q_ = std::move(sq);
+    }
+    return *this;
+  }
+
   bool has_crt() const noexcept { return !p.is_zero() && !q.is_zero(); }
 
   const Montgomery& montgomery_p() const {
+    std::lock_guard lk(mont_mu_);
     if (!mont_p_ || mont_p_->modulus() != p) mont_p_ = std::make_shared<const Montgomery>(p);
     return *mont_p_;
   }
   const Montgomery& montgomery_q() const {
+    std::lock_guard lk(mont_mu_);
     if (!mont_q_ || mont_q_->modulus() != q) mont_q_ = std::make_shared<const Montgomery>(q);
     return *mont_q_;
   }
@@ -72,6 +129,7 @@ struct RsaPrivateKey {
   static Result<RsaPrivateKey> decode(BytesView b);
 
  private:
+  mutable std::mutex mont_mu_;
   mutable std::shared_ptr<const Montgomery> mont_p_;
   mutable std::shared_ptr<const Montgomery> mont_q_;
 };

@@ -58,14 +58,36 @@ bool VerifierCache::verify(SigAlgorithm alg, BytesView public_key, BytesView msg
   }
   const Digest dg = Sha256::hash(public_key);
   std::string cache_key(reinterpret_cast<const char*>(dg.data()), dg.size());
-  auto it = rsa_keys_.find(cache_key);
-  if (it == rsa_keys_.end()) {
-    auto decoded = RsaPublicKey::decode(public_key);
-    if (!decoded) return false;
-    if (rsa_keys_.size() >= kMaxEntries) rsa_keys_.clear();
-    it = rsa_keys_.emplace(std::move(cache_key), std::move(decoded).take()).first;
+  {
+    std::shared_lock lk(mu_);
+    if (auto it = rsa_keys_.find(cache_key); it != rsa_keys_.end()) {
+      RsaPublicKey key = it->second;  // shares the pre-built context
+      lk.unlock();
+      return rsa_verify(key, msg, signature);
+    }
   }
-  return rsa_verify(it->second, msg, signature);
+  auto decoded = RsaPublicKey::decode(public_key);
+  if (!decoded) return false;
+  RsaPublicKey key = std::move(decoded).take();
+  // Build the Montgomery context before publishing so every later copy
+  // shares it instead of rebuilding per lookup.
+  key.montgomery();
+  {
+    std::unique_lock lk(mu_);
+    if (rsa_keys_.size() >= kMaxEntries) rsa_keys_.clear();
+    rsa_keys_.emplace(std::move(cache_key), key);
+  }
+  return rsa_verify(key, msg, signature);
+}
+
+void VerifierCache::clear() {
+  std::unique_lock lk(mu_);
+  rsa_keys_.clear();
+}
+
+std::size_t VerifierCache::size() const {
+  std::shared_lock lk(mu_);
+  return rsa_keys_.size();
 }
 
 }  // namespace nonrep::crypto

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -40,21 +42,27 @@ class Signer {
 /// Returns false for malformed keys/signatures — never throws.
 bool verify(SigAlgorithm alg, BytesView public_key, BytesView msg, BytesView signature);
 
-/// Memoizes decoded RSA public keys (and their lazily-built Montgomery
+/// Memoizes decoded RSA public keys (and their pre-built Montgomery
 /// contexts) keyed by a digest of the serialized key bytes, so steady-state
 /// verification skips the decode and context setup and performs exactly one
 /// Montgomery exponentiation. Non-RSA algorithms pass through unchanged.
+///
+/// Thread-safe: lookups take a shared lock and copy the decoded key out
+/// (the copy shares the immutable Montgomery context, built eagerly at
+/// insert), so the actual exponentiation runs without any cache lock and a
+/// concurrent clear() can never pull state out from under a verifier.
 class VerifierCache {
  public:
   bool verify(SigAlgorithm alg, BytesView public_key, BytesView msg, BytesView signature);
 
-  void clear() { rsa_keys_.clear(); }
-  std::size_t size() const noexcept { return rsa_keys_.size(); }
+  void clear();
+  std::size_t size() const;
 
  private:
   // Decoded keys by SHA-256 of the wire-form key. Bounded: cleared wholesale
   // if an adversarial workload pushes past kMaxEntries distinct keys.
   static constexpr std::size_t kMaxEntries = 1024;
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, RsaPublicKey> rsa_keys_;
 };
 
@@ -82,11 +90,22 @@ class MerkleSchemeSigner final : public Signer {
 
   SigAlgorithm algorithm() const noexcept override { return SigAlgorithm::kMerkle; }
   Bytes public_key() const override;
-  Result<Bytes> sign(BytesView msg) override { return signer_.sign(msg); }
+  /// Serialized: the scheme consumes one-time leaves, and two concurrent
+  /// handler frames of one party (a resumed yielded frame plus its strand
+  /// successor) must never sign with the same leaf — that would void the
+  /// one-time-signature security the evidence rests on.
+  Result<Bytes> sign(BytesView msg) override {
+    std::lock_guard lk(mu_);
+    return signer_.sign(msg);
+  }
 
-  std::size_t remaining() const noexcept { return signer_.capacity() - signer_.used(); }
+  std::size_t remaining() const {
+    std::lock_guard lk(mu_);
+    return signer_.capacity() - signer_.used();
+  }
 
  private:
+  mutable std::mutex mu_;
   MerkleSigner signer_;
 };
 

@@ -16,33 +16,71 @@ ReliableEndpoint::ReliableEndpoint(SimNetwork& network, Address address,
                              [this](const Address& from, BytesView raw) { on_raw(from, raw); });
 }
 
-ReliableEndpoint::~ReliableEndpoint() { network_.unregister_endpoint(address_); }
+ReliableEndpoint::~ReliableEndpoint() {
+  // Waits for in-flight delivery upcalls to this address to return.
+  network_.unregister_endpoint(address_);
+  // Cancel every pending retry timer — they capture `this` and would
+  // otherwise fire into a destroyed endpoint if the pump keeps running.
+  {
+    std::lock_guard lk(mu_);
+    for (auto& [id, pending] : pending_) {
+      (void)id;
+      if (pending.retry_timer) *pending.retry_timer = false;
+    }
+    pending_.clear();
+  }
+  // A timer closure that slipped past the pump's cancellation recheck may
+  // still be running (ours or the owning RpcEndpoint's, whose members are
+  // destroyed after us); wait it out before freeing the object.
+  network_.quiesce_timers();
+}
+
+void ReliableEndpoint::set_handler(Handler handler) {
+  std::lock_guard lk(mu_);
+  handler_ = std::move(handler);
+}
 
 void ReliableEndpoint::send(const Address& to, Bytes payload) {
-  const std::uint64_t id = next_msg_id_++;
-  pending_[id] = Pending{to, std::move(payload), 0, false, {}};
+  std::uint64_t id;
+  {
+    std::lock_guard lk(mu_);
+    id = next_msg_id_++;
+    pending_[id] = Pending{to, std::move(payload), 0, false, {}};
+  }
   try_send(to, id);
 }
 
 void ReliableEndpoint::try_send(const Address& to, std::uint64_t msg_id) {
-  auto it = pending_.find(msg_id);
-  if (it == pending_.end() || it->second.acked) return;
-  Pending& p = it->second;
-  if (p.attempts > config_.max_retries) {
-    ++gave_up_;
-    pending_.erase(it);
-    return;
-  }
-  if (p.attempts > 0) ++retransmissions_;
-  ++p.attempts;
+  Bytes frame;
+  {
+    std::lock_guard lk(mu_);
+    auto it = pending_.find(msg_id);
+    if (it == pending_.end() || it->second.acked) return;
+    Pending& p = it->second;
+    if (p.attempts > config_.max_retries) {
+      gave_up_.fetch_add(1);
+      pending_.erase(it);
+      return;
+    }
+    if (p.attempts > 0) retransmissions_.fetch_add(1);
+    ++p.attempts;
 
-  BinaryWriter w;
-  w.u8(kData);
-  w.u64(msg_id);
-  w.bytes(p.payload);
-  network_.send(address_, to, std::move(w).take());
-  p.retry_timer = network_.schedule_cancelable(
+    BinaryWriter w;
+    w.u8(kData);
+    w.u64(msg_id);
+    w.bytes(p.payload);
+    frame = std::move(w).take();
+  }
+  // Network calls outside our lock (lock order: channel -> network).
+  network_.send(address_, to, std::move(frame));
+  auto timer = network_.schedule_cancelable(
       config_.retry_interval, [this, to, msg_id] { try_send(to, msg_id); });
+  std::lock_guard lk(mu_);
+  if (auto it = pending_.find(msg_id); it != pending_.end()) {
+    it->second.retry_timer = std::move(timer);
+  } else {
+    *timer = false;  // ACKed between send and re-arm: kill the fresh timer
+  }
 }
 
 void ReliableEndpoint::on_raw(const Address& from, BytesView raw) {
@@ -53,6 +91,7 @@ void ReliableEndpoint::on_raw(const Address& from, BytesView raw) {
   if (!id) return;
 
   if (type.value() == kAck) {
+    std::lock_guard lk(mu_);
     auto it = pending_.find(id.value());
     if (it != pending_.end()) {
       if (it->second.retry_timer) *it->second.retry_timer = false;
@@ -68,10 +107,15 @@ void ReliableEndpoint::on_raw(const Address& from, BytesView raw) {
   ack.u64(id.value());
   network_.send(address_, from, std::move(ack).take());
 
-  if (!seen_.insert({from, id.value()}).second) return;  // duplicate
+  Handler handler;
+  {
+    std::lock_guard lk(mu_);
+    if (!seen_.insert({from, id.value()}).second) return;  // duplicate
+    handler = handler_;
+  }
   auto payload = r.bytes();
-  if (!payload || !handler_) return;
-  handler_(from, payload.value());
+  if (!payload || !handler) return;
+  handler(from, payload.value());
 }
 
 }  // namespace nonrep::net

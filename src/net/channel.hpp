@@ -4,10 +4,18 @@
 // temporary failures every message is eventually delivered exactly once to
 // the application handler. Retransmission counts are exported for the
 // communication-overhead experiments (§6).
+//
+// Thread-safe: in the concurrent runtime, send() is called from arbitrary
+// party threads, on_raw() from the endpoint's delivery strand and retry
+// timers from the pump thread. Internal state is mutex-guarded; the
+// application handler is invoked outside the lock (the strand already
+// serialises upcalls per party).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 
@@ -31,13 +39,13 @@ class ReliableEndpoint {
   ReliableEndpoint& operator=(const ReliableEndpoint&) = delete;
 
   const Address& address() const noexcept { return address_; }
-  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  void set_handler(Handler handler);
 
   /// At-least-once send with receiver-side dedup => exactly-once upcall.
   void send(const Address& to, Bytes payload);
 
-  std::uint64_t retransmissions() const noexcept { return retransmissions_; }
-  std::uint64_t gave_up() const noexcept { return gave_up_; }
+  std::uint64_t retransmissions() const noexcept { return retransmissions_.load(); }
+  std::uint64_t gave_up() const noexcept { return gave_up_.load(); }
 
  private:
   void on_raw(const Address& from, BytesView raw);
@@ -46,7 +54,6 @@ class ReliableEndpoint {
   SimNetwork& network_;
   Address address_;
   ReliableConfig config_;
-  Handler handler_;
 
   struct Pending {
     Address to;
@@ -55,11 +62,14 @@ class ReliableEndpoint {
     bool acked = false;
     SimNetwork::TimerHandle retry_timer;  // cancelled on ACK
   };
+
+  mutable std::mutex mu_;  // guards handler_, pending_, seen_, next_msg_id_
+  Handler handler_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::set<std::pair<Address, std::uint64_t>> seen_;  // dedup of delivered ids
   std::uint64_t next_msg_id_ = 1;
-  std::uint64_t retransmissions_ = 0;
-  std::uint64_t gave_up_ = 0;
+  std::atomic<std::uint64_t> retransmissions_{0};
+  std::atomic<std::uint64_t> gave_up_{0};
 };
 
 }  // namespace nonrep::net

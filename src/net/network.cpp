@@ -1,8 +1,27 @@
 #include "net/network.hpp"
 
 #include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nonrep::net {
+
+namespace {
+// Strand ownership marker: set while a worker runs a party's delivery
+// handler, so yield_strand() knows which strand (if any) to hand over.
+// `tls_strand_yielded` records that the frame already handed its strand to
+// a successor — later parks in the same (resumed) frame only release the
+// carried in-flight registration, they don't hand over again.
+thread_local SimNetwork* tls_strand_net = nullptr;
+thread_local const Address* tls_strand_addr = nullptr;
+thread_local bool tls_strand_yielded = false;
+// Callbacks this thread is currently executing out of pump_one(). Idle
+// checks subtract it so a nested pump inside a handler doesn't wait for
+// its own enclosing callback to "finish".
+thread_local std::size_t tls_callback_depth = 0;
+// Timer closures this thread is currently executing (subset of the above);
+// quiesce_timers() must not wait for the caller's own frame.
+thread_local std::size_t tls_timer_depth = 0;
+}  // namespace
 
 SimNetwork::SimNetwork(std::shared_ptr<SimClock> clock, std::uint64_t seed)
     : clock_(std::move(clock)), rng_([seed] {
@@ -11,32 +30,87 @@ SimNetwork::SimNetwork(std::shared_ptr<SimClock> clock, std::uint64_t seed)
         return std::move(w).take();
       }()) {}
 
+SimNetwork::~SimNetwork() {
+  // Workers hold `this` while draining strands; wait them out. Parked
+  // nested calls wake via their real-time capped waits.
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return inflight_ == 0; });
+}
+
+SimNetwork::PumpScope::PumpScope(SimNetwork& n) : net(n) {
+  std::lock_guard lk(net.mu_);
+  ++net.pump_depth_;
+  net.pump_thread_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+}
+
+SimNetwork::PumpScope::~PumpScope() {
+  std::lock_guard lk(net.mu_);
+  if (--net.pump_depth_ == 0) {
+    net.pump_thread_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
+}
+
 void SimNetwork::register_endpoint(const Address& addr, Handler handler) {
+  std::lock_guard lk(mu_);
   endpoints_[addr] = std::move(handler);
 }
 
-void SimNetwork::unregister_endpoint(const Address& addr) { endpoints_.erase(addr); }
+void SimNetwork::unregister_endpoint(const Address& addr) {
+  std::unique_lock lk(mu_);
+  endpoints_.erase(addr);
+  // Concurrent mode: a worker may have copied this endpoint's handler out
+  // before the erase. Wait for every in-flight upcall to the address to
+  // return so the caller can safely destroy the endpoint — discounting our
+  // own frame if we *are* such an upcall (an endpoint tearing itself down
+  // from its own handler; after a yield a successor frame may also be
+  // inside the endpoint, and that one must still be waited out).
+  const int own_frames =
+      (tls_strand_net == this && tls_strand_addr != nullptr && *tls_strand_addr == addr)
+          ? 1
+          : 0;
+  cv_.wait(lk, [&] {
+    auto it = strands_.find(addr);
+    return it == strands_.end() || it->second.executing <= own_frames;
+  });
+}
 
 void SimNetwork::set_link(const Address& from, const Address& to, LinkConfig config) {
+  std::lock_guard lk(mu_);
   links_[{from, to}] = config;
 }
 
 void SimNetwork::set_partitioned(const Address& a, const Address& b, bool partitioned) {
-  LinkConfig ab = link_for(a, b);
+  std::lock_guard lk(mu_);
+  LinkConfig ab = link_for_locked(a, b);
   ab.partitioned = partitioned;
   links_[{a, b}] = ab;
-  LinkConfig ba = link_for(b, a);
+  LinkConfig ba = link_for_locked(b, a);
   ba.partitioned = partitioned;
   links_[{b, a}] = ba;
 }
 
-LinkConfig SimNetwork::link_for(const Address& from, const Address& to) const {
+void SimNetwork::set_default_link(LinkConfig config) {
+  std::lock_guard lk(mu_);
+  default_link_ = config;
+}
+
+void SimNetwork::set_executor(std::shared_ptr<util::ThreadPool> pool) {
+  std::lock_guard lk(mu_);
+  pool_ = std::move(pool);
+}
+
+bool SimNetwork::concurrent() const {
+  std::lock_guard lk(mu_);
+  return pool_ != nullptr;
+}
+
+LinkConfig SimNetwork::link_for_locked(const Address& from, const Address& to) const {
   auto it = links_.find({from, to});
   return it != links_.end() ? it->second : default_link_;
 }
 
-void SimNetwork::enqueue_delivery(const Address& from, const Address& to, Bytes payload,
-                                  TimeMs delay) {
+void SimNetwork::enqueue_delivery_locked(const Address& from, const Address& to,
+                                         Bytes payload, TimeMs delay) {
   Event e;
   e.at = clock_->now() + delay;
   e.seq = next_seq_++;
@@ -47,75 +121,312 @@ void SimNetwork::enqueue_delivery(const Address& from, const Address& to, Bytes 
 }
 
 void SimNetwork::send(const Address& from, const Address& to, Bytes payload) {
-  ++stats_.sent;
-  stats_.bytes_sent += payload.size();
-  const LinkConfig link = link_for(from, to);
-  if (link.partitioned || rng_.chance(link.drop)) {
-    ++stats_.dropped;
-    return;
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.sent;
+    stats_.bytes_sent += payload.size();
+    const LinkConfig link = link_for_locked(from, to);
+    if (link.partitioned || rng_.chance(link.drop)) {
+      ++stats_.dropped;
+      return;
+    }
+    const bool dup = rng_.chance(link.duplicate);
+    if (dup) {
+      ++stats_.duplicated;
+      enqueue_delivery_locked(from, to, payload, link.latency + 1);
+    }
+    enqueue_delivery_locked(from, to, std::move(payload), link.latency);
   }
-  const bool dup = rng_.chance(link.duplicate);
-  enqueue_delivery(from, to, payload, link.latency);
-  if (dup) {
-    ++stats_.duplicated;
-    enqueue_delivery(from, to, std::move(payload), link.latency + 1);
-  }
+  cv_.notify_all();
 }
 
 void SimNetwork::schedule(TimeMs delay, std::function<void()> fn) {
-  Event e;
-  e.at = clock_->now() + delay;
-  e.seq = next_seq_++;
-  e.timer = std::move(fn);
-  events_.push(std::move(e));
+  {
+    std::lock_guard lk(mu_);
+    Event e;
+    e.at = clock_->now() + delay;
+    e.seq = next_seq_++;
+    e.timer = std::move(fn);
+    events_.push(std::move(e));
+  }
+  cv_.notify_all();
 }
 
 SimNetwork::TimerHandle SimNetwork::schedule_cancelable(TimeMs delay,
                                                         std::function<void()> fn) {
-  auto handle = std::make_shared<bool>(true);
-  Event e;
-  e.at = clock_->now() + delay;
-  e.seq = next_seq_++;
-  e.timer = std::move(fn);
-  e.timer_active = handle;
-  events_.push(std::move(e));
+  auto handle = std::make_shared<std::atomic<bool>>(true);
+  {
+    std::lock_guard lk(mu_);
+    Event e;
+    e.at = clock_->now() + delay;
+    e.seq = next_seq_++;
+    e.timer = std::move(fn);
+    e.timer_active = handle;
+    events_.push(std::move(e));
+  }
+  cv_.notify_all();
   return handle;
 }
 
-bool SimNetwork::step() {
-  // Discard cancelled timers without advancing the clock.
-  while (!events_.empty() && events_.top().timer_active &&
-         !*events_.top().timer_active) {
-    events_.pop();
+void SimNetwork::spawn_drain_locked(const Address& to) {
+  Strand& s = strands_[to];
+  s.active = true;
+  ++inflight_;
+  pool_->submit([this, to] { drain_strand(to); });
+}
+
+void SimNetwork::drain_strand(Address to) {
+  tls_strand_net = this;
+  tls_strand_addr = &to;
+  tls_strand_yielded = false;
+  std::unique_lock lk(mu_);
+  for (;;) {
+    Strand& s = strands_[to];
+    if (s.q.empty()) {
+      s.active = false;
+      break;
+    }
+    Event e = std::move(s.q.front());
+    s.q.pop_front();
+    Handler handler;
+    if (auto it = endpoints_.find(to); it != endpoints_.end()) {
+      ++stats_.delivered;
+      handler = it->second;
+    }
+    const std::uint64_t epoch = s.epoch;
+    ++s.executing;
+    lk.unlock();
+    if (handler) handler(e.from, e.payload);
+    lk.lock();
+    --strands_[to].executing;
+    cv_.notify_all();  // unregister_endpoint may be waiting on `executing`
+    if (strands_[to].epoch != epoch) {
+      // The handler yielded mid-flight (nested blocking call): a successor
+      // drain owns the strand now, so this task must bow out.
+      break;
+    }
   }
-  if (events_.empty()) return false;
-  Event e = events_.top();
-  events_.pop();
-  if (e.at > clock_->now()) clock_->set(e.at);
-  if (e.timer) {
-    e.timer();
-    return true;
-  }
-  auto it = endpoints_.find(e.to);
-  if (it != endpoints_.end()) {
-    ++stats_.delivered;
-    it->second(e.from, e.payload);
+  --inflight_;
+  cv_.notify_all();  // under the lock: see pump_one
+  lk.unlock();
+  tls_strand_net = nullptr;
+  tls_strand_addr = nullptr;
+  tls_strand_yielded = false;
+}
+
+bool SimNetwork::yield_strand() {
+  if (tls_strand_net != this || tls_strand_addr == nullptr) return false;
+  {
+    std::lock_guard lk(mu_);
+    if (!tls_strand_yielded) {
+      // First park in this frame: hand the strand to a successor so later
+      // traffic to the party (including the awaited response) is served.
+      Strand& s = strands_[*tls_strand_addr];
+      ++s.epoch;
+      if (!s.q.empty()) {
+        spawn_drain_locked(*tls_strand_addr);
+      } else {
+        s.active = false;
+      }
+      tls_strand_yielded = true;
+    }
+    // Either way the parked caller stops counting as in-flight. The slot
+    // is re-acquired at wake-up (begin_external_work, by the waker or the
+    // caller's fixup) — a resumed frame carries exactly one registration
+    // until the superseded drain task unwinds and releases it — so every
+    // park of the same frame has a matching re-acquire.
+    --inflight_;
+    cv_.notify_all();  // under the lock: see pump_one
   }
   return true;
 }
 
+void SimNetwork::begin_external_work() {
+  std::lock_guard lk(mu_);
+  ++inflight_;
+}
+
+void SimNetwork::end_external_work() {
+  std::lock_guard lk(mu_);
+  --inflight_;
+  cv_.notify_all();  // under the lock: see pump_one
+}
+
+void SimNetwork::quiesce_timers() {
+  if (tls_timer_depth > 0) return;  // our own frame would never drain
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return timer_callbacks_ == 0; });
+}
+
+bool SimNetwork::pump_one() {
+  Event e;
+  Handler handler;
+  bool deliver_inline = false;
+  {
+    std::unique_lock lk(mu_);
+    for (;;) {
+      // Discard cancelled timers without advancing the clock.
+      while (!events_.empty() && events_.top().timer_active &&
+             !*events_.top().timer_active) {
+        events_.pop();
+      }
+      if (events_.empty()) {
+        if (inflight_ == 0) cv_.notify_all();  // drain()/dtor waiters
+        return false;
+      }
+      // Concurrent mode: never jump virtual time while other threads'
+      // work is in flight — they are about to inject earlier events, and
+      // advancing now would fire timeouts under live traffic. Same-time
+      // events are always safe to dispatch.
+      if (pool_ && inflight_ > tls_callback_depth &&
+          events_.top().at > clock_->now()) {
+        cv_.wait(lk, [&] {
+          return stop_live_ || events_.empty() ||
+                 inflight_ <= tls_callback_depth ||
+                 events_.top().at <= clock_->now();
+        });
+        if (stop_live_) return false;
+        continue;
+      }
+      break;
+    }
+    e = events_.top();
+    events_.pop();
+    if (e.at > clock_->now()) clock_->set(e.at);
+    if (!e.timer) {
+      if (pool_) {
+        // Concurrent dispatch: append to the destination strand; exactly
+        // one worker drains it, preserving per-party delivery order.
+        const Address dest = e.to;
+        Strand& s = strands_[dest];
+        s.q.push_back(std::move(e));
+        if (!s.active) spawn_drain_locked(dest);
+        return true;
+      }
+      auto it = endpoints_.find(e.to);
+      if (it == endpoints_.end()) return true;
+      ++stats_.delivered;
+      handler = it->second;
+      deliver_inline = true;
+    }
+    // Count the in-progress callback as in-flight so drain() can't observe
+    // a spuriously quiet instant while the callback is about to send.
+    ++inflight_;
+    if (e.timer) ++timer_callbacks_;
+  }
+  ++tls_callback_depth;
+  if (e.timer) {
+    ++tls_timer_depth;
+    // Re-check cancellation at the last moment: the owner may have
+    // cancelled (e.g. an endpoint tearing down) between pop and invoke.
+    if (!e.timer_active || *e.timer_active) e.timer();
+    --tls_timer_depth;
+  } else if (deliver_inline) {
+    handler(e.from, e.payload);
+  }
+  --tls_callback_depth;
+  {
+    std::lock_guard lk(mu_);
+    --inflight_;
+    if (e.timer) --timer_callbacks_;
+    // Notify under the lock: a waiter (drain()/quiesce_timers()/the
+    // destructor) must not be able to observe the decrement and finish
+    // destruction before this notify executes.
+    cv_.notify_all();
+  }
+  return true;
+}
+
+bool SimNetwork::step() { return pump_one(); }
+
 std::size_t SimNetwork::run(std::size_t max_events) {
+  PumpScope scope(*this);
   std::size_t n = 0;
-  while (n < max_events && step()) ++n;
+  while (n < max_events) {
+    if (pump_one()) {
+      ++n;
+      continue;
+    }
+    std::unique_lock lk(mu_);
+    if (inflight_ <= tls_callback_depth) {
+      if (events_.empty()) break;
+      continue;  // a worker raced new events in
+    }
+    cv_.wait(lk, [&] { return !events_.empty() || inflight_ <= tls_callback_depth; });
+    if (events_.empty() && inflight_ <= tls_callback_depth) break;
+  }
   return n;
 }
 
 bool SimNetwork::run_until(const std::function<bool()>& predicate, std::size_t max_events) {
+  PumpScope scope(*this);
   std::size_t n = 0;
   while (!predicate()) {
-    if (n++ >= max_events || !step()) return predicate();
+    if (n >= max_events) return predicate();
+    if (pump_one()) {
+      ++n;
+      continue;
+    }
+    std::unique_lock lk(mu_);
+    if (inflight_ <= tls_callback_depth) {
+      if (events_.empty()) return predicate();
+      continue;
+    }
+    cv_.wait(lk, [&] { return !events_.empty() || inflight_ <= tls_callback_depth; });
   }
   return true;
+}
+
+void SimNetwork::run_live() {
+  PumpScope scope(*this);
+  for (;;) {
+    {
+      std::lock_guard lk(mu_);
+      if (stop_live_) {
+        stop_live_ = false;
+        return;
+      }
+    }
+    if (pump_one()) continue;
+    std::unique_lock lk(mu_);
+    if (stop_live_) {
+      stop_live_ = false;
+      return;
+    }
+    cv_.wait(lk, [&] { return stop_live_ || !events_.empty(); });
+  }
+}
+
+void SimNetwork::stop_live() {
+  {
+    std::lock_guard lk(mu_);
+    stop_live_ = true;
+  }
+  cv_.notify_all();
+}
+
+void SimNetwork::drain() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return events_.empty() && inflight_ == 0; });
+}
+
+bool SimNetwork::on_pump_thread() const {
+  return pump_thread_.load(std::memory_order_relaxed) == std::this_thread::get_id();
+}
+
+bool SimNetwork::idle() const {
+  std::lock_guard lk(mu_);
+  return events_.empty() && inflight_ == 0;
+}
+
+NetworkStats SimNetwork::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void SimNetwork::reset_stats() {
+  std::lock_guard lk(mu_);
+  stats_ = NetworkStats{};
 }
 
 }  // namespace nonrep::net

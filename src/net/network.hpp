@@ -1,4 +1,4 @@
-// Deterministic simulated network.
+// Deterministic simulated network, with an optional concurrent runtime.
 //
 // Substitutes for the paper's Java-RMI transport. Trusted-interceptor
 // assumption 2 only demands "eventual message delivery (a bounded number
@@ -6,17 +6,43 @@
 // provides exactly that with controllable per-link latency, loss,
 // duplication and partitions, driven by a virtual clock so every protocol
 // experiment is reproducible.
+//
+// Two dispatch modes:
+//
+//  * Classic (default): single-threaded and fully deterministic — step()
+//    invokes endpoint handlers inline in virtual-time order.
+//  * Concurrent: attach a util::ThreadPool with set_executor() and message
+//    handlers run on worker threads, the RMI analogue of thread-per-call.
+//    Delivery stays *ordered per destination party*: each endpoint owns a
+//    strand (a FIFO of its pending deliveries) and at most one worker
+//    drains it at a time, so one party never observes reordered or
+//    overlapping upcalls. A handler that must block on a nested
+//    request/response yields its strand (yield_strand()) so later traffic
+//    to the same party — including the response it waits for — can be
+//    served by a fresh worker. One pump thread (run_live(), or any run*
+//    call) keeps popping the virtual-time event queue; other threads block
+//    in RPC waits instead of pumping.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <queue>
 #include <string>
+#include <thread>
 
 #include "crypto/drbg.hpp"
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
+
+namespace nonrep::util {
+class ThreadPool;
+}
 
 namespace nonrep::net {
 
@@ -43,6 +69,7 @@ class SimNetwork {
   using Handler = std::function<void(const Address& from, BytesView payload)>;
 
   SimNetwork(std::shared_ptr<SimClock> clock, std::uint64_t seed);
+  ~SimNetwork();
 
   std::shared_ptr<SimClock> clock() const noexcept { return clock_; }
 
@@ -53,7 +80,14 @@ class SimNetwork {
   void set_link(const Address& from, const Address& to, LinkConfig config);
   /// Symmetric partition toggle between two endpoints.
   void set_partitioned(const Address& a, const Address& b, bool partitioned);
-  void set_default_link(LinkConfig config) { default_link_ = config; }
+  void set_default_link(LinkConfig config);
+
+  /// Attach a worker pool: deliveries now run on pool threads, ordered per
+  /// destination. Pass nullptr to return to classic inline dispatch. Only
+  /// call while the network is idle (setup/teardown). The pool must outlive
+  /// the network or be detached before it is destroyed.
+  void set_executor(std::shared_ptr<util::ThreadPool> pool);
+  bool concurrent() const;
 
   /// Queue a payload for delivery (subject to the link's fault model).
   void send(const Address& from, const Address& to, Bytes payload);
@@ -63,20 +97,59 @@ class SimNetwork {
 
   /// Cancellation flag for a timer: set `*handle = false` to cancel. A
   /// cancelled timer neither fires nor advances the virtual clock.
-  using TimerHandle = std::shared_ptr<bool>;
+  /// Atomic: cancellers run on party threads while the pump inspects it.
+  using TimerHandle = std::shared_ptr<std::atomic<bool>>;
   TimerHandle schedule_cancelable(TimeMs delay, std::function<void()> fn);
 
   /// Deliver the next pending event (advancing the clock). False if idle.
   bool step();
-  /// Run until idle or `max_events`; returns events processed.
+  /// Run until idle or `max_events`; returns events processed. In
+  /// concurrent mode "idle" additionally means no in-flight worker strand.
   std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
   /// Run until `predicate()` is true, idle, or `max_events` reached.
   bool run_until(const std::function<bool()>& predicate,
                  std::size_t max_events = static_cast<std::size_t>(-1));
 
-  bool idle() const noexcept { return events_.empty(); }
-  const NetworkStats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = NetworkStats{}; }
+  /// Concurrent-mode pump loop: process events, sleeping while there is
+  /// nothing to do, until stop_live() is called. Exactly one thread runs
+  /// it; that thread is the virtual clock's owner.
+  void run_live();
+  void stop_live();
+
+  /// Block until the event queue is empty and every strand has drained.
+  /// Call from a non-pump thread while run_live() is pumping (or after all
+  /// work completed) — e.g. after the last client returned, to let tail
+  /// traffic (final one-way steps, ACKs) land before shutdown.
+  void drain();
+
+  /// True on the thread currently inside run()/run_until()/run_live().
+  bool on_pump_thread() const;
+
+  /// Release the calling worker's delivery strand so subsequent messages
+  /// to the same party are dispatched to other workers, and stop counting
+  /// the caller as in-flight (it is about to park). Called by blocking RPC
+  /// waits from inside a handler. Returns true if a strand was yielded;
+  /// false (and no accounting change) outside a strand.
+  bool yield_strand();
+
+  /// In-flight accounting hooks for work the network cannot see — a parked
+  /// RPC caller being resumed. While the count is non-zero the pump will
+  /// not advance virtual time past the present (it would fire timeouts
+  /// under work that is still running). Paired begin/end; the RPC layer
+  /// manages the pairing across the park/wake handoff.
+  void begin_external_work();
+  void end_external_work();
+
+  /// Block until no timer callback is executing on the pump. Endpoint
+  /// teardown calls this after cancelling its timers: a callback that
+  /// slipped past the pump's cancellation recheck still captures the
+  /// endpoint, so destruction must wait it out. No-op from within a timer
+  /// callback itself. Timer callbacks never block, so the wait is short.
+  void quiesce_timers();
+
+  bool idle() const;
+  NetworkStats stats() const;
+  void reset_stats();
 
  private:
   struct Event {
@@ -86,7 +159,7 @@ class SimNetwork {
     Address to;                   // empty for timers
     Bytes payload;
     std::function<void()> timer;      // set for timer events
-    std::shared_ptr<bool> timer_active;  // optional cancellation flag
+    TimerHandle timer_active;         // optional cancellation flag
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -94,12 +167,37 @@ class SimNetwork {
       return a.seq > b.seq;
     }
   };
+  /// Per-destination ordered delivery queue (concurrent mode only). At
+  /// most one drain task owns the strand; `epoch` increments when the
+  /// owner yields mid-handler so the stale owner stops after its upcall.
+  /// `executing` counts handler frames currently running (the owner plus
+  /// any yielded-then-resumed predecessors) — unregister_endpoint waits on
+  /// it so endpoint teardown cannot free an object a worker still holds.
+  struct Strand {
+    std::deque<Event> q;
+    bool active = false;
+    std::uint64_t epoch = 0;
+    int executing = 0;
+  };
 
-  LinkConfig link_for(const Address& from, const Address& to) const;
-  void enqueue_delivery(const Address& from, const Address& to, Bytes payload,
-                        TimeMs delay);
+  /// RAII for the pump-thread marker; supports nested run_until pumps.
+  struct PumpScope {
+    explicit PumpScope(SimNetwork& n);
+    ~PumpScope();
+    SimNetwork& net;
+  };
+
+  LinkConfig link_for_locked(const Address& from, const Address& to) const;
+  void enqueue_delivery_locked(const Address& from, const Address& to, Bytes payload,
+                               TimeMs delay);
+  void spawn_drain_locked(const Address& to);
+  void drain_strand(Address to);
+  bool pump_one();  // step() body; shared by all run loops
 
   std::shared_ptr<SimClock> clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // pump wakeups + drain()/dtor waits
   crypto::Drbg rng_;
   std::map<Address, Handler> endpoints_;
   std::map<std::pair<Address, Address>, LinkConfig> links_;
@@ -107,6 +205,14 @@ class SimNetwork {
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
   std::uint64_t next_seq_ = 0;
   NetworkStats stats_{};
+
+  std::shared_ptr<util::ThreadPool> pool_;
+  std::map<Address, Strand> strands_;
+  std::size_t inflight_ = 0;  // active drain tasks (including parked ones)
+  std::size_t timer_callbacks_ = 0;  // timer closures currently executing
+  bool stop_live_ = false;
+  std::atomic<std::thread::id> pump_thread_{};
+  int pump_depth_ = 0;  // nested run_until from the pump thread
 };
 
 }  // namespace nonrep::net

@@ -1,5 +1,7 @@
 #include "net/rpc.hpp"
 
+#include <chrono>
+
 #include "util/serialize.hpp"
 
 namespace nonrep::net {
@@ -8,12 +10,26 @@ namespace {
 constexpr std::uint8_t kRequest = 1;
 constexpr std::uint8_t kResponse = 2;
 constexpr std::uint8_t kOneWay = 3;
+
+// Real-time safety net for blocking waits: virtual-time timeouts need the
+// pump alive to fire, so a wedged pump must not hang callers forever.
+constexpr auto kRealTimeCap = std::chrono::seconds(30);
 }  // namespace
 
 RpcEndpoint::RpcEndpoint(SimNetwork& network, Address address, ReliableConfig config)
     : network_(network), endpoint_(network, std::move(address), config) {
   endpoint_.set_handler(
       [this](const Address& from, BytesView raw) { on_message(from, raw); });
+}
+
+void RpcEndpoint::set_request_handler(RequestHandler handler) {
+  std::lock_guard lk(mu_);
+  request_handler_ = std::move(handler);
+}
+
+void RpcEndpoint::set_notify_handler(NotifyHandler handler) {
+  std::lock_guard lk(mu_);
+  notify_handler_ = std::move(handler);
 }
 
 void RpcEndpoint::notify(const Address& to, Bytes payload) {
@@ -24,9 +40,29 @@ void RpcEndpoint::notify(const Address& to, Bytes payload) {
   endpoint_.send(to, std::move(w).take());
 }
 
+Result<Bytes> RpcEndpoint::take_outcome(std::uint64_t rpc_id, const Address& to,
+                                        TimeMs timeout) {
+  std::lock_guard lk(mu_);
+  auto it = outstanding_.find(rpc_id);
+  if (it == outstanding_.end() || !it->second.response.has_value()) {
+    outstanding_.erase(rpc_id);
+    return Error::make("rpc.timeout",
+                       "no response from " + to + " within " + std::to_string(timeout) + "ms");
+  }
+  Bytes response = std::move(*it->second.response);
+  outstanding_.erase(it);
+  return response;
+}
+
 Result<Bytes> RpcEndpoint::call(const Address& to, Bytes request, TimeMs timeout) {
-  const std::uint64_t rpc_id = next_rpc_id_++;
-  outstanding_[rpc_id] = std::nullopt;
+  const bool blocking = network_.concurrent() && !network_.on_pump_thread();
+  std::uint64_t rpc_id;
+  {
+    std::lock_guard lk(mu_);
+    rpc_id = next_rpc_id_++;
+    auto& entry = outstanding_[rpc_id];
+    entry.parked = blocking;  // registered before the request can answer
+  }
 
   BinaryWriter w;
   w.u8(kRequest);
@@ -35,24 +71,66 @@ Result<Bytes> RpcEndpoint::call(const Address& to, Bytes request, TimeMs timeout
   endpoint_.send(to, std::move(w).take());
 
   // shared_ptr: the timer may fire after this frame returns.
-  auto timed_out = std::make_shared<bool>(false);
-  auto timer = network_.schedule_cancelable(timeout, [timed_out] { *timed_out = true; });
+  auto timed_out = std::make_shared<std::atomic<bool>>(false);
+  auto timer = network_.schedule_cancelable(timeout, [this, rpc_id, timed_out] {
+    {
+      std::lock_guard lk(mu_);
+      timed_out->store(true);
+      resume_parked_locked(rpc_id);
+    }
+    response_cv_.notify_all();
+  });
+
+  if (blocking) {
+    // Blocking wait: the pump thread keeps the virtual world moving. Free
+    // our delivery strand first — the response lands on it.
+    const bool yielded = network_.yield_strand();
+    bool was_resumed;
+    {
+      std::unique_lock lk(mu_);
+      response_cv_.wait_for(lk, kRealTimeCap, [&] {
+        if (timed_out->load()) return true;
+        auto it = outstanding_.find(rpc_id);
+        return it != outstanding_.end() && it->second.response.has_value();
+      });
+      auto it = outstanding_.find(rpc_id);
+      was_resumed = it != outstanding_.end() && it->second.resumed;
+      if (it != outstanding_.end()) it->second.parked = false;
+    }
+    // Balance the in-flight accounting across the park/wake handoff:
+    //  * yielded + resumed: the waker's begin pairs with the superseded
+    //    drain task's release once this handler unwinds — nothing to do;
+    //  * yielded + not resumed (response beat the park, or real-time cap):
+    //    re-register ourselves so that release stays balanced;
+    //  * external thread + resumed: the waker's begin is ours to end — but
+    //    not before the caller finishes the protocol step this response
+    //    unblocks, so hold it through take_outcome.
+    if (yielded && !was_resumed) network_.begin_external_work();
+    *timer = false;
+    auto outcome = take_outcome(rpc_id, to, timeout);
+    if (!yielded && was_resumed) network_.end_external_work();
+    return outcome;
+  }
 
   network_.run_until([&, timed_out] {
+    std::lock_guard lk(mu_);
+    if (timed_out->load()) return true;
     auto it = outstanding_.find(rpc_id);
-    return *timed_out || (it != outstanding_.end() && it->second.has_value());
+    return it != outstanding_.end() && it->second.response.has_value();
   });
   *timer = false;  // cancel: a satisfied call must not drag the clock forward
 
+  return take_outcome(rpc_id, to, timeout);
+}
+
+void RpcEndpoint::resume_parked_locked(std::uint64_t rpc_id) {
   auto it = outstanding_.find(rpc_id);
-  if (it == outstanding_.end() || !it->second.has_value()) {
-    outstanding_.erase(rpc_id);
-    return Error::make("rpc.timeout",
-                       "no response from " + to + " within " + std::to_string(timeout) + "ms");
+  if (it != outstanding_.end() && it->second.parked && !it->second.resumed) {
+    it->second.resumed = true;
+    // On behalf of the parked caller, before our own in-flight slot can
+    // retire — the pump must not see a quiet gap in the handoff.
+    network_.begin_external_work();
   }
-  Bytes response = std::move(*it->second);
-  outstanding_.erase(it);
-  return response;
 }
 
 void RpcEndpoint::on_message(const Address& from, BytesView raw) {
@@ -66,8 +144,13 @@ void RpcEndpoint::on_message(const Address& from, BytesView raw) {
 
   switch (kind.value()) {
     case kRequest: {
-      if (!request_handler_) return;
-      Bytes response = request_handler_(from, payload.value());
+      RequestHandler handler;
+      {
+        std::lock_guard lk(mu_);
+        handler = request_handler_;
+      }
+      if (!handler) return;
+      Bytes response = handler(from, payload.value());
       BinaryWriter w;
       w.u8(kResponse);
       w.u64(rpc_id.value());
@@ -76,14 +159,24 @@ void RpcEndpoint::on_message(const Address& from, BytesView raw) {
       break;
     }
     case kResponse: {
-      auto it = outstanding_.find(rpc_id.value());
-      if (it != outstanding_.end() && !it->second.has_value()) {
-        it->second = payload.value();
+      {
+        std::lock_guard lk(mu_);
+        auto it = outstanding_.find(rpc_id.value());
+        if (it != outstanding_.end() && !it->second.response.has_value()) {
+          it->second.response = payload.value();
+          resume_parked_locked(rpc_id.value());
+        }
       }
+      response_cv_.notify_all();
       break;
     }
     case kOneWay: {
-      if (notify_handler_) notify_handler_(from, payload.value());
+      NotifyHandler handler;
+      {
+        std::lock_guard lk(mu_);
+        handler = notify_handler_;
+      }
+      if (handler) handler(from, payload.value());
       break;
     }
     default:

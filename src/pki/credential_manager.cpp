@@ -15,10 +15,11 @@ std::string cert_digest(const Certificate& cert) {
 
 }  // namespace
 
-void CredentialManager::invalidate_caches() const {
+void CredentialManager::invalidate_caches_locked() const {
   // Only the chain cache depends on trust state. The VerifierCache is
   // content-addressed (keyed by a digest of the key bytes), so its entries
   // can never go stale and survive root/cert/CRL changes.
+  std::lock_guard lk(cache_mu_);
   chain_cache_.clear();
 }
 
@@ -30,18 +31,21 @@ Status CredentialManager::add_trusted_root(const Certificate& root) {
                               root.issuer_signature)) {
     return Error::make("pki.bad_root_signature", root.subject.str());
   }
+  std::unique_lock lk(trust_mu_);
   roots_[root.subject.str()] = root;
-  invalidate_caches();
+  invalidate_caches_locked();
   return Status::ok_status();
 }
 
 void CredentialManager::add_certificate(const Certificate& cert) {
+  std::unique_lock lk(trust_mu_);
   certs_[cert.subject.str()] = cert;
   // A new or replaced intermediate can change the outcome of cached walks.
-  invalidate_caches();
+  invalidate_caches_locked();
 }
 
 Status CredentialManager::install_crl(const RevocationList& crl) {
+  std::unique_lock lk(trust_mu_);
   // The CRL must be signed by a known CA (root or stored intermediate).
   const Certificate* issuer_cert = nullptr;
   if (auto it = roots_.find(crl.issuer.str()); it != roots_.end()) {
@@ -63,32 +67,63 @@ Status CredentialManager::install_crl(const RevocationList& crl) {
   }
   crls_[crl.issuer.str()] = crl;
   // Freshly revoked serials must not be served from cached chain walks.
-  invalidate_caches();
+  invalidate_caches_locked();
   return Status::ok_status();
 }
 
+const Certificate* CredentialManager::find_locked(const PartyId& subject) const {
+  if (auto it = certs_.find(subject.str()); it != certs_.end()) return &it->second;
+  if (auto it = roots_.find(subject.str()); it != roots_.end()) return &it->second;
+  return nullptr;
+}
+
 Result<Certificate> CredentialManager::find(const PartyId& subject) const {
-  if (auto it = certs_.find(subject.str()); it != certs_.end()) return it->second;
-  if (auto it = roots_.find(subject.str()); it != roots_.end()) return it->second;
+  std::shared_lock lk(trust_mu_);
+  if (const Certificate* cert = find_locked(subject)) return *cert;
   return Error::make("pki.unknown_party", subject.str());
 }
 
-bool CredentialManager::is_revoked(const PartyId& issuer, const std::string& serial) const {
+bool CredentialManager::is_revoked_locked(const PartyId& issuer,
+                                          const std::string& serial) const {
   auto it = crls_.find(issuer.str());
   return it != crls_.end() && it->second.revoked_serials.contains(serial);
 }
 
+bool CredentialManager::is_revoked(const PartyId& issuer, const std::string& serial) const {
+  std::shared_lock lk(trust_mu_);
+  return is_revoked_locked(issuer, serial);
+}
+
+std::size_t CredentialManager::chain_cache_size() const {
+  std::lock_guard lk(cache_mu_);
+  return chain_cache_.size();
+}
+
+std::size_t CredentialManager::chain_cache_hits() const {
+  std::lock_guard lk(cache_mu_);
+  return chain_cache_hits_;
+}
+
 Status CredentialManager::verify_chain(const Certificate& leaf, TimeMs at) const {
+  std::shared_lock lk(trust_mu_);
+  return verify_chain_locked(leaf, at);
+}
+
+Status CredentialManager::verify_chain_locked(const Certificate& leaf, TimeMs at) const {
   const std::string digest = cert_digest(leaf);
-  if (auto it = chain_cache_.find(digest); it != chain_cache_.end()) {
-    // Trust state is unchanged since the walk (any mutation clears the
-    // cache), so only the time-dependent validity check remains.
-    if (at >= it->second.not_before && at <= it->second.not_after) {
-      ++chain_cache_hits_;
-      return Status::ok_status();
+  {
+    std::lock_guard cache_lk(cache_mu_);
+    if (auto it = chain_cache_.find(digest); it != chain_cache_.end()) {
+      // Trust state is unchanged since the walk (any mutation clears the
+      // cache under the exclusive trust lock, which excludes this shared
+      // hold), so only the time-dependent validity check remains.
+      if (at >= it->second.not_before && at <= it->second.not_after) {
+        ++chain_cache_hits_;
+        return Status::ok_status();
+      }
+      return Error::make("pki.expired",
+                         leaf.subject.str() + " at t=" + std::to_string(at));
     }
-    return Error::make("pki.expired",
-                       leaf.subject.str() + " at t=" + std::to_string(at));
   }
 
   constexpr int kMaxChain = 8;
@@ -100,7 +135,7 @@ Status CredentialManager::verify_chain(const Certificate& leaf, TimeMs at) const
     if (!current.valid_at(at)) {
       return Error::make("pki.expired", current.subject.str() + " at t=" + std::to_string(at));
     }
-    if (is_revoked(current.issuer, current.serial)) {
+    if (is_revoked_locked(current.issuer, current.serial)) {
       return Error::make("pki.revoked", current.serial);
     }
     // Trusted root reached?
@@ -112,6 +147,7 @@ Status CredentialManager::verify_chain(const Certificate& leaf, TimeMs at) const
       }
       // The walk never time-checks the root itself, so the cached window
       // deliberately excludes it — cached and uncached answers must agree.
+      std::lock_guard cache_lk(cache_mu_);
       chain_cache_.emplace(digest, window);
       return Status::ok_status();
     }
@@ -136,11 +172,11 @@ Status CredentialManager::verify_chain(const Certificate& leaf, TimeMs at) const
 
 Status CredentialManager::verify_signature(const PartyId& party, BytesView msg,
                                            BytesView signature, TimeMs at) const {
-  auto cert = find(party);
-  if (!cert) return cert.error();
-  if (auto chain = verify_chain(cert.value(), at); !chain) return chain;
-  if (!verifier_cache_.verify(cert.value().algorithm, cert.value().public_key, msg,
-                              signature)) {
+  std::shared_lock lk(trust_mu_);
+  const Certificate* cert = find_locked(party);
+  if (cert == nullptr) return Error::make("pki.unknown_party", party.str());
+  if (auto chain = verify_chain_locked(*cert, at); !chain) return chain;
+  if (!verifier_cache_.verify(cert->algorithm, cert->public_key, msg, signature)) {
     return Error::make("pki.signature_mismatch", party.str());
   }
   return Status::ok_status();

@@ -14,8 +14,16 @@
 // Both caches are invalidated whenever the trust state changes (certificate
 // added, root added, CRL installed), so a revocation can never be masked by
 // a stale cache entry.
+//
+// Thread-safe: verification (the steady state) takes a shared lock on the
+// trust state, so any number of delivery strands and batch-verify workers
+// walk chains in parallel; mutations take the exclusive lock and clear the
+// chain cache while no walk is in flight — a cached chain can therefore
+// never outlive the trust state it was computed under.
 #pragma once
 
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -51,8 +59,8 @@ class CredentialManager {
   bool is_revoked(const PartyId& issuer, const std::string& serial) const;
 
   /// Cache observability (tests and benches).
-  std::size_t chain_cache_size() const noexcept { return chain_cache_.size(); }
-  std::size_t chain_cache_hits() const noexcept { return chain_cache_hits_; }
+  std::size_t chain_cache_size() const;
+  std::size_t chain_cache_hits() const;
 
  private:
   // A successfully verified chain, valid for any time inside the
@@ -62,15 +70,24 @@ class CredentialManager {
     TimeMs not_after = 0;
   };
 
-  void invalidate_caches() const;
+  // Callers hold trust_mu_ (shared suffices for the walk; exclusive for
+  // mutation paths).
+  Status verify_chain_locked(const Certificate& leaf, TimeMs at) const;
+  bool is_revoked_locked(const PartyId& issuer, const std::string& serial) const;
+  const Certificate* find_locked(const PartyId& subject) const;
+  void invalidate_caches_locked() const;
 
+  // Lock order: trust_mu_ before cache_mu_ (never the reverse).
+  mutable std::shared_mutex trust_mu_;
   std::unordered_map<std::string, Certificate> roots_;  // by subject id
   std::unordered_map<std::string, Certificate> certs_;  // by subject id
   std::unordered_map<std::string, RevocationList> crls_;  // by issuer id
 
   // Keyed by SHA-256 of the leaf certificate's full encoding. Mutable: the
-  // caches are logically const memoization of const queries (single-threaded
-  // per party, like the rest of the manager).
+  // caches are logically const memoization of const queries. Guarded by
+  // cache_mu_ — chain walks hold trust_mu_ only shared, yet must record
+  // their result. The verifier cache is internally synchronized.
+  mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::string, VerifiedChain> chain_cache_;
   mutable crypto::VerifierCache verifier_cache_;
   mutable std::size_t chain_cache_hits_ = 0;

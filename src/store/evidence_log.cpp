@@ -90,7 +90,8 @@ EvidenceLog::EvidenceLog(std::unique_ptr<LogBackend> backend, std::shared_ptr<Cl
   for (const auto& r : records_) payload_bytes_ += r.payload.size();
 }
 
-const LogRecord& EvidenceLog::append(const RunId& run, std::string kind, Bytes payload) {
+LogRecord EvidenceLog::append(const RunId& run, std::string kind, Bytes payload) {
+  std::lock_guard lk(mu_);
   LogRecord rec;
   rec.sequence = records_.size();
   rec.time = clock_->now();
@@ -106,7 +107,23 @@ const LogRecord& EvidenceLog::append(const RunId& run, std::string kind, Bytes p
   return records_.back();
 }
 
+std::size_t EvidenceLog::size() const {
+  std::lock_guard lk(mu_);
+  return records_.size();
+}
+
+std::uint64_t EvidenceLog::payload_bytes() const {
+  std::lock_guard lk(mu_);
+  return payload_bytes_;
+}
+
+Status EvidenceLog::backend_status() const {
+  std::lock_guard lk(mu_);
+  return backend_status_;
+}
+
 std::vector<LogRecord> EvidenceLog::find_run(const RunId& run) const {
+  std::lock_guard lk(mu_);
   std::vector<LogRecord> out;
   for (const auto& r : records_) {
     if (r.run == run) out.push_back(r);
@@ -115,6 +132,7 @@ std::vector<LogRecord> EvidenceLog::find_run(const RunId& run) const {
 }
 
 std::optional<LogRecord> EvidenceLog::find(const RunId& run, std::string_view kind) const {
+  std::lock_guard lk(mu_);
   for (const auto& r : records_) {
     if (r.run == run && r.kind == kind) return r;
   }
@@ -122,6 +140,7 @@ std::optional<LogRecord> EvidenceLog::find(const RunId& run, std::string_view ki
 }
 
 Status EvidenceLog::verify_chain() const {
+  std::lock_guard lk(mu_);
   crypto::Digest prev{};
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const LogRecord& r = records_[i];

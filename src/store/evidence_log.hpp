@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -71,14 +72,19 @@ class FileLogBackend final : public LogBackend {
   std::string path_;
 };
 
+/// Thread-safe for interleaved append/find: a party may issue evidence
+/// from its application thread while its delivery strand logs accepted
+/// tokens. records() is the one unlocked accessor — it returns a direct
+/// reference for audit tooling and tests, valid only once the party is
+/// quiescent (no concurrent appends).
 class EvidenceLog {
  public:
   EvidenceLog(std::unique_ptr<LogBackend> backend, std::shared_ptr<Clock> clock);
 
   /// Append evidence; returns the record including its chain digest.
-  const LogRecord& append(const RunId& run, std::string kind, Bytes payload);
+  LogRecord append(const RunId& run, std::string kind, Bytes payload);
 
-  std::size_t size() const noexcept { return records_.size(); }
+  std::size_t size() const;
   const std::vector<LogRecord>& records() const noexcept { return records_; }
   std::vector<LogRecord> find_run(const RunId& run) const;
   std::optional<LogRecord> find(const RunId& run, std::string_view kind) const;
@@ -87,16 +93,17 @@ class EvidenceLog {
   Status verify_chain() const;
 
   /// Total payload bytes held (space-overhead experiments, §6).
-  std::uint64_t payload_bytes() const noexcept { return payload_bytes_; }
+  std::uint64_t payload_bytes() const;
 
   /// First persistence failure reported by the backend, if any. Records are
   /// always kept in memory so a protocol run can finish; a caller that needs
   /// durable evidence must check this (or the backend's own sync status).
-  const Status& backend_status() const noexcept { return backend_status_; }
+  Status backend_status() const;
 
  private:
   std::unique_ptr<LogBackend> backend_;
   std::shared_ptr<Clock> clock_;
+  mutable std::mutex mu_;
   std::vector<LogRecord> records_;
   std::uint64_t payload_bytes_ = 0;
   Status backend_status_;

@@ -1,5 +1,6 @@
 #include "store/state_store.hpp"
 
+#include <bit>
 #include <filesystem>
 
 #include "journal/reader.hpp"
@@ -7,25 +8,67 @@
 
 namespace nonrep::store {
 
+StateStore::StateStore(std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shard_count = std::bit_ceil(shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = shard_count - 1;
+}
+
 crypto::Digest StateStore::put(BytesView state) { return get_or_put(state).first; }
 
 std::pair<crypto::Digest, bool> StateStore::get_or_put(BytesView state) {
+  // Hash outside any lock: it is the expensive part of a put.
   const crypto::Digest d = crypto::Sha256::hash(state);
-  auto [it, inserted] = blobs_.try_emplace(d, Bytes(state.begin(), state.end()));
-  if (inserted) stored_bytes_ += it->second.size();
+  Shard& s = shard_for(d);
+  std::lock_guard lk(s.mu);
+  auto [it, inserted] = s.blobs.try_emplace(d, Bytes(state.begin(), state.end()));
+  if (inserted) s.stored_bytes += it->second.size();
   return {d, inserted};
 }
 
 Result<Bytes> StateStore::get(const crypto::Digest& digest) const {
-  auto it = blobs_.find(digest);
-  if (it == blobs_.end()) {
+  const Shard& s = shard_for(digest);
+  std::lock_guard lk(s.mu);
+  auto it = s.blobs.find(digest);
+  if (it == s.blobs.end()) {
     return Error::make("store.unknown_digest", "no state for digest");
   }
   return it->second;
 }
 
 bool StateStore::contains(const crypto::Digest& digest) const {
-  return blobs_.contains(digest);
+  const Shard& s = shard_for(digest);
+  std::lock_guard lk(s.mu);
+  return s.blobs.contains(digest);
+}
+
+std::size_t StateStore::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lk(s->mu);
+    n += s->blobs.size();
+  }
+  return n;
+}
+
+std::uint64_t StateStore::stored_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lk(s->mu);
+    n += s->stored_bytes;
+  }
+  return n;
+}
+
+std::vector<std::unique_lock<std::mutex>> StateStore::lock_all() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& s : shards_) locks.emplace_back(s->mu);
+  return locks;
 }
 
 Status StateStore::snapshot_to(const std::string& dir) const {
@@ -37,10 +80,13 @@ Status StateStore::snapshot_to(const std::string& dir) const {
   auto writer = journal::Writer::open(journal::Options{
       .dir = dir, .sync = journal::SyncPolicy::kEveryBatch});
   if (!writer) return writer.error();
-  for (const auto& [digest, blob] : blobs_) {
-    (void)digest;  // recomputed from content on restore
-    auto seq = writer.value()->append(blob);
-    if (!seq) return seq.error();
+  const auto locks = lock_all();  // one consistent cut across shards
+  for (const auto& shard : shards_) {
+    for (const auto& [digest, blob] : shard->blobs) {
+      (void)digest;  // recomputed from content on restore
+      auto seq = writer.value()->append(blob);
+      if (!seq) return seq.error();
+    }
   }
   return writer.value()->close();
 }

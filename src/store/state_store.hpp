@@ -6,12 +6,23 @@
 // store." — i.e. content-addressed storage: put(state) -> digest,
 // get(digest) -> state, so any agreed state referenced by evidence can be
 // reconstructed and checked (§3.4 requirement ii).
+//
+// Concurrency: the store is lock-striped into `shard_count` shards keyed
+// by the digest's *last* word (uniform SHA-256 output, so striping is
+// balanced by construction; the in-shard hash uses the first word, keeping
+// shard selection and bucket placement independent). put/get/contains
+// touch exactly one shard mutex; party threads and delivery strands
+// operate on disjoint shards in parallel. snapshot_to/restore_from lock
+// all shards in index order to emit/ingest one coherent journal.
 #pragma once
 
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "crypto/sha256.hpp"
 #include "util/result.hpp"
@@ -20,6 +31,11 @@ namespace nonrep::store {
 
 class StateStore {
  public:
+  static constexpr std::size_t kDefaultShards = 16;
+
+  /// `shard_count` is rounded up to a power of two (mask indexing).
+  explicit StateStore(std::size_t shard_count = kDefaultShards);
+
   /// Store a state snapshot; returns its digest (idempotent).
   crypto::Digest put(BytesView state);
 
@@ -33,12 +49,14 @@ class StateStore {
   Result<Bytes> get(const crypto::Digest& digest) const;
 
   bool contains(const crypto::Digest& digest) const;
-  std::size_t size() const noexcept { return blobs_.size(); }
-  std::uint64_t stored_bytes() const noexcept { return stored_bytes_; }
+  std::size_t size() const;
+  std::uint64_t stored_bytes() const;
+  std::size_t shard_count() const noexcept { return shards_.size(); }
 
   /// Persist every blob into a fresh journal at `dir` (one data record per
   /// blob, sealed with the segment checkpoint on success). Fails if the
-  /// directory already holds segments.
+  /// directory already holds segments. All shards are locked for the
+  /// duration, so the snapshot is a single consistent cut.
   Status snapshot_to(const std::string& dir) const;
 
   /// Merge all blobs from a snapshot journal into this store; returns how
@@ -57,8 +75,25 @@ class StateStore {
   };
   static_assert(sizeof(std::size_t) <= crypto::kSha256DigestSize);
 
-  std::unordered_map<crypto::Digest, Bytes, DigestHash> blobs_;
-  std::uint64_t stored_bytes_ = 0;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<crypto::Digest, Bytes, DigestHash> blobs;
+    std::uint64_t stored_bytes = 0;
+  };
+
+  Shard& shard_for(const crypto::Digest& d) const {
+    // Mix with a different slice of the digest than the in-shard hash uses
+    // so shard selection and bucket placement stay independent.
+    std::size_t h;
+    std::memcpy(&h, d.data() + crypto::kSha256DigestSize - sizeof(h), sizeof(h));
+    return *shards_[h & shard_mask_];
+  }
+
+  /// Locks every shard in index order (deadlock-free total order).
+  std::vector<std::unique_lock<std::mutex>> lock_all() const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_ = 0;
 };
 
 }  // namespace nonrep::store

@@ -5,6 +5,7 @@
 // while examples use the wall clock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -27,15 +28,17 @@ class WallClock final : public Clock {
 };
 
 /// Manually advanced clock for deterministic tests and simulation.
+/// Reads and writes are atomic: the network pump advances it while party
+/// handlers timestamp evidence from worker threads.
 class SimClock final : public Clock {
  public:
   explicit SimClock(TimeMs start = 0) : now_(start) {}
-  TimeMs now() const override { return now_; }
-  void advance(TimeMs delta) { now_ += delta; }
-  void set(TimeMs t) { now_ = t; }
+  TimeMs now() const override { return now_.load(std::memory_order_relaxed); }
+  void advance(TimeMs delta) { now_.fetch_add(delta, std::memory_order_relaxed); }
+  void set(TimeMs t) { now_.store(t, std::memory_order_relaxed); }
 
  private:
-  TimeMs now_;
+  std::atomic<TimeMs> now_;
 };
 
 }  // namespace nonrep

@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace nonrep::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(threads, 1);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // stopping_ with a drained queue: graceful shutdown.
+      return;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lk.unlock();
+    task();
+    lk.lock();
+    --running_;
+    ++executed_;
+    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && running_ == 0; });
+}
+
+std::uint64_t ThreadPool::executed() const {
+  std::lock_guard lk(mu_);
+  return executed_;
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // A few chunks per worker so uneven item costs still balance. The caller
+  // claims chunks from the same shared counter as the helpers, so progress
+  // never depends on a free pool worker — parallel_for stays deadlock-free
+  // even when invoked from a worker of a fully-loaded `pool` itself (the
+  // documented shared-pool usage). Late-scheduled helpers find the counter
+  // exhausted and retire without touching `fn`.
+  const std::size_t chunks = std::min(n, pool->size() * 4);
+  const std::size_t per = (n + chunks - 1) / chunks;
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  const auto run_chunks = [shared, &fn, chunks, per, n] {
+    for (;;) {
+      const std::size_t c = shared->next.fetch_add(1);
+      if (c >= chunks) return;
+      const std::size_t begin = c * per;
+      const std::size_t end = std::min(n, begin + per);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      if (shared->done.fetch_add(1) + 1 == chunks) {
+        std::lock_guard lk(shared->m);
+        shared->cv.notify_all();
+      }
+    }
+  };
+  // Helpers capture only the shared state; `fn` stays alive because the
+  // caller blocks until every claimed chunk has finished.
+  for (std::size_t h = 0; h + 1 < pool->size() && h + 1 < chunks; ++h) {
+    pool->submit(run_chunks);
+  }
+  run_chunks();
+  std::unique_lock lk(shared->m);
+  shared->cv.wait(lk, [&] { return shared->done.load() == chunks; });
+}
+
+}  // namespace nonrep::util

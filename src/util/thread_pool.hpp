@@ -1,0 +1,77 @@
+// Fixed-size worker pool — the executor behind the concurrent party
+// runtime.
+//
+// The paper's middleware mediates interactions between many independent
+// organisations at once; a Java-RMI deployment would serve each incoming
+// call on its own thread. This pool is the C++ substitute: the network
+// layer dispatches per-party delivery strands onto it, and the batched
+// evidence-verification API fans signature checks across it. Tasks are
+// plain closures; shutdown drains every queued task before joining
+// (graceful drain), so no submitted work is silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace nonrep::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains the queue (every already-submitted task runs), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Safe from any thread, including pool workers.
+  void submit(std::function<void()> task);
+
+  /// submit() with a future for the callable's result.
+  template <typename F>
+  auto async(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Block until the queue is empty and no task is running. Must not be
+  /// called from a pool worker (it would wait for itself).
+  void wait_idle();
+
+  /// Tasks completed so far (observability for tests/benches).
+  std::uint64_t executed() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;  // waiters: queue empty and none running
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t running_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run fn(0..n-1) across the pool in contiguous chunks and wait for all of
+/// them. Falls back to a plain loop when `pool` is null or n is tiny —
+/// callers can pass the same code path for both serial and parallel use.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace nonrep::util

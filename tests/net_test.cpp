@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <thread>
+
 #include "net/channel.hpp"
 #include "net/network.hpp"
 #include "net/rpc.hpp"
 #include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nonrep::net {
 namespace {
@@ -256,6 +261,98 @@ TEST_F(RpcFixture, CallSurvivesLoss) {
     auto result = client.call("server", to_bytes("r" + std::to_string(i)), 5000);
     ASSERT_TRUE(result.ok()) << i;
   }
+}
+
+// ---- Concurrent dispatch (executor-backed network) ----
+
+struct ConcurrentNetFixture : NetFixture {
+  ConcurrentNetFixture() : pool(std::make_shared<util::ThreadPool>(4)) {
+    net.set_executor(pool);
+  }
+  ~ConcurrentNetFixture() { net.set_executor(nullptr); }
+  std::shared_ptr<util::ThreadPool> pool;
+};
+
+TEST_F(ConcurrentNetFixture, StrandPreservesPerPartyDeliveryOrder) {
+  std::mutex m;
+  std::vector<int> got;
+  net.register_endpoint("b", [&](const Address&, BytesView p) {
+    std::lock_guard lk(m);
+    got.push_back(static_cast<int>(p[0]) | static_cast<int>(p[1]) << 8);
+  });
+  constexpr int kMessages = 200;
+  for (int i = 0; i < kMessages; ++i) {
+    net.send("a", "b", Bytes{static_cast<std::uint8_t>(i & 0xff),
+                             static_cast<std::uint8_t>(i >> 8)});
+  }
+  net.run();  // main thread pumps; workers drain b's strand
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(ConcurrentNetFixture, ReliableChannelExactlyOnceInOrderUnderDuplication) {
+  ReliableEndpoint a(net, "a");
+  ReliableEndpoint b(net, "b");
+  net.set_link("a", "b", LinkConfig{.latency = 1, .duplicate = 1.0});
+  std::mutex m;
+  std::vector<std::string> got;
+  b.set_handler([&](const Address&, BytesView p) {
+    std::lock_guard lk(m);
+    got.push_back(to_string(p));
+  });
+  constexpr int kMessages = 50;
+  for (int i = 0; i < kMessages; ++i) a.send("b", to_bytes("m" + std::to_string(i)));
+  net.run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));  // dedup held under threads
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], "m" + std::to_string(i));
+  }
+}
+
+TEST_F(ConcurrentNetFixture, BlockingCallsFromManyThreads) {
+  RpcEndpoint server(net, "server");
+  server.set_request_handler([](const Address& from, BytesView req) {
+    Bytes reply = to_bytes("echo:" + from + ":");
+    append(reply, req);
+    return reply;
+  });
+  std::vector<std::unique_ptr<RpcEndpoint>> endpoints;
+  for (int c = 0; c < 3; ++c) {
+    endpoints.push_back(std::make_unique<RpcEndpoint>(net, "c" + std::to_string(c)));
+  }
+
+  std::thread pump([&] { net.run_live(); });
+  std::atomic<int> ok{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 3; ++c) {
+    callers.emplace_back([&, c] {
+      for (int i = 0; i < 10; ++i) {
+        const std::string want =
+            "echo:c" + std::to_string(c) + ":r" + std::to_string(i);
+        auto result =
+            endpoints[static_cast<std::size_t>(c)]->call("server", to_bytes("r" + std::to_string(i)), 5000);
+        if (result.ok() && to_string(result.value()) == want) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  net.drain();
+  net.stop_live();
+  pump.join();
+  EXPECT_EQ(ok.load(), 30);
+}
+
+TEST_F(ConcurrentNetFixture, BlockingCallTimesOutViaVirtualClock) {
+  RpcEndpoint client(net, "client");
+  RpcEndpoint server(net, "server");
+  net.set_partitioned("client", "server", true);
+  std::thread pump([&] { net.run_live(); });
+  auto result = client.call("server", to_bytes("ping"), 200);
+  net.stop_live();
+  pump.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "rpc.timeout");
+  EXPECT_GE(clock->now(), 200u);
 }
 
 TEST_F(RpcFixture, ConcurrentCallsCorrelated) {

@@ -8,6 +8,9 @@
 #error "pki_release_test must be compiled with NDEBUG"
 #endif
 
+#include <atomic>
+#include <thread>
+
 #include "crypto/drbg.hpp"
 #include "pki/authority.hpp"
 #include "pki/credential_manager.hpp"
@@ -100,6 +103,48 @@ TEST_F(PkiReleaseFixture, TamperedSignatureRejected) {
   auto status = manager.verify_chain(bad, 100);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.error().code, "pki.bad_signature");
+}
+
+TEST_F(PkiReleaseFixture, CacheInvalidationRacesVerification) {
+  // Readers hammer verify_signature while a writer keeps re-adding the
+  // certificate (each add clears the chain cache). Every verdict must stay
+  // correct regardless of which side of an invalidation it lands on; the
+  // TSan CI job turns any locking mistake here into a failure.
+  const Bytes msg = to_bytes("signed under churn");
+  const Bytes sig = subject_signer->sign(msg).take();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 120; ++i) {
+        if (!manager.verify_signature(PartyId("org:a"), msg, sig, 100).ok()) {
+          wrong.fetch_add(1);
+        }
+        if (!manager.verify_chain(subject_cert, 100).ok()) wrong.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    while (!stop.load()) {
+      manager.add_certificate(subject_cert);  // same cert: trust unchanged, cache cleared
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(wrong.load(), 0);
+
+  // After the churn a revocation still bites immediately: no stale cache
+  // entry can mask it.
+  RevocationAuthority ra(PartyId("ca:root"), ca_signer);
+  ra.revoke(subject_cert.serial);
+  ASSERT_TRUE(manager.install_crl(ra.current(50).take()).ok());
+  auto status = manager.verify_chain(subject_cert, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "pki.revoked");
 }
 
 }  // namespace

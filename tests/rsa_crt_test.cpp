@@ -3,8 +3,12 @@
 // fault self-check fallback, and the versioned private-key wire format.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "crypto/drbg.hpp"
 #include "crypto/rsa.hpp"
+#include "crypto/signer.hpp"
 #include "util/hex.hpp"
 #include "util/serialize.hpp"
 
@@ -155,6 +159,65 @@ TEST(RsaCrt, DecodeRejectsBadInput) {
   auto r = RsaPrivateKey::decode(key.encode());
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.error().code, "rsa.bad_key");
+}
+
+TEST(VerifierCacheConcurrency, ClearWhileVerifying) {
+  // Race a wholesale invalidation against verifiers in flight: every
+  // verify must still return the correct verdict, whether it hit the
+  // cached decoded key or re-decoded after a clear. Run under TSan in CI.
+  Drbg rng(to_bytes("clear-while-verifying"));
+  const RsaPrivateKey key = rsa_generate(rng, 512);
+  const Bytes pub = key.pub.encode();
+  const Bytes good_msg = to_bytes("cached verification");
+  const Bytes sig = rsa_sign(key, good_msg);
+  const Bytes bad_msg = to_bytes("not the signed message");
+
+  VerifierCache cache;
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> verifiers;
+  for (int t = 0; t < 4; ++t) {
+    verifiers.emplace_back([&] {
+      for (int i = 0; i < 150; ++i) {
+        if (!cache.verify(SigAlgorithm::kRsa, pub, good_msg, sig)) wrong.fetch_add(1);
+        if (cache.verify(SigAlgorithm::kRsa, pub, bad_msg, sig)) wrong.fetch_add(1);
+      }
+    });
+  }
+  std::thread clearer([&] {
+    while (!stop.load()) {
+      cache.clear();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : verifiers) t.join();
+  stop.store(true);
+  clearer.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  // The cache still works after the churn.
+  EXPECT_TRUE(cache.verify(SigAlgorithm::kRsa, pub, good_msg, sig));
+  EXPECT_LE(cache.size(), 1u);
+}
+
+TEST(VerifierCacheConcurrency, SharedMontgomeryContextAcrossThreads) {
+  // Copies handed out by the cache share one immutable Montgomery context;
+  // concurrent exponentiations through it must agree with cold verifies.
+  Drbg rng(to_bytes("shared-context"));
+  const RsaPrivateKey key = rsa_generate(rng, 512);
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const Bytes msg = to_bytes("msg-" + std::to_string(t) + "-" + std::to_string(i));
+        const Bytes sig = rsa_sign(key, msg);
+        if (!rsa_verify(key.pub, msg, sig)) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
 }
 
 TEST(RsaCrt, GeneratedKeySerializationRoundTrip) {
