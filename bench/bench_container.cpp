@@ -82,12 +82,12 @@ void BM_Proxy_PlainTransport(benchmark::State& state) {
   auto& server = world.add_party("server");
   Container c;
   c.deploy(ServiceUri("svc://server/echo"), make_echo(), DeploymentDescriptor{});
-  container::InvocationListener listener(
-      *[&]() -> net::RpcEndpoint* {
-        static net::RpcEndpoint ep(world.network, "server-plain");
-        return &ep;
-      }(),
-      c);
+  // NB: the endpoint must be a plain local — benchmark functions run more
+  // than once (estimation + measurement), and a function-local static
+  // endpoint would outlive the first call's world and tear down against a
+  // destroyed network (crash at exit).
+  net::RpcEndpoint server_ep(world.network, "server-plain");
+  container::InvocationListener listener(server_ep, c);
   net::RpcEndpoint client_ep(world.network, "client-plain");
   container::ClientProxy proxy(client.id, ServiceUri("svc://server/echo"), {},
                                container::remote_transport(client_ep, "server-plain", 5000));

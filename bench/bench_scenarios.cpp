@@ -1,0 +1,101 @@
+// End-to-end protocol scenarios over the concurrent party runtime — the
+// regression-gated BENCH_scenarios.json axis.
+//
+//   BM_Scenario_FairExchange  — optimistic fair exchanges with injected
+//                               message loss and 25% TTP recovery (abort +
+//                               withheld-receipt resolve), at 8..64 parties.
+//   BM_Scenario_Sharing       — N-party evidence-sharing rounds (each round
+//                               is N-1 vote RPCs + a decision fan-out), with
+//                               proposer contention and retries.
+//   BM_Scenario_Mixed         — half the parties run sharing rounds while
+//                               the other half runs fair exchanges; every
+//                               party keeps voting, so strands interleave
+//                               protocol roles.
+//
+// ops/s (items_per_second) is the figure of merit; the per-wave audit
+// (chains + TTP verdict reconciliation + replica convergence) runs inside
+// the iteration — a wave that is fast but evidence-broken fails the bench.
+// One engine (fleet + PKI + live pump) is reused across iterations, so
+// keygen is outside the measured loop.
+#include <benchmark/benchmark.h>
+
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace nonrep;
+
+scenario::ScenarioConfig config_for(std::size_t parties, double loss, double ttp_ratio) {
+  scenario::ScenarioConfig config;
+  config.parties = parties;
+  config.threads = 4;
+  config.ops_per_party = 2;
+  config.loss = loss;
+  config.ttp_ratio = ttp_ratio;
+  config.seed = 1207;
+  return config;
+}
+
+void run_kind(benchmark::State& state, scenario::WaveKind kind, double loss,
+              double ttp_ratio) {
+  const auto parties = static_cast<std::size_t>(state.range(0));
+  scenario::ScenarioEngine engine(config_for(parties, loss, ttp_ratio));
+  if (!engine.setup().ok()) {
+    state.SkipWithError(engine.setup().error().code.c_str());
+    return;
+  }
+
+  std::size_t ops = 0;
+  std::size_t completed = 0, recovered = 0, aborted = 0;
+  std::size_t committed = 0, rejected = 0;
+  for (auto _ : state) {
+    const auto result = engine.run_wave(kind);
+    if (result.failed != 0) state.SkipWithError("scenario op failed");
+    if (!result.audit.ok()) state.SkipWithError(result.audit.error().code.c_str());
+    ops += result.ops();
+    completed += result.completed;
+    recovered += result.recovered;
+    aborted += result.aborted;
+    committed += result.rounds_committed;
+    rejected += result.rounds_rejected;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.counters["parties"] = static_cast<double>(parties);
+  if (kind != scenario::WaveKind::kSharing) {
+    state.counters["completed"] = static_cast<double>(completed);
+    state.counters["ttp_recovered"] = static_cast<double>(recovered + aborted);
+  }
+  if (kind != scenario::WaveKind::kFairExchange) {
+    state.counters["committed"] = static_cast<double>(committed);
+    state.counters["rejected"] = static_cast<double>(rejected);
+  }
+}
+
+void BM_Scenario_FairExchange(benchmark::State& state) {
+  run_kind(state, scenario::WaveKind::kFairExchange, /*loss=*/0.05, /*ttp_ratio=*/0.25);
+}
+BENCHMARK(BM_Scenario_FairExchange)
+    ->ArgName("parties")
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Scenario_Sharing(benchmark::State& state) {
+  run_kind(state, scenario::WaveKind::kSharing, /*loss=*/0.0, /*ttp_ratio=*/0.0);
+}
+BENCHMARK(BM_Scenario_Sharing)
+    ->ArgName("parties")
+    ->Arg(4)->Arg(8)->Arg(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Scenario_Mixed(benchmark::State& state) {
+  run_kind(state, scenario::WaveKind::kMixed, /*loss=*/0.05, /*ttp_ratio=*/0.25);
+}
+BENCHMARK(BM_Scenario_Mixed)
+    ->ArgName("parties")
+    ->Arg(8)->Arg(16)->Arg(32)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

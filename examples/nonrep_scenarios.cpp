@@ -1,0 +1,121 @@
+// nonrep_scenarios — drive the scenario engine from the command line.
+//
+//   ./nonrep_scenarios [--kind=fair|sharing|mixed] [--parties=N]
+//                      [--threads=N] [--ops=N] [--loss=P] [--ttp-ratio=P]
+//                      [--seed=N] [--journal-dir=PATH] [--waves=N]
+//
+// Reproduces the BENCH_scenarios.json table interactively: each wave
+// prints its tallies, throughput and audit verdict. With --journal-dir
+// every party's evidence is persisted through the segmented WAL.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/scenario.hpp"
+
+using namespace nonrep;
+
+namespace {
+
+const char* kind_name(scenario::WaveKind kind) {
+  switch (kind) {
+    case scenario::WaveKind::kFairExchange: return "fair-exchange";
+    case scenario::WaveKind::kSharing: return "sharing";
+    case scenario::WaveKind::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scenario::ScenarioConfig config;
+  config.parties = 8;
+  config.threads = 4;
+  config.ops_per_party = 4;
+  config.loss = 0.05;
+  config.ttp_ratio = 0.25;
+  scenario::WaveKind kind = scenario::WaveKind::kMixed;
+  int waves = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--kind", value)) {
+      if (value == "fair") kind = scenario::WaveKind::kFairExchange;
+      else if (value == "sharing") kind = scenario::WaveKind::kSharing;
+      else if (value == "mixed") kind = scenario::WaveKind::kMixed;
+      else { std::fprintf(stderr, "unknown kind: %s\n", value.c_str()); return 2; }
+    } else if (parse_flag(argv[i], "--parties", value)) {
+      config.parties = static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--threads", value)) {
+      config.threads = static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--ops", value)) {
+      config.ops_per_party =
+          static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--loss", value)) {
+      config.loss = std::strtod(value.c_str(), nullptr);
+    } else if (parse_flag(argv[i], "--ttp-ratio", value)) {
+      config.ttp_ratio = std::strtod(value.c_str(), nullptr);
+    } else if (parse_flag(argv[i], "--seed", value)) {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--journal-dir", value)) {
+      config.journal_backed = true;
+      config.journal_dir = value;
+    } else if (parse_flag(argv[i], "--waves", value)) {
+      waves = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--kind=fair|sharing|mixed] [--parties=N] [--threads=N]\n"
+                   "          [--ops=N] [--loss=P] [--ttp-ratio=P] [--seed=N]\n"
+                   "          [--journal-dir=PATH] [--waves=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== %s scenario: %zu parties, %zu threads, %zu ops/party, "
+              "loss %.2f, ttp-ratio %.2f%s ==\n",
+              kind_name(kind), config.parties, config.threads, config.ops_per_party,
+              config.loss, config.ttp_ratio,
+              config.journal_backed ? ", journal-backed" : "");
+
+  scenario::ScenarioEngine engine(config);
+  if (!engine.setup().ok()) {
+    std::fprintf(stderr, "setup failed: %s (%s)\n", engine.setup().error().code.c_str(),
+                 engine.setup().error().detail.c_str());
+    return 1;
+  }
+
+  for (int wave = 0; wave < waves; ++wave) {
+    const auto result = engine.run_wave(kind);
+    std::printf("\n[wave %d]\n", wave + 1);
+    if (result.attempted > 0) {
+      std::printf("  fair exchange: %zu runs — %zu completed, %zu aborted via TTP, "
+                  "%zu recovered via TTP, %zu failed\n",
+                  result.attempted, result.completed, result.aborted, result.recovered,
+                  result.failed);
+    }
+    if (result.rounds_committed + result.rounds_rejected > 0) {
+      std::printf("  sharing: %zu rounds started — %zu committed, %zu rejected\n",
+                  result.rounds_attempted, result.rounds_committed,
+                  result.rounds_rejected);
+    }
+    std::printf("  throughput: %.1f ops/s  (wall %.3fs, latency mean %.1fms max %.1fms)\n",
+                result.ops_per_second, result.wall_seconds, result.mean_latency_ms,
+                result.max_latency_ms);
+    std::printf("  audit: %s\n",
+                result.audit.ok()
+                    ? "clean (chains intact, verdicts reconcile, replicas converged)"
+                    : (result.audit.error().code + " " + result.audit.error().detail).c_str());
+    if (!result.audit.ok() || result.failed != 0) return 1;
+  }
+  return 0;
+}

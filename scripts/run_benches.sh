@@ -27,10 +27,13 @@ script_dir="$(cd "$(dirname "$0")" && pwd)"
 # Snapshot the committed baselines of every gated bench before the run
 # overwrites them, so we can diff (and fail on regressions) afterwards.
 # crypto is pure CPU (tight tolerance); invocation rides the virtual
-# network and journal does real fsync work, so they get more headroom.
-gated_benches=(crypto invocation journal)
-declare -A gate_tolerance=([crypto]=2.0 [invocation]=3.0 [journal]=3.0)
-declare -A gate_tolerance_quick=([crypto]=4.0 [invocation]=6.0 [journal]=6.0)
+# network and journal does real fsync work, so they get more headroom;
+# scenarios drive whole multi-party protocol waves (contention + injected
+# loss), so they get the widest band — the gate exists to catch
+# order-of-magnitude regressions in the end-to-end protocol path.
+gated_benches=(crypto invocation journal scenarios)
+declare -A gate_tolerance=([crypto]=2.0 [invocation]=3.0 [journal]=3.0 [scenarios]=4.0)
+declare -A gate_tolerance_quick=([crypto]=4.0 [invocation]=6.0 [journal]=6.0 [scenarios]=8.0)
 declare -A gate_baseline=()
 for nm in "${gated_benches[@]}"; do
   if [[ -f "$out_dir/BENCH_$nm.json" ]]; then
@@ -125,6 +128,32 @@ if families:
             speedup = f" ({ips / base:.2f}x)" if base else ""
             cells.append(f"{threads}t: {ips / 1000:.1f}k/s{speedup}")
         print(f"  {family:<36} " + "  ".join(cells))
+PYEOF
+fi
+
+# Scenario table: end-to-end protocol throughput per party count, for each
+# wave kind (fair exchange / sharing / mixed over the concurrent runtime).
+if [[ -f "$out_dir/BENCH_scenarios.json" ]] && command -v python3 >/dev/null; then
+  python3 - "$out_dir/BENCH_scenarios.json" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+families = {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b["name"]
+    if "/parties:" not in name:
+        continue
+    family = name.split("/parties:")[0]
+    parties = int(name.split("/parties:")[1].split("/")[0])
+    ips = b.get("items_per_second")
+    if ips:
+        families.setdefault(family, {})[parties] = ips
+if families:
+    print("=== scenario throughput (protocol ops/s per party count) ===")
+    for family, rows in families.items():
+        cells = [f"{p}p: {rows[p]:.0f}/s" for p in sorted(rows)]
+        print(f"  {family:<30} " + "  ".join(cells))
 PYEOF
 fi
 exit $failed

@@ -22,6 +22,23 @@
 namespace nonrep::core {
 
 /// B2BProtocolHandler (§4.1): processes incoming steps of one protocol.
+///
+/// Concurrency contract (PR-4 runtime): a party's strand serialises its
+/// upcalls, BUT a handler that blocks on a nested deliver_request yields
+/// the strand — the resumed frame then runs concurrently with its
+/// successors, so every stateful handler guards its own per-run/per-object
+/// state with its own mutex (DirectInvocationServer::runs_mu_,
+/// OptimisticTtp::runs_mu_, B2BObjectController::mu_, ...).
+///
+/// Lock ordering, outermost first:
+///   1. handler mutex (one per ProtocolHandler instance)
+///   2. MembershipService::mu_
+///   3. EvidenceService leaf locks (EvidenceLog / StateStore / rng)
+/// A handler mutex may be held across EvidenceService::issue/accept and
+/// membership reads, and must NEVER be held across Coordinator::deliver /
+/// deliver_request (the nested wait would deadlock with the handler's own
+/// incoming traffic). Coordinator itself only takes handlers_mu_ around
+/// registry lookup, released before the handler runs.
 class ProtocolHandler {
  public:
   virtual ~ProtocolHandler() = default;

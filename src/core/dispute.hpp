@@ -68,6 +68,13 @@ struct Verdict {
   }
 };
 
+/// Thread-safe by construction (audited for the concurrent-runtime sweep):
+/// the adjudicator owns no mutable state — adjudicate() writes only its
+/// local verdict, the per-item verify fan-out touches disjoint slots, and
+/// both collaborators it walks (CredentialManager chain verification,
+/// SimClock) take their own PR-4 locks. Bundles may be judged from any
+/// thread, including concurrently with the parties still appending to
+/// their logs (bundle_from_log snapshots under the log/store locks).
 class Adjudicator {
  public:
   /// `credentials` must hold the certificates of every party whose tokens

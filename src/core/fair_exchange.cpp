@@ -32,8 +32,20 @@ Result<std::pair<Bytes, Bytes>> decode_resolve_body(BytesView body) {
 }  // namespace
 
 OptimisticTtp::Verdict OptimisticTtp::verdict(const RunId& run) const {
+  std::lock_guard<std::mutex> lock(runs_mu_);
   auto it = runs_.find(run);
   return it != runs_.end() ? it->second.verdict : Verdict::kNone;
+}
+
+std::pair<std::size_t, std::size_t> OptimisticTtp::verdict_counts() const {
+  std::lock_guard<std::mutex> lock(runs_mu_);
+  std::size_t aborted = 0;
+  std::size_t resolved = 0;
+  for (const auto& [run, record] : runs_) {
+    if (record.verdict == Verdict::kAborted) ++aborted;
+    if (record.verdict == Verdict::kResolved) ++resolved;
+  }
+  return {aborted, resolved};
 }
 
 Result<ProtocolMessage> OptimisticTtp::process_request(const net::Address& /*from*/,
@@ -59,6 +71,9 @@ Result<ProtocolMessage> OptimisticTtp::handle_abort(const ProtocolMessage& msg) 
   }
   if (auto ok = ev.accept(nro_req.value(), msg.body); !ok) return ok.error();
 
+  // Verdict decision under the run-table lock: a racing resolve for the
+  // same run serialises behind us and observes our terminal verdict.
+  std::lock_guard<std::mutex> lock(runs_mu_);
   RunRecord& record = runs_[msg.run];
   ProtocolMessage reply;
   reply.protocol = kFairTtpProtocol;
@@ -118,6 +133,8 @@ Result<ProtocolMessage> OptimisticTtp::handle_resolve(const ProtocolMessage& msg
   if (!nro_resp) return nro_resp.error();
   if (auto ok = ev.accept(nro_resp.value(), resp_subject); !ok) return ok.error();
 
+  // Same lock as handle_abort: abort-vs-resolve on one run is serialised.
+  std::lock_guard<std::mutex> lock(runs_mu_);
   RunRecord& record = runs_[msg.run];
   ProtocolMessage reply;
   reply.protocol = kFairTtpProtocol;

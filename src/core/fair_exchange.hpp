@@ -17,6 +17,8 @@
 // the tests check.
 #pragma once
 
+#include <mutex>
+
 #include "core/invocation_protocol.hpp"
 
 namespace nonrep::core {
@@ -42,6 +44,10 @@ class OptimisticTtp final : public ProtocolHandler {
   enum class Verdict { kNone, kAborted, kResolved };
   Verdict verdict(const RunId& run) const;
 
+  /// Terminal verdicts reached so far: {aborted, resolved}. A run counts
+  /// in exactly one bucket — the fairness invariant scenario audits check.
+  std::pair<std::size_t, std::size_t> verdict_counts() const;
+
  private:
   Result<ProtocolMessage> handle_abort(const ProtocolMessage& msg);
   Result<ProtocolMessage> handle_resolve(const ProtocolMessage& msg);
@@ -57,6 +63,14 @@ class OptimisticTtp final : public ProtocolHandler {
   };
 
   Coordinator* coordinator_;
+  // Abort and resolve requests for the same run arrive on concurrent
+  // delivery frames (a strand yield lets a resumed handler overlap its
+  // successor). The mutex serialises the verdict decision so each run
+  // reaches exactly one terminal verdict and a repeated request reissues
+  // the recorded token instead of minting a second one. Lock ordering:
+  // runs_mu_ may be held across EvidenceService::issue (leaf log/store
+  // locks) but never across Coordinator::deliver/deliver_request.
+  mutable std::mutex runs_mu_;
   std::map<RunId, RunRecord> runs_;
 };
 

@@ -110,11 +110,23 @@ Status B2BObjectController::host(const ObjectId& object, Bytes initial_state) {
     return Error::make("sharing.no_group", "create membership group before hosting");
   }
   coordinator_->evidence().states().put(initial_state);
+  std::unique_lock lock(mu_);
   objects_[object] = SharedObjectState{std::move(initial_state), 1};
   return Status::ok_status();
 }
 
+bool B2BObjectController::hosts(const ObjectId& object) const {
+  std::shared_lock lock(mu_);
+  return objects_.contains(object);
+}
+
+bool B2BObjectController::in_rollup(const ObjectId& object) const {
+  std::shared_lock lock(mu_);
+  return staging_.contains(object);
+}
+
 Result<SharedObjectState> B2BObjectController::get(const ObjectId& object) const {
+  std::shared_lock lock(mu_);
   auto it = objects_.find(object);
   if (it == objects_.end()) return Error::make("sharing.not_hosted", object.str());
   return it->second;
@@ -122,6 +134,7 @@ Result<SharedObjectState> B2BObjectController::get(const ObjectId& object) const
 
 void B2BObjectController::add_validator(const ObjectId& object,
                                         std::shared_ptr<StateValidator> validator) {
+  std::unique_lock lock(mu_);
   validators_[object].push_back(std::move(validator));
 }
 
@@ -159,7 +172,8 @@ Bytes B2BObjectController::decision_subject(const Round& round, const RunId& run
   return std::move(w).take();
 }
 
-bool B2BObjectController::validate_round(const Round& round, const PartyId& proposer) const {
+bool B2BObjectController::validate_round_locked(const Round& round,
+                                                const PartyId& proposer) const {
   const auto obj = objects_.find(round.object);
   const BytesView current =
       obj != objects_.end() ? BytesView(obj->second.state) : BytesView{};
@@ -200,7 +214,7 @@ bool B2BObjectController::validate_round(const Round& round, const PartyId& prop
   return true;
 }
 
-Status B2BObjectController::apply_round(const Round& round, const RunId& /*run*/) {
+Status B2BObjectController::apply_round_locked(const Round& round, const RunId& /*run*/) {
   switch (round.kind) {
     case RoundKind::kState: {
       auto it = objects_.find(round.object);
@@ -228,23 +242,39 @@ Status B2BObjectController::apply_round(const Round& round, const RunId& /*run*/
 
 Result<std::uint64_t> B2BObjectController::coordinate(Round round) {
   EvidenceService& ev = coordinator_->evidence();
-  ++rounds_started_;
+  rounds_started_.fetch_add(1, std::memory_order_relaxed);
 
   auto view = view_of(round.object);
   if (!view) return view.error();
 
-  if (!validate_round(round, ev.self())) {
-    return Error::make("sharing.local_validation", "own validators reject the proposal");
-  }
-
-  // Acquire the proposal lock (concurrency control in the controller).
   const TimeMs now = ev.clock().now();
   const RunId run = ev.new_run();
-  if (auto lock = locks_.find(round.object);
-      lock != locks_.end() && lock->second.expires > now && lock->second.run != run) {
-    return Error::make("sharing.busy", "another round is in progress");
+  {
+    // Validate and acquire the proposal lock in one critical section, then
+    // release mu_ before any network traffic (vote collection blocks).
+    std::unique_lock lock(mu_);
+    // Freshness recheck under the lock: the base version was read before
+    // we serialised on mu_, and remote voters cannot veto a stale base
+    // when there are none (single-member group) — a racing commit in the
+    // window would otherwise be silently overwritten.
+    if (round.kind == RoundKind::kState) {
+      auto it = objects_.find(round.object);
+      if (it == objects_.end() || it->second.version != round.base_version) {
+        return Error::make("sharing.stale_version", "replica advanced past the proposal base");
+      }
+    } else if (auto current_view = view_of(round.object);
+               !current_view || current_view.value().version != round.base_version) {
+      return Error::make("sharing.stale_version", "view advanced past the proposal base");
+    }
+    if (!validate_round_locked(round, ev.self())) {
+      return Error::make("sharing.local_validation", "own validators reject the proposal");
+    }
+    if (auto held = locks_.find(round.object);
+        held != locks_.end() && held->second.expires > now && held->second.run != run) {
+      return Error::make("sharing.busy", "another round is in progress");
+    }
+    locks_[round.object] = Lock{run, now + config_.lock_lease};
   }
-  locks_[round.object] = Lock{run, now + config_.lock_lease};
 
   auto proposal = ev.issue(EvidenceType::kProposal, run, proposal_subject(round, run));
   if (!proposal) return proposal.error();
@@ -313,24 +343,37 @@ Result<std::uint64_t> B2BObjectController::coordinate(Round round) {
     coordinator_->deliver(address, decide);
   }
 
-  locks_.erase(round.object);
-  if (!commit) {
-    return Error::make("sharing.rejected", "update was not unanimously agreed");
+  {
+    std::unique_lock lock(mu_);
+    // Release only our own lock: a round that overran its lease may find a
+    // newer round legitimately holding the object (mirrors process()).
+    if (auto held = locks_.find(round.object);
+        held != locks_.end() && held->second.run == run) {
+      locks_.erase(held);
+    }
+    if (!commit) {
+      return Error::make("sharing.rejected", "update was not unanimously agreed");
+    }
+    if (auto ok = apply_round_locked(round, run); !ok) return ok.error();
   }
-  if (auto ok = apply_round(round, run); !ok) return ok.error();
-  ++rounds_committed_;
+  rounds_committed_.fetch_add(1, std::memory_order_relaxed);
   return round.base_version + 1;
 }
 
 Result<std::uint64_t> B2BObjectController::propose_update(const ObjectId& object,
                                                           Bytes new_state) {
-  auto it = objects_.find(object);
-  if (it == objects_.end()) return Error::make("sharing.not_hosted", object.str());
-  return coordinate(Round{RoundKind::kState, object, it->second.version,
-                          std::move(new_state)});
+  std::uint64_t base_version = 0;
+  {
+    std::shared_lock lock(mu_);
+    auto it = objects_.find(object);
+    if (it == objects_.end()) return Error::make("sharing.not_hosted", object.str());
+    base_version = it->second.version;
+  }
+  return coordinate(Round{RoundKind::kState, object, base_version, std::move(new_state)});
 }
 
 Status B2BObjectController::begin_changes(const ObjectId& object) {
+  std::unique_lock lock(mu_);
   auto it = objects_.find(object);
   if (it == objects_.end()) return Error::make("sharing.not_hosted", object.str());
   if (staging_.contains(object)) {
@@ -341,6 +384,7 @@ Status B2BObjectController::begin_changes(const ObjectId& object) {
 }
 
 Status B2BObjectController::stage(const ObjectId& object, Bytes working_state) {
+  std::unique_lock lock(mu_);
   auto it = staging_.find(object);
   if (it == staging_.end()) {
     return Error::make("sharing.no_rollup", "begin_changes not called");
@@ -350,16 +394,21 @@ Status B2BObjectController::stage(const ObjectId& object, Bytes working_state) {
 }
 
 Result<std::uint64_t> B2BObjectController::commit_changes(const ObjectId& object) {
-  auto it = staging_.find(object);
-  if (it == staging_.end()) {
-    return Error::make("sharing.no_rollup", "begin_changes not called");
+  Bytes staged;
+  {
+    std::unique_lock lock(mu_);
+    auto it = staging_.find(object);
+    if (it == staging_.end()) {
+      return Error::make("sharing.no_rollup", "begin_changes not called");
+    }
+    staged = std::move(it->second);
+    staging_.erase(it);
   }
-  Bytes staged = std::move(it->second);
-  staging_.erase(it);
   return propose_update(object, std::move(staged));
 }
 
 Status B2BObjectController::commit_abandon(const ObjectId& object) {
+  std::unique_lock lock(mu_);
   if (staging_.erase(object) == 0) {
     return Error::make("sharing.no_rollup", "begin_changes not called");
   }
@@ -383,15 +432,20 @@ Status B2BObjectController::connect(const ObjectId& object,
 
   // Transfer state to the newcomer (one-way JOIN).
   EvidenceService& ev = coordinator_->evidence();
-  auto obj = objects_.find(object);
-  if (obj == objects_.end()) return Error::make("sharing.not_hosted", object.str());
+  SharedObjectState snapshot;
+  {
+    std::shared_lock lock(mu_);
+    auto obj = objects_.find(object);
+    if (obj == objects_.end()) return Error::make("sharing.not_hosted", object.str());
+    snapshot = obj->second;
+  }
 
   const RunId run = ev.new_run();
   BinaryWriter w;
   w.str(object.str());
   w.bytes(next.canonical());
-  w.bytes(obj->second.state);
-  w.u64(obj->second.version);
+  w.bytes(snapshot.state);
+  w.u64(snapshot.version);
   Bytes join_body = std::move(w).take();
 
   auto connect_token = ev.issue(EvidenceType::kConnect, run, join_body);
@@ -447,28 +501,33 @@ Result<ProtocolMessage> B2BObjectController::process_request(const net::Address&
     return ok.error();
   }
 
-  // Validation: version freshness, lock availability, app validators.
+  // Validation: version freshness, lock availability, app validators —
+  // checked and recorded in one critical section so a racing proposal for
+  // the same object cannot slip between the check and the lock grant.
   bool accept = true;
   const TimeMs now = ev.clock().now();
-  if (round.kind == RoundKind::kState) {
-    auto it = objects_.find(round.object);
-    accept = it != objects_.end() && it->second.version == round.base_version;
-  } else {
-    auto view = view_of(round.object);
-    accept = view.ok() && view.value().version == round.base_version &&
-             view.value().contains(msg.sender);
-  }
-  if (accept) {
-    if (auto lock = locks_.find(round.object);
-        lock != locks_.end() && lock->second.expires > now && lock->second.run != msg.run) {
-      accept = false;  // busy: another round holds the object
+  {
+    std::unique_lock lock(mu_);
+    if (round.kind == RoundKind::kState) {
+      auto it = objects_.find(round.object);
+      accept = it != objects_.end() && it->second.version == round.base_version;
+    } else {
+      auto view = view_of(round.object);
+      accept = view.ok() && view.value().version == round.base_version &&
+               view.value().contains(msg.sender);
     }
-  }
-  if (accept) accept = validate_round(round, msg.sender);
+    if (accept) {
+      if (auto held = locks_.find(round.object);
+          held != locks_.end() && held->second.expires > now &&
+          held->second.run != msg.run) {
+        accept = false;  // busy: another round holds the object
+      }
+    }
+    if (accept) accept = validate_round_locked(round, msg.sender);
 
-  if (accept) {
-    locks_[round.object] = Lock{msg.run, now + config_.lock_lease};
-    pending_votes_[msg.run] = PendingVote{round, true};
+    if (accept) {
+      locks_[round.object] = Lock{msg.run, now + config_.lock_lease};
+    }
   }
 
   auto vote = ev.issue(EvidenceType::kVote, msg.run, vote_subject(round, msg.run, accept));
@@ -525,6 +584,7 @@ void B2BObjectController::process(const net::Address& /*from*/, const ProtocolMe
       }
     }
     ev.states().put(state.value());
+    std::unique_lock lock(mu_);
     objects_[id] = SharedObjectState{state.value(), version.value()};
     return;
   }
@@ -549,9 +609,12 @@ void B2BObjectController::process(const net::Address& /*from*/, const ProtocolMe
   if (!decision) return;
   if (!ev.accept(decision.value(), decision_subject(round, msg.run, commit))) return;
 
+  bool apply = false;
   if (commit) {
     // Safety: apply only when every member's accept vote verifies
     // (§3.3 point 3 — the collective decision is available to all).
+    // Signature checks run outside mu_ — they are the expensive part and
+    // touch only the thread-safe evidence services.
     auto view = view_of(round.object);
     if (!view) return;
     std::set<PartyId> verified_accepts;
@@ -563,14 +626,26 @@ void B2BObjectController::process(const net::Address& /*from*/, const ProtocolMe
         (void)ev.accept(token, vote_subject(round, msg.run, true));
       }
     }
-    if (verified_accepts.size() >= required_votes(round.kind, round.payload, view.value())) {
-      (void)apply_round(round, msg.run);
-    }
+    apply =
+        verified_accepts.size() >= required_votes(round.kind, round.payload, view.value());
   }
 
-  auto lock = locks_.find(round.object);
-  if (lock != locks_.end() && lock->second.run == msg.run) locks_.erase(lock);
-  pending_votes_.erase(msg.run);
+  std::unique_lock lock(mu_);
+  if (apply) {
+    // Freshness recheck, mirroring the proposer path: if our vote's lock
+    // lease expired and another round already committed past this round's
+    // base, applying the late decision would overwrite the newer state.
+    if (round.kind == RoundKind::kState) {
+      auto it = objects_.find(round.object);
+      apply = it != objects_.end() && it->second.version == round.base_version;
+    } else {
+      auto current_view = view_of(round.object);
+      apply = current_view.ok() && current_view.value().version == round.base_version;
+    }
+  }
+  if (apply) (void)apply_round_locked(round, msg.run);
+  auto held = locks_.find(round.object);
+  if (held != locks_.end() && held->second.run == msg.run) locks_.erase(held);
 }
 
 container::InvocationResult RollupInterceptor::invoke(container::Invocation& inv,

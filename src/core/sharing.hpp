@@ -17,9 +17,11 @@
 // local operations can be rolled up into one coordination event.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "container/container.hpp"
@@ -76,6 +78,18 @@ struct SharedObjectState {
 };
 
 /// The local controller + protocol handler for all objects a party shares.
+///
+/// Thread-safe per the PR-4 handler conventions: in the concurrent runtime
+/// an application thread coordinates a round (blocking on nested
+/// deliver_request calls) while the party's delivery strand serves other
+/// proposers' votes and decision fan-ins — and a strand yield lets a
+/// resumed frame overlap its successor. One shared_mutex guards all
+/// per-object state (replicas, validators, staging, proposal locks);
+/// reads that dominate (get/hosts/in_rollup) take it shared. Lock
+/// ordering: mu_ -> MembershipService / EvidenceService-store leaf locks;
+/// mu_ is NEVER held across Coordinator::deliver/deliver_request.
+/// Validators run under mu_, so they must not call back into the
+/// controller (the bundled validators are pure byte predicates).
 class B2BObjectController final : public ProtocolHandler {
  public:
   B2BObjectController(Coordinator& coordinator, membership::MembershipService& membership,
@@ -84,7 +98,7 @@ class B2BObjectController final : public ProtocolHandler {
   // -- hosting ---------------------------------------------------------
   /// Host a replica with an existing membership group for `object`.
   Status host(const ObjectId& object, Bytes initial_state);
-  bool hosts(const ObjectId& object) const { return objects_.contains(object); }
+  bool hosts(const ObjectId& object) const;
   Result<SharedObjectState> get(const ObjectId& object) const;
   void add_validator(const ObjectId& object, std::shared_ptr<StateValidator> validator);
 
@@ -99,7 +113,7 @@ class B2BObjectController final : public ProtocolHandler {
   Result<std::uint64_t> commit_changes(const ObjectId& object);
   /// Drop staged changes without coordinating (failed facade method).
   Status commit_abandon(const ObjectId& object);
-  bool in_rollup(const ObjectId& object) const { return staging_.contains(object); }
+  bool in_rollup(const ObjectId& object) const;
 
   // -- membership (non-repudiable connect/disconnect, §3.3) -------------
   Status connect(const ObjectId& object, const membership::Member& newcomer);
@@ -112,8 +126,12 @@ class B2BObjectController final : public ProtocolHandler {
   void process(const net::Address& from, const ProtocolMessage& msg) override;
 
   // -- introspection -----------------------------------------------------
-  std::uint64_t rounds_started() const noexcept { return rounds_started_; }
-  std::uint64_t rounds_committed() const noexcept { return rounds_committed_; }
+  std::uint64_t rounds_started() const noexcept {
+    return rounds_started_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rounds_committed() const noexcept {
+    return rounds_committed_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Round {
@@ -129,10 +147,11 @@ class B2BObjectController final : public ProtocolHandler {
 
   /// Run one full coordination round as proposer.
   Result<std::uint64_t> coordinate(Round round);
-  /// Local validation used by both proposer and voters.
-  bool validate_round(const Round& round, const PartyId& proposer) const;
-  /// Apply an agreed round locally (state or membership).
-  Status apply_round(const Round& round, const RunId& run);
+  /// Local validation used by both proposer and voters. Caller holds mu_.
+  bool validate_round_locked(const Round& round, const PartyId& proposer) const;
+  /// Apply an agreed round locally (state or membership). Caller holds mu_
+  /// exclusively.
+  Status apply_round_locked(const Round& round, const RunId& run);
 
   Result<membership::View> view_of(const ObjectId& object) const;
 
@@ -140,6 +159,8 @@ class B2BObjectController final : public ProtocolHandler {
   membership::MembershipService* membership_;
   SharingConfig config_;
 
+  // All per-object state below is guarded by mu_ (see class comment).
+  mutable std::shared_mutex mu_;
   std::map<ObjectId, SharedObjectState> objects_;
   std::map<ObjectId, std::vector<std::shared_ptr<StateValidator>>> validators_;
   std::map<ObjectId, Bytes> staging_;  // roll-up working copies
@@ -149,15 +170,9 @@ class B2BObjectController final : public ProtocolHandler {
     TimeMs expires;
   };
   std::map<ObjectId, Lock> locks_;
-  /// Rounds we voted on, awaiting the decision fan-out.
-  struct PendingVote {
-    Round round;
-    bool accepted;
-  };
-  std::map<RunId, PendingVote> pending_votes_;
 
-  std::uint64_t rounds_started_ = 0;
-  std::uint64_t rounds_committed_ = 0;
+  std::atomic<std::uint64_t> rounds_started_{0};
+  std::atomic<std::uint64_t> rounds_committed_{0};
 };
 
 /// Container interceptor that traps invocations on an entity component and

@@ -76,7 +76,7 @@ Result<ProtocolMessage> InlineTtpRelay::process_request(const net::Address& /*fr
   auto affidavit = ev.issue(EvidenceType::kAffidavit, msg.run, resp);
   if (!affidavit) return affidavit.error();
 
-  ++relayed_;
+  relayed_.fetch_add(1, std::memory_order_relaxed);
   ProtocolMessage out = reply.value();
   out.protocol = kInlineTtpProtocol;
   out.sender = ev.self();

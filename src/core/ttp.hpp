@@ -13,6 +13,7 @@
 // relay consults its router for the next hop.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <optional>
 
@@ -36,13 +37,15 @@ class InlineTtpRelay final : public ProtocolHandler {
                                           const ProtocolMessage& msg) override;
   void process(const net::Address& from, const ProtocolMessage& msg) override;
 
-  std::uint64_t relayed() const noexcept { return relayed_; }
+  std::uint64_t relayed() const noexcept { return relayed_.load(std::memory_order_relaxed); }
 
  private:
   Coordinator* coordinator_;
   Router router_;
   InvocationConfig config_;
-  std::uint64_t relayed_ = 0;
+  // The relay blocks on a nested deliver_request mid-handler, yielding its
+  // strand — concurrent relay frames then race on the counter.
+  std::atomic<std::uint64_t> relayed_{0};
 };
 
 /// Client handler that routes the invocation through an inline TTP.

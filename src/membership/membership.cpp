@@ -20,10 +20,12 @@ void MembershipService::create_group(const ObjectId& object,
   View view;
   view.version = 1;
   for (const auto& m : initial) view.members[m.party] = m.address;
+  std::unique_lock lock(mu_);
   groups_[object] = std::move(view);
 }
 
 Result<View> MembershipService::view(const ObjectId& object) const {
+  std::shared_lock lock(mu_);
   auto it = groups_.find(object);
   if (it == groups_.end()) {
     return Error::make("membership.unknown_group", object.str());
@@ -32,6 +34,7 @@ Result<View> MembershipService::view(const ObjectId& object) const {
 }
 
 Status MembershipService::apply_change(const ObjectId& object, const View& next) {
+  std::unique_lock lock(mu_);
   auto it = groups_.find(object);
   if (it == groups_.end()) {
     return Error::make("membership.unknown_group", object.str());
@@ -43,6 +46,11 @@ Status MembershipService::apply_change(const ObjectId& object, const View& next)
   }
   it->second = next;
   return Status::ok_status();
+}
+
+bool MembershipService::has_group(const ObjectId& object) const {
+  std::shared_lock lock(mu_);
+  return groups_.contains(object);
 }
 
 }  // namespace nonrep::membership

@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 
 #include "net/network.hpp"
@@ -34,6 +35,12 @@ struct View {
   Bytes canonical() const;
 };
 
+/// Thread-safe: in the concurrent runtime a party's delivery frames read
+/// views (every vote validates freshness) while an agreed round applies a
+/// change. Reads take the shared lock — view walks dominate — and the two
+/// mutators are exclusive. The service takes no other locks, so it is a
+/// leaf in the lock order (B2BObjectController's mutex may be held while
+/// calling in here, never the other way around).
 class MembershipService {
  public:
   /// Create a group for `object` with an initial membership.
@@ -45,9 +52,10 @@ class MembershipService {
   /// after a unanimous connect/disconnect round). Version must advance by 1.
   Status apply_change(const ObjectId& object, const View& next);
 
-  bool has_group(const ObjectId& object) const { return groups_.contains(object); }
+  bool has_group(const ObjectId& object) const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::map<ObjectId, View> groups_;
 };
 

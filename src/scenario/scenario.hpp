@@ -1,0 +1,159 @@
+// Scenario engine: end-to-end multi-party protocol runs over the
+// concurrent party runtime (the PR-4 executor-backed SimNetwork).
+//
+// Composes the existing protocol objects — OptimisticInvocationClient /
+// OptimisticTtp (fair exchange with offline-TTP recovery),
+// DirectInvocationServer, B2BObjectController (evidence-sharing rounds) —
+// into measured waves:
+//
+//   * kFairExchange — every driven party runs optimistic fair exchanges
+//     against one echo server. A configurable fraction of runs is forced
+//     into TTP recovery: half invoke an unreachable server (client aborts
+//     via the TTP), half withhold the final receipt (the server deposits
+//     its evidence and reclaims a TTP affidavit). The rest ride the
+//     normal three-message path, under injected per-link message loss
+//     that the reliable layer must absorb.
+//   * kSharing — the parties form one B2BObject group and propose state
+//     updates concurrently; contended rounds are rejected by the object
+//     lock / version checks and retried. After the wave every replica
+//     must have converged to the same agreed state.
+//   * kMixed — even-indexed parties run sharing rounds while odd-indexed
+//     parties run fair exchanges; everyone keeps voting on proposals, so
+//     a party's driver thread blocks inside an exchange while its
+//     delivery strand validates other proposers' updates.
+//
+// Every wave ends with an audit: each party's evidence chain verifies,
+// log backends report no persistence failure, the TTP's terminal-verdict
+// counts match the drivers' tallies (each run aborted XOR resolved), and
+// sharing replicas converge. The engine records wall-clock throughput
+// and per-op latency — bench/bench_scenarios.cpp turns these into the
+// regression-gated BENCH_scenarios.json axis.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fair_exchange.hpp"
+#include "core/nr_interceptor.hpp"
+#include "core/sharing.hpp"
+#include "scenario/world.hpp"
+
+namespace nonrep::util {
+class ThreadPool;
+}
+
+namespace nonrep::scenario {
+
+struct ScenarioConfig {
+  std::size_t parties = 8;        // protocol parties driven by each wave
+  std::size_t threads = 4;        // pool workers; drivers are capped by this
+  std::size_t ops_per_party = 4;  // protocol runs each driven party starts
+  double loss = 0.0;              // drop probability on party<->party links
+  double ttp_ratio = 0.0;         // fraction of exchanges forced into TTP recovery
+  std::uint64_t seed = 2026;
+  std::size_t rsa_bits = 512;
+  bool journal_backed = false;    // persist every party's evidence in a journal
+  std::string journal_dir;        // required when journal_backed
+  TimeMs request_timeout = 600;   // client step-2 wait (virtual ms)
+  TimeMs vote_timeout = 2000;     // per-member vote wait (virtual ms)
+  std::size_t propose_retries = 4;  // sharing: retries after busy/stale rejection
+};
+
+struct ScenarioResult {
+  // Fair-exchange tallies (one per driven run).
+  std::size_t attempted = 0;
+  std::size_t completed = 0;  // normal three-message exchanges
+  std::size_t aborted = 0;    // client obtained a TTP abort verdict
+  std::size_t recovered = 0;  // TTP resolve: affidavit substituted the receipt
+  std::size_t failed = 0;     // anything else (bad evidence, unreachable TTP)
+
+  // Sharing tallies.
+  std::size_t rounds_attempted = 0;  // coordination rounds started (incl. retries)
+  std::size_t rounds_committed = 0;  // unanimously agreed and applied
+  std::size_t rounds_rejected = 0;   // ops that stayed rejected after retries
+
+  // Performance (wall clock — the virtual network runs under a live pump).
+  double wall_seconds = 0.0;
+  double ops_per_second = 0.0;
+  double mean_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+
+  // Post-wave audit verdict (chains, backend status, TTP verdict counts,
+  // replica convergence). ok() means the wave is evidence-clean.
+  Status audit = Status::ok_status();
+
+  std::size_t ops() const {
+    return completed + aborted + recovered + failed + rounds_committed + rounds_rejected;
+  }
+};
+
+enum class WaveKind { kFairExchange, kSharing, kMixed };
+
+/// Builds the party fleet (N parties + echo server + offline TTP) on one
+/// concurrent-runtime network and drives measured waves over it. The pump
+/// thread and worker pool live for the engine's lifetime, so repeated
+/// waves (bench iterations) reuse the fleet and its PKI.
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(ScenarioConfig config);
+  ~ScenarioEngine();
+
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  /// Fleet bootstrap status (journal open failures land here).
+  const Status& setup() const noexcept { return setup_; }
+
+  ScenarioResult run_wave(WaveKind kind);
+
+  World& world() noexcept { return world_; }
+  core::OptimisticTtp& ttp() noexcept { return *ttp_handler_; }
+  core::DirectInvocationServer& server() noexcept { return *server_handler_; }
+
+ private:
+  struct Member {
+    Party* party = nullptr;
+    std::unique_ptr<membership::MembershipService> membership;
+    std::shared_ptr<core::B2BObjectController> controller;
+  };
+  struct Tally {
+    std::size_t completed = 0, aborted = 0, recovered = 0, failed = 0;
+    std::size_t rounds_attempted = 0, rounds_committed = 0, rounds_rejected = 0;
+    std::size_t latency_samples = 0;
+    double latency_sum_ms = 0.0, latency_max_ms = 0.0;
+  };
+
+  void fair_exchange_op(Member& m, std::uint64_t draw, Tally& tally);
+  void withheld_receipt_op(Member& m, Tally& tally);
+  void sharing_op(Member& m, std::size_t member_index, std::size_t op_index, Tally& tally);
+  Status audit(WaveKind kind);
+
+  ScenarioConfig config_;
+  Status setup_ = Status::ok_status();
+  World world_;
+
+  std::vector<Member> members_;
+  Party* server_party_ = nullptr;
+  Party* ttp_party_ = nullptr;
+  container::Container server_container_;
+  std::shared_ptr<core::DirectInvocationServer> server_handler_;
+  std::shared_ptr<core::OptimisticTtp> ttp_handler_;
+
+  std::shared_ptr<util::ThreadPool> pool_;
+  std::thread pump_;
+
+  // Engine-lifetime tallies the audit reconciles against the cumulative
+  // TTP verdict table and replica versions (waves accumulate).
+  std::size_t total_aborted_ = 0;
+  std::size_t total_recovered_ = 0;
+  std::size_t total_committed_ = 0;
+};
+
+/// Convenience one-shot runners (example / quick tests).
+ScenarioResult run_fair_exchange(const ScenarioConfig& config);
+ScenarioResult run_sharing(const ScenarioConfig& config);
+ScenarioResult run_mixed(const ScenarioConfig& config);
+
+}  // namespace nonrep::scenario

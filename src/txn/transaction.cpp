@@ -15,12 +15,14 @@ std::string to_string(TxnState s) {
 TransactionManager::TransactionManager(std::uint64_t seed) : seed_(seed) {}
 
 TxnId TransactionManager::begin() {
+  std::lock_guard<std::mutex> lock(mu_);
   TxnId id("txn-" + std::to_string(seed_) + "-" + std::to_string(next_++));
   txns_[id] = Txn{};
   return id;
 }
 
 Status TransactionManager::enlist(const TxnId& txn, std::shared_ptr<Participant> participant) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = txns_.find(txn);
   if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
   if (it->second.state != TxnState::kActive) {
@@ -30,20 +32,34 @@ Status TransactionManager::enlist(const TxnId& txn, std::shared_ptr<Participant>
   return Status::ok_status();
 }
 
-Result<bool> TransactionManager::commit(const TxnId& txn) {
+Result<std::vector<std::shared_ptr<Participant>>> TransactionManager::claim(
+    const TxnId& txn) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = txns_.find(txn);
   if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
-  Txn& t = it->second;
-  if (t.state != TxnState::kActive) {
-    return Error::make("txn.not_active", to_string(t.state));
+  if (it->second.state != TxnState::kActive) {
+    return Error::make("txn.not_active", to_string(it->second.state));
   }
+  it->second.state = TxnState::kPreparing;  // the claim: one finisher wins
+  return it->second.participants;
+}
 
-  // Phase 1: collect votes. Stop at the first no — later participants are
-  // never prepared and only the prepared prefix needs rolling back.
-  t.state = TxnState::kPreparing;
+void TransactionManager::finish(const TxnId& txn, TxnState terminal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn);
+  if (it != txns_.end()) it->second.state = terminal;
+}
+
+Result<bool> TransactionManager::commit(const TxnId& txn) {
+  auto participants = claim(txn);
+  if (!participants) return participants.error();
+
+  // Phase 1 (unlocked — prepare() may run a whole coordination round):
+  // collect votes, stopping at the first no. Later participants are never
+  // prepared and only the prepared prefix needs rolling back.
   std::size_t prepared = 0;
   bool all_yes = true;
-  for (auto& p : t.participants) {
+  for (auto& p : participants.value()) {
     if (!p->prepare(txn)) {
       all_yes = false;
       break;
@@ -53,34 +69,32 @@ Result<bool> TransactionManager::commit(const TxnId& txn) {
 
   // Phase 2.
   if (all_yes) {
-    for (auto& p : t.participants) p->commit(txn);
-    t.state = TxnState::kCommitted;
+    for (auto& p : participants.value()) p->commit(txn);
+    finish(txn, TxnState::kCommitted);
     return true;
   }
-  for (std::size_t i = 0; i < prepared; ++i) t.participants[i]->rollback(txn);
-  t.state = TxnState::kAborted;
+  for (std::size_t i = 0; i < prepared; ++i) participants.value()[i]->rollback(txn);
+  finish(txn, TxnState::kAborted);
   return false;
 }
 
 Status TransactionManager::rollback(const TxnId& txn) {
-  auto it = txns_.find(txn);
-  if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
-  Txn& t = it->second;
-  if (t.state != TxnState::kActive) {
-    return Error::make("txn.not_active", to_string(t.state));
-  }
-  for (auto& p : t.participants) p->rollback(txn);
-  t.state = TxnState::kAborted;
+  auto participants = claim(txn);
+  if (!participants) return participants.error();
+  for (auto& p : participants.value()) p->rollback(txn);
+  finish(txn, TxnState::kAborted);
   return Status::ok_status();
 }
 
 Result<TxnState> TransactionManager::state(const TxnId& txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = txns_.find(txn);
   if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
   return it->second.state;
 }
 
 std::size_t TransactionManager::participant_count(const TxnId& txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = txns_.find(txn);
   return it != txns_.end() ? it->second.participants.size() : 0;
 }

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,14 @@ class Participant {
   virtual void rollback(const TxnId& txn) = 0;
 };
 
+/// Thread-safe: concurrent begin/enlist on distinct transactions, and a
+/// commit racing a rollback on the same transaction, are serialised on the
+/// manager's mutex. The kActive -> kPreparing transition is the claim —
+/// exactly one finisher wins; the loser gets txn.not_active. Participant
+/// callbacks run OUTSIDE the lock (a participant like
+/// B2BTransactionalResource drives a whole network coordination round from
+/// prepare()), so participants may freely call back into the manager for
+/// other transactions.
 class TransactionManager {
  public:
   explicit TransactionManager(std::uint64_t seed = 1);
@@ -71,6 +80,12 @@ class TransactionManager {
     std::vector<std::shared_ptr<Participant>> participants;
   };
 
+  /// Claim the transaction for finishing: kActive -> kPreparing under the
+  /// lock, returning a copy of the participant list to drive unlocked.
+  Result<std::vector<std::shared_ptr<Participant>>> claim(const TxnId& txn);
+  void finish(const TxnId& txn, TxnState terminal);
+
+  mutable std::mutex mu_;
   std::map<TxnId, Txn> txns_;
   std::uint64_t next_ = 1;
   std::uint64_t seed_;

@@ -1,111 +1,17 @@
 // Shared test fixture: a little virtual enterprise in a box.
 //
-// TestWorld builds N organisations, each with its own RSA keys, a
-// certificate issued by one shared root CA, a credential manager primed
-// with everyone's certificates, an evidence log/state store, and a
-// B2BCoordinator endpoint on one deterministic simulated network.
+// The fleet builder moved into the library as scenario::World so the
+// scenario engine, benches and examples can reuse it; the test names stay
+// as thin aliases.
 #pragma once
 
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "core/coordinator.hpp"
-#include "crypto/drbg.hpp"
-#include "crypto/rsa.hpp"
-#include "crypto/signer.hpp"
-#include "net/network.hpp"
-#include "pki/authority.hpp"
-#include "store/evidence_log.hpp"
+#include "scenario/world.hpp"
 
 namespace nonrep::test {
 
-inline constexpr TimeMs kFarFuture = 1000ull * 60 * 60 * 24 * 365;
+inline constexpr TimeMs kFarFuture = scenario::kFarFuture;
 
-struct Party {
-  PartyId id;
-  net::Address address;
-  pki::Certificate certificate;
-  std::shared_ptr<crypto::Signer> signer;
-  std::shared_ptr<pki::CredentialManager> credentials;
-  std::shared_ptr<store::EvidenceLog> log;
-  std::shared_ptr<store::StateStore> states;
-  std::shared_ptr<core::EvidenceService> evidence;
-  std::unique_ptr<core::Coordinator> coordinator;
-};
-
-class TestWorld {
- public:
-  explicit TestWorld(std::uint64_t seed = 42, std::size_t rsa_bits = 512)
-      : clock(std::make_shared<SimClock>(1000)),
-        network(clock, seed),
-        rng_(to_bytes("world-seed-" + std::to_string(seed))),
-        rsa_bits_(rsa_bits) {
-    auto ca_key = crypto::rsa_generate(rng_, rsa_bits_);
-    auto ca_signer = std::make_shared<crypto::RsaSigner>(std::move(ca_key));
-    ca_ = std::make_unique<pki::CertificateAuthority>(PartyId("ca:root"), ca_signer, 0,
-                                                      kFarFuture);
-    revocation_ =
-        std::make_unique<pki::RevocationAuthority>(PartyId("ca:root"), ca_signer);
-  }
-
-  /// Create a party named `name` with coordinator address `name`. Pass a
-  /// `log_backend` to persist the party's evidence somewhere real (e.g. a
-  /// JournalLogBackend); the default is in-memory.
-  Party& add_party(const std::string& name,
-                   net::ReliableConfig reliable = {},
-                   std::unique_ptr<store::LogBackend> log_backend = nullptr) {
-    auto party = std::make_unique<Party>();
-    party->id = PartyId("org:" + name);
-    party->address = name;
-
-    auto key = crypto::rsa_generate(rng_, rsa_bits_);
-    party->signer = std::make_shared<crypto::RsaSigner>(std::move(key));
-    party->certificate = ca_->issue(party->id, party->signer->algorithm(),
-                                    party->signer->public_key(), 0, kFarFuture)
-                             .take();
-
-    party->credentials = std::make_shared<pki::CredentialManager>();
-    auto root_ok = party->credentials->add_trusted_root(ca_->certificate());
-    (void)root_ok;
-    party->credentials->add_certificate(party->certificate);
-    // Cross-register certificates with everyone already in the world.
-    for (auto& other : parties_) {
-      other->credentials->add_certificate(party->certificate);
-      party->credentials->add_certificate(other->certificate);
-    }
-
-    if (!log_backend) log_backend = std::make_unique<store::MemoryLogBackend>();
-    party->log = std::make_shared<store::EvidenceLog>(std::move(log_backend), clock);
-    party->states = std::make_shared<store::StateStore>();
-    party->evidence = std::make_shared<core::EvidenceService>(
-        party->id, party->signer, party->credentials, party->log, party->states, clock,
-        /*rng_seed=*/parties_.size() + 7);
-    party->coordinator = std::make_unique<core::Coordinator>(party->evidence, network,
-                                                             party->address, reliable);
-    parties_.push_back(std::move(party));
-    return *parties_.back();
-  }
-
-  pki::CertificateAuthority& ca() { return *ca_; }
-  pki::RevocationAuthority& revocation() { return *revocation_; }
-  crypto::Drbg& rng() { return rng_; }
-
-  /// Push a fresh CRL to every party.
-  void broadcast_crl() {
-    const auto crl = revocation_->current(clock->now()).take();
-    for (auto& p : parties_) (void)p->credentials->install_crl(crl);
-  }
-
-  std::shared_ptr<SimClock> clock;
-  net::SimNetwork network;
-
- private:
-  crypto::Drbg rng_;
-  std::size_t rsa_bits_;
-  std::unique_ptr<pki::CertificateAuthority> ca_;
-  std::unique_ptr<pki::RevocationAuthority> revocation_;
-  std::vector<std::unique_ptr<Party>> parties_;
-};
+using Party = scenario::Party;
+using TestWorld = scenario::World;
 
 }  // namespace nonrep::test

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common.hpp"
 #include "core/fair_exchange.hpp"
 #include "core/nr_interceptor.hpp"
 #include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nonrep::core {
 namespace {
@@ -252,6 +256,170 @@ TEST_F(FairFixture, ClientRecoversWhenOnlyReplyLost) {
   // Server never executed (request lost), so reclaim has nothing; verify
   // the TTP verdict is stable and queryable.
   EXPECT_EQ(ttp_handler->verdict(run), OptimisticTtp::Verdict::kAborted);
+}
+
+TEST_F(FairFixture, ConcurrentAbortVsResolveReachesOneTerminalVerdict) {
+  // Regression for the unguarded run-record map: an abort and a resolve
+  // for the SAME run race on two threads. The TTP must serialise the
+  // verdict decision — whichever wins, both parties get replies consistent
+  // with the single terminal verdict.
+  EvidenceService& cev = *client->evidence;
+  EvidenceService& sev = *server->evidence;
+  const RunId run = cev.new_run();
+  const Bytes req = to_bytes("raced request subject");
+  auto nro_req = cev.issue(EvidenceType::kNroRequest, run, req);
+  ASSERT_TRUE(nro_req.ok());
+  auto nrr_req = sev.issue(EvidenceType::kNrrRequest, run, req);
+  ASSERT_TRUE(nrr_req.ok());
+  const Bytes result_body = container::InvocationResult::success(to_bytes("raced")).canonical();
+  auto parsed = container::InvocationResult::from_canonical(result_body);
+  const Bytes resp = response_subject(run, parsed.value());
+  auto nro_resp = sev.issue(EvidenceType::kNroResponse, run, resp);
+  ASSERT_TRUE(nro_resp.ok());
+
+  ProtocolMessage abort_msg;
+  abort_msg.protocol = kFairTtpProtocol;
+  abort_msg.run = run;
+  abort_msg.step = kStepAbortRequest;
+  abort_msg.sender = client->id;
+  abort_msg.body = req;
+  abort_msg.tokens.push_back(nro_req.value());
+
+  ProtocolMessage resolve_msg;
+  resolve_msg.protocol = kFairTtpProtocol;
+  resolve_msg.run = run;
+  resolve_msg.step = kStepResolveRequest;
+  resolve_msg.sender = server->id;
+  BinaryWriter w;
+  w.bytes(req);
+  w.bytes(result_body);
+  resolve_msg.body = std::move(w).take();
+  resolve_msg.tokens.push_back(nro_req.value());
+  resolve_msg.tokens.push_back(nrr_req.value());
+  resolve_msg.tokens.push_back(nro_resp.value());
+
+  Result<ProtocolMessage> abort_reply = Error::make("unset", "");
+  Result<ProtocolMessage> resolve_reply = Error::make("unset", "");
+  std::thread t1([&] { abort_reply = ttp_handler->process_request(client->address, abort_msg); });
+  std::thread t2(
+      [&] { resolve_reply = ttp_handler->process_request(server->address, resolve_msg); });
+  t1.join();
+  t2.join();
+
+  const auto verdict = ttp_handler->verdict(run);
+  ASSERT_NE(verdict, OptimisticTtp::Verdict::kNone);
+  const std::uint32_t expected_step =
+      verdict == OptimisticTtp::Verdict::kAborted ? kStepAborted : kStepResolved;
+  ASSERT_TRUE(abort_reply.ok()) << abort_reply.error().code;
+  ASSERT_TRUE(resolve_reply.ok()) << resolve_reply.error().code;
+  EXPECT_EQ(abort_reply.value().step, expected_step);
+  EXPECT_EQ(resolve_reply.value().step, expected_step);
+  const auto [aborted, resolved] = ttp_handler->verdict_counts();
+  EXPECT_EQ(aborted + resolved, 1u);  // exactly one terminal verdict
+}
+
+TEST_F(FairFixture, ConcurrentDuplicateAbortsReissueTheSameToken) {
+  // Token reissue must be idempotent: N racing aborts for one run yield N
+  // identical abort tokens, not N distinct signatures over the same claim.
+  EvidenceService& cev = *client->evidence;
+  const RunId run = cev.new_run();
+  const Bytes req = to_bytes("duplicate abort subject");
+  auto nro_req = cev.issue(EvidenceType::kNroRequest, run, req);
+  ASSERT_TRUE(nro_req.ok());
+
+  ProtocolMessage abort_msg;
+  abort_msg.protocol = kFairTtpProtocol;
+  abort_msg.run = run;
+  abort_msg.step = kStepAbortRequest;
+  abort_msg.sender = client->id;
+  abort_msg.body = req;
+  abort_msg.tokens.push_back(nro_req.value());
+
+  constexpr int kThreads = 4;
+  std::vector<Result<ProtocolMessage>> replies(kThreads, Error::make("unset", ""));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { replies[static_cast<std::size_t>(i)] =
+                     ttp_handler->process_request(client->address, abort_msg); });
+  }
+  for (auto& t : threads) t.join();
+
+  Bytes first_token;
+  for (const auto& reply : replies) {
+    ASSERT_TRUE(reply.ok()) << reply.error().code;
+    EXPECT_EQ(reply.value().step, kStepAborted);
+    auto token = reply.value().token(EvidenceType::kAbort);
+    ASSERT_TRUE(token.ok());
+    if (first_token.empty()) {
+      first_token = token.value().encode();
+    } else {
+      EXPECT_EQ(token.value().encode(), first_token);
+    }
+  }
+  const auto [aborted, resolved] = ttp_handler->verdict_counts();
+  EXPECT_EQ(aborted, 1u);
+  EXPECT_EQ(resolved, 0u);
+}
+
+TEST_F(FairFixture, TtpRecoveryRacesNormalCompletionOverLiveRuntime) {
+  // Live concurrent runtime: one thread drives normal optimistic
+  // exchanges while another runs a withheld-receipt recovery (server
+  // deposit -> TTP affidavit) — the TTP serves both interleaved.
+  auto pool = std::make_shared<util::ThreadPool>(3);
+  world.network.set_executor(pool);
+  std::thread pump([&] { world.network.run_live(); });
+
+  std::atomic<int> normal_ok{0};
+  std::thread normal([&] {
+    OptimisticInvocationClient handler(*client->coordinator, "ttp");
+    for (int i = 0; i < 3; ++i) {
+      auto inv = make_inv("normal-" + std::to_string(i));
+      if (handler.invoke("server", inv).ok() &&
+          handler.last_outcome() == OptimisticInvocationClient::LastOutcome::kNormal) {
+        normal_ok.fetch_add(1);
+      }
+    }
+  });
+
+  std::atomic<bool> recovered{false};
+  std::thread withholder([&] {
+    EvidenceService& cev = *client->evidence;
+    auto inv = make_inv("withheld");
+    const RunId run = cev.new_run();
+    inv.context[container::kRunIdContextKey] = run.str();
+    const Bytes req = request_subject(inv);
+    auto nro_req = cev.issue(EvidenceType::kNroRequest, run, req);
+    if (!nro_req.ok()) return;
+    ProtocolMessage m1;
+    m1.protocol = kDirectInvocationProtocol;
+    m1.run = run;
+    m1.step = 1;
+    m1.sender = client->id;
+    m1.body = container::encode_invocation(inv);
+    m1.tokens.push_back(std::move(nro_req).take());
+    if (!client->coordinator->deliver_request("server", m1, 2000).ok()) return;
+    // Client withholds NRR_resp; the server reclaims via the TTP while the
+    // other thread's normal runs keep the network busy.
+    recovered.store(
+        reclaim_receipt(*server->coordinator, *server_handler, run, "ttp", 2000).ok());
+  });
+
+  normal.join();
+  withholder.join();
+  world.network.drain();
+  world.network.stop_live();
+  pump.join();
+  world.network.set_executor(nullptr);
+
+  EXPECT_EQ(normal_ok.load(), 3);
+  EXPECT_TRUE(recovered.load());
+  const auto [aborted, resolved] = ttp_handler->verdict_counts();
+  EXPECT_EQ(aborted, 0u);
+  EXPECT_EQ(resolved, 1u);
+  EXPECT_TRUE(client->log->verify_chain().ok());
+  EXPECT_TRUE(server->log->verify_chain().ok());
+  EXPECT_TRUE(ttp->log->verify_chain().ok());
 }
 
 TEST_F(FairFixture, BadStepRejected) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "membership/membership.hpp"
 
 namespace nonrep::membership {
@@ -78,6 +81,38 @@ TEST(Membership, RemoveMember) {
   next.members.erase(PartyId("org:b"));
   ASSERT_TRUE(svc.apply_change(ObjectId("o"), next).ok());
   EXPECT_FALSE(svc.view(ObjectId("o")).value().contains(PartyId("org:b")));
+}
+
+TEST(Membership, ConcurrentViewsWhileApplyingChanges) {
+  // Readers (every vote validates view freshness) race the writer applying
+  // agreed changes; each observed view must be internally consistent —
+  // version k implies the member set of version k.
+  MembershipService svc;
+  svc.create_group(ObjectId("o"), {m("a")});
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistent{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto view = svc.view(ObjectId("o"));
+        if (!view.ok()) continue;
+        // version v was created with exactly v members (we add one per step).
+        if (view.value().members.size() != view.value().version) inconsistent.fetch_add(1);
+      }
+    });
+  }
+  for (std::uint64_t step = 2; step <= 40; ++step) {
+    View next = svc.view(ObjectId("o")).value();
+    next.version = step;
+    next.members[PartyId("org:m" + std::to_string(step))] = "m" + std::to_string(step);
+    ASSERT_TRUE(svc.apply_change(ObjectId("o"), next).ok());
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(inconsistent.load(), 0);
+  EXPECT_EQ(svc.view(ObjectId("o")).value().version, 40u);
 }
 
 }  // namespace

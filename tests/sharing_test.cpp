@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common.hpp"
 #include "core/sharing.hpp"
 #include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nonrep::core {
 namespace {
@@ -496,6 +500,123 @@ TEST_P(GroupSizeSweep, ConvergesForNParties) {
 }
 
 INSTANTIATE_TEST_SUITE_P(GroupSizes, GroupSizeSweep, ::testing::Values(2, 3, 5, 8));
+
+TEST_F(SharingFixture, ConcurrentProposersConvergeOverLiveRuntime) {
+  // Two parties propose concurrently over the executor-backed network: the
+  // per-object lock + version checks reject overlapping rounds, retries
+  // eventually land both updates, and every replica converges. Regression
+  // for the unguarded controller maps (a voter frame racing a proposer
+  // frame on one party used to be a data race).
+  build(4);
+  auto pool = std::make_shared<util::ThreadPool>(3);
+  world.network.set_executor(pool);
+  std::thread pump([&] { world.network.run_live(); });
+
+  constexpr int kOpsPerProposer = 3;
+  std::atomic<int> committed{0};
+  auto propose_loop = [&](std::size_t node_index, const std::string& tag) {
+    for (int op = 0; op < kOpsPerProposer; ++op) {
+      for (int attempt = 0; attempt < 12; ++attempt) {
+        if (attempt > 0) {
+          // Node-staggered backoff — symmetric immediate retries can
+          // busy-reject each other in lockstep indefinitely.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(attempt * (static_cast<int>(node_index) + 1)));
+        }
+        auto current = nodes[node_index].controller->get(kSpec);
+        if (!current.ok()) break;
+        const Bytes next = to_bytes("ok:" + tag + "-" + std::to_string(op) + "-v" +
+                                    std::to_string(current.value().version + 1));
+        if (nodes[node_index].controller->propose_update(kSpec, next).ok()) {
+          committed.fetch_add(1);
+          break;
+        }
+      }
+    }
+  };
+  std::thread t1([&] { propose_loop(0, "a"); });
+  std::thread t2([&] { propose_loop(3, "d"); });
+  t1.join();
+  t2.join();
+
+  world.network.drain();
+  world.network.stop_live();
+  pump.join();
+  world.network.set_executor(nullptr);
+
+  EXPECT_GT(committed.load(), 0);
+  // All replicas agreed on the same state: one version bump per commit.
+  auto reference = nodes[0].controller->get(kSpec);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference.value().version, 1u + static_cast<std::uint64_t>(committed.load()));
+  expect_converged(reference.value().state, reference.value().version);
+  for (auto& node : nodes) {
+    EXPECT_TRUE(node.party->log->verify_chain().ok()) << node.party->id.str();
+  }
+}
+
+TEST_F(SharingFixture, RacingProposersOnSingleMemberGroupNeverLoseAnUpdate) {
+  // With no remote voters to veto a stale base (required_votes == 1), two
+  // threads racing propose_update on one replica used to both read base
+  // version v and both commit v+1 — the second silently overwriting the
+  // first. The freshness recheck under the controller lock must turn one
+  // of them into sharing.stale_version/sharing.busy instead.
+  build(1);
+  constexpr int kPerThread = 25;
+  std::atomic<int> committed{0};
+  auto propose_loop = [&] {
+    for (int op = 0; op < kPerThread; ++op) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        auto current = nodes[0].controller->get(kSpec);
+        ASSERT_TRUE(current.ok());
+        if (nodes[0].controller
+                ->propose_update(kSpec, to_bytes("ok:v" +
+                                                 std::to_string(current.value().version + 1)))
+                .ok()) {
+          committed.fetch_add(1);
+          break;
+        }
+      }
+    }
+  };
+  std::thread t1(propose_loop);
+  std::thread t2(propose_loop);
+  t1.join();
+  t2.join();
+  auto final_state = nodes[0].controller->get(kSpec);
+  ASSERT_TRUE(final_state.ok());
+  // One version bump per commit — no update was lost or double-counted.
+  EXPECT_EQ(final_state.value().version,
+            1u + static_cast<std::uint64_t>(committed.load()));
+  EXPECT_EQ(nodes[0].controller->rounds_committed(),
+            static_cast<std::uint64_t>(committed.load()));
+}
+
+TEST_F(SharingFixture, RollupStagingRacesReadsWithoutCorruption) {
+  // Roll-up staging (begin/stage/commit) from one thread while another
+  // hammers reads: the shared-lock read path must never observe torn
+  // staging state. Single-party group so no network is involved.
+  build(1);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)nodes[0].controller->get(kSpec);
+      (void)nodes[0].controller->in_rollup(kSpec);
+      (void)nodes[0].controller->hosts(kSpec);
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(nodes[0].controller->begin_changes(kSpec).ok());
+    ASSERT_TRUE(nodes[0].controller->stage(kSpec, to_bytes("ok:draft")).ok());
+    auto v = nodes[0].controller->commit_changes(kSpec);
+    ASSERT_TRUE(v.ok()) << v.error().code;
+  }
+  stop.store(true);
+  reader.join();
+  auto final_state = nodes[0].controller->get(kSpec);
+  ASSERT_TRUE(final_state.ok());
+  EXPECT_EQ(final_state.value().version, 51u);
+}
 
 }  // namespace
 }  // namespace nonrep::core

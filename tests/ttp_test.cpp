@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common.hpp"
 #include "core/nr_interceptor.hpp"
 #include "core/ttp.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nonrep::core {
 namespace {
@@ -176,6 +180,51 @@ TEST_F(TtpFixture, AtMostOnceThroughRelay) {
   ASSERT_TRUE(handler.invoke("server", inv2).ok());
   world.network.run();
   EXPECT_EQ(container.executions(), 2u);  // one per run, none duplicated
+}
+
+TEST_F(TtpFixture, ConcurrentClientsThroughOneRelayOverLiveRuntime) {
+  // The relay's process_request blocks on a nested deliver_request to the
+  // server, yielding its strand — so two clients' exchanges interleave
+  // INSIDE the relay. Regression for the unguarded relayed_ counter, and
+  // a TSan workout for the whole relay path.
+  install_relay(direct_router());
+  auto& client2 = world.add_party("client2");
+
+  auto pool = std::make_shared<util::ThreadPool>(3);
+  world.network.set_executor(pool);
+  std::thread pump([&] { world.network.run_live(); });
+
+  constexpr int kPerClient = 3;
+  std::atomic<int> ok{0};
+  std::atomic<int> with_affidavit{0};
+  auto drive = [&](test::Party& party) {
+    InlineTtpInvocationClient handler(*party.coordinator, "ttp");
+    for (int i = 0; i < kPerClient; ++i) {
+      Invocation inv;
+      inv.service = ServiceUri("svc://server/echo");
+      inv.method = "echo";
+      inv.arguments = to_bytes(party.id.str() + "-" + std::to_string(i));
+      inv.caller = party.id;
+      if (handler.invoke("server", inv).ok()) ok.fetch_add(1);
+      if (handler.last_run_has_affidavit()) with_affidavit.fetch_add(1);
+    }
+  };
+  std::thread t1([&] { drive(*client); });
+  std::thread t2([&] { drive(client2); });
+  t1.join();
+  t2.join();
+
+  world.network.drain();
+  world.network.stop_live();
+  pump.join();
+  world.network.set_executor(nullptr);
+
+  EXPECT_EQ(ok.load(), 2 * kPerClient);
+  EXPECT_EQ(with_affidavit.load(), 2 * kPerClient);
+  EXPECT_EQ(relay->relayed(), static_cast<std::uint64_t>(2 * kPerClient));
+  EXPECT_EQ(container.executions(), static_cast<std::uint64_t>(2 * kPerClient));
+  EXPECT_TRUE(ttp->log->verify_chain().ok());
+  EXPECT_TRUE(server->log->verify_chain().ok());
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common.hpp"
 #include "core/txn_resource.hpp"
 #include "txn/transaction.hpp"
@@ -233,6 +236,65 @@ TEST_F(TxnSharingFixture, EvidenceCoversPreparedAndCompensatingRounds) {
   }
   EXPECT_EQ(proposals, 2);
   EXPECT_TRUE(nodes[0].party->log->verify_chain().ok());
+}
+
+TEST(TransactionManagerConcurrency, CommitRacingRollbackHasOneWinner) {
+  // The kActive -> kPreparing claim is the serialisation point: exactly one
+  // finisher drives the participants, the loser gets txn.not_active, and
+  // the participants see one coherent phase sequence.
+  using txn::ScriptedParticipant;
+  for (int round = 0; round < 20; ++round) {
+    txn::TransactionManager tm;
+    auto p = std::make_shared<ScriptedParticipant>("p", true);
+    const txn::TxnId id = tm.begin();
+    ASSERT_TRUE(tm.enlist(id, p).ok());
+
+    std::atomic<int> commit_won{0};
+    std::atomic<int> rollback_won{0};
+    std::thread committer([&] {
+      auto result = tm.commit(id);
+      if (result.ok()) commit_won.fetch_add(1);
+    });
+    std::thread roller([&] {
+      if (tm.rollback(id).ok()) rollback_won.fetch_add(1);
+    });
+    committer.join();
+    roller.join();
+
+    EXPECT_EQ(commit_won.load() + rollback_won.load(), 1) << "round " << round;
+    const auto state = tm.state(id);
+    ASSERT_TRUE(state.ok());
+    if (commit_won.load()) {
+      EXPECT_EQ(state.value(), txn::TxnState::kCommitted);
+      EXPECT_EQ(p->commits, 1);
+      EXPECT_EQ(p->rollbacks, 0);
+    } else {
+      EXPECT_EQ(state.value(), txn::TxnState::kAborted);
+      EXPECT_EQ(p->commits, 0);
+      EXPECT_EQ(p->rollbacks, 1);
+    }
+  }
+}
+
+TEST(TransactionManagerConcurrency, DisjointTransactionsCommitInParallel) {
+  txn::TransactionManager tm;
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 25;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        auto p = std::make_shared<txn::ScriptedParticipant>("p", true);
+        const txn::TxnId id = tm.begin();
+        if (!tm.enlist(id, p).ok()) continue;
+        auto result = tm.commit(id);
+        if (result.ok() && result.value() && p->commits == 1) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(committed.load(), kThreads * kTxnsPerThread);
 }
 
 }  // namespace
