@@ -22,7 +22,21 @@ def load(path):
         if b.get("run_type") == "aggregate":
             continue
         out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
-    return out
+    return out, report.get("harness") or {}
+
+
+def print_harness_diff(base, fresh):
+    """Footprint comparison from the harness blocks (informational only —
+    RSS and disk use vary with corpus knobs, so they never gate)."""
+    keys = sorted(base.keys() | fresh.keys())
+    if not keys:
+        return
+    print("harness footprint (informational):")
+    for key in keys:
+        b, f = base.get(key), fresh.get(key)
+        fmt = lambda v: f"{v / 2**20:.1f} MiB" if v is not None else "—"
+        delta = f"  ({(f - b) / 2**20:+.1f} MiB)" if b is not None and f is not None else ""
+        print(f"  {key:<16} {fmt(b):>12} -> {fmt(f):>12}{delta}")
 
 
 def main():
@@ -34,8 +48,8 @@ def main():
     ap.add_argument("--fail-on-regression", action="store_true")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    fresh = load(args.fresh)
+    base, base_harness = load(args.baseline)
+    fresh, fresh_harness = load(args.fresh)
 
     width = max((len(n) for n in base | fresh), default=10)
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  {'speedup':>8}")
@@ -59,6 +73,8 @@ def main():
             regressions.append((name, speedup))
             flag = "  << REGRESSION"
         print(f"{name:<{width}}  {bt:>10.1f} {bu}  {ft:>10.1f} {fu}  {speedup:>7.2f}x{flag}")
+
+    print_harness_diff(base_harness, fresh_harness)
 
     if regressions and args.fail_on_regression:
         print(f"\n{len(regressions)} regression(s) beyond {args.tolerance}x tolerance:",

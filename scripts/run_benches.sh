@@ -31,9 +31,11 @@ script_dir="$(cd "$(dirname "$0")" && pwd)"
 # scenarios drive whole multi-party protocol waves (contention + injected
 # loss), so they get the widest band — the gate exists to catch
 # order-of-magnitude regressions in the end-to-end protocol path.
-gated_benches=(crypto invocation journal scenarios)
-declare -A gate_tolerance=([crypto]=2.0 [invocation]=3.0 [journal]=3.0 [scenarios]=4.0)
-declare -A gate_tolerance_quick=([crypto]=4.0 [invocation]=6.0 [journal]=6.0 [scenarios]=8.0)
+# objectstore mixes pure hashing with journal I/O and a ~1M-record corpus
+# build, so it rides the journal band.
+gated_benches=(crypto invocation journal objectstore scenarios)
+declare -A gate_tolerance=([crypto]=2.0 [invocation]=3.0 [journal]=3.0 [objectstore]=3.0 [scenarios]=4.0)
+declare -A gate_tolerance_quick=([crypto]=4.0 [invocation]=6.0 [journal]=6.0 [objectstore]=6.0 [scenarios]=8.0)
 declare -A gate_baseline=()
 for nm in "${gated_benches[@]}"; do
   if [[ -f "$out_dir/BENCH_$nm.json" ]]; then
@@ -128,6 +130,29 @@ if families:
             speedup = f" ({ips / base:.2f}x)" if base else ""
             cells.append(f"{threads}t: {ips / 1000:.1f}k/s{speedup}")
         print(f"  {family:<36} " + "  ".join(cells))
+PYEOF
+fi
+
+# Object store: memoized-audit ROI (acceptance floor: memoized >= 10x cold),
+# the dedup ratio the ~1M-record corpus achieved, and the harness footprint
+# (peak RSS + journal bytes on disk) recorded in the same report.
+if [[ -f "$out_dir/BENCH_objectstore.json" ]] && command -v python3 >/dev/null; then
+  python3 - "$out_dir/BENCH_objectstore.json" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+rows = {b["name"].split("/")[0]: b for b in report.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"}
+cold = rows.get("BM_ColdAudit")
+memo = rows.get("BM_MemoizedAudit")
+if cold and memo:
+    ratio = cold["real_time"] / memo["real_time"]
+    print(f"=== object store: memoized audit {ratio:.0f}x cold "
+          f"(dedup {memo.get('dedup_ratio', 0):.2f}x over "
+          f"{int(memo.get('records', 0))} records) ===")
+harness = report.get("harness")
+if harness:
+    print(f"    harness: peak RSS {harness.get('peak_rss_bytes', 0) / 2**20:.0f} MiB, "
+          f"disk {harness.get('disk_bytes', 0) / 2**20:.0f} MiB")
 PYEOF
 fi
 

@@ -1,5 +1,9 @@
 #include "core/evidence.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
 #include "util/hex.hpp"
 #include "util/serialize.hpp"
 #include "util/thread_pool.hpp"
@@ -135,8 +139,14 @@ Status EvidenceService::verify(const EvidenceToken& token, BytesView subject) co
     return Error::make("evidence.subject_mismatch",
                        to_string(token.type) + " does not cover presented subject");
   }
-  return credentials_->verify_signature(token.issuer, token.tbs(), token.signature,
-                                        clock_->now());
+  // Content-address the token and go through the credential manager's
+  // object memo — the id is exactly what an interning evidence log stores
+  // for this token, so issue/accept/audit all share one memo entry.
+  const store::ObjectId oid = store::object_id(store::kTypeToken, token.encode());
+  auto verified = credentials_->verify_object(oid, token.issuer, token.tbs(),
+                                              token.signature, clock_->now());
+  if (!verified) return verified.error();
+  return Status::ok_status();
 }
 
 std::vector<Status> EvidenceService::verify_batch(const std::vector<EvidenceCheck>& items,
@@ -153,6 +163,129 @@ Status EvidenceService::accept(const EvidenceToken& token, BytesView subject) {
   states_->put(subject);
   log_->append(token.run, log_kind(token.type), token.encode());
   return Status::ok_status();
+}
+
+std::size_t EvidenceService::segment_memo_size() const {
+  std::shared_lock lk(audit_mu_);
+  return segment_memo_.size();
+}
+
+EvidenceService::LogAuditReport EvidenceService::audit_log(
+    const store::EvidenceLog& log, const LogAuditOptions& options) const {
+  LogAuditReport report;
+  const std::vector<store::LogRecord>& records = log.records();
+  const std::shared_ptr<store::ObjectStore>& store = log.objects();
+  const TimeMs at = clock_->now();
+  const std::uint64_t epoch = credentials_->trust_epoch();
+  const std::uint64_t memo_hits_before = credentials_->memo_hits();
+  const std::size_t seg_len = std::max<std::size_t>(options.segment_records, 1);
+
+  std::unordered_set<store::ObjectId, crypto::DigestHash> distinct;
+  crypto::Digest prev{};
+  Status verdict = Status::ok_status();
+
+  for (std::size_t begin = 0; begin < records.size() && verdict.ok(); begin += seg_len) {
+    const std::size_t end = std::min(begin + seg_len, records.size());
+    ++report.segments;
+    const store::LogRecord& tail = records[end - 1];
+
+    // Probe the memo by the segment's tail chain digest. chain_i commits to
+    // every record before it, so one match (under the current trust epoch,
+    // at a covered time, with the same span) re-establishes the whole
+    // segment — and its prefix — without hashing or signature work.
+    bool memoized = false;
+    {
+      std::shared_lock lk(audit_mu_);
+      auto it = segment_memo_.find(tail.chain);
+      if (it != segment_memo_.end() && it->second.epoch == epoch &&
+          it->second.window.covers(at) &&
+          it->second.first_sequence == records[begin].sequence &&
+          it->second.record_count == end - begin &&
+          (!store || store->contains(it->second.segment_object))) {
+        memoized = true;
+      }
+    }
+    if (memoized) {
+      // Structural sweep only — sequence continuity stays checked even on
+      // the fast path.
+      for (std::size_t i = begin; i < end && verdict.ok(); ++i) {
+        if (records[i].sequence != i) {
+          verdict = Error::make("log.sequence_gap", "at index " + std::to_string(i));
+          break;
+        }
+        if (records[i].kind.starts_with("token.")) ++report.token_records;
+        ++report.records;
+      }
+      ++report.segments_memoized;
+      prev = tail.chain;
+      continue;
+    }
+
+    // Cold path: recompute the chain, verify every token signature through
+    // the object memo, build the chain-segment DAG node, memoize.
+    pki::CredentialManager::ValidityWindow window{0, std::numeric_limits<TimeMs>::max()};
+    BinaryWriter seg;
+    seg.bytes(crypto::digest_bytes(prev));
+    seg.u64(records[begin].sequence);
+    seg.u32(static_cast<std::uint32_t>(end - begin));
+    for (std::size_t i = begin; i < end && verdict.ok(); ++i) {
+      const store::LogRecord& rec = records[i];
+      if (rec.sequence != i) {
+        verdict = Error::make("log.sequence_gap", "at index " + std::to_string(i));
+        break;
+      }
+      const crypto::Digest expect = store::chain_digest(prev, rec);
+      if (!constant_time_equal(BytesView(expect.data(), expect.size()),
+                               BytesView(rec.chain.data(), rec.chain.size()))) {
+        verdict = Error::make("log.chain_mismatch", "record " + std::to_string(i));
+        break;
+      }
+      prev = rec.chain;
+      seg.bytes(crypto::digest_bytes(rec.chain));
+      seg.bytes(crypto::digest_bytes(rec.object));
+      if (rec.kind.starts_with("token.")) {
+        ++report.token_records;
+        auto token = EvidenceToken::decode(rec.payload);
+        if (!token) {
+          verdict = Error::make("audit.bad_token",
+                                "record " + std::to_string(i) + ": " + token.error().code);
+          break;
+        }
+        const store::ObjectId oid =
+            rec.interned ? rec.object : store::object_id(store::kTypeToken, rec.payload);
+        if (distinct.insert(oid).second) ++report.distinct_tokens;
+        auto verified = credentials_->verify_object(oid, token->issuer, token->tbs(),
+                                                    token->signature, at);
+        if (!verified) {
+          verdict = Error::make("audit.bad_signature", "record " + std::to_string(i) +
+                                                           ": " + verified.error().code);
+          break;
+        }
+        window.not_before = std::max(window.not_before, verified->not_before);
+        window.not_after = std::min(window.not_after, verified->not_after);
+      }
+      ++report.records;
+    }
+    if (!verdict.ok()) break;
+
+    const Bytes seg_payload = std::move(seg).take();
+    const store::ObjectId seg_oid =
+        store ? store->put(store::kTypeChainSegment, seg_payload).id
+              : store::object_id(store::kTypeChainSegment, seg_payload);
+
+    std::unique_lock lk(audit_mu_);
+    if (segment_memo_.size() >= kSegmentMemoMax) segment_memo_.clear();
+    segment_memo_.insert_or_assign(
+        tail.chain, SegmentMemo{epoch, window, seg_oid, records[begin].sequence,
+                                static_cast<std::uint64_t>(end - begin)});
+  }
+
+  // Delta of the credential memo's hit counter — exact when the audit has
+  // the service to itself (the normal case), approximate under concurrent
+  // verify traffic.
+  report.token_memo_hits = credentials_->memo_hits() - memo_hits_before;
+  report.verdict = std::move(verdict);
+  return report;
 }
 
 }  // namespace nonrep::core

@@ -13,7 +13,9 @@
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/drbg.hpp"
@@ -111,7 +113,10 @@ class EvidenceService {
   /// the token and subject are persisted (log + state store).
   Status accept(const EvidenceToken& token, BytesView subject);
 
-  /// Verification only (no persistence side effects).
+  /// Verification only (no persistence side effects). Memoized: the token
+  /// is addressed by its object id (SHA-256 of its encoding), so a token
+  /// verified before — under the same trust state, at a covered time —
+  /// costs one hash and a cache probe instead of a chain walk plus RSA.
   Status verify(const EvidenceToken& token, BytesView subject) const;
 
   /// Batched verification: fan the records across `pool` (RSA signature
@@ -135,6 +140,45 @@ class EvidenceService {
   /// The logged TSA countersignature for a token this party issued.
   Result<Bytes> timestamp_record(const RunId& run, EvidenceType type) const;
 
+  struct LogAuditOptions {
+    /// Records per chain segment (memoization granularity).
+    std::size_t segment_records = 1024;
+  };
+
+  struct LogAuditReport {
+    std::uint64_t records = 0;
+    std::uint64_t token_records = 0;
+    std::uint64_t segments = 0;
+    std::uint64_t segments_memoized = 0;  // accepted via the segment memo
+    std::uint64_t distinct_tokens = 0;    // distinct token objects verified this pass
+    std::uint64_t token_memo_hits = 0;    // credential memo hits during this pass
+    Status verdict = Status::ok_status();
+  };
+
+  /// Full audit of an evidence log: recompute and check the hash chain,
+  /// verify every token signature (through the object-id memo, so repeated
+  /// tokens — fleet-wide duplicates — are verified once), and intersect
+  /// validity windows per chain segment of `segment_records` records.
+  ///
+  /// Verified segments are memoized by their *tail* chain digest, which by
+  /// chain construction commits to every record before it: a re-audit of an
+  /// unchanged log is a handful of map probes plus a structural sweep, no
+  /// hashing and no signature work. Entries carry the trust epoch and the
+  /// segment's intersected validity window, so a root/cert/CRL change or an
+  /// audit time outside the window falls back to the cold path. When the
+  /// log has an object store, each cold-verified segment is interned as a
+  /// `kTypeChainSegment` DAG node (prev chain, then per record: chain
+  /// digest + payload object id) and the memo insists the node is still
+  /// present. Like every audit-side accessor this reads log.records()
+  /// unlocked — callers run it on a quiescent log.
+  LogAuditReport audit_log(const store::EvidenceLog& log,
+                           const LogAuditOptions& options) const;
+  LogAuditReport audit_log(const store::EvidenceLog& log) const {
+    return audit_log(log, LogAuditOptions{});
+  }
+
+  std::size_t segment_memo_size() const;
+
  private:
   PartyId self_;
   std::shared_ptr<crypto::Signer> signer_;
@@ -145,6 +189,20 @@ class EvidenceService {
   std::mutex rng_mu_;  // new_run() may race between a party's handler frames
   crypto::Drbg rng_;
   std::shared_ptr<TimestampHook> tsa_;
+
+  // Segment memo for audit_log. Bounded; overflow clears wholesale (the
+  // memo refills from the audits it accelerates). shared_mutex: concurrent
+  // audits probe under the shared lock.
+  struct SegmentMemo {
+    std::uint64_t epoch = 0;
+    pki::CredentialManager::ValidityWindow window;
+    store::ObjectId segment_object{};
+    std::uint64_t first_sequence = 0;
+    std::uint64_t record_count = 0;
+  };
+  static constexpr std::size_t kSegmentMemoMax = 1u << 16;
+  mutable std::shared_mutex audit_mu_;
+  mutable std::unordered_map<crypto::Digest, SegmentMemo, crypto::DigestHash> segment_memo_;
 };
 
 }  // namespace nonrep::core

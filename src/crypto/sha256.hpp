@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 
 #include "util/bytes.hpp"
 
@@ -15,6 +16,18 @@ namespace nonrep::crypto {
 inline constexpr std::size_t kSha256DigestSize = 32;
 
 using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Hasher for digest-keyed containers, shared by the state store, the
+/// object store and the verification memo-caches. The digest is uniform
+/// SHA-256 output, so its first word is already a perfectly mixed hash.
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const noexcept {
+    std::size_t h;
+    static_assert(sizeof(std::size_t) <= kSha256DigestSize);
+    std::memcpy(&h, d.data(), sizeof(h));
+    return h;
+  }
+};
 
 /// Incremental SHA-256.
 class Sha256 {

@@ -16,11 +16,19 @@ std::string cert_digest(const Certificate& cert) {
 }  // namespace
 
 void CredentialManager::invalidate_caches_locked() const {
-  // Only the chain cache depends on trust state. The VerifierCache is
-  // content-addressed (keyed by a digest of the key bytes), so its entries
-  // can never go stale and survive root/cert/CRL changes.
-  std::lock_guard lk(cache_mu_);
-  chain_cache_.clear();
+  // The chain cache and the object memo depend on trust state. The
+  // VerifierCache is content-addressed (keyed by a digest of the key
+  // bytes), so its entries can never go stale and survive root/cert/CRL
+  // changes.
+  {
+    std::lock_guard lk(cache_mu_);
+    chain_cache_.clear();
+  }
+  {
+    std::unique_lock lk(memo_mu_);
+    memo_.clear();
+  }
+  trust_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 Status CredentialManager::add_trusted_root(const Certificate& root) {
@@ -109,7 +117,8 @@ Status CredentialManager::verify_chain(const Certificate& leaf, TimeMs at) const
   return verify_chain_locked(leaf, at);
 }
 
-Status CredentialManager::verify_chain_locked(const Certificate& leaf, TimeMs at) const {
+Status CredentialManager::verify_chain_locked(const Certificate& leaf, TimeMs at,
+                                              ValidityWindow* window_out) const {
   const std::string digest = cert_digest(leaf);
   {
     std::lock_guard cache_lk(cache_mu_);
@@ -117,8 +126,9 @@ Status CredentialManager::verify_chain_locked(const Certificate& leaf, TimeMs at
       // Trust state is unchanged since the walk (any mutation clears the
       // cache under the exclusive trust lock, which excludes this shared
       // hold), so only the time-dependent validity check remains.
-      if (at >= it->second.not_before && at <= it->second.not_after) {
+      if (it->second.covers(at)) {
         ++chain_cache_hits_;
+        if (window_out != nullptr) *window_out = it->second;
         return Status::ok_status();
       }
       return Error::make("pki.expired",
@@ -127,7 +137,7 @@ Status CredentialManager::verify_chain_locked(const Certificate& leaf, TimeMs at
   }
 
   constexpr int kMaxChain = 8;
-  VerifiedChain window{leaf.not_before, leaf.not_after};
+  ValidityWindow window{leaf.not_before, leaf.not_after};
   Certificate current = leaf;
   for (int depth = 0; depth < kMaxChain; ++depth) {
     window.not_before = std::max(window.not_before, current.not_before);
@@ -147,6 +157,7 @@ Status CredentialManager::verify_chain_locked(const Certificate& leaf, TimeMs at
       }
       // The walk never time-checks the root itself, so the cached window
       // deliberately excludes it — cached and uncached answers must agree.
+      if (window_out != nullptr) *window_out = window;
       std::lock_guard cache_lk(cache_mu_);
       chain_cache_.emplace(digest, window);
       return Status::ok_status();
@@ -180,6 +191,61 @@ Status CredentialManager::verify_signature(const PartyId& party, BytesView msg,
     return Error::make("pki.signature_mismatch", party.str());
   }
   return Status::ok_status();
+}
+
+std::optional<CredentialManager::ValidityWindow> CredentialManager::memo_probe(
+    const crypto::Digest& oid, TimeMs at) const {
+  // The shared trust lock excludes mutations, so an entry read here cannot
+  // be a leftover from a different trust state (mutations clear the memo
+  // before releasing the exclusive lock).
+  std::shared_lock lk(trust_mu_);
+  std::shared_lock memo_lk(memo_mu_);
+  auto it = memo_.find(oid);
+  if (it == memo_.end() || !it->second.covers(at)) return std::nullopt;
+  memo_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+Result<CredentialManager::ValidityWindow> CredentialManager::verify_object(
+    const crypto::Digest& oid, const PartyId& party, BytesView msg,
+    BytesView signature, TimeMs at) const {
+  std::shared_lock lk(trust_mu_);
+  {
+    std::shared_lock memo_lk(memo_mu_);
+    auto it = memo_.find(oid);
+    if (it != memo_.end() && it->second.covers(at)) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    // A memoized window that does not cover `at` falls through to the full
+    // path: unlike a certificate (whose window *is* its validity), an
+    // object's recorded window is just where the cached answer applies.
+  }
+
+  const Certificate* cert = find_locked(party);
+  if (cert == nullptr) return Error::make("pki.unknown_party", party.str());
+  ValidityWindow window;
+  if (auto chain = verify_chain_locked(*cert, at, &window); !chain.ok()) {
+    return chain.error();
+  }
+  if (!verifier_cache_.verify(cert->algorithm, cert->public_key, msg, signature)) {
+    return Error::make("pki.signature_mismatch", party.str());
+  }
+
+  std::unique_lock memo_lk(memo_mu_);
+  if (memo_.size() >= kMemoMaxEntries) memo_.clear();
+  memo_.insert_or_assign(oid, window);
+  return window;
+}
+
+std::size_t CredentialManager::memo_size() const {
+  std::shared_lock lk(memo_mu_);
+  return memo_.size();
+}
+
+void CredentialManager::clear_caches() {
+  std::unique_lock lk(trust_mu_);
+  invalidate_caches_locked();
 }
 
 }  // namespace nonrep::pki

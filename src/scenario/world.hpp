@@ -58,12 +58,19 @@ class World {
   /// Push a fresh CRL to every party.
   void broadcast_crl();
 
+  /// The world-wide content-addressed object store: every party's evidence
+  /// log interns through it, and every certificate is filed in it, so a
+  /// token accepted by N parties (or a cert trusted by all of them) is held
+  /// once for the whole fleet.
+  const std::shared_ptr<store::ObjectStore>& objects() const noexcept { return objects_; }
+
   std::shared_ptr<SimClock> clock;
   net::SimNetwork network;
 
  private:
   crypto::Drbg rng_;
   std::size_t rsa_bits_;
+  std::shared_ptr<store::ObjectStore> objects_;
   std::unique_ptr<pki::CertificateAuthority> ca_;
   std::unique_ptr<pki::RevocationAuthority> revocation_;
   std::vector<std::unique_ptr<Party>> parties_;

@@ -32,15 +32,14 @@ Bytes encode_log_record(const LogRecord& r) {
   return std::move(w).take();
 }
 
-Result<LogRecord> decode_log_record(BytesView b) {
-  BinaryReader outer(b);
-  auto canonical = outer.bytes();
-  if (!canonical) return canonical.error();
-  auto chain = outer.bytes();
-  if (!chain) return chain.error();
+namespace {
 
-  BinaryReader r(canonical.value());
-  LogRecord rec;
+// Tag byte that opens the thin encoding. A fat record opens with the u32
+// length prefix of its canonical bytes, so the two forms are also
+// distinguishable by inspection, but backends always know their mode.
+constexpr std::uint8_t kThinRecordTag = 0x52;  // 'R'
+
+Status decode_canonical_head(BinaryReader& r, LogRecord& rec) {
   auto seq = r.u64();
   if (!seq) return seq.error();
   rec.sequence = seq.value();
@@ -53,6 +52,74 @@ Result<LogRecord> decode_log_record(BytesView b) {
   auto kind = r.str();
   if (!kind) return kind.error();
   rec.kind = kind.value();
+  return Status::ok_status();
+}
+
+}  // namespace
+
+std::uint32_t typesig_for_kind(std::string_view kind) {
+  if (kind.starts_with("token.")) return kTypeToken;
+  if (kind.starts_with("tsa.")) return kTypeTimestamp;
+  return kTypeBlob;
+}
+
+Bytes encode_log_record_ref(const LogRecord& r) {
+  BinaryWriter w;
+  w.u8(kThinRecordTag);
+  w.u64(r.sequence);
+  w.u64(r.time);
+  w.str(r.run.str());
+  w.str(r.kind);
+  w.bytes(crypto::digest_bytes(r.object));
+  w.u64(r.payload.size());
+  w.bytes(crypto::digest_bytes(r.chain));
+  return std::move(w).take();
+}
+
+Result<ThinLogRecord> decode_log_record_ref(BytesView b) {
+  BinaryReader r(b);
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  if (tag.value() != kThinRecordTag) {
+    return Error::make("log.not_a_record_ref", "bad tag byte");
+  }
+  ThinLogRecord out;
+  if (auto head = decode_canonical_head(r, out.record); !head.ok()) {
+    return head.error();
+  }
+  auto object = r.bytes();
+  if (!object) return object.error();
+  if (!crypto::digest_from_bytes(object.value(), out.record.object)) {
+    return Error::make("log.bad_object_id", "wrong length");
+  }
+  out.record.interned = true;
+  auto size = r.u64();
+  if (!size) return size.error();
+  out.payload_size = size.value();
+  auto chain = r.bytes();
+  if (!chain) return chain.error();
+  if (!crypto::digest_from_bytes(chain.value(), out.record.chain)) {
+    return Error::make("log.bad_chain_digest", "wrong length");
+  }
+  return out;
+}
+
+bool is_log_record_ref(BytesView b) {
+  return !b.empty() && b[0] == kThinRecordTag;
+}
+
+Result<LogRecord> decode_log_record(BytesView b) {
+  BinaryReader outer(b);
+  auto canonical = outer.bytes();
+  if (!canonical) return canonical.error();
+  auto chain = outer.bytes();
+  if (!chain) return chain.error();
+
+  BinaryReader r(canonical.value());
+  LogRecord rec;
+  if (auto head = decode_canonical_head(r, rec); !head.ok()) {
+    return head.error();
+  }
   auto payload = r.bytes();
   if (!payload) return payload.error();
   rec.payload = payload.value();
@@ -84,10 +151,19 @@ std::vector<LogRecord> FileLogBackend::load() {
   return out;
 }
 
-EvidenceLog::EvidenceLog(std::unique_ptr<LogBackend> backend, std::shared_ptr<Clock> clock)
-    : backend_(std::move(backend)), clock_(std::move(clock)) {
+EvidenceLog::EvidenceLog(std::unique_ptr<LogBackend> backend, std::shared_ptr<Clock> clock,
+                         std::shared_ptr<ObjectStore> objects)
+    : backend_(std::move(backend)), clock_(std::move(clock)), objects_(std::move(objects)) {
   records_ = backend_->load();
-  for (const auto& r : records_) payload_bytes_ += r.payload.size();
+  for (auto& r : records_) {
+    payload_bytes_ += r.payload.size();
+    // A backend that loaded through a store (the object-mode journal) hands
+    // records back already interned; anything else is interned here.
+    if (objects_ && !r.interned) {
+      r.object = objects_->put(typesig_for_kind(r.kind), r.payload).id;
+      r.interned = true;
+    }
+  }
 }
 
 LogRecord EvidenceLog::append(const RunId& run, std::string kind, Bytes payload) {
@@ -100,6 +176,10 @@ LogRecord EvidenceLog::append(const RunId& run, std::string kind, Bytes payload)
   rec.payload = std::move(payload);
   const crypto::Digest prev = records_.empty() ? crypto::Digest{} : records_.back().chain;
   rec.chain = chain_digest(prev, rec);
+  if (objects_) {
+    rec.object = objects_->put(typesig_for_kind(rec.kind), rec.payload).id;
+    rec.interned = true;
+  }
   payload_bytes_ += rec.payload.size();
   records_.push_back(std::move(rec));
   auto persisted = backend_->append(records_.back());

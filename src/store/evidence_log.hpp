@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "crypto/sha256.hpp"
+#include "store/object_store.hpp"
 #include "util/clock.hpp"
 #include "util/ids.hpp"
 #include "util/result.hpp"
@@ -28,7 +29,13 @@ struct LogRecord {
   Bytes payload;     // encoded evidence token or protocol artefact
   crypto::Digest chain{};  // H(prev_chain || canonical record bytes)
 
-  Bytes canonical() const;  // everything except `chain`
+  // Object-store annotation, set when the payload has been interned. Not
+  // part of canonical() — the chain binds the payload bytes themselves, so
+  // chain digests are identical whether or not a store is attached.
+  ObjectId object{};
+  bool interned = false;
+
+  Bytes canonical() const;  // everything except `chain` and the annotation
 };
 
 /// Storage backend; MemoryBackend for tests/sim, FileBackend for legacy
@@ -79,7 +86,12 @@ class FileLogBackend final : public LogBackend {
 /// quiescent (no concurrent appends).
 class EvidenceLog {
  public:
-  EvidenceLog(std::unique_ptr<LogBackend> backend, std::shared_ptr<Clock> clock);
+  /// With `objects` set, every appended (and every loaded-but-uninterned)
+  /// payload is interned into the store under typesig_for_kind(kind), and
+  /// records carry their object id. The store may be shared across logs —
+  /// identical tokens dedup fleet-wide.
+  EvidenceLog(std::unique_ptr<LogBackend> backend, std::shared_ptr<Clock> clock,
+              std::shared_ptr<ObjectStore> objects = nullptr);
 
   /// Append evidence; returns the record including its chain digest.
   LogRecord append(const RunId& run, std::string kind, Bytes payload);
@@ -100,9 +112,13 @@ class EvidenceLog {
   /// durable evidence must check this (or the backend's own sync status).
   Status backend_status() const;
 
+  /// The attached object store (nullptr when running without interning).
+  const std::shared_ptr<ObjectStore>& objects() const noexcept { return objects_; }
+
  private:
   std::unique_ptr<LogBackend> backend_;
   std::shared_ptr<Clock> clock_;
+  std::shared_ptr<ObjectStore> objects_;
   mutable std::mutex mu_;
   std::vector<LogRecord> records_;
   std::uint64_t payload_bytes_ = 0;
@@ -117,5 +133,30 @@ crypto::Digest chain_digest(const crypto::Digest& prev, const LogRecord& record)
 /// backend, migration and the audit tool).
 Bytes encode_log_record(const LogRecord& record);
 Result<LogRecord> decode_log_record(BytesView b);
+
+/// Object typesig for a record kind: "token.*" payloads are evidence
+/// tokens, "tsa.*" are TSA countersignatures, anything else is an untyped
+/// blob. Shared by EvidenceLog interning and the journal backend.
+std::uint32_t typesig_for_kind(std::string_view kind);
+
+/// Thin (reference) wire form: the canonical head of the record plus the
+/// payload's object id and size instead of the payload bytes. This is what
+/// the object-mode journal persists — the payload itself lives once in the
+/// side-loaded object segment, however many records reference it.
+///
+///   +------+-----+------+-----+------+-----------+--------------+-------+
+///   | 0x52 | seq | time | run | kind | object id | payload size | chain |
+///   +------+-----+------+-----+------+-----------+--------------+-------+
+struct ThinLogRecord {
+  LogRecord record;  // payload empty; object/interned set
+  std::uint64_t payload_size = 0;
+};
+
+/// The record must be interned (carry its object id).
+Bytes encode_log_record_ref(const LogRecord& record);
+Result<ThinLogRecord> decode_log_record_ref(BytesView b);
+
+/// Cheap probe: does this buffer start with the thin-record tag?
+bool is_log_record_ref(BytesView b);
 
 }  // namespace nonrep::store

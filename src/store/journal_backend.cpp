@@ -6,6 +6,87 @@ namespace nonrep::store {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+std::string objects_dir(const std::string& dir) { return dir + "/objects"; }
+
+journal::Options objects_options(const journal::Options& options) {
+  journal::Options out = options;
+  out.dir = objects_dir(options.dir);
+  return out;
+}
+
+struct ResolveStats {
+  std::uint64_t dangling = 0;
+  std::uint64_t undecodable = 0;
+};
+
+// Replay the object journal into the store. Duplicate frames (possible when
+// a crash lost the dedup set's in-memory state, or when the store is shared
+// and already holds the object) are absorbed by put()'s idempotence.
+void rebuild_store(const journal::RecoveryReport& report, ObjectStore& store,
+                   std::unordered_set<ObjectId, crypto::DigestHash>& persisted,
+                   ResolveStats& stats) {
+  for (const auto& frame : report.records) {
+    auto decoded = decode_object(frame.payload);
+    if (!decoded) {
+      ++stats.undecodable;
+      continue;
+    }
+    persisted.insert(store.put(decoded.value().typesig, decoded.value().payload).id);
+  }
+}
+
+// Resolve recovered record frames against the store. Thin records fetch
+// their payload by object id; fat records (a legacy journal opened in
+// object mode) are interned so the store covers them too.
+std::vector<LogRecord> resolve_records(
+    const journal::RecoveryReport& report, ObjectStore& store,
+    std::unordered_set<ObjectId, crypto::DigestHash>* persisted,
+    ResolveStats& stats) {
+  std::vector<LogRecord> out;
+  out.reserve(report.records.size());
+  for (const auto& frame : report.records) {
+    if (is_log_record_ref(frame.payload)) {
+      auto thin = decode_log_record_ref(frame.payload);
+      if (!thin) {
+        ++stats.undecodable;
+        continue;
+      }
+      LogRecord rec = std::move(thin.value().record);
+      auto payload = store.get(rec.object, typesig_for_kind(rec.kind));
+      if (!payload || payload.value().size() != thin.value().payload_size) {
+        // A record without its object is a defect (the write ordering makes
+        // it impossible short of object-segment damage); count and skip —
+        // verify_chain reports the resulting gap.
+        ++stats.dangling;
+        continue;
+      }
+      rec.payload = std::move(payload).take();
+      out.push_back(std::move(rec));
+      continue;
+    }
+    auto decoded = decode_log_record(frame.payload);
+    if (!decoded) {
+      ++stats.undecodable;
+      continue;
+    }
+    LogRecord rec = std::move(decoded).take();
+    rec.object = store.put(typesig_for_kind(rec.kind), rec.payload).id;
+    rec.interned = true;
+    if (persisted) persisted->insert(rec.object);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_object_journal(const std::string& dir) {
+  std::error_code ec;
+  return fs::is_directory(objects_dir(dir), ec);
+}
+
 Result<std::unique_ptr<JournalLogBackend>> JournalLogBackend::open(
     journal::Options options) {
   std::error_code ec;
@@ -21,6 +102,35 @@ Result<std::unique_ptr<JournalLogBackend>> JournalLogBackend::open(
       std::move(writer).take(), std::move(recovered).take()));
 }
 
+Result<std::unique_ptr<JournalLogBackend>> JournalLogBackend::open(
+    journal::Options options, std::shared_ptr<ObjectStore> store) {
+  if (!store) return Error::make("store.null_store", "object mode needs a store");
+  auto backend = open(options);
+  if (!backend) return backend.error();
+  auto& b = *backend.value();
+  b.store_ = std::move(store);
+
+  std::error_code ec;
+  fs::create_directories(objects_dir(options.dir), ec);
+  if (ec) {
+    return Error::make("journal.io",
+                       "cannot create " + objects_dir(options.dir) + ": " + ec.message());
+  }
+  auto object_recovered = journal::Reader::recover(objects_dir(options.dir),
+                                                   journal::RecoverMode::kRepair);
+  if (!object_recovered) return object_recovered.error();
+  auto object_writer =
+      journal::Writer::resume(objects_options(options), object_recovered.value());
+  if (!object_writer) return object_writer.error();
+  b.object_writer_ = std::move(object_writer).take();
+  b.object_recovery_ = std::move(object_recovered).take();
+
+  ResolveStats stats;
+  rebuild_store(b.object_recovery_, *b.store_, b.persisted_, stats);
+  b.resolved_ = resolve_records(b.recovery_, *b.store_, &b.persisted_, stats);
+  return backend;
+}
+
 Status JournalLogBackend::append(const LogRecord& record) {
   // The journal's own sequence numbering and the evidence log's must stay in
   // lockstep — a divergence means the journal holds records this log never
@@ -32,12 +142,37 @@ Status JournalLogBackend::append(const LogRecord& record) {
                        "journal would assign " + std::to_string(next) +
                            ", record carries " + std::to_string(record.sequence));
   }
-  auto seq = writer_->append(encode_log_record(record));
+  if (!store_) {
+    auto seq = writer_->append(encode_log_record(record));
+    if (!seq) return seq.error();
+    return Status::ok_status();
+  }
+
+  // Object mode. EvidenceLog interns before it calls us, so an uninterned
+  // record means a caller bypassed the log — reject rather than guess.
+  if (!record.interned) {
+    return Error::make("journal.not_interned",
+                       "object-mode journal got a record without an object id");
+  }
+  // Object frame first (crash after it leaves a harmless orphan; the other
+  // order could strand a record without its payload). `persisted_` tracks
+  // *this* journal's contents — the store may be shared across parties whose
+  // journals each need their own copy.
+  if (!persisted_.contains(record.object)) {
+    auto payload = store_->get(record.object, typesig_for_kind(record.kind));
+    if (!payload) return payload.error();
+    auto oseq = object_writer_->append(
+        encode_object(typesig_for_kind(record.kind), payload.value()));
+    if (!oseq) return oseq.error();
+    persisted_.insert(record.object);
+  }
+  auto seq = writer_->append(encode_log_record_ref(record));
   if (!seq) return seq.error();
   return Status::ok_status();
 }
 
 std::vector<LogRecord> JournalLogBackend::load() {
+  if (store_) return resolved_;
   std::vector<LogRecord> out;
   out.reserve(recovery_.records.size());
   for (const auto& rec : recovery_.records) {
@@ -46,6 +181,33 @@ std::vector<LogRecord> JournalLogBackend::load() {
     // An undecodable payload survives in the journal (its CRC was fine) but
     // cannot enter the evidence log; verify_chain reports the gap.
   }
+  return out;
+}
+
+Status JournalLogBackend::sync() {
+  if (object_writer_) {
+    if (auto s = object_writer_->sync(); !s.ok()) return s;
+  }
+  return writer_->sync();
+}
+
+Result<ObjectJournalScan> scan_object_journal(const std::string& dir) {
+  ObjectJournalScan out;
+  auto record_report = journal::Reader::recover(dir, journal::RecoverMode::kScanOnly);
+  if (!record_report) return record_report.error();
+  auto object_report =
+      journal::Reader::recover(objects_dir(dir), journal::RecoverMode::kScanOnly);
+  if (!object_report) return object_report.error();
+  out.record_report = std::move(record_report).take();
+  out.object_report = std::move(object_report).take();
+  out.store = std::make_shared<ObjectStore>();
+
+  ResolveStats stats;
+  std::unordered_set<ObjectId, crypto::DigestHash> persisted;
+  rebuild_store(out.object_report, *out.store, persisted, stats);
+  out.records = resolve_records(out.record_report, *out.store, nullptr, stats);
+  out.dangling_refs = stats.dangling;
+  out.undecodable = stats.undecodable;
   return out;
 }
 

@@ -6,7 +6,18 @@
 // bytes inside the segmented write-ahead journal, gaining CRC-checked
 // framing, group commit, segment rotation with Merkle checkpoints, and
 // crash recovery that truncates torn tails and resumes sequence numbering.
+//
+// Object mode (open with an ObjectStore): record frames carry object ids
+// instead of payload bytes (the thin encoding in evidence_log.hpp), and
+// payloads are persisted once each in a side-loaded object journal at
+// `<dir>/objects` — its own writer, its own sequence space, same framing.
+// An object frame is always written before the first record that references
+// it, so a crash can orphan an object (harmless) but never strand a record
+// without its payload. Recovery rebuilds the store from the object journal,
+// then resolves thin records against it.
 #pragma once
+
+#include <unordered_set>
 
 #include "journal/reader.hpp"
 #include "journal/writer.hpp"
@@ -20,14 +31,28 @@ class JournalLogBackend final : public LogBackend {
   /// torn tails are truncated) before the writer resumes.
   static Result<std::unique_ptr<JournalLogBackend>> open(journal::Options options);
 
+  /// Object-mode open: payloads are interned into `store` (shared with the
+  /// evidence log, possibly fleet-wide) and journalled once each under
+  /// `<dir>/objects`. A legacy fat-record journal opened this way keeps
+  /// working — existing records are interned on load, new ones are thin.
+  static Result<std::unique_ptr<JournalLogBackend>> open(
+      journal::Options options, std::shared_ptr<ObjectStore> store);
+
   Status append(const LogRecord& record) override;
   std::vector<LogRecord> load() override;
 
   /// Durability escape hatch for batched/timed sync policies.
-  Status sync() { return writer_->sync(); }
+  Status sync();
 
   journal::Writer& writer() noexcept { return *writer_; }
   const journal::RecoveryReport& recovery() const noexcept { return recovery_; }
+  /// Recovery report of the object journal (empty outside object mode).
+  const journal::RecoveryReport& object_recovery() const noexcept {
+    return object_recovery_;
+  }
+  bool object_mode() const noexcept { return store_ != nullptr; }
+  /// Distinct objects persisted in this backend's object journal.
+  std::size_t persisted_objects() const noexcept { return persisted_.size(); }
 
  private:
   JournalLogBackend(std::unique_ptr<journal::Writer> writer,
@@ -36,7 +61,31 @@ class JournalLogBackend final : public LogBackend {
 
   std::unique_ptr<journal::Writer> writer_;
   journal::RecoveryReport recovery_;
+
+  // Object mode only.
+  std::shared_ptr<ObjectStore> store_;
+  std::unique_ptr<journal::Writer> object_writer_;
+  journal::RecoveryReport object_recovery_;
+  std::unordered_set<ObjectId, crypto::DigestHash> persisted_;
+  std::vector<LogRecord> resolved_;  // thin records resolved at open
 };
+
+/// True when `dir` holds an object-mode journal (side-loaded `objects/`
+/// sub-journal present).
+bool is_object_journal(const std::string& dir);
+
+/// Read-only walk of an object-mode journal (audit tooling): scans both
+/// journals without repairing, rebuilds a fresh store from the object
+/// segment and resolves every record reference through it.
+struct ObjectJournalScan {
+  std::shared_ptr<ObjectStore> store;
+  std::vector<LogRecord> records;
+  journal::RecoveryReport record_report;
+  journal::RecoveryReport object_report;
+  std::uint64_t dangling_refs = 0;  // records whose object is missing
+  std::uint64_t undecodable = 0;    // frames that pass CRC but not decode
+};
+Result<ObjectJournalScan> scan_object_journal(const std::string& dir);
 
 /// One-shot migration of a legacy FileLogBackend hex file into a journal
 /// directory. Refuses to run if the journal already contains segments; on

@@ -64,20 +64,9 @@ class StateStore {
   Result<std::size_t> restore_from(const std::string& dir);
 
  private:
-  struct DigestHash {
-    std::size_t operator()(const crypto::Digest& d) const noexcept {
-      // The digest is uniform SHA-256 output; its first word is already a
-      // perfectly mixed hash value.
-      std::size_t h;
-      std::memcpy(&h, d.data(), sizeof(h));
-      return h;
-    }
-  };
-  static_assert(sizeof(std::size_t) <= crypto::kSha256DigestSize);
-
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<crypto::Digest, Bytes, DigestHash> blobs;
+    std::unordered_map<crypto::Digest, Bytes, crypto::DigestHash> blobs;
     std::uint64_t stored_bytes = 0;
   };
 

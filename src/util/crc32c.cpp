@@ -1,6 +1,12 @@
 #include "util/crc32c.hpp"
 
 #include <array>
+#include <cstring>
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define NONREP_CRC32C_SSE42 1
+#include <immintrin.h>
+#endif
 
 namespace nonrep {
 
@@ -38,23 +44,92 @@ constexpr Tables build_tables() {
 
 constexpr Tables kTables = build_tables();
 
-}  // namespace
-
-std::uint32_t crc32c_extend(std::uint32_t state, BytesView data) noexcept {
-  std::uint32_t crc = ~state;
+// Both raw kernels run in the ~crc domain (pre/post inversion is applied by
+// the public wrappers) so the incremental state stays directly chainable.
+std::uint32_t crc_sw(std::uint32_t crc, const std::uint8_t* p, std::size_t n) noexcept {
   std::size_t i = 0;
-  for (; i + 4 <= data.size(); i += 4) {
-    crc ^= static_cast<std::uint32_t>(data[i]) |
-           (static_cast<std::uint32_t>(data[i + 1]) << 8) |
-           (static_cast<std::uint32_t>(data[i + 2]) << 16) |
-           (static_cast<std::uint32_t>(data[i + 3]) << 24);
+  for (; i + 4 <= n; i += 4) {
+    crc ^= static_cast<std::uint32_t>(p[i]) |
+           (static_cast<std::uint32_t>(p[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(p[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(p[i + 3]) << 24);
     crc = kTables.t[3][crc & 0xffu] ^ kTables.t[2][(crc >> 8) & 0xffu] ^
           kTables.t[1][(crc >> 16) & 0xffu] ^ kTables.t[0][crc >> 24];
   }
-  for (; i < data.size(); ++i) {
-    crc = kTables.t[0][(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  for (; i < n; ++i) {
+    crc = kTables.t[0][(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
   }
-  return ~crc;
+  return crc;
+}
+
+#ifdef NONREP_CRC32C_SSE42
+// SSE4.2 CRC32 instruction consumes 8 bytes per issue; unaligned input is
+// handled with memcpy loads (compiles to plain movq). The target attribute
+// scopes -msse4.2 to this one function so the rest of the library still
+// builds for the baseline ISA; the runtime CPUID check below guarantees it
+// is only ever called where the instruction exists.
+__attribute__((target("sse4.2")))
+std::uint32_t crc_hw(std::uint32_t crc, const std::uint8_t* p, std::size_t n) noexcept {
+#if defined(__x86_64__)
+  std::uint64_t crc64 = crc;
+  while (n >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc64 = _mm_crc32_u64(crc64, chunk);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+#else
+  while (n >= 4) {
+    std::uint32_t chunk;
+    std::memcpy(&chunk, p, 4);
+    crc = _mm_crc32_u32(crc, chunk);
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p);
+    ++p;
+    --n;
+  }
+  return crc;
+}
+#endif  // NONREP_CRC32C_SSE42
+
+using CrcKernel = std::uint32_t (*)(std::uint32_t, const std::uint8_t*,
+                                    std::size_t) noexcept;
+
+// Function-local static: the CPUID probe runs exactly once, on first use,
+// which keeps the dispatch safe even for callers inside other translation
+// units' static initializers.
+CrcKernel active_kernel() noexcept {
+#ifdef NONREP_CRC32C_SSE42
+  static const CrcKernel kernel =
+      __builtin_cpu_supports("sse4.2") ? &crc_hw : &crc_sw;
+#else
+  static const CrcKernel kernel = &crc_sw;
+#endif
+  return kernel;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t state, BytesView data) noexcept {
+  return ~active_kernel()(~state, data.data(), data.size());
+}
+
+std::uint32_t crc32c_extend_sw(std::uint32_t state, BytesView data) noexcept {
+  return ~crc_sw(~state, data.data(), data.size());
+}
+
+bool crc32c_hw_available() noexcept {
+#ifdef NONREP_CRC32C_SSE42
+  return active_kernel() == &crc_hw;
+#else
+  return false;
+#endif
 }
 
 std::uint32_t crc32c(BytesView data) noexcept { return crc32c_extend(0, data); }

@@ -184,6 +184,92 @@ TEST_F(EvidenceFixture, ErrorReplyRoundTrip) {
   EXPECT_FALSE(as_error(req).has_value());
 }
 
+TEST_F(EvidenceFixture, RepeatedVerifyHitsObjectMemo) {
+  const Bytes subject = to_bytes("snapshot");
+  auto token = a->evidence->issue(EvidenceType::kNroRequest, RunId("r"), subject);
+  ASSERT_TRUE(token.ok());
+  ASSERT_TRUE(b->evidence->verify(token.value(), subject).ok());
+  const std::uint64_t hits = b->evidence->credentials().memo_hits();
+  ASSERT_TRUE(b->evidence->verify(token.value(), subject).ok());
+  EXPECT_EQ(b->evidence->credentials().memo_hits(), hits + 1);
+}
+
+TEST_F(EvidenceFixture, AuditLogColdThenMemoized) {
+  // Party a logs 30 tokens (10 distinct payloads); auditing twice must do
+  // the signature work once and answer the re-audit from the segment memo.
+  for (int i = 0; i < 30; ++i) {
+    auto token = a->evidence->issue(EvidenceType::kNroRequest,
+                                    RunId("run-" + std::to_string(i % 10)),
+                                    to_bytes("subject-" + std::to_string(i % 10)));
+    ASSERT_TRUE(token.ok());
+  }
+  auto* auditor = b->evidence.get();
+  const EvidenceService::LogAuditOptions opts{.segment_records = 8};
+
+  auto cold = auditor->audit_log(*a->log, opts);
+  ASSERT_TRUE(cold.verdict.ok()) << cold.verdict.error().code;
+  EXPECT_EQ(cold.records, 30u);
+  EXPECT_EQ(cold.token_records, 30u);
+  EXPECT_EQ(cold.segments, 4u);  // 8+8+8+6
+  EXPECT_EQ(cold.segments_memoized, 0u);
+  EXPECT_EQ(cold.distinct_tokens, 10u);
+  EXPECT_EQ(auditor->segment_memo_size(), 4u);
+
+  auto warm = auditor->audit_log(*a->log, opts);
+  ASSERT_TRUE(warm.verdict.ok());
+  EXPECT_EQ(warm.records, 30u);
+  EXPECT_EQ(warm.segments_memoized, warm.segments);
+  EXPECT_EQ(warm.distinct_tokens, 0u);  // no signature work at all
+
+  // A longer log re-uses the memoized prefix and cold-verifies the tail.
+  auto token = a->evidence->issue(EvidenceType::kNrrResponse, RunId("run-x"),
+                                  to_bytes("fresh subject"));
+  ASSERT_TRUE(token.ok());
+  auto grown = auditor->audit_log(*a->log, opts);
+  ASSERT_TRUE(grown.verdict.ok());
+  EXPECT_EQ(grown.records, 31u);
+  EXPECT_EQ(grown.segments_memoized, 3u);  // the untouched full segments
+}
+
+TEST_F(EvidenceFixture, AuditMemoInvalidatedByTrustChange) {
+  for (int i = 0; i < 12; ++i) {
+    auto token = a->evidence->issue(EvidenceType::kNroRequest, RunId("r"),
+                                    to_bytes("s" + std::to_string(i)));
+    ASSERT_TRUE(token.ok());
+  }
+  auto* auditor = b->evidence.get();
+  const EvidenceService::LogAuditOptions opts{.segment_records = 4};
+  ASSERT_TRUE(auditor->audit_log(*a->log, opts).verdict.ok());
+  ASSERT_EQ(auditor->audit_log(*a->log, opts).segments_memoized, 3u);
+
+  // Revoking the issuer ticks the trust epoch: the memo must not vouch for
+  // the old segments, and the cold re-audit must reject the revoked signer.
+  world.revocation().revoke(a->certificate.serial);
+  world.broadcast_crl();
+  auto report = auditor->audit_log(*a->log, opts);
+  EXPECT_EQ(report.segments_memoized, 0u);
+  ASSERT_FALSE(report.verdict.ok());
+  EXPECT_EQ(report.verdict.error().code, "audit.bad_signature");
+}
+
+TEST_F(EvidenceFixture, AuditDetectsTamperedChain) {
+  for (int i = 0; i < 6; ++i) {
+    auto token = a->evidence->issue(EvidenceType::kNroRequest, RunId("r"),
+                                    to_bytes("s" + std::to_string(i)));
+    ASSERT_TRUE(token.ok());
+  }
+  // Rebuild the log's records with one doctored payload; the chain digest
+  // no longer matches and the audit must say so.
+  std::vector<store::LogRecord> records = a->log->records();
+  records[3].payload = to_bytes("doctored");
+  store::EvidenceLog tampered(
+      std::make_unique<store::MemoryLogBackend>(std::move(records)),
+      world.clock);
+  auto report = b->evidence->audit_log(tampered);
+  ASSERT_FALSE(report.verdict.ok());
+  EXPECT_EQ(report.verdict.error().code, "log.chain_mismatch");
+}
+
 // Property sweep: any single-byte corruption of an encoded token must fail
 // decode or verification — never verify successfully.
 class TokenTamperProperty : public ::testing::TestWithParam<int> {};

@@ -425,6 +425,307 @@ TEST(StateStore, EightThreadMixedReadWrite) {
   }
 }
 
+// ---- content-addressed object store ----
+
+TEST(ObjectStore, EncodeDecodeRoundTrip) {
+  const Bytes payload = to_bytes("evidence bytes");
+  const Bytes encoded = encode_object(kTypeToken, payload);
+  ASSERT_EQ(encoded.size(), kObjectHeaderBytes + payload.size());
+  auto decoded = decode_object(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().detail;
+  EXPECT_EQ(decoded.value().typesig, kTypeToken);
+  EXPECT_EQ(Bytes(decoded.value().payload.begin(), decoded.value().payload.end()), payload);
+  // The streaming id matches a hash of the materialized encoding.
+  EXPECT_EQ(object_id(kTypeToken, payload), crypto::Sha256::hash(encoded));
+}
+
+TEST(ObjectStore, DecodeRejectsBadHeader) {
+  EXPECT_FALSE(decode_object(Bytes(kObjectHeaderBytes - 1, 0)).ok());
+  Bytes encoded = encode_object(kTypeBlob, to_bytes("abc"));
+  encoded.pop_back();  // size field no longer matches the remaining bytes
+  EXPECT_FALSE(decode_object(encoded).ok());
+}
+
+TEST(ObjectStore, PutGetRoundTrip) {
+  ObjectStore store;
+  const Bytes payload = to_bytes("token bytes");
+  auto put = store.put(kTypeToken, payload);
+  EXPECT_TRUE(put.fresh);
+  auto got = store.get(put.id, kTypeToken);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), payload);
+  auto sig = store.typesig_of(put.id);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig.value(), kTypeToken);
+  EXPECT_TRUE(store.contains(put.id));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ObjectStore, TypesigMismatchIsAnErrorNotACast) {
+  ObjectStore store;
+  const auto put = store.put(kTypeToken, to_bytes("typed payload"));
+  auto got = store.get(put.id, kTypeBlob);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, "store.typesig_mismatch");
+  // The type is part of the identity: the same bytes filed under another
+  // typesig are a different object with a different id.
+  const auto other = store.put(kTypeBlob, to_bytes("typed payload"));
+  EXPECT_TRUE(other.fresh);
+  EXPECT_NE(other.id, put.id);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.get(other.id, kTypeBlob).ok());
+}
+
+TEST(ObjectStore, UnknownObject) {
+  ObjectStore store;
+  auto got = store.get(ObjectId{}, kTypeBlob);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, "store.unknown_object");
+  EXPECT_FALSE(store.typesig_of(ObjectId{}).ok());
+  EXPECT_FALSE(store.contains(ObjectId{}));
+}
+
+TEST(ObjectStore, DedupCounters) {
+  ObjectStore store;
+  const Bytes a(100, 0x11);
+  const Bytes b(50, 0x22);
+  EXPECT_TRUE(store.put(kTypeBlob, a).fresh);
+  EXPECT_FALSE(store.put(kTypeBlob, a).fresh);
+  EXPECT_FALSE(store.put(kTypeBlob, a).fresh);
+  EXPECT_TRUE(store.put(kTypeBlob, b).fresh);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stored_bytes(), 150u);
+  EXPECT_EQ(store.logical_bytes(), 350u);
+  EXPECT_EQ(store.dedup_hits(), 2u);
+  EXPECT_DOUBLE_EQ(store.dedup_ratio(), 350.0 / 150.0);
+}
+
+TEST(ObjectStore, ShardCountRoundsToPowerOfTwo) {
+  EXPECT_EQ(ObjectStore(1).shard_count(), 1u);
+  EXPECT_EQ(ObjectStore(5).shard_count(), 8u);
+  EXPECT_EQ(ObjectStore(16).shard_count(), 16u);
+  EXPECT_EQ(ObjectStore(0).shard_count(), 1u);
+}
+
+TEST(ObjectStore, EightThreadDoublePutIsIdempotent) {
+  // Every thread puts the whole payload set, so each distinct object sees
+  // eight racing puts. Exactly one must report fresh; afterwards the store
+  // holds one copy each and the counters balance. (TSan gives this teeth.)
+  constexpr int kThreads = 8;
+  constexpr int kPayloads = 64;
+
+  ObjectStore store(8);
+  std::vector<Bytes> payloads;
+  std::uint64_t logical_per_pass = 0;
+  for (int i = 0; i < kPayloads; ++i) {
+    payloads.push_back(Bytes(32 + static_cast<std::size_t>(i),
+                             static_cast<std::uint8_t>(i)));
+    logical_per_pass += payloads.back().size();
+  }
+
+  std::atomic<int> fresh{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPayloads; ++i) {
+        const auto idx = static_cast<std::size_t>((i * 7 + t) % kPayloads);
+        auto put = store.put(kTypeBlob, payloads[idx]);
+        if (put.fresh) fresh.fetch_add(1);
+        auto got = store.get(put.id, kTypeBlob);
+        if (!got.ok() || got.value() != payloads[idx]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(fresh.load(), kPayloads);  // one winner per distinct object
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kPayloads));
+  EXPECT_EQ(store.stored_bytes(), logical_per_pass);
+  EXPECT_EQ(store.logical_bytes(), logical_per_pass * kThreads);
+  EXPECT_EQ(store.dedup_hits(), static_cast<std::uint64_t>(kPayloads * (kThreads - 1)));
+}
+
+TEST(ObjectStore, ThinRecordCodecRoundTrip) {
+  auto objects = std::make_shared<ObjectStore>();
+  EvidenceLog log(std::make_unique<MemoryLogBackend>(), make_clock(), objects);
+  const LogRecord rec = log.append(RunId("r1"), "token.NRO-request", to_bytes("payload"));
+  ASSERT_TRUE(rec.interned);
+  EXPECT_EQ(rec.object, object_id(kTypeToken, rec.payload));
+
+  const Bytes thin = encode_log_record_ref(rec);
+  EXPECT_TRUE(is_log_record_ref(thin));
+  EXPECT_FALSE(is_log_record_ref(encode_log_record(rec)));
+  auto decoded = decode_log_record_ref(thin);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().detail;
+  EXPECT_EQ(decoded.value().record.sequence, rec.sequence);
+  EXPECT_EQ(decoded.value().record.run, rec.run);
+  EXPECT_EQ(decoded.value().record.kind, rec.kind);
+  EXPECT_EQ(decoded.value().record.object, rec.object);
+  EXPECT_EQ(decoded.value().record.chain, rec.chain);
+  EXPECT_EQ(decoded.value().payload_size, rec.payload.size());
+  EXPECT_TRUE(decoded.value().record.payload.empty());
+}
+
+TEST(ObjectStore, EvidenceLogInternsSharedStoreDedups) {
+  // Two logs share one store — identical payloads across parties are stored
+  // once, and the chain digests are unchanged by interning.
+  auto objects = std::make_shared<ObjectStore>();
+  auto clock = make_clock();
+  EvidenceLog a(std::make_unique<MemoryLogBackend>(), clock, objects);
+  EvidenceLog b(std::make_unique<MemoryLogBackend>(), clock, objects);
+  EvidenceLog plain(std::make_unique<MemoryLogBackend>(), clock);
+  for (int i = 0; i < 6; ++i) {
+    const Bytes payload = to_bytes("shared token " + std::to_string(i % 2));
+    a.append(RunId("r"), "token.NRO-request", payload);
+    b.append(RunId("r"), "token.NRO-request", payload);
+    plain.append(RunId("r"), "token.NRO-request", payload);
+  }
+  EXPECT_EQ(objects->size(), 2u);  // two distinct payloads fleet-wide
+  EXPECT_EQ(objects->dedup_hits(), 10u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a.records()[i].chain, plain.records()[i].chain) << i;
+  }
+}
+
+// ---- object-mode journal backend ----
+
+TEST(ObjectJournal, RoundTripAcrossRestartRebuildsStore) {
+  const std::string dir = temp_dir("object_roundtrip");
+  auto clock = make_clock();
+  {
+    auto objects = std::make_shared<ObjectStore>();
+    auto backend = JournalLogBackend::open(
+        {.dir = dir, .sync = journal::SyncPolicy::kEveryRecord}, objects);
+    ASSERT_TRUE(backend.ok()) << backend.error().detail;
+    EXPECT_TRUE(backend.value()->object_mode());
+    auto* raw = backend.value().get();
+    EvidenceLog log(std::move(backend).take(), clock, objects);
+    for (int i = 0; i < 12; ++i) {
+      log.append(RunId("r" + std::to_string(i % 3)), "token.NRO-request",
+                 to_bytes("payload " + std::to_string(i % 4)));
+    }
+    EXPECT_TRUE(log.backend_status().ok());
+    // Twelve thin records, but only the four distinct payloads hit the disk.
+    EXPECT_EQ(raw->persisted_objects(), 4u);
+  }
+  ASSERT_TRUE(is_object_journal(dir));
+
+  auto rebuilt = std::make_shared<ObjectStore>();
+  auto backend = JournalLogBackend::open({.dir = dir}, rebuilt);
+  ASSERT_TRUE(backend.ok()) << backend.error().detail;
+  EvidenceLog reloaded(std::move(backend).take(), clock, rebuilt);
+  ASSERT_EQ(reloaded.size(), 12u);
+  EXPECT_TRUE(reloaded.verify_chain().ok());
+  EXPECT_EQ(rebuilt->size(), 4u);  // store rebuilt from the object segment
+  auto rec = reloaded.find(RunId("r1"), "token.NRO-request");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(to_string(rec->payload), "payload 1");
+  EXPECT_TRUE(rec->interned);
+  // Appends keep working after restart.
+  reloaded.append(RunId("r9"), "token.NRR-response", to_bytes("fresh"));
+  EXPECT_TRUE(reloaded.backend_status().ok());
+  EXPECT_TRUE(reloaded.verify_chain().ok());
+}
+
+TEST(ObjectJournal, CrashRecoveryTruncatesTornTailKeepsObjects) {
+  const std::string dir = temp_dir("object_crash");
+  auto clock = make_clock();
+  std::size_t live_records = 0;
+  {
+    auto objects = std::make_shared<ObjectStore>();
+    auto backend = JournalLogBackend::open(
+        {.dir = dir, .sync = journal::SyncPolicy::kEveryRecord}, objects);
+    ASSERT_TRUE(backend.ok());
+    auto* raw = backend.value().get();
+    EvidenceLog log(std::move(backend).take(), clock, objects);
+    for (int i = 0; i < 10; ++i) {
+      log.append(RunId("r"), "token.NRO-request", to_bytes("p" + std::to_string(i % 2)));
+    }
+    ASSERT_TRUE(log.backend_status().ok());
+    live_records = log.size();
+    raw->writer().simulate_crash();
+    // Torn final record: half a frame reaches the record journal.
+    auto segments = journal::Segment::list(dir);
+    ASSERT_TRUE(segments.ok());
+    ASSERT_FALSE(segments.value().empty());
+    const Bytes torn =
+        journal::encode_frame(journal::RecordType::kData, live_records, to_bytes("torn"));
+    std::ofstream out(segments.value().back(), std::ios::binary | std::ios::app);
+    out.write(reinterpret_cast<const char*>(torn.data()),
+              static_cast<std::streamsize>(torn.size() / 2));
+  }
+
+  auto rebuilt = std::make_shared<ObjectStore>();
+  auto backend = JournalLogBackend::open({.dir = dir}, rebuilt);
+  ASSERT_TRUE(backend.ok()) << backend.error().detail;
+  EXPECT_GT(backend.value()->recovery().truncated_bytes, 0u);
+  EvidenceLog log(std::move(backend).take(), clock, rebuilt);
+  EXPECT_EQ(log.size(), live_records);
+  EXPECT_TRUE(log.verify_chain().ok());
+  EXPECT_EQ(rebuilt->size(), 2u);
+
+  auto scan = scan_object_journal(dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.value().records.size(), live_records);
+  EXPECT_EQ(scan.value().dangling_refs, 0u);
+  EXPECT_EQ(scan.value().undecodable, 0u);
+}
+
+TEST(ObjectJournal, ScanReportsDanglingReferences) {
+  const std::string dir = temp_dir("object_dangling");
+  auto clock = make_clock();
+  {
+    auto objects = std::make_shared<ObjectStore>();
+    auto backend = JournalLogBackend::open(
+        {.dir = dir, .sync = journal::SyncPolicy::kEveryRecord}, objects);
+    ASSERT_TRUE(backend.ok());
+    EvidenceLog log(std::move(backend).take(), clock, objects);
+    for (int i = 0; i < 4; ++i) {
+      log.append(RunId("r"), "token.NRO-request", to_bytes("p" + std::to_string(i)));
+    }
+    ASSERT_TRUE(log.backend_status().ok());
+  }
+  // Lose the object segment: every thin record now points at nothing. The
+  // scan counts each dangling reference and drops the record (a record
+  // without its payload is not evidence); nothing resolves.
+  fs::remove_all(fs::path(dir) / "objects");
+  fs::create_directories(fs::path(dir) / "objects");
+  auto scan = scan_object_journal(dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.value().dangling_refs, 4u);
+  EXPECT_TRUE(scan.value().records.empty());
+  EXPECT_EQ(scan.value().store->size(), 0u);
+}
+
+TEST(ObjectJournal, LegacyFatJournalOpensInObjectMode) {
+  const std::string dir = temp_dir("object_legacy");
+  auto clock = make_clock();
+  {
+    auto backend = JournalLogBackend::open(
+        {.dir = dir, .sync = journal::SyncPolicy::kEveryRecord});  // fat records
+    ASSERT_TRUE(backend.ok());
+    EvidenceLog log(std::move(backend).take(), clock);
+    for (int i = 0; i < 5; ++i) {
+      log.append(RunId("r"), "token.NRO-request", to_bytes("legacy " + std::to_string(i)));
+    }
+    ASSERT_TRUE(log.backend_status().ok());
+  }
+  // Reopening with a store interns the legacy records and journals new ones
+  // thin; the chain spans both formats.
+  auto objects = std::make_shared<ObjectStore>();
+  auto backend = JournalLogBackend::open({.dir = dir}, objects);
+  ASSERT_TRUE(backend.ok()) << backend.error().detail;
+  EvidenceLog log(std::move(backend).take(), clock, objects);
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_EQ(objects->size(), 5u);
+  EXPECT_TRUE(log.records()[0].interned);
+  log.append(RunId("r"), "token.NRO-request", to_bytes("thin one"));
+  EXPECT_TRUE(log.backend_status().ok());
+  EXPECT_TRUE(log.verify_chain().ok());
+}
+
 TEST(StateStore, ShardedSnapshotIsOneCoherentJournal) {
   const std::string dir = temp_dir("sharded_snapshot");
   StateStore store(4);
