@@ -144,11 +144,15 @@ rows = {b["name"].split("/")[0]: b for b in report.get("benchmarks", [])
         if b.get("run_type", "iteration") == "iteration"}
 cold = rows.get("BM_ColdAudit")
 memo = rows.get("BM_MemoizedAudit")
+rehash = rows.get("BM_MemoizedAuditRehash")
 if cold and memo:
     ratio = cold["real_time"] / memo["real_time"]
     print(f"=== object store: memoized audit {ratio:.0f}x cold "
           f"(dedup {memo.get('dedup_ratio', 0):.2f}x over "
           f"{int(memo.get('records', 0))} records) ===")
+if cold and rehash:
+    ratio = cold["real_time"] / rehash["real_time"]
+    print(f"    sound default (chain rehash on memo hit): {ratio:.1f}x cold")
 harness = report.get("harness")
 if harness:
     print(f"    harness: peak RSS {harness.get('peak_rss_bytes', 0) / 2**20:.0f} MiB, "

@@ -206,18 +206,31 @@ EvidenceService::LogAuditReport EvidenceService::audit_log(
       }
     }
     if (memoized) {
-      // Structural sweep only — sequence continuity stays checked even on
-      // the fast path.
+      // Memo hit: all token decode + signature work is skipped. The hash
+      // chain is still recomputed unless the caller opted into
+      // trust_memory — the memo key (the tail digest) was read from the
+      // very records it vouches for, so without the rehash a tampered
+      // interior record paired with its stale tail digest would pass.
       for (std::size_t i = begin; i < end && verdict.ok(); ++i) {
-        if (records[i].sequence != i) {
+        const store::LogRecord& rec = records[i];
+        if (rec.sequence != i) {
           verdict = Error::make("log.sequence_gap", "at index " + std::to_string(i));
           break;
         }
-        if (records[i].kind.starts_with("token.")) ++report.token_records;
+        if (!options.trust_memory) {
+          const crypto::Digest expect = store::chain_digest(prev, rec);
+          if (!constant_time_equal(BytesView(expect.data(), expect.size()),
+                                   BytesView(rec.chain.data(), rec.chain.size()))) {
+            verdict = Error::make("log.chain_mismatch", "record " + std::to_string(i));
+            break;
+          }
+        }
+        prev = rec.chain;
+        if (rec.kind.starts_with("token.")) ++report.token_records;
         ++report.records;
       }
+      if (!verdict.ok()) break;
       ++report.segments_memoized;
-      prev = tail.chain;
       continue;
     }
 

@@ -4,11 +4,16 @@
 #include <bit>
 #include <cstring>
 
+#if defined(__GNUC__) && defined(__x86_64__)
+#define NONREP_SHA256_NI 1
+#include <immintrin.h>
+#endif
+
 namespace nonrep::crypto {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 64> kK = {
+alignas(16) constexpr std::array<std::uint32_t, 64> kK = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
     0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
     0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
@@ -23,56 +28,135 @@ constexpr std::array<std::uint32_t, 64> kK = {
 
 inline std::uint32_t rotr(std::uint32_t x, int n) { return std::rotr(x, n); }
 
+// Portable scalar compression (FIPS 180-4 as written).
+void sw_blocks(std::uint32_t* state, const std::uint8_t* blocks, std::size_t n) {
+  for (; n > 0; --n, blocks += 64) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(blocks[4 * i]) << 24) |
+             (static_cast<std::uint32_t>(blocks[4 * i + 1]) << 16) |
+             (static_cast<std::uint32_t>(blocks[4 * i + 2]) << 8) |
+             static_cast<std::uint32_t>(blocks[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#ifdef NONREP_SHA256_NI
+// SHA-NI compression: the sha256rnds2 instruction runs two rounds per issue
+// against the (ABEF, CDGH) register split; sha256msg1/msg2 expand the
+// message schedule four lanes at a time. The target attribute scopes the
+// ISA to this one function (the library baseline stays untouched) and the
+// CPUID probe below guarantees it only runs where the extension exists —
+// same contract as the CRC32C kernel in util/crc32c.
+__attribute__((target("sha,ssse3,sse4.1")))
+void ni_blocks(std::uint32_t* state, const std::uint8_t* blocks, std::size_t n) {
+  const __m128i kSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // state[] is {A..H}; the instructions want ABEF / CDGH lane order.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  for (; n > 0; --n, blocks += 64) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    // m[t & 3] holds message-schedule block t (w[4t..4t+3]); slots rotate.
+    __m128i m[4];
+    for (int t = 0; t < 4; ++t) {
+      m[t] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16 * t)),
+          kSwap);
+    }
+    for (int t = 0; t < 16; ++t) {
+      if (t >= 4) {
+        // W-block t = msg2(msg1(block[t-4], block[t-3])
+        //                  + alignr(block[t-1], block[t-2], 4), block[t-1]).
+        __m128i x = _mm_sha256msg1_epu32(m[t & 3], m[(t + 1) & 3]);
+        x = _mm_add_epi32(x, _mm_alignr_epi8(m[(t + 3) & 3], m[(t + 2) & 3], 4));
+        m[t & 3] = _mm_sha256msg2_epu32(x, m[(t + 3) & 3]);
+      }
+      __m128i wk = _mm_add_epi32(
+          m[t & 3],
+          _mm_load_si128(reinterpret_cast<const __m128i*>(kK.data() + 4 * t)));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+      wk = _mm_shuffle_epi32(wk, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, wk);
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);          // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);             // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+#endif  // NONREP_SHA256_NI
+
+using BlockFn = void (*)(std::uint32_t*, const std::uint8_t*, std::size_t);
+
+// Function-local static: the CPUID probe runs exactly once, on first use,
+// safe even for callers inside other translation units' static initializers.
+BlockFn active_block_fn() noexcept {
+#ifdef NONREP_SHA256_NI
+  static const BlockFn fn = __builtin_cpu_supports("sha") ? &ni_blocks : &sw_blocks;
+#else
+  static const BlockFn fn = &sw_blocks;
+#endif
+  return fn;
+}
+
 }  // namespace
 
-Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+Sha256::Sha256() : Sha256(active_block_fn()) {}
+
+Sha256::Sha256(BlockFn fn)
+    : fn_(fn),
+      state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19},
       buffer_{} {}
-
-void Sha256::process_block(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
-}
 
 void Sha256::update(BytesView data) {
   total_len_ += data.size();
@@ -84,13 +168,13 @@ void Sha256::update(BytesView data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == 64) {
-      process_block(buffer_.data());
+      process_blocks(buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    process_block(data.data() + offset);
-    offset += 64;
+  if (const std::size_t nblocks = (data.size() - offset) / 64; nblocks > 0) {
+    process_blocks(data.data() + offset, nblocks);
+    offset += nblocks * 64;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -128,12 +212,26 @@ Digest Sha256::hash(BytesView data) {
   return h.finish();
 }
 
+Digest Sha256::hash_sw(BytesView data) {
+  Sha256 h(&sw_blocks);
+  h.update(data);
+  return h.finish();
+}
+
 Bytes digest_bytes(const Digest& d) { return Bytes(d.begin(), d.end()); }
 
 bool digest_from_bytes(BytesView b, Digest& out) {
   if (b.size() != kSha256DigestSize) return false;
   std::copy(b.begin(), b.end(), out.begin());
   return true;
+}
+
+bool sha256_hw_available() noexcept {
+#ifdef NONREP_SHA256_NI
+  return active_block_fn() == &ni_blocks;
+#else
+  return false;
+#endif
 }
 
 }  // namespace nonrep::crypto

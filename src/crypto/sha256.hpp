@@ -29,7 +29,11 @@ struct DigestHash {
   }
 };
 
-/// Incremental SHA-256.
+/// Incremental SHA-256. The compression function dispatches at runtime
+/// (CPUID, probed once) to a SHA-NI kernel where the extension exists,
+/// falling back to the portable scalar rounds — same pattern as
+/// util/crc32c. Both kernels produce identical digests (differential
+/// tests in crypto_test).
 class Sha256 {
  public:
   Sha256();
@@ -41,14 +45,29 @@ class Sha256 {
   /// One-shot convenience.
   static Digest hash(BytesView data);
 
- private:
-  void process_block(const std::uint8_t* block);
+  /// One-shot through the scalar kernel regardless of CPU support — the
+  /// reference side of the hardware/software differential tests.
+  static Digest hash_sw(BytesView data);
 
+ private:
+  using BlockFn = void (*)(std::uint32_t* state, const std::uint8_t* blocks,
+                           std::size_t n);
+  explicit Sha256(BlockFn fn);
+
+  void process_blocks(const std::uint8_t* blocks, std::size_t n) {
+    fn_(state_.data(), blocks, n);
+  }
+
+  BlockFn fn_;
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::size_t buffer_len_ = 0;
   std::uint64_t total_len_ = 0;
 };
+
+/// True when the SHA-NI kernel is compiled in and selected by the CPUID
+/// probe (observability for tests and benches).
+bool sha256_hw_available() noexcept;
 
 /// Digest as an owned byte buffer (for serialization).
 Bytes digest_bytes(const Digest& d);

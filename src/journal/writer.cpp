@@ -113,6 +113,11 @@ Status Writer::flush_locked() {
 }
 
 Status Writer::fdatasync_locked() {
+  // Cross-journal ordering: the hook makes whatever this journal's records
+  // depend on durable before our own barrier commits them.
+  if (opt_.before_sync) {
+    if (auto ordered = opt_.before_sync(); !ordered.ok()) return ordered;
+  }
   if (::fdatasync(fd_) != 0) return errno_error("fdatasync " + active_path_);
   ++stats_.syncs;
   synced_lsn_ = written_lsn_;
@@ -135,11 +140,17 @@ Status Writer::group_sync(std::unique_lock<std::mutex>& lock, std::uint64_t targ
     const std::uint64_t covers = written_lsn_;
     const int fd = fd_;
     lock.unlock();
-    const int rc = ::fdatasync(fd);
+    // Same ordering hook as fdatasync_locked(); run outside the lock, like
+    // the barrier it precedes. On hook failure the fdatasync is skipped —
+    // committing records ahead of their dependencies is the exact hazard
+    // the hook exists to prevent.
+    Status ordered = Status::ok_status();
+    if (opt_.before_sync) ordered = opt_.before_sync();
+    const int rc = ordered.ok() ? ::fdatasync(fd) : 0;
     lock.lock();
     sync_in_progress_ = false;
-    if (rc != 0) {
-      io_error_ = errno_error("fdatasync " + active_path_);
+    if (!ordered.ok() || rc != 0) {
+      io_error_ = ordered.ok() ? errno_error("fdatasync " + active_path_) : ordered;
       cv_.notify_all();
       return io_error_;
     }

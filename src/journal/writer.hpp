@@ -25,6 +25,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,6 +52,14 @@ struct Options {
   std::size_t batch_records = 64;
   /// kTimed: maximum age of un-synced data, in wall milliseconds.
   std::uint32_t sync_interval_ms = 50;
+  /// Invoked immediately before every device barrier this writer issues
+  /// (group commit, explicit sync(), seal, rotation, close). Lets a caller
+  /// order durability across journals: the object-mode record journal points
+  /// this at the object journal's sync(), so no record frame ever becomes
+  /// durable ahead of the object frame it references. A failure aborts the
+  /// barrier (and sticks, like any sync failure). May run with this writer's
+  /// internal lock held — the hook must not call back into this writer.
+  std::function<Status()> before_sync = nullptr;
 };
 
 class Writer {

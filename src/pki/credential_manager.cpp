@@ -193,14 +193,29 @@ Status CredentialManager::verify_signature(const PartyId& party, BytesView msg,
   return Status::ok_status();
 }
 
+namespace {
+
+// Memo key: SHA256(oid || claimed issuer). Committing to the party keeps a
+// hit from vouching for an issuer the object was never verified against —
+// two additional compression rounds per probe, noise next to the map walk.
+crypto::Digest memo_key(const crypto::Digest& oid, const PartyId& party) {
+  crypto::Sha256 h;
+  h.update(BytesView(oid.data(), oid.size()));
+  const std::string& p = party.str();
+  h.update(BytesView(reinterpret_cast<const std::uint8_t*>(p.data()), p.size()));
+  return h.finish();
+}
+
+}  // namespace
+
 std::optional<CredentialManager::ValidityWindow> CredentialManager::memo_probe(
-    const crypto::Digest& oid, TimeMs at) const {
+    const crypto::Digest& oid, const PartyId& party, TimeMs at) const {
   // The shared trust lock excludes mutations, so an entry read here cannot
   // be a leftover from a different trust state (mutations clear the memo
   // before releasing the exclusive lock).
   std::shared_lock lk(trust_mu_);
   std::shared_lock memo_lk(memo_mu_);
-  auto it = memo_.find(oid);
+  auto it = memo_.find(memo_key(oid, party));
   if (it == memo_.end() || !it->second.covers(at)) return std::nullopt;
   memo_hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
@@ -209,10 +224,11 @@ std::optional<CredentialManager::ValidityWindow> CredentialManager::memo_probe(
 Result<CredentialManager::ValidityWindow> CredentialManager::verify_object(
     const crypto::Digest& oid, const PartyId& party, BytesView msg,
     BytesView signature, TimeMs at) const {
+  const crypto::Digest key = memo_key(oid, party);
   std::shared_lock lk(trust_mu_);
   {
     std::shared_lock memo_lk(memo_mu_);
-    auto it = memo_.find(oid);
+    auto it = memo_.find(key);
     if (it != memo_.end() && it->second.covers(at)) {
       memo_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
@@ -234,7 +250,7 @@ Result<CredentialManager::ValidityWindow> CredentialManager::verify_object(
 
   std::unique_lock memo_lk(memo_mu_);
   if (memo_.size() >= kMemoMaxEntries) memo_.clear();
-  memo_.insert_or_assign(oid, window);
+  memo_.insert_or_assign(key, window);
   return window;
 }
 

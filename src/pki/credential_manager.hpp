@@ -11,10 +11,12 @@
 //  * successful chain walks are cached by leaf-certificate digest together
 //    with the chain's intersected validity window, so re-verifying the same
 //    leaf at a covered time does no signature work at all, and
-//  * whole verified evidence objects are memoized by object id
-//    (verify_object): a content-addressed token seen before, under the same
-//    trust state, at a time inside its recorded validity window, is accepted
-//    with one shared-lock map probe — no chain walk, no RSA.
+//  * whole verified evidence objects are memoized by (object id, claimed
+//    issuer) — the key commits to both, so the same bytes presented as a
+//    different party never hit another party's entry (verify_object): a
+//    content-addressed token seen before, under the same trust state, at a
+//    time inside its recorded validity window, is accepted with one
+//    shared-lock map probe — no chain walk, no RSA.
 // All caches are invalidated whenever the trust state changes (certificate
 // added, root added, CRL installed), so a revocation can never be masked by
 // a stale cache entry. Only *successes* are memoized. The trust epoch
@@ -78,16 +80,19 @@ class CredentialManager {
   /// signature). On a memo hit (same object verified before, trust state
   /// unchanged, `at` inside the recorded window) this is one shared-lock
   /// probe. On a miss it runs the full path and records the chain's
-  /// intersected validity window under `oid`. The caller owns the
-  /// oid ↔ (msg, signature) binding — object ids are collision-resistant
-  /// digests of the object bytes, so the binding is stable by construction.
+  /// intersected validity window under the (oid, party) pair — not the oid
+  /// alone, so a hit can never vouch for an issuer the object was not
+  /// verified against. The caller owns the oid ↔ (msg, signature) binding —
+  /// object ids are collision-resistant digests of the object bytes, so the
+  /// binding is stable by construction.
   Result<ValidityWindow> verify_object(const crypto::Digest& oid, const PartyId& party,
                                        BytesView msg, BytesView signature,
                                        TimeMs at) const;
 
   /// Memo lookup alone (no verification on miss): the recorded window when
-  /// `oid` is memoized and covers `at`, nullopt otherwise.
-  std::optional<ValidityWindow> memo_probe(const crypto::Digest& oid, TimeMs at) const;
+  /// (oid, party) is memoized and covers `at`, nullopt otherwise.
+  std::optional<ValidityWindow> memo_probe(const crypto::Digest& oid,
+                                           const PartyId& party, TimeMs at) const;
 
   bool is_revoked(const PartyId& issuer, const std::string& serial) const;
 

@@ -34,9 +34,12 @@ Bytes encode_log_record(const LogRecord& r) {
 
 namespace {
 
-// Tag byte that opens the thin encoding. A fat record opens with the u32
-// length prefix of its canonical bytes, so the two forms are also
-// distinguishable by inspection, but backends always know their mode.
+// Tag byte that opens the thin encoding. A fat record opens with the
+// little-endian u32 length prefix of its canonical bytes, whose *low* byte
+// can equally be 0x52 (any canonical length ≡ 0x52 mod 256), so the tag is
+// a fast hint, not a discriminator. A reader that can see both forms — an
+// object-mode open of a legacy journal — must fall back to the fat decode
+// when the thin decode fails rather than drop the frame.
 constexpr std::uint8_t kThinRecordTag = 0x52;  // 'R'
 
 Status decode_canonical_head(BinaryReader& r, LogRecord& rec) {

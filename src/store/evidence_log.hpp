@@ -156,7 +156,10 @@ struct ThinLogRecord {
 Bytes encode_log_record_ref(const LogRecord& record);
 Result<ThinLogRecord> decode_log_record_ref(BytesView b);
 
-/// Cheap probe: does this buffer start with the thin-record tag?
+/// Cheap probe: does this buffer start with the thin-record tag? A hint
+/// only — a fat record whose canonical length ≡ 0x52 mod 256 starts with
+/// the same byte (little-endian length prefix), so a positive probe must
+/// be confirmed by decode_log_record_ref succeeding.
 bool is_log_record_ref(BytesView b);
 
 }  // namespace nonrep::store

@@ -16,11 +16,6 @@ journal::Options objects_options(const journal::Options& options) {
   return out;
 }
 
-struct ResolveStats {
-  std::uint64_t dangling = 0;
-  std::uint64_t undecodable = 0;
-};
-
 // Replay the object journal into the store. Duplicate frames (possible when
 // a crash lost the dedup set's in-memory state, or when the store is shared
 // and already holds the object) are absorbed by put()'s idempotence.
@@ -47,24 +42,28 @@ std::vector<LogRecord> resolve_records(
   std::vector<LogRecord> out;
   out.reserve(report.records.size());
   for (const auto& frame : report.records) {
+    // The thin tag byte (0x52) is also a valid low byte of a legacy fat
+    // record's little-endian length prefix (canonical length ≡ 0x52 mod
+    // 256, ~1 frame in 256), so the probe only selects which decode to
+    // *try first* — a failed thin decode falls through to the fat decode
+    // instead of dropping the frame.
     if (is_log_record_ref(frame.payload)) {
       auto thin = decode_log_record_ref(frame.payload);
-      if (!thin) {
-        ++stats.undecodable;
+      if (thin) {
+        LogRecord rec = std::move(thin.value().record);
+        auto payload = store.get(rec.object, typesig_for_kind(rec.kind));
+        if (!payload || payload.value().size() != thin.value().payload_size) {
+          // A record without its object is a defect (durability is ordered
+          // — the object journal is synced ahead of every record-journal
+          // barrier — so this takes object-segment damage); count and skip,
+          // verify_chain reports the resulting gap.
+          ++stats.dangling_refs;
+          continue;
+        }
+        rec.payload = std::move(payload).take();
+        out.push_back(std::move(rec));
         continue;
       }
-      LogRecord rec = std::move(thin.value().record);
-      auto payload = store.get(rec.object, typesig_for_kind(rec.kind));
-      if (!payload || payload.value().size() != thin.value().payload_size) {
-        // A record without its object is a defect (the write ordering makes
-        // it impossible short of object-segment damage); count and skip —
-        // verify_chain reports the resulting gap.
-        ++stats.dangling;
-        continue;
-      }
-      rec.payload = std::move(payload).take();
-      out.push_back(std::move(rec));
-      continue;
     }
     auto decoded = decode_log_record(frame.payload);
     if (!decoded) {
@@ -105,11 +104,10 @@ Result<std::unique_ptr<JournalLogBackend>> JournalLogBackend::open(
 Result<std::unique_ptr<JournalLogBackend>> JournalLogBackend::open(
     journal::Options options, std::shared_ptr<ObjectStore> store) {
   if (!store) return Error::make("store.null_store", "object mode needs a store");
-  auto backend = open(options);
-  if (!backend) return backend.error();
-  auto& b = *backend.value();
-  b.store_ = std::move(store);
-
+  // The object journal comes up first: the record journal's every device
+  // barrier is coupled to it via before_sync (the two writers group-commit
+  // independently, so append order alone cannot keep a thin record from
+  // reaching the platter ahead of the object frame it references).
   std::error_code ec;
   fs::create_directories(objects_dir(options.dir), ec);
   if (ec) {
@@ -122,12 +120,22 @@ Result<std::unique_ptr<JournalLogBackend>> JournalLogBackend::open(
   auto object_writer =
       journal::Writer::resume(objects_options(options), object_recovered.value());
   if (!object_writer) return object_writer.error();
+
+  // Raw pointer is safe: the backend declares object_writer_ before writer_,
+  // so the object writer outlives every barrier the record writer can issue.
+  journal::Writer* objects_raw = object_writer.value().get();
+  journal::Options record_options = options;
+  record_options.before_sync = [objects_raw] { return objects_raw->sync(); };
+
+  auto backend = open(std::move(record_options));
+  if (!backend) return backend.error();
+  auto& b = *backend.value();
+  b.store_ = std::move(store);
   b.object_writer_ = std::move(object_writer).take();
   b.object_recovery_ = std::move(object_recovered).take();
 
-  ResolveStats stats;
-  rebuild_store(b.object_recovery_, *b.store_, b.persisted_, stats);
-  b.resolved_ = resolve_records(b.recovery_, *b.store_, &b.persisted_, stats);
+  rebuild_store(b.object_recovery_, *b.store_, b.persisted_, b.resolve_stats_);
+  b.resolved_ = resolve_records(b.recovery_, *b.store_, &b.persisted_, b.resolve_stats_);
   return backend;
 }
 
@@ -154,10 +162,12 @@ Status JournalLogBackend::append(const LogRecord& record) {
     return Error::make("journal.not_interned",
                        "object-mode journal got a record without an object id");
   }
-  // Object frame first (crash after it leaves a harmless orphan; the other
-  // order could strand a record without its payload). `persisted_` tracks
-  // *this* journal's contents — the store may be shared across parties whose
-  // journals each need their own copy.
+  // Object frame first — and durability follows the same order: the record
+  // writer's barriers sync the object journal before their own fdatasync
+  // (before_sync, bound at open), so a crash can orphan an object but never
+  // commit a record whose payload frame is still buffered. `persisted_`
+  // tracks *this* journal's contents — the store may be shared across
+  // parties whose journals each need their own copy.
   if (!persisted_.contains(record.object)) {
     auto payload = store_->get(record.object, typesig_for_kind(record.kind));
     if (!payload) return payload.error();
@@ -185,6 +195,11 @@ std::vector<LogRecord> JournalLogBackend::load() {
 }
 
 Status JournalLogBackend::sync() {
+  // The record writer's own barrier already pulls the object journal down
+  // first (before_sync); syncing it explicitly as well covers the one case
+  // the hook cannot see — an object frame whose record append then failed,
+  // leaving the record journal with nothing to sync. Redundant calls are
+  // cheap: a writer with no unsynced records skips the device barrier.
   if (object_writer_) {
     if (auto s = object_writer_->sync(); !s.ok()) return s;
   }
@@ -206,7 +221,7 @@ Result<ObjectJournalScan> scan_object_journal(const std::string& dir) {
   std::unordered_set<ObjectId, crypto::DigestHash> persisted;
   rebuild_store(out.object_report, *out.store, persisted, stats);
   out.records = resolve_records(out.record_report, *out.store, nullptr, stats);
-  out.dangling_refs = stats.dangling;
+  out.dangling_refs = stats.dangling_refs;
   out.undecodable = stats.undecodable;
   return out;
 }

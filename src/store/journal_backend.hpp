@@ -12,9 +12,13 @@
 // payloads are persisted once each in a side-loaded object journal at
 // `<dir>/objects` — its own writer, its own sequence space, same framing.
 // An object frame is always written before the first record that references
-// it, so a crash can orphan an object (harmless) but never strand a record
-// without its payload. Recovery rebuilds the store from the object journal,
-// then resolves thin records against it.
+// it, and — because the two journals have independent group-commit state,
+// so append order alone proves nothing about what survives a crash — the
+// record journal's every device barrier first syncs the object journal
+// (journal::Options::before_sync). A crash can therefore orphan an object
+// (harmless) but never strand a durable record without its payload.
+// Recovery rebuilds the store from the object journal, then resolves thin
+// records against it.
 #pragma once
 
 #include <unordered_set>
@@ -24,6 +28,14 @@
 #include "store/evidence_log.hpp"
 
 namespace nonrep::store {
+
+/// Outcome of resolving recovered record frames against the object store
+/// (object-mode open and scan_object_journal). Non-zero counts mean records
+/// were dropped; verify_chain on the loaded log reports the resulting gap.
+struct ResolveStats {
+  std::uint64_t dangling_refs = 0;  // thin records whose object is missing
+  std::uint64_t undecodable = 0;    // frames that pass CRC but not decode
+};
 
 class JournalLogBackend final : public LogBackend {
  public:
@@ -45,11 +57,17 @@ class JournalLogBackend final : public LogBackend {
   Status sync();
 
   journal::Writer& writer() noexcept { return *writer_; }
+  /// Object-journal writer (object mode only, nullptr otherwise). Exposed
+  /// for tests and crash drills, like writer().
+  journal::Writer* object_writer() noexcept { return object_writer_.get(); }
   const journal::RecoveryReport& recovery() const noexcept { return recovery_; }
   /// Recovery report of the object journal (empty outside object mode).
   const journal::RecoveryReport& object_recovery() const noexcept {
     return object_recovery_;
   }
+  /// What the object-mode open had to drop while resolving records (all
+  /// zero outside object mode and on a healthy journal).
+  const ResolveStats& resolve_stats() const noexcept { return resolve_stats_; }
   bool object_mode() const noexcept { return store_ != nullptr; }
   /// Distinct objects persisted in this backend's object journal.
   std::size_t persisted_objects() const noexcept { return persisted_.size(); }
@@ -59,15 +77,18 @@ class JournalLogBackend final : public LogBackend {
                     journal::RecoveryReport recovery)
       : writer_(std::move(writer)), recovery_(std::move(recovery)) {}
 
-  std::unique_ptr<journal::Writer> writer_;
-  journal::RecoveryReport recovery_;
-
-  // Object mode only.
+  // Object mode only. Declared before writer_: the record writer's barriers
+  // (including its destructor's final seal) sync the object journal through
+  // journal::Options::before_sync, so the object writer must outlive it.
   std::shared_ptr<ObjectStore> store_;
   std::unique_ptr<journal::Writer> object_writer_;
   journal::RecoveryReport object_recovery_;
   std::unordered_set<ObjectId, crypto::DigestHash> persisted_;
   std::vector<LogRecord> resolved_;  // thin records resolved at open
+  ResolveStats resolve_stats_;       // what resolving them dropped
+
+  std::unique_ptr<journal::Writer> writer_;
+  journal::RecoveryReport recovery_;
 };
 
 /// True when `dir` holds an object-mode journal (side-loaded `objects/`

@@ -270,6 +270,36 @@ TEST_F(EvidenceFixture, AuditDetectsTamperedChain) {
   EXPECT_EQ(report.verdict.error().code, "log.chain_mismatch");
 }
 
+TEST_F(EvidenceFixture, AuditMemoHitStillRecomputesChain) {
+  // A memo hit keys on the tail digest read from the very records under
+  // audit. Tampering an interior record while keeping every stored digest
+  // leaves the tail — and so the memo key — intact; only the default
+  // rehash ties the actual bytes to the key. trust_memory opts out of
+  // exactly that check (documented as trusting the process's own memory),
+  // so the same tampered log sails through it.
+  for (int i = 0; i < 6; ++i) {
+    auto token = a->evidence->issue(EvidenceType::kNroRequest, RunId("r"),
+                                    to_bytes("s" + std::to_string(i)));
+    ASSERT_TRUE(token.ok());
+  }
+  auto* auditor = b->evidence.get();
+  ASSERT_TRUE(auditor->audit_log(*a->log).verdict.ok());  // fills the memo
+
+  std::vector<store::LogRecord> records = a->log->records();
+  records[3].payload = to_bytes("doctored");  // chain digests left as stored
+  store::EvidenceLog tampered(
+      std::make_unique<store::MemoryLogBackend>(std::move(records)), world.clock);
+
+  auto caught = auditor->audit_log(tampered);
+  ASSERT_FALSE(caught.verdict.ok());
+  EXPECT_EQ(caught.verdict.error().code, "log.chain_mismatch");
+
+  auto trusted = auditor->audit_log(
+      tampered, {.segment_records = 1024, .trust_memory = true});
+  EXPECT_TRUE(trusted.verdict.ok());  // the documented trade-off
+  EXPECT_EQ(trusted.segments_memoized, trusted.segments);
+}
+
 // Property sweep: any single-byte corruption of an encoded token must fail
 // decode or verification — never verify successfully.
 class TokenTamperProperty : public ::testing::TestWithParam<int> {};

@@ -330,7 +330,7 @@ TEST_F(PkiFixture, VerifyObjectMemoizesSuccesses) {
   ASSERT_TRUE(sig.ok());
 
   EXPECT_EQ(manager.memo_size(), 0u);
-  EXPECT_FALSE(manager.memo_probe(oid, 100).has_value());
+  EXPECT_FALSE(manager.memo_probe(oid, PartyId("org:a"), 100).has_value());
   auto first = manager.verify_object(oid, PartyId("org:a"), msg, sig.value(), 100);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(manager.memo_size(), 1u);
@@ -344,12 +344,29 @@ TEST_F(PkiFixture, VerifyObjectMemoizesSuccesses) {
   EXPECT_EQ(again.value().not_before, first.value().not_before);
   EXPECT_EQ(again.value().not_after, first.value().not_after);
 
-  auto window = manager.memo_probe(oid, 100);
+  auto window = manager.memo_probe(oid, PartyId("org:a"), 100);
   ASSERT_TRUE(window.has_value());
   EXPECT_TRUE(window->covers(100));
   // ...but never for a time outside the chain's validity window.
-  EXPECT_FALSE(manager.memo_probe(oid, kYear + 1).has_value());
+  EXPECT_FALSE(manager.memo_probe(oid, PartyId("org:a"), kYear + 1).has_value());
   EXPECT_FALSE(manager.verify_object(oid, PartyId("org:a"), msg, sig.value(), kYear + 1).ok());
+}
+
+TEST_F(PkiFixture, ObjectMemoCommitsToClaimedIssuer) {
+  // The memo key covers (oid, party): a success recorded for org:a must not
+  // vouch for the same object id presented as some other issuer.
+  const Bytes msg = to_bytes("whose token is this");
+  const crypto::Digest oid = crypto::Sha256::hash(msg);
+  auto sig = subject_signer->sign(msg);
+  ASSERT_TRUE(sig.ok());
+  ASSERT_TRUE(manager.verify_object(oid, PartyId("org:a"), msg, sig.value(), 100).ok());
+  ASSERT_TRUE(manager.memo_probe(oid, PartyId("org:a"), 100).has_value());
+
+  EXPECT_FALSE(manager.memo_probe(oid, PartyId("org:b"), 100).has_value());
+  auto other = manager.verify_object(oid, PartyId("org:b"), msg, sig.value(), 100);
+  ASSERT_FALSE(other.ok());
+  EXPECT_EQ(other.error().code, "pki.unknown_party");
+  EXPECT_EQ(manager.memo_size(), 1u);  // the failure added nothing for org:b
 }
 
 TEST_F(PkiFixture, VerifyObjectDoesNotMemoizeFailures) {
@@ -361,7 +378,7 @@ TEST_F(PkiFixture, VerifyObjectDoesNotMemoizeFailures) {
   bad[bad.size() / 2] ^= 0x08;
   EXPECT_FALSE(manager.verify_object(oid, PartyId("org:a"), msg, bad, 100).ok());
   EXPECT_EQ(manager.memo_size(), 0u);
-  EXPECT_FALSE(manager.memo_probe(oid, 100).has_value());
+  EXPECT_FALSE(manager.memo_probe(oid, PartyId("org:a"), 100).has_value());
   // The failed attempt must not poison the id: the genuine signature passes.
   EXPECT_TRUE(manager.verify_object(oid, PartyId("org:a"), msg, sig.value(), 100).ok());
 }
@@ -372,7 +389,7 @@ TEST_F(PkiFixture, CrlRevocationInvalidatesObjectMemo) {
   auto sig = subject_signer->sign(msg);
   ASSERT_TRUE(sig.ok());
   ASSERT_TRUE(manager.verify_object(oid, PartyId("org:a"), msg, sig.value(), 100).ok());
-  ASSERT_TRUE(manager.memo_probe(oid, 100).has_value());
+  ASSERT_TRUE(manager.memo_probe(oid, PartyId("org:a"), 100).has_value());
   const std::uint64_t epoch_before = manager.trust_epoch();
 
   RevocationAuthority ra(PartyId("ca:root"), ca_signer);
@@ -382,7 +399,7 @@ TEST_F(PkiFixture, CrlRevocationInvalidatesObjectMemo) {
   // The memoized success must not survive the trust change.
   EXPECT_GT(manager.trust_epoch(), epoch_before);
   EXPECT_EQ(manager.memo_size(), 0u);
-  EXPECT_FALSE(manager.memo_probe(oid, 100).has_value());
+  EXPECT_FALSE(manager.memo_probe(oid, PartyId("org:a"), 100).has_value());
   auto status = manager.verify_object(oid, PartyId("org:a"), msg, sig.value(), 100);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.error().code, "pki.revoked");
@@ -434,7 +451,7 @@ TEST_F(PkiFixture, EightThreadVerifyObjectUnderConcurrentRevocation) {
         auto r = manager.verify_object(oids[idx], PartyId("org:a"), msgs[idx], sigs[idx],
                                        100);
         if (!r.ok() && r.error().code != "pki.revoked") bogus.fetch_add(1);
-        if (i % 5 == 0) (void)manager.memo_probe(oids[idx], 100);
+        if (i % 5 == 0) (void)manager.memo_probe(oids[idx], PartyId("org:a"), 100);
         if (t == 0 && i == kOpsPerThread / 2) {
           RevocationList copy = crl;
           if (!manager.install_crl(std::move(copy)).ok()) bogus.fetch_add(1);

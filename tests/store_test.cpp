@@ -726,6 +726,75 @@ TEST(ObjectJournal, LegacyFatJournalOpensInObjectMode) {
   EXPECT_TRUE(log.verify_chain().ok());
 }
 
+TEST(ObjectJournal, LegacyFatRecordSharingThinTagByteSurvives) {
+  // A fat record opens with the little-endian u32 length of its canonical
+  // bytes; with run "r", kind "k" and a 52-byte payload that length is
+  // 8+8+5+5+56 = 82 = 0x52 — the thin-record tag. The object-mode reader
+  // must fall back to the fat decode when the thin decode fails, not drop
+  // the frame (which would leave a permanent chain gap).
+  const std::string dir = temp_dir("object_legacy_0x52");
+  auto clock = make_clock();
+  {
+    auto backend = JournalLogBackend::open(
+        {.dir = dir, .sync = journal::SyncPolicy::kEveryRecord});  // fat records
+    ASSERT_TRUE(backend.ok());
+    EvidenceLog log(std::move(backend).take(), clock);
+    const LogRecord rec = log.append(RunId("r"), "k", Bytes(52, 0xaa));
+    ASSERT_EQ(rec.canonical().size(), 0x52u);  // the collision under test
+    ASSERT_TRUE(is_log_record_ref(encode_log_record(rec)));
+    log.append(RunId("r"), "token.NRO-request", to_bytes("after"));
+    ASSERT_TRUE(log.backend_status().ok());
+  }
+  auto objects = std::make_shared<ObjectStore>();
+  auto backend = JournalLogBackend::open({.dir = dir}, objects);
+  ASSERT_TRUE(backend.ok()) << backend.error().detail;
+  EXPECT_EQ(backend.value()->resolve_stats().undecodable, 0u);
+  EXPECT_EQ(backend.value()->resolve_stats().dangling_refs, 0u);
+  EvidenceLog log(std::move(backend).take(), clock, objects);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log.verify_chain().ok());
+  EXPECT_EQ(log.records()[0].payload, Bytes(52, 0xaa));
+}
+
+TEST(ObjectJournal, RecordBarrierSyncsObjectJournalFirst) {
+  // The two journals group-commit independently, so append order alone
+  // cannot stop a thin record from becoming durable while the object frame
+  // it references is still buffered. Batch sizes here are large enough that
+  // nothing syncs on its own — the record-journal barrier has to pull the
+  // object journal down with it (before_sync), or the crash below strands
+  // every record.
+  const std::string dir = temp_dir("object_sync_order");
+  auto clock = make_clock();
+  {
+    auto objects = std::make_shared<ObjectStore>();
+    auto backend = JournalLogBackend::open(
+        {.dir = dir, .sync = journal::SyncPolicy::kEveryBatch, .batch_records = 1024},
+        objects);
+    ASSERT_TRUE(backend.ok());
+    auto* raw = backend.value().get();
+    EvidenceLog log(std::move(backend).take(), clock, objects);
+    for (int i = 0; i < 8; ++i) {
+      log.append(RunId("r"), "token.NRO-request", to_bytes("p" + std::to_string(i)));
+    }
+    ASSERT_TRUE(log.backend_status().ok());
+    // The record writer's own barrier — not the backend's sync(), which
+    // syncs the object journal itself and would mask a missing coupling.
+    ASSERT_TRUE(raw->writer().sync().ok());
+    raw->writer().simulate_crash();
+    raw->object_writer()->simulate_crash();  // unsynced object frames are gone
+  }
+
+  auto rebuilt = std::make_shared<ObjectStore>();
+  auto backend = JournalLogBackend::open({.dir = dir}, rebuilt);
+  ASSERT_TRUE(backend.ok()) << backend.error().detail;
+  EXPECT_EQ(backend.value()->resolve_stats().dangling_refs, 0u);
+  EXPECT_EQ(backend.value()->resolve_stats().undecodable, 0u);
+  EvidenceLog log(std::move(backend).take(), clock, rebuilt);
+  EXPECT_EQ(log.size(), 8u);
+  EXPECT_TRUE(log.verify_chain().ok());
+  EXPECT_EQ(rebuilt->size(), 8u);  // every distinct payload made it to disk
+}
+
 TEST(StateStore, ShardedSnapshotIsOneCoherentJournal) {
   const std::string dir = temp_dir("sharded_snapshot");
   StateStore store(4);
