@@ -19,10 +19,27 @@
 
 #include "core/dispute.hpp"
 #include "core/nr_interceptor.hpp"
+#include "obs/metrics.hpp"
 #include "tests/common.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
+
+// The ThreadPool publishes its queue depth and active-worker count as obs
+// gauges; each benchmark resets the peaks before its timing loop and
+// exports them as counters so run_benches.sh can print the pool columns.
+struct PoolGauges {
+  nonrep::obs::Gauge& queue = nonrep::obs::Registry::global().gauge("pool.queue_depth");
+  nonrep::obs::Gauge& active = nonrep::obs::Registry::global().gauge("pool.active_workers");
+  void reset_peaks() {
+    queue.reset_max();
+    active.reset_max();
+  }
+  void export_peaks(benchmark::State& state) {
+    state.counters["pool_queue_peak"] = static_cast<double>(queue.max());
+    state.counters["pool_active_peak"] = static_cast<double>(active.max());
+  }
+};
 
 using namespace nonrep;
 using namespace nonrep::core;
@@ -53,6 +70,8 @@ void BM_BatchVerify(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   util::ThreadPool pool(threads);
   util::ThreadPool* pool_arg = threads > 1 ? &pool : nullptr;
+  PoolGauges gauges;
+  gauges.reset_peaks();
 
   std::size_t verified = 0;
   for (auto _ : state) {
@@ -64,6 +83,7 @@ void BM_BatchVerify(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(verified));
   state.counters["batch"] = BatchRig::kBatch;
+  gauges.export_peaks(state);
 }
 BENCHMARK(BM_BatchVerify)
     ->ArgName("threads")
@@ -112,6 +132,8 @@ void BM_ConcurrentInvocation_NrDirect(benchmark::State& state) {
   auto pool = std::make_shared<util::ThreadPool>(static_cast<std::size_t>(threads) + 1);
   rig.world.network.set_executor(pool);
   std::thread pump([&] { rig.world.network.run_live(); });
+  PoolGauges gauges;
+  gauges.reset_peaks();
 
   std::uint64_t completed = 0;
   std::atomic<int> failures{0};
@@ -145,6 +167,7 @@ void BM_ConcurrentInvocation_NrDirect(benchmark::State& state) {
 
   state.SetItemsProcessed(static_cast<std::int64_t>(completed));
   state.counters["parties"] = 2 * threads;
+  gauges.export_peaks(state);
 }
 BENCHMARK(BM_ConcurrentInvocation_NrDirect)
     ->ArgName("threads")

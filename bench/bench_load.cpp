@@ -1,0 +1,102 @@
+// Open-loop load sweep — the coordinated-omission-safe BENCH_load.json
+// axis: arrival rate x party count x loss x TTP ratio.
+//
+//   BM_Load_RateSweep — fair-exchange requests injected at a fixed
+//       arrival rate (250..2000 req/s against the ~1.5-2k ops/s ceiling
+//       this fleet sustains closed-loop), reporting the CO-safe p50/p99/
+//       p999 from the scheduled arrival slot plus the closed-loop-style
+//       service percentiles for contrast. `sustained` flags whether the
+//       fleet consumed the timeline at >=90% of the offered rate — the
+//       saturation point is the first rate where it stops being 1.
+//   BM_Load_Parties  — fixed below-saturation rate, growing fleet.
+//   BM_Load_Faults   — fixed rate under 5% link loss + 25% forced TTP
+//       recovery: the tail-latency cost of the abort subprotocol.
+//
+// Latency counters are milliseconds (CO-safe unless prefixed svc_). The
+// per-run audit (chains + TTP verdict reconciliation) runs inside the
+// iteration; an audit failure fails the bench.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "scenario/load.hpp"
+
+namespace {
+
+using namespace nonrep;
+
+void run_load(benchmark::State& state, double rate, std::size_t parties, double loss,
+              double ttp_ratio) {
+  scenario::LoadConfig config;
+  config.arrival_rate = rate;
+  // ~2 wall-seconds of timeline per iteration keeps the sweep honest but
+  // bounded; the harness's fixed warmup covers fleet spin-up.
+  config.requests = static_cast<std::size_t>(rate * 2.0);
+  config.parties = parties;
+  config.threads = 4;
+  config.injectors = std::max<std::size_t>(parties * 2, 8);
+  config.loss = loss;
+  config.ttp_ratio = ttp_ratio;
+  config.seed = 1207;
+  scenario::LoadGenerator generator(config);
+  if (!generator.setup().ok()) {
+    state.SkipWithError(generator.setup().error().code.c_str());
+    return;
+  }
+
+  std::size_t attempted = 0;
+  scenario::LoadReport last;
+  for (auto _ : state) {
+    last = generator.run();
+    if (!last.audit.ok()) {
+      state.SkipWithError(last.audit.error().code.c_str());
+      return;
+    }
+    attempted += last.attempted;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(attempted));
+  state.counters["offered_rate"] = last.offered_rate;
+  state.counters["achieved_rate"] = last.achieved_rate;
+  state.counters["sustained"] = last.sustained() ? 1.0 : 0.0;
+  state.counters["p50_ms"] = static_cast<double>(last.latency_ms.p50);
+  state.counters["p99_ms"] = static_cast<double>(last.latency_ms.p99);
+  state.counters["p999_ms"] = static_cast<double>(last.latency_ms.p999);
+  state.counters["max_ms"] = static_cast<double>(last.latency_ms.max);
+  state.counters["svc_p99_ms"] = static_cast<double>(last.service_ms.p99);
+  state.counters["late_starts"] = static_cast<double>(last.late_starts);
+  state.counters["completed"] = static_cast<double>(last.completed);
+  state.counters["ttp_recovered"] = static_cast<double>(last.aborted + last.recovered);
+  state.counters["failed"] = static_cast<double>(last.failed);
+}
+
+void BM_Load_RateSweep(benchmark::State& state) {
+  run_load(state, static_cast<double>(state.range(0)), /*parties=*/4, /*loss=*/0.0,
+           /*ttp_ratio=*/0.0);
+}
+BENCHMARK(BM_Load_RateSweep)
+    ->ArgName("rate")
+    ->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Load_Parties(benchmark::State& state) {
+  run_load(state, /*rate=*/500.0, static_cast<std::size_t>(state.range(0)),
+           /*loss=*/0.0, /*ttp_ratio=*/0.0);
+}
+BENCHMARK(BM_Load_Parties)
+    ->ArgName("parties")
+    ->Arg(2)->Arg(8)->Arg(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Load_Faults(benchmark::State& state) {
+  run_load(state, static_cast<double>(state.range(0)), /*parties=*/4, /*loss=*/0.05,
+           /*ttp_ratio=*/0.25);
+}
+BENCHMARK(BM_Load_Faults)
+    ->ArgName("rate")
+    ->Arg(250)->Arg(500)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -14,9 +14,15 @@
 // and prints the dedup ratio the store achieved.
 //
 // Usage:
-//   nonrep_audit <journal-dir>    audit an existing journal (exit 1 on any
+//   nonrep_audit [--json] <journal-dir>
+//                                 audit an existing journal (exit 1 on any
 //                                 defect; an unsealed final segment is
-//                                 reported but accepted)
+//                                 reported but accepted). With --json the
+//                                 report is a single machine-readable JSON
+//                                 object on stdout: structural result,
+//                                 reference-resolution stats (dangling /
+//                                 undecodable), object-store dedup counters
+//                                 and the final verdict.
 //   nonrep_audit [--self-demo]    self-demo: build an object-backed journal,
 //                                 crash it with a torn record, recover,
 //                                 audit both states
@@ -25,6 +31,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "journal/reader.hpp"
 #include "journal/segment.hpp"
@@ -53,56 +60,108 @@ void print_segment_audit(const journal::AuditReport& audit) {
               static_cast<unsigned long long>(audit.total_records));
 }
 
-int audit_dir(const std::string& dir) {
-  std::printf("== journal audit: %s ==\n", dir.c_str());
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+int audit_dir(const std::string& dir, bool json = false) {
+  if (!json) std::printf("== journal audit: %s ==\n", dir.c_str());
   if (!fs::is_directory(dir)) {
-    std::printf("  no journal directory at that path\n  verdict: REJECTED\n");
+    if (json) {
+      std::ostringstream out;
+      out << "{\"dir\": ";
+      append_json_string(out, dir);
+      out << ", \"error\": \"no journal directory\", \"verdict\": \"REJECTED\"}";
+      std::printf("%s\n", out.str().c_str());
+    } else {
+      std::printf("  no journal directory at that path\n  verdict: REJECTED\n");
+    }
     return 1;
   }
 
   const journal::AuditReport audit = journal::Reader::audit(dir);
-  print_segment_audit(audit);
+  if (!json) print_segment_audit(audit);
 
   const bool object_mode = store::is_object_journal(dir);
   bool objects_ok = true;
   std::vector<store::LogRecord> records;
   std::size_t undecodable = 0;
   std::size_t dangling = 0;
+  std::size_t stored_objects = 0;
   std::uint64_t referenced_bytes = 0;
   std::uint64_t stored_bytes = 0;
 
   if (object_mode) {
     // Side-loaded object segment: audit its framing, then rebuild the store
     // and resolve every record reference through it.
-    std::printf("  -- object segment (%s/objects) --\n", dir.c_str());
+    if (!json) std::printf("  -- object segment (%s/objects) --\n", dir.c_str());
     const journal::AuditReport object_audit = journal::Reader::audit(dir + "/objects");
-    print_segment_audit(object_audit);
+    if (!json) print_segment_audit(object_audit);
     objects_ok = object_audit.ok;
 
     auto scan = store::scan_object_journal(dir);
     if (!scan.ok()) {
-      std::printf("  objects: cannot scan (%s)\n  verdict: REJECTED\n",
-                  scan.error().code.c_str());
+      if (json) {
+        std::ostringstream out;
+        out << "{\"dir\": ";
+        append_json_string(out, dir);
+        out << ", \"error\": ";
+        append_json_string(out, "objects: cannot scan (" + scan.error().code + ")");
+        out << ", \"verdict\": \"REJECTED\"}";
+        std::printf("%s\n", out.str().c_str());
+      } else {
+        std::printf("  objects: cannot scan (%s)\n  verdict: REJECTED\n",
+                    scan.error().code.c_str());
+      }
       return 1;
     }
     records = std::move(scan.value().records);
     undecodable = scan.value().undecodable;
     dangling = scan.value().dangling_refs;
+    stored_objects = scan.value().store->size();
     stored_bytes = scan.value().store->stored_bytes();
     for (const auto& rec : records) referenced_bytes += rec.payload.size();
-    std::printf("  objects: %zu stored (%llu bytes) covering %llu referenced bytes "
-                "(dedup %.1fx)%s\n",
-                scan.value().store->size(),
-                static_cast<unsigned long long>(stored_bytes),
-                static_cast<unsigned long long>(referenced_bytes),
-                stored_bytes ? static_cast<double>(referenced_bytes) /
-                                   static_cast<double>(stored_bytes)
-                             : 1.0,
-                dangling ? ", DANGLING REFERENCES!" : "");
+    if (!json) {
+      std::printf("  objects: %zu stored (%llu bytes) covering %llu referenced bytes "
+                  "(dedup %.1fx)%s\n",
+                  stored_objects,
+                  static_cast<unsigned long long>(stored_bytes),
+                  static_cast<unsigned long long>(referenced_bytes),
+                  stored_bytes ? static_cast<double>(referenced_bytes) /
+                                     static_cast<double>(stored_bytes)
+                               : 1.0,
+                  dangling ? ", DANGLING REFERENCES!" : "");
+    }
   } else {
     auto recovered = journal::Reader::recover(dir, journal::RecoverMode::kScanOnly);
     if (!recovered.ok()) {
-      std::printf("  chain: cannot scan (%s)\n", recovered.error().code.c_str());
+      if (json) {
+        std::ostringstream out;
+        out << "{\"dir\": ";
+        append_json_string(out, dir);
+        out << ", \"error\": ";
+        append_json_string(out, "chain: cannot scan (" + recovered.error().code + ")");
+        out << ", \"verdict\": \"REJECTED\"}";
+        std::printf("%s\n", out.str().c_str());
+      } else {
+        std::printf("  chain: cannot scan (%s)\n", recovered.error().code.c_str());
+      }
       return 1;
     }
     for (const auto& rec : recovered.value().records) {
@@ -121,13 +180,47 @@ int audit_dir(const std::string& dir) {
   store::EvidenceLog log(std::make_unique<store::MemoryLogBackend>(std::move(records)),
                          std::make_shared<SimClock>(0));
   const Status chain = log.verify_chain();
-  std::printf("  chain: %s (%zu records, %llu payload bytes%s)\n",
-              chain.ok() ? "OK" : ("FAILED: " + chain.error().code).c_str(), log.size(),
-              static_cast<unsigned long long>(log.payload_bytes()),
-              undecodable ? ", undecodable payloads!" : "");
+  if (!json) {
+    std::printf("  chain: %s (%zu records, %llu payload bytes%s)\n",
+                chain.ok() ? "OK" : ("FAILED: " + chain.error().code).c_str(), log.size(),
+                static_cast<unsigned long long>(log.payload_bytes()),
+                undecodable ? ", undecodable payloads!" : "");
+  }
 
   const bool ok = audit.ok && objects_ok && chain.ok() && undecodable == 0 && dangling == 0;
-  std::printf("  verdict: %s\n\n", ok ? "VERIFIED" : "REJECTED");
+  if (json) {
+    std::ostringstream out;
+    out << "{\n  \"dir\": ";
+    append_json_string(out, dir);
+    out << ",\n  \"structural\": {\"ok\": " << (audit.ok ? "true" : "false")
+        << ", \"segments\": " << audit.segments.size()
+        << ", \"records\": " << audit.total_records
+        << ", \"problems\": " << audit.problems.size() << "}";
+    out << ",\n  \"object_mode\": " << (object_mode ? "true" : "false");
+    if (object_mode) {
+      const double dedup = stored_bytes ? static_cast<double>(referenced_bytes) /
+                                              static_cast<double>(stored_bytes)
+                                        : 1.0;
+      out << ",\n  \"objects\": {\"ok\": " << (objects_ok ? "true" : "false")
+          << ", \"stored\": " << stored_objects
+          << ", \"stored_bytes\": " << stored_bytes
+          << ", \"referenced_bytes\": " << referenced_bytes
+          << ", \"dedup_ratio\": " << dedup << "}";
+    }
+    out << ",\n  \"resolve\": {\"dangling_refs\": " << dangling
+        << ", \"undecodable\": " << undecodable << "}";
+    out << ",\n  \"chain\": {\"ok\": " << (chain.ok() ? "true" : "false");
+    if (!chain.ok()) {
+      out << ", \"error\": ";
+      append_json_string(out, chain.error().code);
+    }
+    out << ", \"records\": " << log.size()
+        << ", \"payload_bytes\": " << log.payload_bytes() << "}";
+    out << ",\n  \"verdict\": \"" << (ok ? "VERIFIED" : "REJECTED") << "\"\n}";
+    std::printf("%s\n", out.str().c_str());
+  } else {
+    std::printf("  verdict: %s\n\n", ok ? "VERIFIED" : "REJECTED");
+  }
   return ok ? 0 : 1;
 }
 
@@ -191,10 +284,21 @@ int demo() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 2) {
-    std::fprintf(stderr, "usage: %s [journal-dir | --self-demo]\n", argv[0]);
+  bool json = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.size() > 1 || (json && positional.empty())) {
+    std::fprintf(stderr, "usage: %s [--json] journal-dir | --self-demo\n", argv[0]);
     return 2;
   }
-  if (argc == 2 && std::strcmp(argv[1], "--self-demo") != 0) return audit_dir(argv[1]);
+  if (positional.size() == 1 && positional[0] != "--self-demo") {
+    return audit_dir(positional[0], json);
+  }
   return demo();
 }

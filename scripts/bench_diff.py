@@ -8,9 +8,14 @@ faster). With --fail-on-regression, exits 1 if any benchmark present in both
 files runs slower than TOLERANCE x the baseline (default 2.0 — generous, so
 machine noise and debug-vs-release skew don't flap CI; real regressions on
 crypto hot paths are an order of magnitude, not tens of percent).
+
+A missing BASELINE file is not an error: a bench added in the current change
+has no committed baseline yet, so the fresh results are printed standalone
+and the run passes — the baseline exists from the next commit on.
 """
 import argparse
 import json
+import os
 import sys
 
 
@@ -47,6 +52,15 @@ def main():
                     help="fail when fresh > tolerance * baseline")
     ap.add_argument("--fail-on-regression", action="store_true")
     args = ap.parse_args()
+
+    if not os.path.exists(args.baseline):
+        fresh, _ = load(args.fresh)
+        print(f"new bench — no baseline at {args.baseline}; nothing to gate")
+        width = max((len(n) for n in fresh), default=10)
+        for name in sorted(fresh):
+            t, u = fresh[name]
+            print(f"  {name:<{width}}  {t:>10.1f} {u}")
+        return 0
 
     base, base_harness = load(args.baseline)
     fresh, fresh_harness = load(args.fresh)

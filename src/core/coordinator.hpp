@@ -39,6 +39,16 @@ namespace nonrep::core {
 /// deliver_request (the nested wait would deadlock with the handler's own
 /// incoming traffic). Coordinator itself only takes handlers_mu_ around
 /// registry lookup, released before the handler runs.
+///
+/// obs instruments (obs::Registry counters/gauges/histograms, span
+/// finish) sit BELOW every lock above: recording is lock-free (or, for
+/// span finish, takes only the tracer's own leaf ring mutex) and never
+/// calls back into the system, so instruments may be bumped while holding
+/// any of locks 1–3. The converse obligation: no subsystem lock — and in
+/// particular nothing across deliver / deliver_request — may be held
+/// waiting on an obs snapshot/export, which takes the registry map mutex
+/// and every histogram's shard walk; snapshots belong on quiescent or
+/// dedicated reporting paths, never inside a handler.
 class ProtocolHandler {
  public:
   virtual ~ProtocolHandler() = default;

@@ -1,8 +1,26 @@
 #include "core/fair_exchange.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 
 namespace nonrep::core {
+
+namespace {
+
+// Handles resolved once; recording is lock-free so it is safe under
+// runs_mu_ (new-verdict tallies: the fleet-wide abort/resolve mix).
+struct TtpMetrics {
+  obs::Counter& aborted = obs::Registry::global().counter("ttp.verdict_aborted");
+  obs::Counter& resolved = obs::Registry::global().counter("ttp.verdict_resolved");
+};
+
+TtpMetrics& ttp_metrics() {
+  static TtpMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Bytes abort_subject(const RunId& run) {
   BinaryWriter w;
@@ -99,6 +117,7 @@ Result<ProtocolMessage> OptimisticTtp::handle_abort(const ProtocolMessage& msg) 
       auto abort_token = ev.issue(EvidenceType::kAbort, msg.run, abort_subject(msg.run));
       if (!abort_token) return abort_token.error();
       record.verdict = Verdict::kAborted;
+      ttp_metrics().aborted.add();
       record.abort_token = std::move(abort_token).take();
       reply.step = kStepAborted;
       reply.tokens.push_back(record.abort_token);
@@ -158,6 +177,7 @@ Result<ProtocolMessage> OptimisticTtp::handle_resolve(const ProtocolMessage& msg
       auto affidavit = ev.issue(EvidenceType::kAffidavit, msg.run, resp_subject);
       if (!affidavit) return affidavit.error();
       record.verdict = Verdict::kResolved;
+      ttp_metrics().resolved.add();
       record.response_body = response_body;
       record.response_subject = resp_subject;
       record.deposit_tokens = msg.tokens;
@@ -180,6 +200,11 @@ container::InvocationResult OptimisticInvocationClient::invoke(const net::Addres
   last_run_ = run;
   last_outcome_ = LastOutcome::kFailed;
   inv.context[container::kRunIdContextKey] = run.str();
+
+  // Root span of the exchange: evidence appended below (here, and by the
+  // strand handlers this thread's nested deliver_request calls run inline)
+  // is annotated with this span id, tying the run's records to the trace.
+  obs::Span span("fx.invoke", run.str(), ev.self().str());
 
   const Bytes req = request_subject(inv);
   auto nro_req = ev.issue(EvidenceType::kNroRequest, run, req);

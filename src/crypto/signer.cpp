@@ -1,9 +1,25 @@
 #include "crypto/signer.hpp"
 
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
 #include "util/serialize.hpp"
 
 namespace nonrep::crypto {
+
+namespace {
+
+// Handles resolved once; recording is a single relaxed atomic add.
+struct VerifierCacheMetrics {
+  obs::Counter& hits = obs::Registry::global().counter("crypto.verifier_cache_hits");
+  obs::Counter& misses = obs::Registry::global().counter("crypto.verifier_cache_misses");
+};
+
+VerifierCacheMetrics& verifier_cache_metrics() {
+  static VerifierCacheMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::string to_string(SigAlgorithm alg) {
   switch (alg) {
@@ -63,9 +79,11 @@ bool VerifierCache::verify(SigAlgorithm alg, BytesView public_key, BytesView msg
     if (auto it = rsa_keys_.find(cache_key); it != rsa_keys_.end()) {
       RsaPublicKey key = it->second;  // shares the pre-built context
       lk.unlock();
+      verifier_cache_metrics().hits.add();
       return rsa_verify(key, msg, signature);
     }
   }
+  verifier_cache_metrics().misses.add();
   auto decoded = RsaPublicKey::decode(public_key);
   if (!decoded) return false;
   RsaPublicKey key = std::move(decoded).take();

@@ -9,12 +9,36 @@
 
 #include "journal/reader.hpp"
 #include "journal/segment.hpp"
+#include "obs/metrics.hpp"
 
 namespace nonrep::journal {
 
 namespace fs = std::filesystem;
 
 namespace {
+
+// Handles resolved once; recording is lock-free so it is safe under mu_.
+struct JournalMetrics {
+  obs::Counter& appends = obs::Registry::global().counter("journal.appends");
+  obs::Counter& syncs = obs::Registry::global().counter("journal.syncs");
+  obs::Counter& rotations = obs::Registry::global().counter("journal.rotations");
+  obs::Histogram& fsync_ns = obs::Registry::global().histogram("journal.fsync_ns");
+  obs::Histogram& batch_records =
+      obs::Registry::global().histogram("journal.batch_records");
+  obs::Histogram& barrier_wait_ns =
+      obs::Registry::global().histogram("journal.barrier_wait_ns");
+};
+
+JournalMetrics& metrics() {
+  static JournalMetrics m;
+  return m;
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - since)
+                                        .count());
+}
 
 Error errno_error(const std::string& what) {
   return Error::make("journal.io", what + ": " + std::strerror(errno));
@@ -118,7 +142,12 @@ Status Writer::fdatasync_locked() {
   if (opt_.before_sync) {
     if (auto ordered = opt_.before_sync(); !ordered.ok()) return ordered;
   }
+  const std::uint64_t batch = written_lsn_ - synced_lsn_;
+  const auto t0 = std::chrono::steady_clock::now();
   if (::fdatasync(fd_) != 0) return errno_error("fdatasync " + active_path_);
+  metrics().fsync_ns.record(elapsed_ns(t0));
+  metrics().batch_records.record(batch);
+  metrics().syncs.add();
   ++stats_.syncs;
   synced_lsn_ = written_lsn_;
   last_sync_ = std::chrono::steady_clock::now();
@@ -131,13 +160,16 @@ Status Writer::group_sync(std::unique_lock<std::mutex>& lock, std::uint64_t targ
     if (sync_in_progress_) {
       // Another appender is the sync leader; its fdatasync covers every
       // record already written, ours included if we were flushed first.
+      const auto w0 = std::chrono::steady_clock::now();
       cv_.wait(lock);
+      metrics().barrier_wait_ns.record(elapsed_ns(w0));
       continue;
     }
     // Become the leader: one device barrier commits every record written so
     // far, on behalf of all concurrent appenders waiting here.
     sync_in_progress_ = true;
     const std::uint64_t covers = written_lsn_;
+    const std::uint64_t batch = covers - synced_lsn_;
     const int fd = fd_;
     lock.unlock();
     // Same ordering hook as fdatasync_locked(); run outside the lock, like
@@ -146,7 +178,13 @@ Status Writer::group_sync(std::unique_lock<std::mutex>& lock, std::uint64_t targ
     // the hook exists to prevent.
     Status ordered = Status::ok_status();
     if (opt_.before_sync) ordered = opt_.before_sync();
+    const auto t0 = std::chrono::steady_clock::now();
     const int rc = ordered.ok() ? ::fdatasync(fd) : 0;
+    if (ordered.ok() && rc == 0) {
+      metrics().fsync_ns.record(elapsed_ns(t0));
+      metrics().batch_records.record(batch);
+      metrics().syncs.add();
+    }
     lock.lock();
     sync_in_progress_ = false;
     if (!ordered.ok() || rc != 0) {
@@ -201,6 +239,7 @@ Status Writer::maybe_rotate_locked(std::unique_lock<std::mutex>& lock) {
   cv_.notify_all();
   if (!sealed.ok()) return sealed;
   ++stats_.rotations;
+  metrics().rotations.add();
   return Status::ok_status();
 }
 
@@ -234,6 +273,7 @@ Result<std::uint64_t> Writer::append(BytesView payload) {
   ++appended_lsn_;
   const std::uint64_t my_lsn = appended_lsn_;
   ++stats_.appends;
+  metrics().appends.add();
 
   Status committed = Status::ok_status();
   switch (opt_.sync) {

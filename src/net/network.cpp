@@ -1,11 +1,36 @@
 #include "net/network.hpp"
 
+#include <chrono>
+
+#include "obs/metrics.hpp"
 #include "util/serialize.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nonrep::net {
 
 namespace {
+
+// Handles resolved once; recording is lock-free so it is safe under mu_.
+struct NetMetrics {
+  obs::Gauge& queue_depth = obs::Registry::global().gauge("net.queue_depth");
+  obs::Histogram& delivery_wait_ns =
+      obs::Registry::global().histogram("net.delivery_wait_ns");
+  obs::Counter& yields = obs::Registry::global().counter("net.yields");
+  obs::Counter& delivered = obs::Registry::global().counter("net.delivered");
+  obs::Counter& dropped = obs::Registry::global().counter("net.dropped");
+};
+
+NetMetrics& metrics() {
+  static NetMetrics m;
+  return m;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 // Strand ownership marker: set while a worker runs a party's delivery
 // handler, so yield_strand() knows which strand (if any) to hand over.
 // `tls_strand_yielded` records that the frame already handed its strand to
@@ -117,7 +142,9 @@ void SimNetwork::enqueue_delivery_locked(const Address& from, const Address& to,
   e.from = from;
   e.to = to;
   e.payload = std::move(payload);
+  e.enqueue_ns = steady_ns();
   events_.push(std::move(e));
+  metrics().queue_depth.set(static_cast<std::int64_t>(events_.size()));
 }
 
 void SimNetwork::send(const Address& from, const Address& to, Bytes payload) {
@@ -128,6 +155,7 @@ void SimNetwork::send(const Address& from, const Address& to, Bytes payload) {
     const LinkConfig link = link_for_locked(from, to);
     if (link.partitioned || rng_.chance(link.drop)) {
       ++stats_.dropped;
+      metrics().dropped.add();
       return;
     }
     const bool dup = rng_.chance(link.duplicate);
@@ -191,6 +219,10 @@ void SimNetwork::drain_strand(Address to) {
     Handler handler;
     if (auto it = endpoints_.find(to); it != endpoints_.end()) {
       ++stats_.delivered;
+      metrics().delivered.add();
+      if (e.enqueue_ns != 0) {
+        metrics().delivery_wait_ns.record(steady_ns() - e.enqueue_ns);
+      }
       handler = it->second;
     }
     const std::uint64_t epoch = s.epoch;
@@ -221,6 +253,7 @@ bool SimNetwork::yield_strand() {
     if (!tls_strand_yielded) {
       // First park in this frame: hand the strand to a successor so later
       // traffic to the party (including the awaited response) is served.
+      metrics().yields.add();
       Strand& s = strands_[*tls_strand_addr];
       ++s.epoch;
       if (!s.q.empty()) {
@@ -292,6 +325,7 @@ bool SimNetwork::pump_one() {
     }
     e = events_.top();
     events_.pop();
+    metrics().queue_depth.set(static_cast<std::int64_t>(events_.size()));
     if (e.at > clock_->now()) clock_->set(e.at);
     if (!e.timer) {
       if (pool_) {
@@ -306,6 +340,10 @@ bool SimNetwork::pump_one() {
       auto it = endpoints_.find(e.to);
       if (it == endpoints_.end()) return true;
       ++stats_.delivered;
+      metrics().delivered.add();
+      if (e.enqueue_ns != 0) {
+        metrics().delivery_wait_ns.record(steady_ns() - e.enqueue_ns);
+      }
       handler = it->second;
       deliver_inline = true;
     }

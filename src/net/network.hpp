@@ -160,6 +160,7 @@ class SimNetwork {
     Bytes payload;
     std::function<void()> timer;      // set for timer events
     TimerHandle timer_active;         // optional cancellation flag
+    std::uint64_t enqueue_ns = 0;     // wall time at send (obs delivery wait)
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {

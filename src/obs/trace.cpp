@@ -1,0 +1,133 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+namespace nonrep::obs {
+
+namespace {
+
+thread_local std::uint64_t t_current_span = 0;
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 64 ? capacity_ : 64);
+}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // leaked: outlives static dtors
+  return *instance;
+}
+
+void Tracer::set_clock(std::shared_ptr<const Clock> clock) {
+  std::lock_guard lock(mu_);
+  clock_ = std::move(clock);
+}
+
+TimeMs Tracer::vnow() const {
+  std::lock_guard lock(mu_);
+  return clock_ ? clock_->now() : 0;
+}
+
+void Tracer::finish(SpanRecord span) {
+  std::lock_guard lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[head_] = std::move(span);
+    head_ = (head_ + 1) % capacity_;
+  }
+  finished_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Once full the ring is circular with head_ pointing at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::to_json() const {
+  const std::vector<SpanRecord> spans = snapshot();
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    os << (first ? "" : ",") << "\n  {\"id\": " << s.id << ", \"parent\": " << s.parent
+       << ", \"name\": ";
+    append_json_string(os, s.name);
+    os << ", \"run\": ";
+    append_json_string(os, s.run);
+    os << ", \"party\": ";
+    append_json_string(os, s.party);
+    os << ", \"vstart\": " << s.vstart << ", \"vend\": " << s.vend
+       << ", \"start_ns\": " << s.start_ns << ", \"end_ns\": " << s.end_ns << "}";
+    first = false;
+  }
+  os << (spans.empty() ? "]" : "\n]");
+  return os.str();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  head_ = 0;
+}
+
+std::uint64_t current_span_id() noexcept { return t_current_span; }
+
+Span::Span(std::string name, std::string run, std::string party, Tracer& tracer)
+    : tracer_(tracer), saved_parent_(t_current_span) {
+  record_.id = tracer_.next_id();
+  record_.parent = saved_parent_;
+  record_.name = std::move(name);
+  record_.run = std::move(run);
+  record_.party = std::move(party);
+  record_.vstart = tracer_.vnow();
+  record_.start_ns = steady_now_ns();
+  t_current_span = record_.id;
+}
+
+Span::~Span() {
+  record_.vend = tracer_.vnow();
+  record_.end_ns = steady_now_ns();
+  t_current_span = saved_parent_;
+  tracer_.finish(std::move(record_));
+}
+
+}  // namespace nonrep::obs

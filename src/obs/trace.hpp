@@ -1,0 +1,120 @@
+// Lightweight trace spans: the causal record of where one fair-exchange
+// run spent its time.
+//
+// A Span is an RAII scope that stamps start/end on two clocks at once —
+// wall time (steady_clock nanoseconds, always) and virtual time (the
+// attached nonrep::Clock, so scenario runs report SimClock milliseconds).
+// Finished spans land in a bounded ring buffer inside the process-wide
+// Tracer; when the ring is full the oldest span is overwritten, so tracing
+// is always on and never grows without bound.
+//
+// Spans nest through a thread_local current-span id: opening a span makes
+// it the parent of any span opened below it on the same thread, and
+// current_span_id() lets other layers annotate their artefacts with the
+// active span (the evidence log stamps it on LogRecords — a runtime
+// annotation excluded from canonical(), same idiom as the object-store
+// fields, so chain digests are byte-identical with tracing on or off).
+//
+// Like the metrics registry, the tracer is a leaf: finishing a span takes
+// only the tracer's own ring mutex and never calls back into the system.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace nonrep::obs {
+
+/// A completed (or in-flight) span as stored in the ring.
+struct SpanRecord {
+  std::uint64_t id = 0;      // process-unique, never 0 for a real span
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;          // e.g. "fx.invoke", "journal.sync"
+  std::string run;           // protocol run id, when known
+  std::string party;         // acting party, when known
+  TimeMs vstart = 0;         // virtual-clock ms (tracer clock)
+  TimeMs vend = 0;
+  std::uint64_t start_ns = 0;  // steady_clock wall time
+  std::uint64_t end_ns = 0;
+};
+
+/// Process-wide span sink: bounded ring of finished spans + the virtual
+/// clock spans stamp their vstart/vend from.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& global();
+
+  /// Attach the virtual clock spans stamp vstart/vend from. Scenario
+  /// worlds install their SimClock here; without one, vstart/vend stay 0
+  /// and only wall time is recorded. Pass nullptr to detach.
+  void set_clock(std::shared_ptr<const Clock> clock);
+
+  /// Allocate a fresh span id (never 0).
+  std::uint64_t next_id() noexcept { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Current virtual time per the attached clock (0 without one).
+  TimeMs vnow() const;
+
+  /// Deposit a finished span; overwrites the oldest when full.
+  void finish(SpanRecord span);
+
+  /// Number of spans finished since construction (not capped by the ring).
+  std::uint64_t finished() const noexcept { return finished_.load(std::memory_order_relaxed); }
+
+  /// Oldest-first copy of the ring.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Snapshot as a JSON array of span objects.
+  std::string to_json() const;
+
+  /// Drop all buffered spans (id allocation continues).
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> finished_{0};
+  mutable std::mutex mu_;
+  std::shared_ptr<const Clock> clock_;
+  std::vector<SpanRecord> ring_;  // grows to capacity_, then circular
+  std::size_t head_ = 0;          // next overwrite position once full
+};
+
+/// Span id of the innermost open Span on this thread (0 outside any span).
+std::uint64_t current_span_id() noexcept;
+
+/// RAII span scope. Opens on construction (parenting under the thread's
+/// current span), becomes the thread's current span, and deposits itself
+/// into the tracer on destruction.
+class Span {
+ public:
+  explicit Span(std::string name, std::string run = {}, std::string party = {},
+                Tracer& tracer = Tracer::global());
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  std::uint64_t id() const noexcept { return record_.id; }
+
+  /// Attach/overwrite the run id after construction (e.g. once new_run()
+  /// has produced one).
+  void set_run(std::string run) { record_.run = std::move(run); }
+
+ private:
+  Tracer& tracer_;
+  SpanRecord record_;
+  std::uint64_t saved_parent_;
+};
+
+}  // namespace nonrep::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
 
 namespace nonrep::pki {
 
@@ -11,6 +12,20 @@ namespace {
 std::string cert_digest(const Certificate& cert) {
   const crypto::Digest d = crypto::Sha256::hash(cert.encode());
   return std::string(reinterpret_cast<const char*>(d.data()), d.size());
+}
+
+// Handles resolved once; recording is lock-free so it is safe under the
+// manager's locks (memo hit rate = memo_hits / (memo_hits + object_verifies)).
+struct PkiMetrics {
+  obs::Counter& memo_hits = obs::Registry::global().counter("pki.memo_hits");
+  obs::Counter& object_verifies = obs::Registry::global().counter("pki.object_verifies");
+  obs::Counter& chain_cache_hits =
+      obs::Registry::global().counter("pki.chain_cache_hits");
+};
+
+PkiMetrics& metrics() {
+  static PkiMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -128,6 +143,7 @@ Status CredentialManager::verify_chain_locked(const Certificate& leaf, TimeMs at
       // hold), so only the time-dependent validity check remains.
       if (it->second.covers(at)) {
         ++chain_cache_hits_;
+        metrics().chain_cache_hits.add();
         if (window_out != nullptr) *window_out = it->second;
         return Status::ok_status();
       }
@@ -218,6 +234,7 @@ std::optional<CredentialManager::ValidityWindow> CredentialManager::memo_probe(
   auto it = memo_.find(memo_key(oid, party));
   if (it == memo_.end() || !it->second.covers(at)) return std::nullopt;
   memo_hits_.fetch_add(1, std::memory_order_relaxed);
+  metrics().memo_hits.add();
   return it->second;
 }
 
@@ -231,6 +248,7 @@ Result<CredentialManager::ValidityWindow> CredentialManager::verify_object(
     auto it = memo_.find(key);
     if (it != memo_.end() && it->second.covers(at)) {
       memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      metrics().memo_hits.add();
       return it->second;
     }
     // A memoized window that does not cover `at` falls through to the full
@@ -247,6 +265,7 @@ Result<CredentialManager::ValidityWindow> CredentialManager::verify_object(
   if (!verifier_cache_.verify(cert->algorithm, cert->public_key, msg, signature)) {
     return Error::make("pki.signature_mismatch", party.str());
   }
+  metrics().object_verifies.add();
 
   std::unique_lock memo_lk(memo_mu_);
   if (memo_.size() >= kMemoMaxEntries) memo_.clear();

@@ -1,0 +1,254 @@
+#include "scenario/load.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <random>
+
+#include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nonrep::scenario {
+
+namespace {
+
+using container::Invocation;
+
+constexpr const char* kServerAddress = "server";
+constexpr const char* kTtpAddress = "ttp";
+// Never registered: the deterministic trigger for TTP abort recovery
+// (same idiom as the scenario engine).
+constexpr const char* kBlackholeAddress = "blackhole";
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+obs::HistogramStats stats_ms(const obs::Histogram& h) {
+  const obs::Histogram::Snapshot s = h.snapshot();
+  constexpr double kNsPerMs = 1e6;
+  obs::HistogramStats out;
+  out.count = s.count;
+  out.mean = s.mean() / kNsPerMs;
+  out.p50 = static_cast<std::uint64_t>(std::llround(
+      static_cast<double>(s.value_at(50.0)) / kNsPerMs));
+  out.p90 = static_cast<std::uint64_t>(std::llround(
+      static_cast<double>(s.value_at(90.0)) / kNsPerMs));
+  out.p99 = static_cast<std::uint64_t>(std::llround(
+      static_cast<double>(s.value_at(99.0)) / kNsPerMs));
+  out.p999 = static_cast<std::uint64_t>(std::llround(
+      static_cast<double>(s.value_at(99.9)) / kNsPerMs));
+  out.max = static_cast<std::uint64_t>(std::llround(
+      static_cast<double>(s.max) / kNsPerMs));
+  return out;
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(LoadConfig config)
+    : config_(std::move(config)), world_(config_.seed, config_.rsa_bits) {
+  server_party_ = &world_.add_party(kServerAddress);
+  ttp_party_ = &world_.add_party(kTtpAddress);
+
+  container::DeploymentDescriptor descriptor;
+  descriptor.non_repudiation = true;
+  const std::uint64_t stall_ms = config_.server_stall_ms;
+  auto component = std::make_shared<container::Component>();
+  component->bind("echo", [stall_ms](const Invocation& inv) -> Result<Bytes> {
+    if (stall_ms > 0) {
+      // Wall-clock stall on the server's strand: virtual time cannot
+      // advance past in-flight work, so scheduled arrivals genuinely
+      // queue behind this handler (backdating test hook).
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    }
+    return inv.arguments;
+  });
+  server_container_.deploy(ServiceUri(std::string("svc://") + kServerAddress + "/echo"),
+                           component, descriptor);
+  server_handler_ = core::install_nr_server(
+      *server_party_->coordinator, server_container_,
+      core::InvocationConfig{.request_timeout = config_.request_timeout});
+  ttp_handler_ = std::make_shared<core::OptimisticTtp>(*ttp_party_->coordinator);
+  ttp_party_->coordinator->register_handler(ttp_handler_);
+
+  members_.reserve(config_.parties);
+  for (std::size_t i = 0; i < config_.parties; ++i) {
+    std::string name = "p";
+    name += std::to_string(i);
+    Member m;
+    m.party = &world_.add_party(name);
+    m.driver_mu = std::make_unique<std::mutex>();
+    members_.push_back(std::move(m));
+  }
+
+  // Loss on member<->server links only; TTP links stay clean (recovery
+  // assumes a reachable TTP).
+  if (config_.loss > 0.0) {
+    const net::LinkConfig lossy{.latency = 5, .drop = config_.loss};
+    for (auto& m : members_) {
+      world_.network.set_link(m.party->address, kServerAddress, lossy);
+      world_.network.set_link(kServerAddress, m.party->address, lossy);
+    }
+  }
+
+  pool_ = std::make_shared<util::ThreadPool>(std::max<std::size_t>(1, config_.threads));
+  world_.network.set_executor(pool_);
+  pump_ = std::thread([this] { world_.network.run_live(); });
+}
+
+LoadGenerator::~LoadGenerator() {
+  world_.network.drain();
+  world_.network.stop_live();
+  if (pump_.joinable()) pump_.join();
+  world_.network.set_executor(nullptr);
+}
+
+void LoadGenerator::inject(std::size_t request_index, obs::Histogram& latency_ns,
+                           obs::Histogram& service_ns, std::uint64_t timeline_start_ns,
+                           LoadReport& report, std::mutex& report_mu) {
+  // The scheduled arrival slot — the anchor every latency is measured
+  // from, whether or not the send actually happened on time.
+  const double period_ns = 1e9 / config_.arrival_rate;
+  const std::uint64_t scheduled_ns =
+      timeline_start_ns +
+      static_cast<std::uint64_t>(period_ns * static_cast<double>(request_index));
+
+  Member& m = members_[request_index % members_.size()];
+
+  // Deterministic per-request draw: the forced-recovery mix depends on the
+  // seed and the request index only, not on injector scheduling.
+  std::mt19937_64 rng(config_.seed * 0x9E3779B97F4A7C15ull + request_index);
+  const double r = static_cast<double>(rng() % (1u << 30)) / static_cast<double>(1u << 30);
+  const bool forced_recovery = r < config_.ttp_ratio;
+  const char* target = forced_recovery ? kBlackholeAddress : kServerAddress;
+
+  // One protocol driver per party at a time; waiting here is queueing
+  // delay and lands in the scheduled-slot latency like any other queue.
+  std::lock_guard driver(*m.driver_mu);
+
+  const std::uint64_t start_ns = steady_ns();
+
+  core::OptimisticInvocationClient client(
+      *m.party->coordinator, kTtpAddress,
+      core::InvocationConfig{.request_timeout = config_.request_timeout});
+  Invocation inv;
+  inv.service = ServiceUri(std::string("svc://") + target + "/echo");
+  inv.method = "echo";
+  inv.arguments = to_bytes("load-op-" + std::to_string(request_index));
+  inv.caller = m.party->id;
+  (void)client.invoke(target, inv);
+
+  const std::uint64_t done_ns = steady_ns();
+  // Coordinated-omission correction: backdate to the scheduled slot. A
+  // request that started late still pays for the time it waited.
+  latency_ns.record(done_ns - std::min(scheduled_ns, done_ns));
+  service_ns.record(done_ns - start_ns);
+
+  std::lock_guard lk(report_mu);
+  ++report.attempted;
+  if (start_ns > scheduled_ns + 1'000'000) ++report.late_starts;  // >1ms late
+  switch (client.last_outcome()) {
+    case core::OptimisticInvocationClient::LastOutcome::kNormal:
+      ++report.completed;
+      break;
+    case core::OptimisticInvocationClient::LastOutcome::kAborted:
+      ++report.aborted;
+      break;
+    case core::OptimisticInvocationClient::LastOutcome::kRecoveredFromTtp:
+      ++report.recovered;
+      break;
+    case core::OptimisticInvocationClient::LastOutcome::kFailed:
+      ++report.failed;
+      break;
+  }
+}
+
+LoadReport LoadGenerator::run() {
+  LoadReport report;
+  report.offered_rate = config_.arrival_rate;
+  if (!setup_.ok()) {
+    report.audit = setup_;
+    return report;
+  }
+  if (config_.requests == 0 || config_.arrival_rate <= 0.0) {
+    report.audit = Error::make("load.bad_config", "requests and arrival_rate must be > 0");
+    return report;
+  }
+
+  obs::Histogram latency_ns;
+  obs::Histogram service_ns;
+  std::mutex report_mu;
+
+  // Open-loop injection: `injectors` workers claim request indices from a
+  // shared counter and sleep until each request's scheduled slot. When all
+  // injectors are tied up in slow exchanges the timeline keeps its pace —
+  // newly freed injectors find their next claim already past due and fire
+  // immediately, with the backlog charged to the measured latency.
+  const std::size_t injectors = std::max<std::size_t>(1, config_.injectors);
+  std::atomic<std::size_t> next{0};
+  const std::uint64_t t0 = steady_ns();
+  const auto t0_tp = std::chrono::steady_clock::now();
+  const double period_ns = 1e9 / config_.arrival_rate;
+
+  std::vector<std::thread> threads;
+  threads.reserve(injectors);
+  for (std::size_t w = 0; w < injectors; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= config_.requests) return;
+        const auto scheduled =
+            t0_tp + std::chrono::nanoseconds(
+                        static_cast<std::uint64_t>(period_ns * static_cast<double>(i)));
+        std::this_thread::sleep_until(scheduled);  // no-op when already late
+        inject(i, latency_ns, service_ns, t0, report, report_mu);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Let tail traffic land before auditing.
+  world_.network.drain();
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_tp).count();
+  if (report.wall_seconds > 0.0) {
+    report.achieved_rate =
+        static_cast<double>(report.attempted) / report.wall_seconds;
+  }
+  report.latency_ms = stats_ms(latency_ns);
+  report.service_ms = stats_ms(service_ns);
+
+  total_aborted_ += report.aborted;
+  total_recovered_ += report.recovered;
+  report.audit = audit(report);
+  return report;
+}
+
+Status LoadGenerator::audit(const LoadReport& report) const {
+  (void)report;
+  auto check_party = [](const Party& p) -> Status {
+    if (auto chain = p.log->verify_chain(); !chain) return chain;
+    if (auto backend = p.log->backend_status(); !backend) return backend;
+    return Status::ok_status();
+  };
+  if (auto ok = check_party(*server_party_); !ok) return ok;
+  if (auto ok = check_party(*ttp_party_); !ok) return ok;
+  for (const auto& m : members_) {
+    if (auto ok = check_party(*m.party); !ok) return ok;
+  }
+  const auto [ttp_aborted, ttp_resolved] = ttp_handler_->verdict_counts();
+  if (ttp_aborted != total_aborted_ || ttp_resolved != total_recovered_) {
+    return Error::make("load.verdict_mismatch",
+                       "ttp aborted/resolved " + std::to_string(ttp_aborted) + "/" +
+                           std::to_string(ttp_resolved) + " vs tallied " +
+                           std::to_string(total_aborted_) + "/" +
+                           std::to_string(total_recovered_));
+  }
+  return Status::ok_status();
+}
+
+}  // namespace nonrep::scenario

@@ -1,5 +1,7 @@
 #include "scenario/world.hpp"
 
+#include "obs/trace.hpp"
+
 namespace nonrep::scenario {
 
 World::World(std::uint64_t seed, std::size_t rsa_bits)
@@ -8,6 +10,9 @@ World::World(std::uint64_t seed, std::size_t rsa_bits)
       rng_(to_bytes("world-seed-" + std::to_string(seed))),
       rsa_bits_(rsa_bits),
       objects_(std::make_shared<store::ObjectStore>()) {
+  // Spans opened while this world exists stamp vstart/vend from its
+  // virtual clock; the clock is shared, so a later world simply replaces it.
+  obs::Tracer::global().set_clock(clock);
   auto ca_key = crypto::rsa_generate(rng_, rsa_bits_);
   auto ca_signer = std::make_shared<crypto::RsaSigner>(std::move(ca_key));
   ca_ = std::make_unique<pki::CertificateAuthority>(PartyId("ca:root"), ca_signer, 0,

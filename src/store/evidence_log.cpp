@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/trace.hpp"
 #include "util/hex.hpp"
 #include "util/serialize.hpp"
 
@@ -179,6 +180,7 @@ LogRecord EvidenceLog::append(const RunId& run, std::string kind, Bytes payload)
   rec.payload = std::move(payload);
   const crypto::Digest prev = records_.empty() ? crypto::Digest{} : records_.back().chain;
   rec.chain = chain_digest(prev, rec);
+  rec.span = obs::current_span_id();
   if (objects_) {
     rec.object = objects_->put(typesig_for_kind(rec.kind), rec.payload).id;
     rec.interned = true;

@@ -35,6 +35,11 @@ struct LogRecord {
   ObjectId object{};
   bool interned = false;
 
+  // Trace annotation: the obs::Span open on the appending thread, 0 when
+  // none. Runtime-only (not part of canonical(), never persisted) — chain
+  // digests and on-disk encodings are byte-identical with tracing on/off.
+  std::uint64_t span = 0;
+
   Bytes canonical() const;  // everything except `chain` and the annotation
 };
 

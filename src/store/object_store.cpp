@@ -1,9 +1,27 @@
 #include "store/object_store.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/hex.hpp"
 #include "util/serialize.hpp"
 
 namespace nonrep::store {
+
+namespace {
+
+// Handles resolved once; recording is lock-free so it is safe under the
+// shard mutex.
+struct StoreMetrics {
+  obs::Counter& puts = obs::Registry::global().counter("store.object_puts");
+  obs::Counter& dedup_hits = obs::Registry::global().counter("store.dedup_hits");
+  obs::Counter& dedup_bytes = obs::Registry::global().counter("store.dedup_bytes");
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::string typesig_name(std::uint32_t typesig) {
   std::string out;
@@ -66,6 +84,7 @@ ObjectStore::PutResult ObjectStore::put(std::uint32_t typesig, BytesView payload
   PutResult out;
   out.id = object_id(typesig, payload);  // hash outside the lock
   logical_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+  store_metrics().puts.add();
   Shard& shard = shard_for(out.id);
   std::lock_guard lk(shard.mu);
   auto [it, inserted] = shard.objects.try_emplace(out.id);
@@ -76,6 +95,8 @@ ObjectStore::PutResult ObjectStore::put(std::uint32_t typesig, BytesView payload
     out.fresh = true;
   } else {
     dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    store_metrics().dedup_hits.add();
+    store_metrics().dedup_bytes.add(payload.size());
   }
   return out;
 }

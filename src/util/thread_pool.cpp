@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.hpp"
+
 namespace nonrep::util {
+
+namespace {
+
+// Pool-wide gauges (all pools share them — one process runs one fleet).
+// Handles resolved once; recording is lock-free so it is safe under mu_.
+struct PoolMetrics {
+  obs::Gauge& queue_depth = obs::Registry::global().gauge("pool.queue_depth");
+  obs::Gauge& active_workers = obs::Registry::global().gauge("pool.active_workers");
+  obs::Counter& executed = obs::Registry::global().counter("pool.executed");
+};
+
+PoolMetrics& metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   threads = std::max<std::size_t>(threads, 1);
@@ -26,6 +45,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lk(mu_);
     queue_.push_back(std::move(task));
+    metrics().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
   work_cv_.notify_one();
 }
@@ -41,11 +61,15 @@ void ThreadPool::worker_loop() {
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++running_;
+    metrics().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    metrics().active_workers.add(1);
     lk.unlock();
     task();
     lk.lock();
     --running_;
     ++executed_;
+    metrics().active_workers.add(-1);
+    metrics().executed.add();
     if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
   }
 }
