@@ -92,18 +92,48 @@ else
 fi
 
 # Journal durability bench: print the group-commit ROI from the fresh report
-# (acceptance floor: batched append >= 5x per-record fdatasync).
+# (acceptance floor: batched append >= 5x per-record fdatasync), then the
+# pipelined-commit ROI table — per-append latency and throughput for each
+# appenders x batches-in-flight cell against the blocking append of the same
+# policy (acceptance floor: >= 1.5x blocking throughput with >= 2 batches in
+# flight at kEveryRecord).
 if [[ -f "$out_dir/BENCH_journal.json" ]] && command -v python3 >/dev/null; then
   python3 - "$out_dir/BENCH_journal.json" <<'PYEOF'
 import json, sys
 report = json.load(open(sys.argv[1]))
-times = {b["name"]: b["real_time"] for b in report.get("benchmarks", [])
-         if b.get("run_type", "iteration") == "iteration"}
+rows = [b for b in report.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"]
+times = {b["name"]: b["real_time"] for b in rows}
 per_record = times.get("BM_JournalAppend_EveryRecord")
 batched = times.get("BM_JournalAppend_Batch")
 if per_record and batched:
     print(f"=== journal group commit: batched append {per_record / batched:.1f}x "
           f"per-record sync ===")
+blocking = {"EveryRecord": per_record, "Batch": batched}
+pipelined = {}
+for b in rows:
+    name = b["name"]
+    if not name.startswith("BM_JournalAppendPipelined_"):
+        continue
+    policy = name[len("BM_JournalAppendPipelined_"):].split("/")[0]
+    appenders = int(name.split("/appenders:")[1].split("/")[0])
+    inflight = int(name.split("/inflight:")[1].split("/")[0])
+    ips = b.get("items_per_second")
+    if ips:
+        pipelined.setdefault(policy, []).append(
+            (appenders, inflight, ips, b.get("batches_in_flight_peak", 0),
+             b.get("out_of_order", 0), b.get("uring", 0)))
+if pipelined:
+    print("=== pipelined commit (append_async + ticket window vs blocking append) ===")
+    for policy in ("EveryRecord", "Batch"):
+        base = blocking.get(policy)
+        base_ips = 1e6 / base if base else None
+        for appenders, inflight, ips, peak, ooo, uring in sorted(pipelined.get(policy, [])):
+            speedup = f"  {ips / base_ips:.2f}x blocking" if base_ips else ""
+            print(f"  {policy:<11} appenders={appenders} inflight={inflight}:"
+                  f" {ips / 1000:>7.1f}k appends/s{speedup}"
+                  f"  (peak {peak:.0f} in flight, out-of-order {ooo:.0f},"
+                  f" {'uring' if uring else 'fdatasync worker'})")
 PYEOF
 fi
 

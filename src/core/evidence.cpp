@@ -117,12 +117,19 @@ Result<EvidenceToken> EvidenceService::issue(EvidenceType type, const RunId& run
   token.signature = std::move(sig).take();
 
   states_->put(subject);
-  log_->append(run, log_kind(type), token.encode());
+  // Stage the token record and overlap its device barrier with the TSA
+  // countersignature (a signing round-trip, the other expensive half of
+  // issuance). Both receipts are settled before the token is handed out, so
+  // the caller's durability contract is unchanged — only the stall shrinks.
+  auto [rec, receipt] = log_->append_async(run, log_kind(type), token.encode());
   if (tsa_) {
     if (auto stamp = tsa_->countersign(token.encode())) {
-      log_->append(run, tsa_log_kind(type), std::move(stamp).take());
+      auto [stamp_rec, stamp_receipt] =
+          log_->append_async(run, tsa_log_kind(type), std::move(stamp).take());
+      if (stamp_receipt.policy_blocks) (void)log_->settle(stamp_receipt);
     }
   }
+  if (receipt.policy_blocks) (void)log_->settle(receipt);
   return token;
 }
 

@@ -1,0 +1,375 @@
+#include "journal/sync_stage.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "journal/uring.hpp"
+#include "obs/metrics.hpp"
+
+namespace nonrep::journal {
+
+namespace {
+
+struct PipelineMetrics {
+  obs::Gauge& depth = obs::Registry::global().gauge("journal.pipeline.depth");
+  obs::Counter& coalesced =
+      obs::Registry::global().counter("journal.pipeline.coalesced");
+  obs::Counter& out_of_order =
+      obs::Registry::global().counter("journal.pipeline.out_of_order");
+  obs::Counter& backpressure =
+      obs::Registry::global().counter("journal.pipeline.backpressure_waits");
+  obs::Counter& syncs = obs::Registry::global().counter("journal.syncs");
+  obs::Histogram& fsync_ns = obs::Registry::global().histogram("journal.fsync_ns");
+  obs::Histogram& batch_records =
+      obs::Registry::global().histogram("journal.batch_records");
+};
+
+PipelineMetrics& metrics() {
+  static PipelineMetrics m;
+  return m;
+}
+
+Error errno_error(const std::string& what) {
+  return Error::make("journal.io", what + ": " + std::strerror(errno));
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- ledger
+
+std::uint64_t RetireLedger::submit(std::uint64_t target_lsn,
+                                   std::uint64_t target_bytes) {
+  Entry e;
+  e.id = next_id_++;
+  e.lsn = target_lsn;
+  e.bytes = target_bytes;
+  entries_.push_back(e);
+  ++outstanding_;
+  return e.id;
+}
+
+RetireLedger::Retired RetireLedger::complete(std::uint64_t id) {
+  Retired r;
+  for (auto& e : entries_) {
+    if (e.id != id || e.done) continue;
+    e.done = true;
+    if (outstanding_ > 0) --outstanding_;
+    r.known = true;
+    // An fsync covers everything written before its submission, so a
+    // completion retires its own target even when an earlier-submitted
+    // barrier is still in flight — that is precisely the out-of-order case.
+    if (e.lsn > retired_lsn_ || e.bytes > retired_bytes_) {
+      if (&e != &entries_.front()) ++out_of_order_;
+      if (e.lsn > retired_lsn_) retired_lsn_ = e.lsn;
+      if (e.bytes > retired_bytes_) retired_bytes_ = e.bytes;
+      r.advanced = true;
+    } else {
+      ++out_of_order_;
+    }
+    r.lsn = retired_lsn_;
+    r.bytes = retired_bytes_;
+    break;
+  }
+  while (!entries_.empty() && entries_.front().done) entries_.pop_front();
+  return r;
+}
+
+// ----------------------------------------------------------------- stage
+
+SyncStage::SyncStage(std::shared_ptr<DurabilityState> state, Options options)
+    : state_(std::move(state)), opt_(std::move(options)) {
+  if (opt_.max_batches_in_flight == 0) opt_.max_batches_in_flight = 1;
+  if (opt_.want_uring) {
+    const unsigned depth =
+        static_cast<unsigned>(opt_.max_batches_in_flight < 4
+                                  ? 4
+                                  : opt_.max_batches_in_flight);
+    ring_ = UringQueue::create(depth);
+  }
+  stats_.uring_active = ring_ != nullptr;
+}
+
+SyncStage::~SyncStage() {
+  (void)shutdown();
+  if (spare_fd_ >= 0) ::close(spare_fd_);
+}
+
+void SyncStage::request(int fd, std::uint64_t target_lsn,
+                        std::uint64_t target_bytes) {
+  std::unique_lock lk(mu_);
+  if (stop_ || crashed_) return;
+  if (!thread_.joinable()) thread_ = std::thread([this] { worker(); });
+  if (queue_.size() + executing_ >= opt_.max_batches_in_flight) {
+    ++stats_.backpressure_waits;
+    metrics().backpressure.add();
+    done_cv_.wait(lk, [&] {
+      return stop_ || crashed_ ||
+             queue_.size() + executing_ < opt_.max_batches_in_flight;
+    });
+    if (stop_ || crashed_) return;
+  }
+  queue_.push_back(Job{fd, target_lsn, target_bytes});
+  ++requested_;
+  const std::uint64_t depth = queue_.size() + executing_;
+  if (depth > stats_.in_flight_peak) stats_.in_flight_peak = depth;
+  metrics().depth.set(static_cast<std::int64_t>(depth));
+  cv_.notify_one();
+}
+
+Status SyncStage::drain() {
+  std::unique_lock lk(mu_);
+  done_cv_.wait(lk, [&] { return executed_ >= requested_; });
+  return error_;
+}
+
+void SyncStage::crash(Status reason) {
+  {
+    std::unique_lock lk(mu_);
+    if (!crashed_) {
+      crashed_ = true;
+      // Queued barriers never ran: account them as executed so drain()
+      // settles; their tickets fail through the shared state below.
+      executed_ += queue_.size();
+      queue_.clear();
+      if (error_.ok()) error_ = reason;
+    }
+    stop_ = true;
+  }
+  state_->fail(std::move(reason));
+  cv_.notify_all();
+  done_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Status SyncStage::shutdown() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  done_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lk(mu_);
+  return error_;
+}
+
+void SyncStage::prepare_spare(const std::string& path, std::uint64_t bytes) {
+  std::lock_guard lk(mu_);
+  if (stop_ || crashed_) return;
+  if (spare_ready_path_ == path && spare_fd_ >= 0) return;  // already there
+  if (!thread_.joinable()) thread_ = std::thread([this] { worker(); });
+  spare_want_path_ = path;
+  spare_bytes_ = bytes;
+  cv_.notify_one();
+}
+
+int SyncStage::take_spare(const std::string& path) {
+  std::lock_guard lk(mu_);
+  if (spare_fd_ < 0) return -1;
+  if (spare_ready_path_ != path) {
+    ::close(spare_fd_);
+    spare_fd_ = -1;
+    spare_ready_path_.clear();
+    return -1;
+  }
+  const int fd = spare_fd_;
+  spare_fd_ = -1;
+  spare_ready_path_.clear();
+  return fd;
+}
+
+SyncStage::Stats SyncStage::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+Status SyncStage::error() const {
+  std::lock_guard lk(mu_);
+  return error_;
+}
+
+void SyncStage::worker() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] {
+      return stop_ || !queue_.empty() || !spare_want_path_.empty();
+    });
+    if (queue_.empty() && stop_) break;
+
+    if (!queue_.empty()) {
+      // Take a group: the fallback engine coalesces everything queued into
+      // (at most) one barrier per fd; the uring engine keeps up to
+      // max_batches_in_flight discrete barriers concurrently in flight.
+      std::deque<Job> group;
+      const std::size_t take =
+          ring_ ? std::min(queue_.size(), opt_.max_batches_in_flight)
+                : queue_.size();
+      for (std::size_t i = 0; i < take; ++i) {
+        group.push_back(queue_.front());
+        queue_.pop_front();
+      }
+      executing_ += group.size();
+      const bool skip = !error_.ok();
+      lk.unlock();
+      if (!skip) {
+        if (ring_) {
+          run_uring_group(group);
+        } else {
+          run_fallback_group(group);
+        }
+      }
+      lk.lock();
+      executing_ -= group.size();
+      executed_ += group.size();
+      done_cv_.notify_all();
+      continue;  // barriers before spare prep
+    }
+
+    if (!spare_want_path_.empty() && !crashed_) {
+      std::string path = spare_want_path_;
+      const std::uint64_t bytes = spare_bytes_;
+      spare_want_path_.clear();
+      lk.unlock();
+      make_spare(std::move(path), bytes);
+      lk.lock();
+    }
+  }
+}
+
+void SyncStage::fail_locked_unlocked(Status s) {
+  {
+    std::lock_guard lk(mu_);
+    if (error_.ok()) error_ = s;
+  }
+  state_->fail(std::move(s));
+}
+
+void SyncStage::run_fallback_group(std::deque<Job>& group) {
+  // One fdatasync per contiguous same-fd run, targeting the run's last
+  // (largest) job — everything earlier is covered by the same barrier.
+  std::size_t i = 0;
+  while (i < group.size()) {
+    std::size_t j = i;
+    while (j + 1 < group.size() && group[j + 1].fd == group[i].fd) ++j;
+    const Job& last = group[j];
+    const std::uint64_t folded = j - i;
+
+    if (opt_.before_sync) {
+      if (auto ordered = opt_.before_sync(); !ordered.ok()) {
+        fail_locked_unlocked(std::move(ordered));
+        return;
+      }
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (::fdatasync(last.fd) != 0) {
+      fail_locked_unlocked(errno_error("fdatasync"));
+      return;
+    }
+    metrics().fsync_ns.record(elapsed_ns(t0));
+    metrics().syncs.add();
+    metrics().batch_records.record(last.target_lsn - last_retired_lsn_);
+    if (folded > 0) metrics().coalesced.add(folded);
+    {
+      std::lock_guard lk(mu_);
+      ++stats_.barriers;
+      stats_.coalesced += folded;
+    }
+    last_retired_lsn_ = std::max(last_retired_lsn_, last.target_lsn);
+    state_->retire(last.target_lsn, last.target_bytes);
+    i = j + 1;
+  }
+}
+
+void SyncStage::run_uring_group(std::deque<Job>& group) {
+  // The hook runs once ahead of the whole submission: every barrier in the
+  // group covers data written before this point, so one dependency sync
+  // orders all of them.
+  if (opt_.before_sync) {
+    if (auto ordered = opt_.before_sync(); !ordered.ok()) {
+      fail_locked_unlocked(std::move(ordered));
+      return;
+    }
+  }
+  for (const Job& job : group) {
+    const std::uint64_t id = ledger_.submit(job.target_lsn, job.target_bytes);
+    while (!ring_->push_fsync(job.fd, id)) {
+      if (!ring_->submit_and_wait(0)) {
+        fail_locked_unlocked(errno_error("io_uring_enter"));
+        ledger_.abandon();
+        return;
+      }
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!ring_->submit_and_wait(static_cast<unsigned>(group.size()))) {
+    fail_locked_unlocked(errno_error("io_uring_enter"));
+    ledger_.abandon();
+    return;
+  }
+  std::uint64_t ooo = 0;
+  bool failed = false;
+  UringQueue::Completion c;
+  while (ledger_.outstanding() > 0) {
+    while (ring_->pop(c)) {
+      if (c.res < 0) {
+        errno = -c.res;
+        fail_locked_unlocked(errno_error("io_uring fsync"));
+        failed = true;
+      }
+      auto r = ledger_.complete(c.user_data);
+      if (!r.known) continue;
+      if (!r.advanced) ++ooo;
+      if (!failed && r.advanced) {
+        metrics().batch_records.record(r.lsn - last_retired_lsn_);
+        last_retired_lsn_ = r.lsn;
+        state_->retire(r.lsn, r.bytes);
+      }
+    }
+    if (ledger_.outstanding() > 0 && !ring_->submit_and_wait(1)) {
+      fail_locked_unlocked(errno_error("io_uring_enter"));
+      ledger_.abandon();
+      break;
+    }
+  }
+  metrics().fsync_ns.record(elapsed_ns(t0));
+  metrics().syncs.add(group.size());
+  metrics().out_of_order.add(ooo);
+  std::lock_guard lk(mu_);
+  stats_.barriers += group.size();
+  stats_.out_of_order += ooo;
+}
+
+void SyncStage::make_spare(std::string path, std::uint64_t bytes) {
+  // Best effort: rotation falls back to a plain open when no spare is ready.
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return;
+  if (bytes > 0) {
+    // KEEP_SIZE: scan semantics require file size == written content, so
+    // only the *allocation* may run ahead. EOPNOTSUPP (e.g. tmpfs) is fine.
+    (void)::fallocate(fd, FALLOC_FL_KEEP_SIZE, 0,
+                      static_cast<off_t>(bytes));
+  }
+  std::lock_guard lk(mu_);
+  if (stop_ || crashed_ || !spare_want_path_.empty()) {
+    // Shutting down, or a newer request superseded this one.
+    ::close(fd);
+    return;
+  }
+  if (spare_fd_ >= 0) ::close(spare_fd_);
+  spare_fd_ = fd;
+  spare_ready_path_ = std::move(path);
+  ++stats_.spares_prepared;
+}
+
+}  // namespace nonrep::journal

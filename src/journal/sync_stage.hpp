@@ -1,0 +1,191 @@
+// The pipelined sync stage behind journal::Writer.
+//
+// Appenders (holding the writer's mutex) enqueue barrier *jobs* — "make
+// everything up to (target_lsn, target_bytes) on fd durable" — and return
+// immediately with a durability ticket. A dedicated worker retires the jobs
+// off-thread and publishes watermarks through the shared DurabilityState,
+// which settles the tickets. That is the whole pipeline: batch N+1
+// accumulates and writes on appender threads while batch N's device barrier
+// is in flight here.
+//
+// Two engines retire barriers:
+//   - io_uring (NONREP_HAS_IOURING + runtime probe): IORING_OP_FSYNC SQEs,
+//     several barriers genuinely in flight; completions may arrive out of
+//     order and are retired via RetireLedger (an fsync covers every byte
+//     written before its submission, so completing a later-submitted barrier
+//     safely retires everything the earlier ones targeted).
+//   - worker-thread fdatasync loop (fallback, and the 1-core dev box):
+//     queued jobs for the same fd coalesce into one barrier per wakeup —
+//     classic group commit, just no longer on an appender's back.
+//
+// The writer's before_sync hook runs on the worker, once per taken job
+// group, immediately before the barrier(s) it covers — this is what keeps
+// object-WAL-before-record-WAL ordering intact across in-flight batches.
+//
+// The stage also owns spare-segment preallocation: the worker fallocates
+// (FALLOC_FL_KEEP_SIZE — scan semantics require file size == content) a
+// hidden spare file in idle moments so rotation can rename it into place
+// instead of paying open+fsync_dir allocation stalls on the append path.
+//
+// Locking: Writer::mu_ -> SyncStage::mu_. The worker takes only stage
+// state (never the writer's mutex); crash() and shutdown() join it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "journal/ticket.hpp"
+#include "util/result.hpp"
+
+namespace nonrep::journal {
+
+/// Out-of-order completion bookkeeping for the io_uring engine, separated
+/// out so the ordering logic is unit-testable without a kernel ring.
+/// Barriers are submitted with monotonically non-decreasing targets; each
+/// submission gets an id, each completion retires the *maximum* target seen
+/// so far (late arrivals advance nothing and are counted).
+class RetireLedger {
+ public:
+  /// Register a submitted barrier; returns its completion id.
+  std::uint64_t submit(std::uint64_t target_lsn, std::uint64_t target_bytes);
+
+  struct Retired {
+    std::uint64_t lsn = 0;    // watermark after this completion
+    std::uint64_t bytes = 0;
+    bool advanced = false;    // false: a late out-of-order arrival
+    bool known = false;       // false: id was never submitted
+  };
+  Retired complete(std::uint64_t id);
+
+  std::size_t outstanding() const { return outstanding_; }
+  std::uint64_t out_of_order() const { return out_of_order_; }
+  std::uint64_t retired_lsn() const { return retired_lsn_; }
+
+  /// Abandon every outstanding submission (submit failure / crash).
+  void abandon() { outstanding_ = 0; }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::uint64_t lsn = 0;
+    std::uint64_t bytes = 0;
+    bool done = false;
+  };
+  std::deque<Entry> entries_;  // submission order
+  std::uint64_t next_id_ = 1;
+  std::size_t outstanding_ = 0;
+  std::uint64_t out_of_order_ = 0;
+  std::uint64_t retired_lsn_ = 0;
+  std::uint64_t retired_bytes_ = 0;
+};
+
+class SyncStage {
+ public:
+  struct Options {
+    /// Runs on the worker before every barrier group (see header comment).
+    std::function<Status()> before_sync = nullptr;
+    /// Backpressure: request() blocks once this many barriers are queued or
+    /// executing. Also the io_uring submission depth.
+    std::size_t max_batches_in_flight = 4;
+    /// Try the io_uring engine (falls back silently when unavailable).
+    bool want_uring = true;
+  };
+
+  SyncStage(std::shared_ptr<DurabilityState> state, Options options);
+  ~SyncStage();
+  SyncStage(const SyncStage&) = delete;
+  SyncStage& operator=(const SyncStage&) = delete;
+
+  /// Enqueue a barrier covering (target_lsn, target_bytes) on fd. Always
+  /// enqueues (the writer decides when a barrier is redundant); blocks only
+  /// under backpressure. Safe to call with the writer's mutex held. After
+  /// crash()/shutdown() this is a no-op.
+  void request(int fd, std::uint64_t target_lsn, std::uint64_t target_bytes);
+
+  /// Wait until every requested barrier has been executed (or the stage has
+  /// failed). Returns the sticky error, if any. The caller may hold the
+  /// writer's mutex; the fd of every outstanding job must stay open until
+  /// this returns.
+  Status drain();
+
+  /// Abandon queued barriers, settle every outstanding ticket with `reason`
+  /// (already-durable tickets still report ok), join the worker. Used by
+  /// simulate_crash(); idempotent.
+  void crash(Status reason);
+
+  /// Drain, then stop and join the worker. Idempotent.
+  Status shutdown();
+
+  /// Ask the worker to prepare a preallocated spare segment file at `path`
+  /// (replacing any previous request). take_spare() hands over its fd once
+  /// ready; a spare whose path no longer matches is discarded.
+  void prepare_spare(const std::string& path, std::uint64_t bytes);
+
+  /// The ready spare's fd (offset 0, size 0, space preallocated), or -1 if
+  /// none is ready for this path. Ownership transfers to the caller.
+  int take_spare(const std::string& path);
+
+  struct Stats {
+    std::uint64_t barriers = 0;            // device barriers issued
+    std::uint64_t coalesced = 0;           // requests folded into one barrier
+    std::uint64_t out_of_order = 0;        // late uring completions
+    std::uint64_t backpressure_waits = 0;  // request() calls that blocked
+    std::uint64_t in_flight_peak = 0;      // max queued+executing barriers
+    std::uint64_t spares_prepared = 0;
+    bool uring_active = false;
+  };
+  Stats stats() const;
+
+  /// First barrier/hook failure (sticky), ok otherwise.
+  Status error() const;
+
+ private:
+  struct Job {
+    int fd = -1;
+    std::uint64_t target_lsn = 0;
+    std::uint64_t target_bytes = 0;
+  };
+
+  void worker();
+  void run_fallback_group(std::deque<Job>& group);
+  void run_uring_group(std::deque<Job>& group);
+  void fail_locked_unlocked(Status s);  // takes mu_ itself
+  void make_spare(std::string path, std::uint64_t bytes);
+
+  std::shared_ptr<DurabilityState> state_;
+  Options opt_;
+  std::unique_ptr<class UringQueue> ring_;  // null: fallback engine
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // worker wakeups
+  std::condition_variable done_cv_;   // drain()/backpressure wakeups
+  std::deque<Job> queue_;
+  std::uint64_t requested_ = 0;  // barriers enqueued over the stage lifetime
+  std::uint64_t executed_ = 0;   // barriers executed (or abandoned)
+  std::size_t executing_ = 0;    // barriers taken by the worker, not yet done
+  bool stop_ = false;
+  bool crashed_ = false;
+  Status error_;
+
+  // Spare preallocation slot.
+  std::string spare_want_path_;   // non-empty: worker should prepare this
+  std::uint64_t spare_bytes_ = 0;
+  std::string spare_ready_path_;  // non-empty: spare_fd_ is ready for it
+  int spare_fd_ = -1;
+
+  Stats stats_;
+
+  // Worker-thread-only state (no locking needed).
+  RetireLedger ledger_;
+  std::uint64_t last_retired_lsn_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace nonrep::journal

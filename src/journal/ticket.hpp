@@ -1,0 +1,130 @@
+// Durability tickets for the pipelined journal (the future half of the
+// async append API).
+//
+// append_async() hands every record an AppendTicket immediately; the record
+// becomes *evidence* only once the sync stage has retired the device barrier
+// covering its LSN. A DurableFuture is how a caller observes that moment:
+// it shares the writer's durability watermark, so waiting costs one
+// condition-variable sleep and completing a batch costs one notify for every
+// ticket it covers — there is no per-ticket allocation or registration.
+//
+// Futures outlive their writer: the shared state survives until the last
+// ticket drops, and close()/crash() settle every outstanding ticket (with
+// success or a sticky error) before the writer goes away.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "util/result.hpp"
+
+namespace nonrep::journal {
+
+/// Shared durability watermark of one Writer: which LSN (1-based append
+/// index) and how many bytes of the active segment the device has committed.
+/// The sync stage publishes, tickets and wait_durable() observe.
+struct DurabilityState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t durable_lsn = 0;    // records the device has committed
+  std::uint64_t durable_bytes = 0;  // active-segment bytes those barriers covered
+  Status error;                     // sticky: first barrier/crash failure
+
+  // Ticket accounting (Writer::Stats / obs). Relaxed: counters only.
+  std::atomic<std::uint64_t> ticket_waits{0};
+  std::atomic<std::uint64_t> ticket_wait_ns{0};
+
+  /// Publish a retired barrier and settle every ticket it covers.
+  void retire(std::uint64_t lsn, std::uint64_t bytes) {
+    {
+      std::lock_guard lk(mu);
+      if (lsn > durable_lsn) durable_lsn = lsn;
+      if (bytes > durable_bytes) durable_bytes = bytes;
+    }
+    cv.notify_all();
+  }
+
+  /// Record a sticky failure and wake every waiter. First error wins.
+  void fail(Status s) {
+    {
+      std::lock_guard lk(mu);
+      if (error.ok()) error = std::move(s);
+    }
+    cv.notify_all();
+  }
+};
+
+/// One record's claim on durability. Default-constructed (or from a backend
+/// with nothing asynchronous about it) the future is immediately ready and
+/// ok; a journal-issued future completes when the sync stage retires the
+/// barrier covering its LSN, or fails with the writer's sticky error.
+class DurableFuture {
+ public:
+  DurableFuture() = default;
+  DurableFuture(std::shared_ptr<DurabilityState> state, std::uint64_t lsn)
+      : state_(std::move(state)), lsn_(lsn) {}
+
+  /// An already-settled future (synchronous backends, error propagation).
+  static DurableFuture ready(Status s) {
+    DurableFuture f;
+    if (!s.ok()) {
+      f.state_ = std::make_shared<DurabilityState>();
+      f.state_->error = std::move(s);
+      f.lsn_ = 1;  // unreachable watermark: wait() reports the error
+    }
+    return f;
+  }
+
+  /// True once the record is durable or the writer has failed.
+  bool ready() const {
+    if (!state_) return true;
+    std::lock_guard lk(state_->mu);
+    return state_->durable_lsn >= lsn_ || !state_->error.ok();
+  }
+
+  /// Block until settled. Ok when the covering barrier retired; the sticky
+  /// writer error when durability can no longer happen. Re-waitable.
+  Status wait() const {
+    if (!state_) return Status::ok_status();
+    std::unique_lock lk(state_->mu);
+    if (state_->durable_lsn < lsn_ && state_->error.ok()) {
+      state_->ticket_waits.fetch_add(1, std::memory_order_relaxed);
+      const auto t0 = std::chrono::steady_clock::now();
+      state_->cv.wait(lk, [&] {
+        return state_->durable_lsn >= lsn_ || !state_->error.ok();
+      });
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      state_->ticket_wait_ns.fetch_add(static_cast<std::uint64_t>(ns),
+                                       std::memory_order_relaxed);
+    }
+    if (state_->durable_lsn >= lsn_) return Status::ok_status();
+    return state_->error;
+  }
+
+  std::uint64_t lsn() const noexcept { return lsn_; }
+
+ private:
+  std::shared_ptr<DurabilityState> state_;
+  std::uint64_t lsn_ = 0;
+};
+
+/// What append_async() returns: the record's journal sequence, its LSN in
+/// the writer's append order, and the future that settles when it is on the
+/// device. `policy_blocks` tells a compatibility caller whether the classic
+/// blocking append() would have waited here (kEveryRecord) — batched and
+/// timed policies never waited per record, and waiting on them without a
+/// barrier in flight would stall until some later append triggers one.
+struct AppendTicket {
+  std::uint64_t sequence = 0;
+  std::uint64_t lsn = 0;
+  DurableFuture durable;
+  bool policy_blocks = false;
+};
+
+}  // namespace nonrep::journal

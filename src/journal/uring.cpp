@@ -1,0 +1,185 @@
+#include "journal/uring.hpp"
+
+#ifdef NONREP_HAS_IOURING
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nonrep::journal {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+              nullptr, 0));
+}
+
+}  // namespace
+
+// Pointers into the two (or one, with IORING_FEAT_SINGLE_MMAP) ring mmaps.
+// Head/tail are shared with the kernel: loads of the side the kernel writes
+// need acquire, stores of the side we advance need release.
+struct UringQueue::Rings {
+  void* sq_map = nullptr;
+  std::size_t sq_map_len = 0;
+  void* cq_map = nullptr;  // equals sq_map under SINGLE_MMAP
+  std::size_t cq_map_len = 0;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_len = 0;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned sq_entries = 0;
+  unsigned* sq_array = nullptr;
+
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+
+  bool single_mmap = false;
+};
+
+std::unique_ptr<UringQueue> UringQueue::create(unsigned entries) {
+  io_uring_params p;
+  std::memset(&p, 0, sizeof(p));
+  const int fd = sys_io_uring_setup(entries == 0 ? 1 : entries, &p);
+  if (fd < 0) return nullptr;  // ENOSYS/EPERM/EMFILE: caller falls back
+
+  auto rings = std::make_unique<Rings>();
+  rings->single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+
+  const std::size_t sq_len = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  const std::size_t cq_len = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  rings->sq_map_len = rings->single_mmap ? (sq_len > cq_len ? sq_len : cq_len)
+                                         : sq_len;
+  rings->sq_map = mmap(nullptr, rings->sq_map_len, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (rings->sq_map == MAP_FAILED) {
+    close(fd);
+    return nullptr;
+  }
+  if (rings->single_mmap) {
+    rings->cq_map = rings->sq_map;
+    rings->cq_map_len = rings->sq_map_len;
+  } else {
+    rings->cq_map_len = cq_len;
+    rings->cq_map = mmap(nullptr, cq_len, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (rings->cq_map == MAP_FAILED) {
+      munmap(rings->sq_map, rings->sq_map_len);
+      close(fd);
+      return nullptr;
+    }
+  }
+  rings->sqes_len = p.sq_entries * sizeof(io_uring_sqe);
+  rings->sqes = static_cast<io_uring_sqe*>(
+      mmap(nullptr, rings->sqes_len, PROT_READ | PROT_WRITE,
+           MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES));
+  if (rings->sqes == MAP_FAILED) {
+    if (!rings->single_mmap) munmap(rings->cq_map, rings->cq_map_len);
+    munmap(rings->sq_map, rings->sq_map_len);
+    close(fd);
+    return nullptr;
+  }
+
+  auto* sq = static_cast<char*>(rings->sq_map);
+  rings->sq_head = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+  rings->sq_tail = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+  rings->sq_mask = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+  rings->sq_entries = p.sq_entries;
+  rings->sq_array = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+
+  auto* cq = static_cast<char*>(rings->cq_map);
+  rings->cq_head = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+  rings->cq_tail = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+  rings->cq_mask = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+  rings->cqes = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+
+  auto q = std::unique_ptr<UringQueue>(new UringQueue());
+  q->r_ = rings.release();
+  q->ring_fd_ = fd;
+  return q;
+}
+
+UringQueue::~UringQueue() {
+  if (r_ != nullptr) {
+    if (r_->sqes != nullptr) munmap(r_->sqes, r_->sqes_len);
+    if (!r_->single_mmap && r_->cq_map != nullptr)
+      munmap(r_->cq_map, r_->cq_map_len);
+    if (r_->sq_map != nullptr) munmap(r_->sq_map, r_->sq_map_len);
+    delete r_;
+  }
+  if (ring_fd_ >= 0) close(ring_fd_);
+}
+
+bool UringQueue::push_fsync(int fd, std::uint64_t user_data) {
+  const unsigned head = __atomic_load_n(r_->sq_head, __ATOMIC_ACQUIRE);
+  const unsigned tail = *r_->sq_tail;  // only we advance the tail
+  if (tail - head >= r_->sq_entries) return false;
+
+  const unsigned idx = tail & r_->sq_mask;
+  io_uring_sqe& sqe = r_->sqes[idx];
+  std::memset(&sqe, 0, sizeof(sqe));
+  sqe.opcode = IORING_OP_FSYNC;
+  sqe.fd = fd;
+  sqe.fsync_flags = IORING_FSYNC_DATASYNC;
+  sqe.user_data = user_data;
+  r_->sq_array[idx] = idx;
+
+  __atomic_store_n(r_->sq_tail, tail + 1, __ATOMIC_RELEASE);
+  ++queued_;
+  return true;
+}
+
+bool UringQueue::submit_and_wait(unsigned wait_for) {
+  const unsigned to_submit = queued_;
+  queued_ = 0;
+  // EINTR: nothing consumed, retry wholesale. Partial submission cannot
+  // happen for plain SQEs without registered files.
+  for (;;) {
+    const int rc = sys_io_uring_enter(ring_fd_, to_submit, wait_for,
+                                      IORING_ENTER_GETEVENTS);
+    if (rc >= 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool UringQueue::pop(Completion& out) {
+  const unsigned head = *r_->cq_head;  // only we advance the head
+  const unsigned tail = __atomic_load_n(r_->cq_tail, __ATOMIC_ACQUIRE);
+  if (head == tail) return false;
+  const io_uring_cqe& cqe = r_->cqes[head & r_->cq_mask];
+  out.user_data = cqe.user_data;
+  out.res = cqe.res;
+  __atomic_store_n(r_->cq_head, head + 1, __ATOMIC_RELEASE);
+  return true;
+}
+
+}  // namespace nonrep::journal
+
+#else  // !NONREP_HAS_IOURING
+
+namespace nonrep::journal {
+
+std::unique_ptr<UringQueue> UringQueue::create(unsigned) { return nullptr; }
+UringQueue::~UringQueue() = default;
+bool UringQueue::push_fsync(int, std::uint64_t) { return false; }
+bool UringQueue::submit_and_wait(unsigned) { return false; }
+bool UringQueue::pop(Completion&) { return false; }
+
+}  // namespace nonrep::journal
+
+#endif  // NONREP_HAS_IOURING

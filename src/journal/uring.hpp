@@ -1,0 +1,57 @@
+// Minimal io_uring wrapper for the journal sync stage.
+//
+// The container/toolchain bakes in kernel headers but not liburing, so this
+// speaks to the kernel directly: io_uring_setup/io_uring_enter syscalls plus
+// the mmap'd submission/completion rings, with acquire/release fences where
+// the man page requires them. Only what the sync stage needs is wrapped —
+// IORING_OP_FSYNC(IORING_FSYNC_DATASYNC) submissions and completion reaping.
+//
+// Availability is decided twice: at configure time CMake defines
+// NONREP_HAS_IOURING when <linux/io_uring.h> is usable (otherwise this
+// header compiles to a permanently-unavailable stub), and at runtime
+// create() probes io_uring_setup — sandboxes and old kernels return
+// ENOSYS/EPERM, in which case the sync stage silently keeps its
+// worker-thread fdatasync loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace nonrep::journal {
+
+class UringQueue {
+ public:
+  struct Completion {
+    std::uint64_t user_data = 0;
+    std::int32_t res = 0;  // 0 on fsync success, -errno on failure
+  };
+
+  /// Probe + build a ring with `entries` submission slots (rounded up by the
+  /// kernel). nullptr when io_uring is unavailable here — compiled out,
+  /// kernel too old, or forbidden by seccomp/sandbox.
+  static std::unique_ptr<UringQueue> create(unsigned entries);
+
+  ~UringQueue();
+  UringQueue(const UringQueue&) = delete;
+  UringQueue& operator=(const UringQueue&) = delete;
+
+  /// Queue one fdatasync-equivalent barrier. False when the SQ is full
+  /// (caller submits and retries).
+  bool push_fsync(int fd, std::uint64_t user_data);
+
+  /// Submit everything queued and block until at least `wait_for`
+  /// completions are reapable. Returns false on a submission failure.
+  bool submit_and_wait(unsigned wait_for);
+
+  /// Reap one completion; false when the CQ is empty.
+  bool pop(Completion& out);
+
+ private:
+  UringQueue() = default;
+  struct Rings;           // mmap bookkeeping, hidden from the header
+  Rings* r_ = nullptr;
+  int ring_fd_ = -1;
+  unsigned queued_ = 0;   // pushed but not yet submitted
+};
+
+}  // namespace nonrep::journal

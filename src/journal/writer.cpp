@@ -1,6 +1,7 @@
 #include "journal/writer.hpp"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
@@ -9,6 +10,7 @@
 
 #include "journal/reader.hpp"
 #include "journal/segment.hpp"
+#include "journal/sync_stage.hpp"
 #include "obs/metrics.hpp"
 
 namespace nonrep::journal {
@@ -17,16 +19,18 @@ namespace fs = std::filesystem;
 
 namespace {
 
+constexpr const char* kSpareFilename = ".spare.wal";
+
 // Handles resolved once; recording is lock-free so it is safe under mu_.
+// (Barrier-side instruments — syncs, fsync_ns, batch_records, pipeline
+// depth/coalescing — live in sync_stage.cpp, where the barriers now run.)
 struct JournalMetrics {
   obs::Counter& appends = obs::Registry::global().counter("journal.appends");
-  obs::Counter& syncs = obs::Registry::global().counter("journal.syncs");
   obs::Counter& rotations = obs::Registry::global().counter("journal.rotations");
-  obs::Histogram& fsync_ns = obs::Registry::global().histogram("journal.fsync_ns");
-  obs::Histogram& batch_records =
-      obs::Registry::global().histogram("journal.batch_records");
   obs::Histogram& barrier_wait_ns =
       obs::Registry::global().histogram("journal.barrier_wait_ns");
+  obs::Histogram& ticket_wait_ns =
+      obs::Registry::global().histogram("journal.pipeline.ticket_wait_ns");
 };
 
 JournalMetrics& metrics() {
@@ -57,7 +61,8 @@ Status write_all(int fd, BytesView data) {
   return Status::ok_status();
 }
 
-/// Persist a directory entry (segment creation/removal) across power loss.
+/// Persist a directory entry (segment creation/removal/rename) across power
+/// loss.
 Status fsync_dir(const std::string& dir) {
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd < 0) return errno_error("open " + dir);
@@ -65,6 +70,16 @@ Status fsync_dir(const std::string& dir) {
   ::close(dfd);
   if (rc != 0) return errno_error("fsync " + dir);
   return Status::ok_status();
+}
+
+SyncBackend resolve_backend(SyncBackend configured) {
+  // CI runs every journal suite twice: NONREP_JOURNAL_SYNC_BACKEND=uring and
+  // =fallback. The env var wins over the per-writer option.
+  if (const char* env = std::getenv("NONREP_JOURNAL_SYNC_BACKEND")) {
+    if (std::strcmp(env, "fallback") == 0) return SyncBackend::kWorkerFdatasync;
+    if (std::strcmp(env, "uring") == 0) return SyncBackend::kIoUring;
+  }
+  return configured;
 }
 
 }  // namespace
@@ -93,8 +108,20 @@ Result<std::unique_ptr<Writer>> Writer::resume(Options options,
   }
 
   std::unique_ptr<Writer> w(new Writer(std::move(options)));
+  // A spare left by a previous process is stale (its preallocation may not
+  // match, and its fd is gone); recovery ignores the name, we recreate it.
+  fs::remove(fs::path(w->opt_.dir) / kSpareFilename, ec);
+
+  w->state_ = std::make_shared<DurabilityState>();
+  SyncStage::Options stage_opt;
+  stage_opt.before_sync = w->opt_.before_sync;
+  stage_opt.max_batches_in_flight = w->opt_.max_batches_in_flight;
+  stage_opt.want_uring =
+      resolve_backend(w->opt_.sync_backend) != SyncBackend::kWorkerFdatasync;
+  w->stage_ = std::make_unique<SyncStage>(w->state_, std::move(stage_opt));
+
   w->next_seq_ = report.next_sequence;
-  w->last_sync_ = std::chrono::steady_clock::now();
+  w->last_barrier_request_ = std::chrono::steady_clock::now();
   if (report.tail_path.has_value()) {
     // Continue the unsealed final segment in place.
     const int fd = ::open(report.tail_path->c_str(), O_WRONLY | O_APPEND);
@@ -108,7 +135,13 @@ Result<std::unique_ptr<Writer>> Writer::resume(Options options,
   return w;
 }
 
+Writer::Writer(Options options) : opt_(std::move(options)) {}
+
 Writer::~Writer() { (void)close(); }
+
+std::string Writer::spare_path() const {
+  return (fs::path(opt_.dir) / kSpareFilename).string();
+}
 
 Status Writer::open_segment_locked(std::uint64_t first_sequence) {
   active_path_ = (fs::path(opt_.dir) / segment_filename(first_sequence)).string();
@@ -121,7 +154,12 @@ Status Writer::open_segment_locked(std::uint64_t first_sequence) {
   auto written = write_all(fd_, header);
   if (!written.ok()) return written;
   active_bytes_ = header.size();
-  return fsync_dir(opt_.dir);
+  auto synced = fsync_dir(opt_.dir);
+  if (!synced.ok()) return synced;
+  if (opt_.preallocate_segments) {
+    stage_->prepare_spare(spare_path(), opt_.segment_max_bytes);
+  }
+  return Status::ok_status();
 }
 
 Status Writer::flush_locked() {
@@ -136,76 +174,15 @@ Status Writer::flush_locked() {
   return Status::ok_status();
 }
 
-Status Writer::fdatasync_locked() {
-  // Cross-journal ordering: the hook makes whatever this journal's records
-  // depend on durable before our own barrier commits them.
-  if (opt_.before_sync) {
-    if (auto ordered = opt_.before_sync(); !ordered.ok()) return ordered;
-  }
-  const std::uint64_t batch = written_lsn_ - synced_lsn_;
-  const auto t0 = std::chrono::steady_clock::now();
-  if (::fdatasync(fd_) != 0) return errno_error("fdatasync " + active_path_);
-  metrics().fsync_ns.record(elapsed_ns(t0));
-  metrics().batch_records.record(batch);
-  metrics().syncs.add();
-  ++stats_.syncs;
-  synced_lsn_ = written_lsn_;
-  last_sync_ = std::chrono::steady_clock::now();
-  return Status::ok_status();
+void Writer::request_barrier_locked() {
+  if (written_lsn_ <= requested_lsn_) return;  // a queued barrier covers it
+  requested_lsn_ = written_lsn_;
+  last_barrier_request_ = std::chrono::steady_clock::now();
+  stage_->request(fd_, written_lsn_, active_bytes_);
 }
 
-Status Writer::group_sync(std::unique_lock<std::mutex>& lock, std::uint64_t target_lsn) {
-  while (synced_lsn_ < target_lsn) {
-    if (!io_error_.ok()) return io_error_;
-    if (sync_in_progress_) {
-      // Another appender is the sync leader; its fdatasync covers every
-      // record already written, ours included if we were flushed first.
-      const auto w0 = std::chrono::steady_clock::now();
-      cv_.wait(lock);
-      metrics().barrier_wait_ns.record(elapsed_ns(w0));
-      continue;
-    }
-    // Become the leader: one device barrier commits every record written so
-    // far, on behalf of all concurrent appenders waiting here.
-    sync_in_progress_ = true;
-    const std::uint64_t covers = written_lsn_;
-    const std::uint64_t batch = covers - synced_lsn_;
-    const int fd = fd_;
-    lock.unlock();
-    // Same ordering hook as fdatasync_locked(); run outside the lock, like
-    // the barrier it precedes. On hook failure the fdatasync is skipped —
-    // committing records ahead of their dependencies is the exact hazard
-    // the hook exists to prevent.
-    Status ordered = Status::ok_status();
-    if (opt_.before_sync) ordered = opt_.before_sync();
-    const auto t0 = std::chrono::steady_clock::now();
-    const int rc = ordered.ok() ? ::fdatasync(fd) : 0;
-    if (ordered.ok() && rc == 0) {
-      metrics().fsync_ns.record(elapsed_ns(t0));
-      metrics().batch_records.record(batch);
-      metrics().syncs.add();
-    }
-    lock.lock();
-    sync_in_progress_ = false;
-    if (!ordered.ok() || rc != 0) {
-      io_error_ = ordered.ok() ? errno_error("fdatasync " + active_path_) : ordered;
-      cv_.notify_all();
-      return io_error_;
-    }
-    ++stats_.syncs;
-    if (covers > synced_lsn_) synced_lsn_ = covers;
-    last_sync_ = std::chrono::steady_clock::now();
-    cv_.notify_all();
-  }
-  return Status::ok_status();
-}
-
-Status Writer::seal_locked(std::unique_lock<std::mutex>& lock) {
+Status Writer::seal_locked() {
   if (fd_ < 0) return Status::ok_status();
-  // Drain any in-flight leader before touching the fd lifecycle. New
-  // appends are excluded by sealing_ (set by our caller).
-  while (sync_in_progress_) cv_.wait(lock);
-
   auto flushed = flush_locked();
   if (!flushed.ok()) return flushed;
 
@@ -218,9 +195,14 @@ Status Writer::seal_locked(std::unique_lock<std::mutex>& lock) {
   auto written = write_all(fd_, frame);
   if (!written.ok()) return written;
   active_bytes_ += frame.size();
-  auto synced = fdatasync_locked();
-  if (!synced.ok()) return synced;
-  cv_.notify_all();  // waiters in group_sync: everything is durable now
+  // Unconditional barrier (the checkpoint bytes are not covered by any LSN
+  // watermark), then drain the whole pipeline: a sealed segment is durable
+  // in full, which is what keeps recovery semantics identical to the
+  // blocking writer.
+  stage_->request(fd_, written_lsn_, active_bytes_);
+  if (written_lsn_ > requested_lsn_) requested_lsn_ = written_lsn_;
+  auto drained = stage_->drain();
+  if (!drained.ok()) return drained;
 
   ::close(fd_);
   fd_ = -1;
@@ -228,13 +210,48 @@ Status Writer::seal_locked(std::unique_lock<std::mutex>& lock) {
   return Status::ok_status();
 }
 
-Status Writer::maybe_rotate_locked(std::unique_lock<std::mutex>& lock) {
+Status Writer::maybe_rotate_locked() {
   if (fd_ < 0 || active_bytes_ + pending_.size() < opt_.segment_max_bytes) {
     return Status::ok_status();
   }
   sealing_ = true;
-  auto sealed = seal_locked(lock);
-  if (sealed.ok()) sealed = open_segment_locked(next_seq_);
+  auto sealed = seal_locked();
+  if (sealed.ok()) {
+    // Prefer the preallocated spare: rename it into place and persist the
+    // name *before* any record lands in it. The directory fsync must stay
+    // synchronous — a later fdatasync on the fd would commit data into a
+    // file whose name could vanish with the power.
+    const int sfd =
+        opt_.preallocate_segments ? stage_->take_spare(spare_path()) : -1;
+    bool swapped = false;
+    if (sfd >= 0) {
+      const std::string next_path =
+          (fs::path(opt_.dir) / segment_filename(next_seq_)).string();
+      if (::rename(spare_path().c_str(), next_path.c_str()) == 0) {
+        auto named = fsync_dir(opt_.dir);
+        const Bytes header = encode_segment_header(next_seq_);
+        if (named.ok()) named = write_all(sfd, header);
+        if (named.ok()) {
+          fd_ = sfd;
+          active_path_ = next_path;
+          active_first_seq_ = next_seq_;
+          active_bytes_ = header.size();
+          leaves_.clear();
+          ++stats_.spare_swaps;
+          swapped = true;
+        } else {
+          ::close(sfd);
+          sealed = named;
+        }
+      } else {
+        ::close(sfd);
+      }
+    }
+    if (!swapped && sealed.ok()) sealed = open_segment_locked(next_seq_);
+    if (swapped && opt_.preallocate_segments) {
+      stage_->prepare_spare(spare_path(), opt_.segment_max_bytes);
+    }
+  }
   sealing_ = false;
   cv_.notify_all();
   if (!sealed.ok()) return sealed;
@@ -243,7 +260,7 @@ Status Writer::maybe_rotate_locked(std::unique_lock<std::mutex>& lock) {
   return Status::ok_status();
 }
 
-Result<std::uint64_t> Writer::append(BytesView payload) {
+Result<AppendTicket> Writer::append_async(BytesView payload) {
   // What the scanner would reject as corruption must never be written: an
   // acknowledged-but-unrecoverable record is worse than an error here.
   if (payload.size() > kMaxBodyBytes - kRecordPrefixBytes) {
@@ -255,11 +272,13 @@ Result<std::uint64_t> Writer::append(BytesView payload) {
   while (sealing_) cv_.wait(lock);
   if (closed_) return Error::make("journal.closed", "writer is closed");
   if (!io_error_.ok()) return io_error_.error();
+  if (auto barrier = stage_->error(); !barrier.ok()) return barrier.error();
 
   if (fd_ < 0) {
     auto opened = open_segment_locked(next_seq_);
     if (!opened.ok()) {
       io_error_ = opened;
+      state_->fail(opened);
       return opened.error();
     }
   }
@@ -271,53 +290,92 @@ Result<std::uint64_t> Writer::append(BytesView payload) {
   nonrep::append(pending_, frame);  // qualified: Writer::append shadows
   ++pending_records_;
   ++appended_lsn_;
-  const std::uint64_t my_lsn = appended_lsn_;
   ++stats_.appends;
   metrics().appends.add();
 
-  Status committed = Status::ok_status();
+  AppendTicket ticket;
+  ticket.sequence = seq;
+  ticket.lsn = appended_lsn_;
+
+  Status staged = Status::ok_status();
   switch (opt_.sync) {
     case SyncPolicy::kEveryRecord:
-      committed = flush_locked();
-      if (committed.ok()) committed = group_sync(lock, my_lsn);
+      staged = flush_locked();
+      if (staged.ok()) request_barrier_locked();
+      ticket.policy_blocks = true;
       break;
     case SyncPolicy::kEveryBatch:
       if (pending_records_ >= opt_.batch_records) {
-        committed = flush_locked();
-        if (committed.ok()) committed = group_sync(lock, written_lsn_);
+        staged = flush_locked();
+        if (staged.ok()) request_barrier_locked();
       }
       break;
     case SyncPolicy::kTimed:
-      committed = flush_locked();
-      if (committed.ok() &&
-          std::chrono::steady_clock::now() - last_sync_ >=
+      staged = flush_locked();
+      if (staged.ok() &&
+          std::chrono::steady_clock::now() - last_barrier_request_ >=
               std::chrono::milliseconds(opt_.sync_interval_ms)) {
-        committed = group_sync(lock, written_lsn_);
+        request_barrier_locked();
       }
       break;
   }
-  if (!committed.ok()) {
-    io_error_ = committed;
-    return committed.error();
+  if (!staged.ok()) {
+    io_error_ = staged;
+    state_->fail(staged);  // settle earlier tickets still waiting on a flush
+    return staged.error();
   }
 
-  auto rotated = maybe_rotate_locked(lock);
+  auto rotated = maybe_rotate_locked();
   if (!rotated.ok()) {
     io_error_ = rotated;
+    state_->fail(rotated);
     return rotated.error();
   }
-  return seq;
+  ticket.durable = DurableFuture(state_, ticket.lsn);
+  return ticket;
+}
+
+Result<std::uint64_t> Writer::append(BytesView payload) {
+  auto ticket = append_async(payload);
+  if (!ticket) return ticket.error();
+  if (ticket.value().policy_blocks) {
+    auto durable = wait_durable(ticket.value().lsn);
+    if (!durable.ok()) return durable.error();
+  }
+  return ticket.value().sequence;
+}
+
+Status Writer::wait_durable(std::uint64_t lsn) {
+  auto future = durable_future(lsn);
+  if (future.ready()) return future.wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto st = future.wait();
+  const auto waited = elapsed_ns(t0);
+  metrics().barrier_wait_ns.record(waited);
+  metrics().ticket_wait_ns.record(waited);
+  return st;
+}
+
+DurableFuture Writer::durable_future(std::uint64_t lsn) const {
+  if (lsn == 0) return DurableFuture();
+  return DurableFuture(state_, lsn);
 }
 
 Status Writer::sync() {
   std::unique_lock<std::mutex> lock(mu_);
   while (sealing_) cv_.wait(lock);
-  if (closed_ || fd_ < 0) return io_error_;
   if (!io_error_.ok()) return io_error_;
+  if (closed_ || fd_ < 0) return io_error_;
   auto flushed = flush_locked();
-  if (flushed.ok()) flushed = group_sync(lock, written_lsn_);
-  if (!flushed.ok()) io_error_ = flushed;
-  return flushed;
+  if (!flushed.ok()) {
+    io_error_ = flushed;
+    state_->fail(flushed);
+    return flushed;
+  }
+  request_barrier_locked();
+  const std::uint64_t target = written_lsn_;
+  lock.unlock();
+  return wait_durable(target);
 }
 
 Status Writer::close() {
@@ -325,26 +383,35 @@ Status Writer::close() {
   while (sealing_) cv_.wait(lock);
   if (closed_) return io_error_;
   sealing_ = true;
-  auto sealed = seal_locked(lock);
+  auto sealed = seal_locked();
   sealing_ = false;
   closed_ = true;
+  if (!sealed.ok()) {
+    if (io_error_.ok()) io_error_ = sealed;
+    state_->fail(sealed);  // settle tickets that will now never be durable
+  }
   cv_.notify_all();
-  if (!sealed.ok() && io_error_.ok()) io_error_ = sealed;
+  lock.unlock();
+  (void)stage_->shutdown();
   return sealed;
 }
 
 void Writer::simulate_crash() {
   std::unique_lock<std::mutex> lock(mu_);
-  while (sealing_ || sync_in_progress_) cv_.wait(lock);
+  while (sealing_) cv_.wait(lock);
   // Whatever never reached the OS is gone, exactly as in a real crash; the
-  // fd is abandoned without a seal or a final sync.
+  // fd is abandoned without a seal or a final sync. Queued barriers are
+  // abandoned too — their tickets settle with journal.crashed, while tickets
+  // whose barrier already retired stay ok (prefix durability).
   pending_.clear();
   pending_records_ = 0;
+  closed_ = true;
+  stage_->crash(Error::make("journal.crashed",
+                            "writer crashed before the covering barrier"));
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
-  closed_ = true;
   cv_.notify_all();
 }
 
@@ -353,9 +420,31 @@ std::uint64_t Writer::next_sequence() const {
   return next_seq_;
 }
 
+Status Writer::health() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!io_error_.ok()) return io_error_;
+  }
+  return stage_->error();
+}
+
 Writer::Stats Writer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s = stats_;
+  const SyncStage::Stats stage = stage_->stats();
+  s.syncs = stage.barriers;
+  s.batches_in_flight_peak = stage.in_flight_peak;
+  s.coalesced_barriers = stage.coalesced;
+  s.out_of_order_retirements = stage.out_of_order;
+  s.backpressure_waits = stage.backpressure_waits;
+  s.uring_active = stage.uring_active;
+  s.ticket_waits = state_->ticket_waits.load(std::memory_order_relaxed);
+  s.ticket_wait_ns = state_->ticket_wait_ns.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> sl(state_->mu);
+    s.durable_bytes = state_->durable_bytes;
+  }
+  return s;
 }
 
 }  // namespace nonrep::journal

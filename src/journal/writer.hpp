@@ -1,25 +1,50 @@
-// Append side of the durable evidence journal.
+// Append side of the durable evidence journal — pipelined group commit with
+// a future-based durability API.
 //
 // A Writer owns one journal directory and appends data records with
-// monotonically increasing sequence numbers. Durability is governed by a
-// sync policy:
+// monotonically increasing sequence numbers. The commit path is a two-stage
+// pipeline: append_async() encodes the frame, hands it to the OS according
+// to the sync policy, and returns an AppendTicket immediately; a dedicated
+// sync stage (journal/sync_stage.hpp) retires device barriers off-thread —
+// io_uring fsync completions where available, a worker-thread fdatasync
+// loop otherwise — and settles tickets in LSN order. Batch N+1 accumulates
+// and writes while batch N's barrier is in flight, so appenders never block
+// behind a leader's fdatasync.
 //
-//   kEveryRecord  append() returns only after the record is fdatasync'd.
-//                 Concurrent appenders group-commit: whoever becomes the
-//                 sync leader flushes the device once for every record
-//                 written so far, and the others just wait for their LSN.
+// Policy → pipeline mapping (what each policy means under the async API):
+//
+//   kEveryRecord  append_async() flushes the frame to the OS and enqueues a
+//                 barrier covering it; the ticket settles when that barrier
+//                 retires. The ticket's policy_blocks flag is set: the
+//                 compatibility append() waits on it, preserving the classic
+//                 "returns only after fdatasync" contract. Concurrent
+//                 appenders still group-commit — queued barriers coalesce in
+//                 the sync stage — but an appender that uses the ticket can
+//                 overlap its own work with the barrier.
 //   kEveryBatch   records accumulate in memory; every batch_records appends
-//                 trigger one write+fdatasync. Highest throughput; a crash
-//                 can lose at most the unsynced tail of the current batch.
+//                 trigger one flush + one queued barrier. Nobody waits (the
+//                 pre-pipeline writer blocked the appender that happened to
+//                 trigger the batch). A crash can now lose at most
+//                 max_batches_in_flight in-flight batches plus the unflushed
+//                 tail — the price of the pipeline; callers needing a bound
+//                 use the ticket or sync().
 //   kTimed        records are written through to the OS on every append
-//                 (visible to a scan if only the process dies) and
-//                 fdatasync'd at most every sync_interval_ms.
+//                 (visible to a scan if only the process dies) and a barrier
+//                 is queued at most every sync_interval_ms. Never waits.
+//
+// Backpressure replaces the old head-of-line stall: once
+// max_batches_in_flight barriers are queued or executing, the next trigger
+// blocks until one retires, bounding both memory and the crash window.
 //
 // When a segment reaches segment_max_bytes it is sealed — a checkpoint frame
 // committing to the Merkle root of the segment's record digests is appended
-// and synced — and a new segment starts. close() (and the destructor) seal
-// the active segment the same way, so every cleanly closed segment ends in a
-// verifiable checkpoint; only a crash leaves an unsealed tail for recovery.
+// and synced — and a new segment starts. Sealing drains the pipeline first,
+// so every sealed segment is fully durable and recovery semantics are
+// unchanged from the blocking writer. Rotation swaps in a preallocated
+// spare file (fallocate'd by the sync stage in idle moments, renamed into
+// place + directory-fsync'd synchronously) so the append path does not pay
+// allocation stalls. close() (and the destructor) seal the active segment
+// the same way; only a crash leaves an unsealed tail for recovery.
 #pragma once
 
 #include <chrono>
@@ -32,11 +57,13 @@
 #include <vector>
 
 #include "journal/format.hpp"
+#include "journal/ticket.hpp"
 #include "util/result.hpp"
 
 namespace nonrep::journal {
 
 struct RecoveryReport;  // reader.hpp
+class SyncStage;        // sync_stage.hpp
 
 enum class SyncPolicy : std::uint8_t {
   kEveryRecord = 0,
@@ -44,22 +71,43 @@ enum class SyncPolicy : std::uint8_t {
   kTimed = 2,
 };
 
+/// Which engine retires device barriers. kAuto probes io_uring at open and
+/// falls back to the worker-thread fdatasync loop; the probe (and kIoUring)
+/// degrade to the fallback when the kernel or sandbox says no. The
+/// NONREP_JOURNAL_SYNC_BACKEND environment variable ("uring" / "fallback")
+/// overrides this option — CI uses it to run both modes.
+enum class SyncBackend : std::uint8_t {
+  kAuto = 0,
+  kWorkerFdatasync = 1,
+  kIoUring = 2,
+};
+
 struct Options {
   std::string dir;
   std::uint64_t segment_max_bytes = 4ull << 20;
   SyncPolicy sync = SyncPolicy::kEveryBatch;
-  /// kEveryBatch: appends per fdatasync.
+  /// kEveryBatch: appends per barrier.
   std::size_t batch_records = 64;
   /// kTimed: maximum age of un-synced data, in wall milliseconds.
   std::uint32_t sync_interval_ms = 50;
-  /// Invoked immediately before every device barrier this writer issues
-  /// (group commit, explicit sync(), seal, rotation, close). Lets a caller
-  /// order durability across journals: the object-mode record journal points
-  /// this at the object journal's sync(), so no record frame ever becomes
-  /// durable ahead of the object frame it references. A failure aborts the
-  /// barrier (and sticks, like any sync failure). May run with this writer's
-  /// internal lock held — the hook must not call back into this writer.
+  /// Invoked on the sync-stage worker immediately before every device
+  /// barrier this writer issues (group commit, explicit sync(), seal,
+  /// rotation, close) — a per-batch pipeline stage. Lets a caller order
+  /// durability across journals: the object-mode record journal points this
+  /// at the object journal's sync(), so no record frame ever becomes durable
+  /// ahead of the object frame it references, however many batches are in
+  /// flight. A failure aborts the barrier (and sticks, like any sync
+  /// failure). Runs off the appender threads; it must not call back into
+  /// this writer (calling into *other* writers, e.g. the object journal, is
+  /// the intended use).
   std::function<Status()> before_sync = nullptr;
+  /// Barrier engine selection (see SyncBackend).
+  SyncBackend sync_backend = SyncBackend::kAuto;
+  /// Pipeline depth: barriers queued or executing before append triggers
+  /// block. Also bounds the kEveryBatch crash window.
+  std::size_t max_batches_in_flight = 4;
+  /// Keep a fallocate'd spare segment ready for rotation.
+  bool preallocate_segments = true;
 };
 
 class Writer {
@@ -79,42 +127,74 @@ class Writer {
   Writer(const Writer&) = delete;
   Writer& operator=(const Writer&) = delete;
 
-  /// Appends one data record; returns its sequence number. Thread-safe.
+  /// Appends one data record without waiting for durability; returns its
+  /// ticket. The record is durable once ticket.durable settles ok (the
+  /// future stays valid after close/crash). Thread-safe.
+  Result<AppendTicket> append_async(BytesView payload);
+
+  /// Compatibility append: append_async plus the policy's classic blocking
+  /// behavior (kEveryRecord waits for durability; kEveryBatch/kTimed return
+  /// as soon as the record is staged). Returns the sequence number.
   Result<std::uint64_t> append(BytesView payload);
 
-  /// Forces everything appended so far onto the device.
+  /// Block until every record up to `lsn` (AppendTicket::lsn) is durable.
+  Status wait_durable(std::uint64_t lsn);
+
+  /// A waitable future for `lsn`; durable_future(0) is already settled.
+  DurableFuture durable_future(std::uint64_t lsn) const;
+
+  /// Forces everything appended so far onto the device (queues a barrier if
+  /// none covers the tail yet, then waits for it).
   Status sync();
 
   /// Seals the active segment (checkpoint + sync) and stops the writer.
   /// Idempotent; also run by the destructor.
   Status close();
 
-  /// Test hook: drop any buffered records and abandon the fd without sealing
-  /// or syncing — the on-disk state is exactly what a crash would leave.
+  /// Test hook: drop any buffered records, abandon queued barriers and the
+  /// fd without sealing or syncing — the on-disk state is exactly what a
+  /// crash would leave. Outstanding tickets whose barrier never retired
+  /// settle with journal.crashed; already-durable tickets stay ok.
   void simulate_crash();
 
   std::uint64_t next_sequence() const;
 
+  /// First sticky failure (append-path I/O or sync-stage barrier), if any.
+  Status health() const;
+
   struct Stats {
     std::uint64_t appends = 0;
-    std::uint64_t flushes = 0;  // write() batches issued
-    std::uint64_t syncs = 0;    // fdatasync() calls
+    std::uint64_t flushes = 0;    // write() batches issued
+    std::uint64_t syncs = 0;      // device barriers retired
     std::uint64_t rotations = 0;
+    // Pipeline behavior.
+    std::uint64_t batches_in_flight_peak = 0;  // barriers queued+executing
+    std::uint64_t coalesced_barriers = 0;      // requests folded together
+    std::uint64_t out_of_order_retirements = 0;  // late uring completions
+    std::uint64_t backpressure_waits = 0;      // triggers that blocked
+    std::uint64_t ticket_waits = 0;            // DurableFuture::wait blocks
+    std::uint64_t ticket_wait_ns = 0;          // total ns spent in them
+    std::uint64_t spare_swaps = 0;             // rotations served by a spare
+    std::uint64_t durable_bytes = 0;  // active-segment bytes known durable
+                                      // (high-water across rotations)
+    bool uring_active = false;        // io_uring engine in use
   };
   Stats stats() const;
 
  private:
-  explicit Writer(Options options) : opt_(std::move(options)) {}
+  explicit Writer(Options options);  // defined where SyncStage is complete
 
   // All _locked members require mu_ held.
   Status open_segment_locked(std::uint64_t first_sequence);
-  Status flush_locked();                 // pending_ -> fd
-  Status fdatasync_locked();             // device barrier (lock held throughout)
-  Status group_sync(std::unique_lock<std::mutex>& lock, std::uint64_t target_lsn);
-  Status seal_locked(std::unique_lock<std::mutex>& lock);  // checkpoint + sync
-  Status maybe_rotate_locked(std::unique_lock<std::mutex>& lock);
+  Status flush_locked();  // pending_ -> fd
+  void request_barrier_locked();          // barrier to written_lsn_ (dedup'd)
+  Status seal_locked();                   // checkpoint + drain + close fd
+  Status maybe_rotate_locked();
+  std::string spare_path() const;
 
   Options opt_;
+  std::shared_ptr<DurabilityState> state_;
+  std::unique_ptr<SyncStage> stage_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -127,14 +207,13 @@ class Writer {
   Bytes pending_;                  // encoded frames not yet written to the fd
   std::size_t pending_records_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t appended_lsn_ = 0;  // records handed to append()
-  std::uint64_t written_lsn_ = 0;   // records written to the fd
-  std::uint64_t synced_lsn_ = 0;    // records known durable
-  bool sync_in_progress_ = false;
+  std::uint64_t appended_lsn_ = 0;   // records handed to append_async()
+  std::uint64_t written_lsn_ = 0;    // records written to the fd
+  std::uint64_t requested_lsn_ = 0;  // highest lsn a queued barrier covers
   bool sealing_ = false;  // checkpoint/rotation in flight; appends wait
   bool closed_ = false;
-  std::chrono::steady_clock::time_point last_sync_{};
-  Status io_error_;  // first unrecovered I/O failure, sticky
+  std::chrono::steady_clock::time_point last_barrier_request_{};
+  Status io_error_;  // first unrecovered append-path I/O failure, sticky
   Stats stats_;
 };
 

@@ -171,6 +171,17 @@ EvidenceLog::EvidenceLog(std::unique_ptr<LogBackend> backend, std::shared_ptr<Cl
 }
 
 LogRecord EvidenceLog::append(const RunId& run, std::string kind, Bytes payload) {
+  auto [rec, receipt] = append_async(run, std::move(kind), std::move(payload));
+  // The classic blocking contract, minus the old stall: the barrier wait
+  // happens here, outside mu_, so other appenders chain and stage records
+  // while this one's fdatasync is in flight.
+  if (receipt.policy_blocks) (void)settle(receipt);
+  return rec;
+}
+
+std::pair<LogRecord, AppendReceipt> EvidenceLog::append_async(const RunId& run,
+                                                              std::string kind,
+                                                              Bytes payload) {
   std::lock_guard lk(mu_);
   LogRecord rec;
   rec.sequence = records_.size();
@@ -187,9 +198,32 @@ LogRecord EvidenceLog::append(const RunId& run, std::string kind, Bytes payload)
   }
   payload_bytes_ += rec.payload.size();
   records_.push_back(std::move(rec));
-  auto persisted = backend_->append(records_.back());
-  if (!persisted.ok() && backend_status_.ok()) backend_status_ = persisted;
-  return records_.back();
+  auto staged = backend_->append_async(records_.back());
+  if (!staged) {
+    if (backend_status_.ok()) backend_status_ = staged.error();
+    return {records_.back(), AppendReceipt{}};
+  }
+  return {records_.back(), std::move(staged).take()};
+}
+
+Status EvidenceLog::settle(const AppendReceipt& receipt) {
+  // A batched/timed receipt may have no covering barrier in flight yet —
+  // and a rotation re-phases batch boundaries, so even a full batch of
+  // appends is no guarantee. Force one so settle() is self-sufficient
+  // instead of stalling until later append traffic triggers the batch.
+  if (!receipt.durable.ready()) {
+    if (auto forced = backend_->sync(); !forced.ok()) {
+      std::lock_guard lk(mu_);
+      if (backend_status_.ok()) backend_status_ = forced;
+      return forced;
+    }
+  }
+  auto durable = receipt.durable.wait();
+  if (!durable.ok()) {
+    std::lock_guard lk(mu_);
+    if (backend_status_.ok()) backend_status_ = durable;
+  }
+  return durable;
 }
 
 std::size_t EvidenceLog::size() const {
@@ -204,7 +238,10 @@ std::uint64_t EvidenceLog::payload_bytes() const {
 
 Status EvidenceLog::backend_status() const {
   std::lock_guard lk(mu_);
-  return backend_status_;
+  if (!backend_status_.ok()) return backend_status_;
+  // Barriers retire after append_async returns; the backend keeps the
+  // sticky failure for records nobody settle()d.
+  return backend_->health();
 }
 
 std::vector<LogRecord> EvidenceLog::find_run(const RunId& run) const {

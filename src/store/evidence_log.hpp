@@ -11,9 +11,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crypto/sha256.hpp"
+#include "journal/ticket.hpp"
 #include "store/object_store.hpp"
 #include "util/clock.hpp"
 #include "util/ids.hpp"
@@ -43,15 +45,47 @@ struct LogRecord {
   Bytes canonical() const;  // everything except `chain` and the annotation
 };
 
+/// What an asynchronous backend append hands back: a future that settles
+/// when the record is durable, and whether the backend's sync policy would
+/// classically have blocked here (kEveryRecord — the caller that wants the
+/// old contract waits; one that can overlap work with the barrier doesn't).
+/// A synchronous backend returns a default receipt: already settled, ok.
+struct AppendReceipt {
+  journal::DurableFuture durable;
+  bool policy_blocks = false;
+};
+
 /// Storage backend; MemoryBackend for tests/sim, FileBackend for legacy
 /// files, JournalLogBackend (store/journal_backend.hpp) for durable
 /// deployments. append() reports persistence failures so the caller can
-/// stop treating the record as evidence.
+/// stop treating the record as evidence; append_async() defers the
+/// durability half of that report into the receipt's future so callers can
+/// overlap verification or protocol work with the device barrier.
 class LogBackend {
  public:
   virtual ~LogBackend() = default;
   virtual Status append(const LogRecord& record) = 0;
   virtual std::vector<LogRecord> load() = 0;
+
+  /// Stage the record and return a durability receipt. Default: synchronous
+  /// append, already-settled receipt — only journal-backed deployments
+  /// pipeline.
+  virtual Result<AppendReceipt> append_async(const LogRecord& record) {
+    if (auto persisted = append(record); !persisted.ok()) {
+      return persisted.error();
+    }
+    return AppendReceipt{};
+  }
+
+  /// First sticky persistence failure, including barriers that failed after
+  /// append_async returned. Ok for backends without deferred durability.
+  virtual Status health() const { return Status::ok_status(); }
+
+  /// Force staged-but-unbarriered records onto the device and wait. Batched
+  /// and timed journal policies only queue barriers when traffic triggers
+  /// them, so a receipt holder that needs durability *now* syncs first.
+  /// Synchronous backends have nothing staged: default ok.
+  virtual Status sync() { return Status::ok_status(); }
 };
 
 class MemoryLogBackend final : public LogBackend {
@@ -98,8 +132,22 @@ class EvidenceLog {
   EvidenceLog(std::unique_ptr<LogBackend> backend, std::shared_ptr<Clock> clock,
               std::shared_ptr<ObjectStore> objects = nullptr);
 
-  /// Append evidence; returns the record including its chain digest.
+  /// Append evidence; returns the record including its chain digest. When
+  /// the backend's policy demands per-record durability the call waits for
+  /// the barrier — but outside the log's mutex, so concurrent appenders and
+  /// readers are no longer serialized behind an fdatasync.
   LogRecord append(const RunId& run, std::string kind, Bytes payload);
+
+  /// Pipelined append: the record is chained and staged, and the receipt's
+  /// future settles once it is durable. Protocol code that can overlap
+  /// signing/verification with the barrier uses this and later settle()s
+  /// the receipt (or checks backend_status()).
+  std::pair<LogRecord, AppendReceipt> append_async(const RunId& run, std::string kind,
+                                                   Bytes payload);
+
+  /// Wait for a receipt's barrier; a failure is recorded as the log's
+  /// backend status (first failure sticks) and returned.
+  Status settle(const AppendReceipt& receipt);
 
   std::size_t size() const;
   const std::vector<LogRecord>& records() const noexcept { return records_; }
@@ -112,9 +160,11 @@ class EvidenceLog {
   /// Total payload bytes held (space-overhead experiments, §6).
   std::uint64_t payload_bytes() const;
 
-  /// First persistence failure reported by the backend, if any. Records are
-  /// always kept in memory so a protocol run can finish; a caller that needs
-  /// durable evidence must check this (or the backend's own sync status).
+  /// First persistence failure, if any: failures reported at append time,
+  /// settle() failures, and — via LogBackend::health() — barriers that
+  /// failed after an append_async was staged. Records are always kept in
+  /// memory so a protocol run can finish; a caller that needs durable
+  /// evidence must check this (or the backend's own sync status).
   Status backend_status() const;
 
   /// The attached object store (nullptr when running without interning).

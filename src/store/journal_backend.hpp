@@ -35,6 +35,13 @@ namespace nonrep::store {
 struct ResolveStats {
   std::uint64_t dangling_refs = 0;  // thin records whose object is missing
   std::uint64_t undecodable = 0;    // frames that pass CRC but not decode
+  /// Records truncated away as a torn *async* tail: a crash with batches in
+  /// flight can persist record frames whose object frames never reached
+  /// their barrier. When every dangling reference is a contiguous suffix of
+  /// the unsealed tail segment, the open treats it exactly like a torn
+  /// write — the suffix is cut off, sequence numbering resumes before it —
+  /// and counts the records here instead of dangling_refs.
+  std::uint64_t truncated_tail_records = 0;
 };
 
 class JournalLogBackend final : public LogBackend {
@@ -51,10 +58,18 @@ class JournalLogBackend final : public LogBackend {
       journal::Options options, std::shared_ptr<ObjectStore> store);
 
   Status append(const LogRecord& record) override;
+  /// Pipelined append: object frame (object mode) and record frame are
+  /// staged, and the receipt's future settles when the *record* barrier
+  /// retires — which, via the journal's before_sync coupling, implies the
+  /// object frame is durable too.
+  Result<AppendReceipt> append_async(const LogRecord& record) override;
   std::vector<LogRecord> load() override;
+  /// Sticky failures from either journal, including barriers retired after
+  /// append_async returned.
+  Status health() const override;
 
   /// Durability escape hatch for batched/timed sync policies.
-  Status sync();
+  Status sync() override;
 
   journal::Writer& writer() noexcept { return *writer_; }
   /// Object-journal writer (object mode only, nullptr otherwise). Exposed

@@ -336,6 +336,171 @@ TEST_F(FailureFixture, EndToEndRunSurvivesTornWriteAndAudits) {
   EXPECT_TRUE(journal::Reader::audit(jdir).ok);
 }
 
+// ---- torn async batches ----
+//
+// The pipelined writer can crash with several group-commit batches in
+// flight. Power loss then leaves each WAL cut at its own durable watermark:
+// the record journal may retain frames whose object frames never reached
+// their barrier (the object journal is synced *before* every record
+// barrier, so only the un-barriered record suffix can dangle). Recovery
+// must keep exactly the durable prefix — the dangling suffix is truncated
+// like any torn write, with zero dangling references surviving.
+
+struct TornAsyncFixture : ::testing::Test {
+  std::string dir;
+  std::string record_tail;
+  std::string object_tail;
+  std::shared_ptr<SimClock> clock = std::make_shared<SimClock>(1000);
+  RunId run{"torn-async"};
+
+  journal::Options record_options(std::uint64_t segment_max_bytes = 4ull << 20) const {
+    return {.dir = dir,
+            .segment_max_bytes = segment_max_bytes,
+            .sync = journal::SyncPolicy::kEveryBatch,
+            .batch_records = 2};
+  }
+
+  // Build an object-mode journal with `records` distinct payloads, make
+  // everything durable, then crash both writers — the on-disk state of a
+  // process that died with its WAL tails unsealed. File surgery afterwards
+  // emulates what power loss does to each journal's un-barriered suffix.
+  void build(int records, std::uint64_t segment_max_bytes = 4ull << 20) {
+    namespace fs = std::filesystem;
+    dir = (fs::temp_directory_path() / "nonrep_fi_torn_async").string();
+    fs::remove_all(dir);
+    auto store = std::make_shared<store::ObjectStore>();
+    auto opened = store::JournalLogBackend::open(record_options(segment_max_bytes), store);
+    ASSERT_TRUE(opened.ok()) << opened.error().detail;
+    auto* jb = opened.value().get();
+    store::EvidenceLog log(std::move(opened).take(), clock, store);
+    for (int i = 0; i < records; ++i) {
+      log.append(run, "blob", to_bytes("payload-" + std::to_string(i)));
+    }
+    ASSERT_TRUE(jb->sync().ok());
+    ASSERT_TRUE(log.backend_status().ok());
+    jb->writer().simulate_crash();
+    jb->object_writer()->simulate_crash();
+
+    auto rsegs = journal::Segment::list(dir);
+    ASSERT_TRUE(rsegs.ok());
+    ASSERT_FALSE(rsegs.value().empty());
+    record_tail = rsegs.value().back();
+    auto osegs = journal::Segment::list(dir + "/objects");
+    ASSERT_TRUE(osegs.ok());
+    ASSERT_FALSE(osegs.value().empty());
+    object_tail = osegs.value().back();
+  }
+};
+
+TEST_F(TornAsyncFixture, DanglingSuffixTruncatedToDurablePrefix) {
+  // k = number of record frames whose object frames the power loss ate —
+  // k >= 2 is the genuinely-async case (two-plus batches still in flight).
+  for (const std::size_t k : {1u, 2u, 3u}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    build(7);
+    // Cut the object journal after its (7-k)-th frame: the last k records
+    // now reference objects that were never durable. Distinct payloads mean
+    // record i references exactly object i, so the danglers are precisely
+    // the record suffix.
+    auto scan = journal::Segment::scan(object_tail);
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(scan->records.size(), 7u);
+    std::filesystem::resize_file(object_tail, scan->records[7 - k].offset);
+
+    auto rebuilt = std::make_shared<store::ObjectStore>();
+    auto reopened = store::JournalLogBackend::open(record_options(), rebuilt);
+    ASSERT_TRUE(reopened.ok()) << reopened.error().detail;
+    EXPECT_EQ(reopened.value()->resolve_stats().dangling_refs, 0u);
+    EXPECT_EQ(reopened.value()->resolve_stats().truncated_tail_records, k);
+
+    store::EvidenceLog recovered(std::move(reopened).take(), clock, rebuilt);
+    ASSERT_EQ(recovered.size(), 7u - k);
+    EXPECT_TRUE(recovered.verify_chain().ok());
+    // Sequence numbering resumes exactly where durability ended.
+    recovered.append(run, "blob", to_bytes("post-recovery"));
+    EXPECT_TRUE(recovered.backend_status().ok());
+    EXPECT_EQ(recovered.records().back().sequence, 7u - k);
+    EXPECT_TRUE(recovered.verify_chain().ok());
+  }
+}
+
+TEST_F(TornAsyncFixture, RecordTailShorterThanObjectJournalIsBenign) {
+  // The mirror image — barriers retired out of order can leave the object
+  // journal ahead of the record journal. Orphan objects are harmless; the
+  // record prefix loads with nothing dangling and nothing to truncate.
+  build(7);
+  auto scan = journal::Segment::scan(record_tail);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 7u);
+  std::filesystem::resize_file(record_tail, scan->records[4].offset);
+
+  auto rebuilt = std::make_shared<store::ObjectStore>();
+  auto reopened = store::JournalLogBackend::open(record_options(), rebuilt);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().detail;
+  EXPECT_EQ(reopened.value()->resolve_stats().dangling_refs, 0u);
+  EXPECT_EQ(reopened.value()->resolve_stats().truncated_tail_records, 0u);
+
+  store::EvidenceLog recovered(std::move(reopened).take(), clock, rebuilt);
+  ASSERT_EQ(recovered.size(), 4u);
+  EXPECT_TRUE(recovered.verify_chain().ok());
+  recovered.append(run, "blob", to_bytes("post-recovery"));
+  EXPECT_TRUE(recovered.backend_status().ok());
+  EXPECT_EQ(recovered.records().back().sequence, 4u);
+}
+
+TEST_F(TornAsyncFixture, CrashMidRotationLeavesRecoverableJournal) {
+  namespace fs = std::filesystem;
+  // Small segments force rotations (spare-file swaps) before the crash; a
+  // garbage spare left behind — power loss between preallocation and swap —
+  // must be invisible to recovery and cleaned up on resume.
+  build(40, /*segment_max_bytes=*/2048);
+  {
+    std::ofstream out(dir + "/.spare.wal", std::ios::binary | std::ios::trunc);
+    out << "half-prepared spare, never swapped in";
+  }
+  auto rebuilt = std::make_shared<store::ObjectStore>();
+  auto reopened = store::JournalLogBackend::open(record_options(2048), rebuilt);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().detail;
+  EXPECT_FALSE(fs::exists(dir + "/.spare.wal"));  // stale spare removed
+  EXPECT_EQ(reopened.value()->resolve_stats().dangling_refs, 0u);
+
+  store::EvidenceLog recovered(std::move(reopened).take(), clock, rebuilt);
+  ASSERT_EQ(recovered.size(), 40u);
+  EXPECT_TRUE(recovered.verify_chain().ok());
+  recovered.append(run, "blob", to_bytes("post-recovery"));
+  EXPECT_TRUE(recovered.backend_status().ok());
+}
+
+TEST_F(TornAsyncFixture, VanishedUnsealedTailAfterRotationKeepsSealedPrefix) {
+  namespace fs = std::filesystem;
+  // Power loss before the rotation's directory fsync can make the freshly
+  // renamed tail segment vanish entirely: the sealed prefix must load and
+  // the writer must resume after its last record.
+  build(40, /*segment_max_bytes=*/2048);
+  auto rsegs = journal::Segment::list(dir);
+  ASSERT_TRUE(rsegs.ok());
+  ASSERT_GE(rsegs.value().size(), 2u) << "need a rotation for this scenario";
+  fs::remove(rsegs.value().back());
+
+  auto expected = journal::Reader::recover(dir, journal::RecoverMode::kScanOnly);
+  ASSERT_TRUE(expected.ok());
+  const std::size_t surviving = expected->records.size();
+  ASSERT_GT(surviving, 0u);
+  ASSERT_LT(surviving, 40u);
+
+  auto rebuilt = std::make_shared<store::ObjectStore>();
+  auto reopened = store::JournalLogBackend::open(record_options(2048), rebuilt);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().detail;
+  EXPECT_EQ(reopened.value()->resolve_stats().dangling_refs, 0u);
+
+  store::EvidenceLog recovered(std::move(reopened).take(), clock, rebuilt);
+  ASSERT_EQ(recovered.size(), surviving);
+  EXPECT_TRUE(recovered.verify_chain().ok());
+  recovered.append(run, "blob", to_bytes("post-recovery"));
+  EXPECT_TRUE(recovered.backend_status().ok());
+  EXPECT_EQ(recovered.records().back().sequence, surviving);
+}
+
 TEST_F(FailureFixture, DuplicatedDecisionIsIdempotent) {
   build(3);
   world.network.set_link(nodes[0].party->address, nodes[1].party->address,

@@ -3,14 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <thread>
 
 #include "crypto/merkle.hpp"
 #include "journal/format.hpp"
 #include "journal/reader.hpp"
 #include "journal/segment.hpp"
+#include "journal/sync_stage.hpp"
 #include "journal/writer.hpp"
 #include "util/crc32c.hpp"
 
@@ -449,10 +453,15 @@ TEST(Journal, BatchPolicyCoalescesSyncs) {
                          .batch_records = 8});
   ASSERT_TRUE(w.ok());
   for (int i = 0; i < 64; ++i) ASSERT_TRUE(w.value()->append(payload(i)).ok());
+  ASSERT_TRUE(w.value()->close().ok());
   const auto stats = w.value()->stats();
   EXPECT_EQ(stats.appends, 64u);
-  EXPECT_EQ(stats.syncs, 8u);  // one device barrier per batch
-  ASSERT_TRUE(w.value()->close().ok());
+  // At most one device barrier per batch trigger (+1 for the close seal);
+  // the pipelined sync stage may coalesce triggers that queue up while a
+  // barrier is in flight, so fewer is fine — zero is not.
+  EXPECT_GE(stats.syncs, 1u);
+  EXPECT_LE(stats.syncs, 9u);
+  EXPECT_EQ(stats.syncs + stats.coalesced_barriers, 9u);
 }
 
 TEST(Journal, ConcurrentAppendersAllDurableAndOrdered) {
@@ -502,6 +511,204 @@ TEST(Journal, SyncMakesBatchedRecordsDurable) {
   auto report = Reader::recover(dir, RecoverMode::kScanOnly);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->records.size(), 5u);
+}
+
+// ---- pipelined commit / durability tickets ----
+
+TEST(RetireLedger, InOrderCompletionsAdvance) {
+  RetireLedger l;
+  const auto a = l.submit(10, 100);
+  const auto b = l.submit(20, 200);
+  EXPECT_EQ(l.outstanding(), 2u);
+  auto ra = l.complete(a);
+  EXPECT_TRUE(ra.known);
+  EXPECT_TRUE(ra.advanced);
+  EXPECT_EQ(ra.lsn, 10u);
+  EXPECT_EQ(ra.bytes, 100u);
+  auto rb = l.complete(b);
+  EXPECT_TRUE(rb.advanced);
+  EXPECT_EQ(rb.lsn, 20u);
+  EXPECT_EQ(l.out_of_order(), 0u);
+  EXPECT_EQ(l.outstanding(), 0u);
+  EXPECT_EQ(l.retired_lsn(), 20u);
+}
+
+TEST(RetireLedger, OutOfOrderCompletionRetiresMaxTarget) {
+  RetireLedger l;
+  const auto a = l.submit(10, 100);
+  const auto b = l.submit(20, 200);
+  const auto c = l.submit(30, 300);
+  // The last-submitted barrier completes first: its fsync covered every byte
+  // the earlier two targeted, so the watermark jumps straight to 30.
+  auto rc = l.complete(c);
+  EXPECT_TRUE(rc.advanced);
+  EXPECT_EQ(rc.lsn, 30u);
+  EXPECT_EQ(rc.bytes, 300u);
+  // Late arrivals advance nothing.
+  auto ra = l.complete(a);
+  EXPECT_TRUE(ra.known);
+  EXPECT_FALSE(ra.advanced);
+  EXPECT_EQ(ra.lsn, 30u);
+  auto rb = l.complete(b);
+  EXPECT_FALSE(rb.advanced);
+  EXPECT_EQ(l.retired_lsn(), 30u);
+  EXPECT_EQ(l.outstanding(), 0u);
+  EXPECT_GE(l.out_of_order(), 2u);
+}
+
+TEST(RetireLedger, UnknownOrDuplicateIdIgnored) {
+  RetireLedger l;
+  auto r = l.complete(99);
+  EXPECT_FALSE(r.known);
+  EXPECT_FALSE(r.advanced);
+  const auto a = l.submit(5, 50);
+  EXPECT_TRUE(l.complete(a).known);
+  EXPECT_FALSE(l.complete(a).known);  // double completion
+  EXPECT_EQ(l.retired_lsn(), 5u);
+}
+
+TEST(Journal, AsyncAppendTicketsSettle) {
+  const std::string dir = temp_dir("tickets");
+  auto w = Writer::open({.dir = dir, .sync = SyncPolicy::kEveryRecord});
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w.value()->durable_future(0).ready());  // vacuously durable
+  std::vector<AppendTicket> tickets;
+  for (int i = 0; i < 12; ++i) {
+    auto t = w.value()->append_async(payload(i));
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t.value().sequence, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(t.value().lsn, static_cast<std::uint64_t>(i) + 1);
+    EXPECT_TRUE(t.value().policy_blocks);  // kEveryRecord classic contract
+    tickets.push_back(std::move(t).take());
+  }
+  for (auto& t : tickets) EXPECT_TRUE(t.durable.wait().ok());
+  // The barrier watermark is in: wait_durable returns without a new sync.
+  EXPECT_TRUE(w.value()->wait_durable(tickets.back().lsn).ok());
+  ASSERT_TRUE(w.value()->close().ok());
+  auto report = Reader::recover(dir, RecoverMode::kScanOnly);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 12u);
+  EXPECT_TRUE(Reader::audit(dir).ok);
+}
+
+TEST(Journal, CrashSettlesTicketsByDurability) {
+  const std::string dir = temp_dir("crash_tickets");
+  auto w = Writer::open({.dir = dir,
+                         .sync = SyncPolicy::kEveryBatch,
+                         .batch_records = 1000});
+  ASSERT_TRUE(w.ok());
+  std::vector<AppendTicket> durable, lost;
+  for (int i = 0; i < 5; ++i) {
+    auto t = w.value()->append_async(payload(i));
+    ASSERT_TRUE(t.ok());
+    EXPECT_FALSE(t.value().policy_blocks);
+    durable.push_back(std::move(t).take());
+  }
+  ASSERT_TRUE(w.value()->sync().ok());
+  for (int i = 5; i < 9; ++i) {
+    auto t = w.value()->append_async(payload(i));
+    ASSERT_TRUE(t.ok());
+    lost.push_back(std::move(t).take());
+  }
+  w.value()->simulate_crash();
+  // Tickets stay valid across the crash: the durable prefix reports ok, the
+  // records whose barrier never ran report the crash.
+  for (auto& t : durable) EXPECT_TRUE(t.durable.wait().ok());
+  for (auto& t : lost) {
+    auto s = t.durable.wait();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, "journal.crashed");
+  }
+  EXPECT_FALSE(w.value()->health().ok());
+  auto report = Reader::recover(dir, RecoverMode::kScanOnly);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 5u);  // exactly the durable prefix
+}
+
+TEST(Journal, PipelineKeepsMultipleBatchesInFlight) {
+  const std::string dir = temp_dir("pipeline_depth");
+  // Gate the per-batch dependency hook so the first barrier stalls on the
+  // worker while appenders keep staging batches behind it — the depth the
+  // pipeline exists to provide.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> hook_entered{0};
+  Options o;
+  o.dir = dir;
+  o.sync = SyncPolicy::kEveryBatch;
+  o.batch_records = 2;
+  o.max_batches_in_flight = 8;
+  o.before_sync = [&]() -> Status {
+    hook_entered.fetch_add(1);
+    std::unique_lock lk(gate_mu);
+    gate_cv.wait(lk, [&] { return gate_open; });
+    return Status::ok_status();
+  };
+  auto w = Writer::open(o);
+  ASSERT_TRUE(w.ok());
+  std::vector<AppendTicket> tickets;
+  for (int i = 0; i < 8; ++i) {  // 4 batch triggers, none blocking
+    auto t = w.value()->append_async(payload(i));
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(std::move(t).take());
+  }
+  while (hook_entered.load() == 0) std::this_thread::yield();
+  {
+    std::lock_guard lk(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (auto& t : tickets) EXPECT_TRUE(t.durable.wait().ok());
+  ASSERT_TRUE(w.value()->close().ok());
+  const auto stats = w.value()->stats();
+  EXPECT_GE(stats.batches_in_flight_peak, 2u);
+  EXPECT_GE(hook_entered.load(), 1);
+  auto report = Reader::recover(dir, RecoverMode::kScanOnly);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 8u);
+}
+
+TEST(Journal, RotationServedByPreallocatedSpare) {
+  const std::string dir = temp_dir("spare");
+  {
+    auto w = Writer::open({.dir = dir,
+                           .segment_max_bytes = 512,
+                           .sync = SyncPolicy::kEveryRecord});
+    ASSERT_TRUE(w.ok());
+    // Every append waits for its barrier, so the sync-stage worker has idle
+    // moments to fallocate the next spare between rotations.
+    for (int i = 0; i < 80; ++i) ASSERT_TRUE(w.value()->append(payload(i)).ok());
+    const auto stats = w.value()->stats();
+    EXPECT_GE(stats.rotations, 2u);
+    EXPECT_GE(stats.spare_swaps, 1u);
+    ASSERT_TRUE(w.value()->close().ok());
+  }
+  // The hidden spare file is invisible to recovery and audit.
+  auto report = Reader::recover(dir, RecoverMode::kScanOnly);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 80u);
+  EXPECT_TRUE(report->clean);
+  for (const auto& seg : report->segments) EXPECT_TRUE(seg.sealed) << seg.path;
+  EXPECT_TRUE(Reader::audit(dir).ok);
+  // Reopen resumes cleanly whether or not a stale spare was left behind.
+  auto w2 = Writer::open({.dir = dir, .sync = SyncPolicy::kEveryRecord});
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(w2.value()->next_sequence(), 80u);
+  ASSERT_TRUE(w2.value()->append(payload(80)).ok());
+  ASSERT_TRUE(w2.value()->close().ok());
+}
+
+TEST(Journal, SyncBackendEnvOverrideForcesFallback) {
+  const std::string dir = temp_dir("env_backend");
+  ::setenv("NONREP_JOURNAL_SYNC_BACKEND", "fallback", 1);
+  auto w = Writer::open({.dir = dir, .sync = SyncPolicy::kEveryRecord});
+  ::unsetenv("NONREP_JOURNAL_SYNC_BACKEND");
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w.value()->append(payload(0)).ok());
+  EXPECT_FALSE(w.value()->stats().uring_active);
+  ASSERT_TRUE(w.value()->close().ok());
+  EXPECT_TRUE(Reader::audit(dir).ok);
 }
 
 TEST(Journal, ClosedWriterRejectsAppends) {

@@ -122,6 +122,104 @@ TEST(EvidenceLog, EmptyChainVerifies) {
   EXPECT_TRUE(log.verify_chain().ok());
 }
 
+// ---- pipelined append receipts ----
+
+TEST(EvidenceLog, AsyncReceiptFromSynchronousBackendIsSettled) {
+  EvidenceLog log(std::make_unique<MemoryLogBackend>(), make_clock());
+  auto [rec, receipt] = log.append_async(RunId("r"), "k", to_bytes("a"));
+  EXPECT_EQ(rec.sequence, 0u);
+  // A backend with nothing asynchronous about it hands back an
+  // already-settled receipt: ready, ok, and never classically blocking.
+  EXPECT_FALSE(receipt.policy_blocks);
+  EXPECT_TRUE(receipt.durable.ready());
+  EXPECT_TRUE(log.settle(receipt).ok());
+  EXPECT_TRUE(log.backend_status().ok());
+}
+
+TEST(EvidenceLog, JournalReceiptsSettleAndChainStaysOrdered) {
+  const std::string dir = temp_dir("receipts");
+  auto backend = JournalLogBackend::open(
+      {.dir = dir, .sync = journal::SyncPolicy::kEveryRecord});
+  ASSERT_TRUE(backend.ok());
+  EvidenceLog log(std::move(backend).take(), make_clock());
+  // Stage a burst without waiting, then settle all receipts — the barrier
+  // waits overlap, and every record must still come out durable and chained.
+  std::vector<AppendReceipt> receipts;
+  for (int i = 0; i < 10; ++i) {
+    auto [rec, receipt] = log.append_async(RunId("r"), "k", to_bytes("p" + std::to_string(i)));
+    EXPECT_EQ(rec.sequence, static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(receipt.policy_blocks);  // kEveryRecord's classic contract
+    receipts.push_back(std::move(receipt));
+  }
+  for (const auto& r : receipts) EXPECT_TRUE(log.settle(r).ok());
+  EXPECT_TRUE(log.backend_status().ok());
+  EXPECT_TRUE(log.verify_chain().ok());
+
+  EvidenceLog reloaded(JournalLogBackend::open({.dir = dir}).take(), make_clock());
+  EXPECT_EQ(reloaded.size(), 10u);
+  EXPECT_TRUE(reloaded.verify_chain().ok());
+}
+
+TEST(EvidenceLog, BackendHealthSurfacesPostReceiptFailures) {
+  const std::string dir = temp_dir("receipt_health");
+  auto backend = JournalLogBackend::open({.dir = dir,
+                                          .sync = journal::SyncPolicy::kEveryBatch,
+                                          .batch_records = 1000});
+  ASSERT_TRUE(backend.ok());
+  auto* jb = backend.value().get();
+  EvidenceLog log(std::move(backend).take(), make_clock());
+  auto [rec, receipt] = log.append_async(RunId("r"), "k", to_bytes("staged"));
+  EXPECT_FALSE(receipt.policy_blocks);
+  EXPECT_TRUE(log.backend_status().ok());
+  // The writer dies before any barrier covers the staged record: the
+  // failure must surface through backend_status() (via LogBackend::health)
+  // even though nobody settle()d the receipt, and settling afterwards
+  // reports the same crash.
+  jb->writer().simulate_crash();
+  auto status = log.backend_status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "journal.crashed");
+  auto settled = log.settle(receipt);
+  ASSERT_FALSE(settled.ok());
+  EXPECT_EQ(settled.error().code, "journal.crashed");
+}
+
+TEST(EvidenceLog, SettleForcesBarrierForBatchedReceipts) {
+  const std::string dir = temp_dir("receipt_force");
+  auto backend = JournalLogBackend::open({.dir = dir,
+                                          .sync = journal::SyncPolicy::kEveryBatch,
+                                          .batch_records = 1000});
+  ASSERT_TRUE(backend.ok());
+  EvidenceLog log(std::move(backend).take(), make_clock());
+  // One staged record, batch nowhere near full: no barrier is in flight and
+  // none would ever come without more traffic. settle() must force one and
+  // return, not stall waiting for a later append to fill the batch.
+  auto [rec, receipt] = log.append_async(RunId("r"), "k", to_bytes("lonely"));
+  EXPECT_FALSE(receipt.durable.ready());
+  EXPECT_TRUE(log.settle(receipt).ok());
+  EXPECT_TRUE(receipt.durable.ready());
+  EXPECT_TRUE(log.backend_status().ok());
+}
+
+TEST(EvidenceLog, ObjectModeReceiptCoversObjectFrame) {
+  const std::string dir = temp_dir("receipt_objects");
+  auto objects = std::make_shared<ObjectStore>();
+  auto backend = JournalLogBackend::open(
+      {.dir = dir, .sync = journal::SyncPolicy::kEveryRecord}, objects);
+  ASSERT_TRUE(backend.ok());
+  EvidenceLog log(std::move(backend).take(), make_clock(), objects);
+  auto [rec, receipt] = log.append_async(RunId("r"), "token.vote", to_bytes("tok"));
+  EXPECT_TRUE(rec.interned);
+  ASSERT_TRUE(log.settle(receipt).ok());
+  // The settled record barrier implies the object frame's durability
+  // (before_sync ordering): a fresh store rebuilt from disk has the object.
+  auto rebuilt = std::make_shared<ObjectStore>();
+  auto reopened = JournalLogBackend::open({.dir = dir}, rebuilt);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().detail;
+  EXPECT_EQ(reopened.value()->resolve_stats().dangling_refs, 0u);
+  EXPECT_TRUE(rebuilt->contains(rec.object));
+}
+
 TEST(StateStore, PutGetRoundTrip) {
   StateStore store;
   const Bytes state = to_bytes("shared state v1");
