@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Repo-local lint for the lock discipline and hostile-input rules.
+
+Checks, over every .hpp/.cpp under src/:
+
+1. Raw synchronization primitives (std::mutex, std::shared_mutex,
+   std::condition_variable, std::lock_guard, std::unique_lock,
+   std::shared_lock, std::scoped_lock) are banned outside
+   util/lock_discipline.{hpp,cpp} — every lock in the tree must be a ranked
+   nonrep::util wrapper so the lockdep runtime and the Clang thread-safety
+   job see it. The checker itself (and its internal registry mutex) is the
+   one allowed exception.
+
+2. assert( is banned in decode/hostile-input paths: code that parses bytes
+   an adversary controls must reject with a Status/Result, never with an
+   assert that compiles out under NDEBUG (the pki_release_test regression
+   exists for exactly that failure mode).
+
+Exit 0 when clean; prints one line per violation and exits 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+RAW_SYNC = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable"
+    r"|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+)
+
+# The lockdep runtime cannot be built from its own wrappers.
+RAW_SYNC_ALLOWLIST = {
+    SRC / "util" / "lock_discipline.hpp",
+    SRC / "util" / "lock_discipline.cpp",
+}
+
+# Files that decode wire bytes, journal frames, or certificate material —
+# anything an adversary can feed. assert() is not an input validator.
+HOSTILE_INPUT = re.compile(r"\bassert\s*\(")
+HOSTILE_INPUT_PATHS = [
+    re.compile(p)
+    for p in (
+        r"src/journal/(format|reader|segment)\.(hpp|cpp)$",
+        r"src/core/protocol_message\.(hpp|cpp)$",
+        r"src/pki/(certificate|revocation)\.(hpp|cpp)$",
+        r"src/wsnr/.*\.(hpp|cpp)$",
+        r"src/util/serialize\.(hpp|cpp)$",
+        r"src/store/evidence_log\.(hpp|cpp)$",
+    )
+]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string literals, preserving line structure."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = j + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in {".hpp", ".cpp"}:
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        if path not in RAW_SYNC_ALLOWLIST:
+            for lineno, line in enumerate(code.splitlines(), 1):
+                if RAW_SYNC.search(line):
+                    violations.append(
+                        f"{rel}:{lineno}: raw std sync primitive — use the ranked "
+                        "wrappers in util/lock_discipline.hpp"
+                    )
+        if any(p.search(rel) for p in HOSTILE_INPUT_PATHS):
+            for lineno, line in enumerate(code.splitlines(), 1):
+                if HOSTILE_INPUT.search(line) and "static_assert" not in line:
+                    violations.append(
+                        f"{rel}:{lineno}: assert() in a hostile-input path — "
+                        "reject with Status/Result instead"
+                    )
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_nonrep: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_nonrep: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,22 +14,27 @@ Coordinator::Coordinator(std::shared_ptr<EvidenceService> evidence, net::SimNetw
 }
 
 void Coordinator::register_handler(std::shared_ptr<ProtocolHandler> handler) {
-  std::unique_lock lk(handlers_mu_);
+  util::WriteLock lk(handlers_mu_);
   handlers_[handler->protocol()] = std::move(handler);
 }
 
 bool Coordinator::has_handler(const std::string& protocol) const {
-  std::shared_lock lk(handlers_mu_);
+  util::ReadLock lk(handlers_mu_);
   return handlers_.contains(protocol);
 }
 
 void Coordinator::deliver(const net::Address& to, const ProtocolMessage& msg) {
+  // Holding any subsystem lock here is a latent deadlock: the send may pump
+  // the network inline (single-threaded mode) or block behind the very
+  // strand that needs the held lock to make progress.
+  NONREP_ASSERT_NO_LOCKS_HELD("Coordinator::deliver");
   rpc_.notify(to, msg.encode());
 }
 
 Result<ProtocolMessage> Coordinator::deliver_request(const net::Address& to,
                                                      const ProtocolMessage& msg,
                                                      TimeMs timeout) {
+  NONREP_ASSERT_NO_LOCKS_HELD("Coordinator::deliver_request");
   auto raw = rpc_.call(to, msg.encode(), timeout);
   if (!raw) return raw.error();
   auto reply = ProtocolMessage::decode(raw.value());
@@ -47,7 +52,7 @@ Bytes Coordinator::on_request(const net::Address& from, BytesView raw) {
   }
   std::shared_ptr<ProtocolHandler> handler;
   {
-    std::shared_lock lk(handlers_mu_);
+    util::ReadLock lk(handlers_mu_);
     if (auto it = handlers_.find(msg.value().protocol); it != handlers_.end()) {
       handler = it->second;
     }
@@ -67,7 +72,7 @@ void Coordinator::on_notify(const net::Address& from, BytesView raw) {
   if (!msg) return;  // malformed one-way messages are dropped (assumption 4)
   std::shared_ptr<ProtocolHandler> handler;
   {
-    std::shared_lock lk(handlers_mu_);
+    util::ReadLock lk(handlers_mu_);
     if (auto it = handlers_.find(msg.value().protocol); it != handlers_.end()) {
       handler = it->second;
     }

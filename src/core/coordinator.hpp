@@ -14,8 +14,8 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 
+#include "util/lock_discipline.hpp"
 #include "core/protocol_message.hpp"
 #include "net/rpc.hpp"
 
@@ -30,15 +30,21 @@ namespace nonrep::core {
 /// state with its own mutex (DirectInvocationServer::runs_mu_,
 /// OptimisticTtp::runs_mu_, B2BObjectController::mu_, ...).
 ///
-/// Lock ordering, outermost first:
-///   1. handler mutex (one per ProtocolHandler instance)
-///   2. MembershipService::mu_
-///   3. EvidenceService leaf locks (EvidenceLog / StateStore / rng)
-/// A handler mutex may be held across EvidenceService::issue/accept and
-/// membership reads, and must NEVER be held across Coordinator::deliver /
-/// deliver_request (the nested wait would deadlock with the handler's own
-/// incoming traffic). Coordinator itself only takes handlers_mu_ around
-/// registry lookup, released before the handler runs.
+/// Lock ordering: the single source of truth is util::LockRank in
+/// src/util/lock_discipline.hpp — every mutex in the tree is a ranked
+/// nonrep::util wrapper and may only be acquired with strictly increasing
+/// rank. The slice relevant here, outermost first: handler mutexes
+/// (kHandler: DirectInvocationServer/OptimisticTtp runs_mu_,
+/// B2BObjectController mu_) < MembershipService (kMembership) <
+/// EvidenceService leaf locks (kEvidenceRng/kEvidenceLog/kStateStore) <
+/// pki/crypto caches. So a handler mutex may be held across
+/// EvidenceService::issue/accept and membership reads, but must NEVER be
+/// held across Coordinator::deliver / deliver_request (the nested wait
+/// would deadlock with the handler's own incoming traffic) — both entry
+/// points abort under NONREP_ASSERT_NO_LOCKS_HELD in checked builds, and
+/// the lockdep runtime aborts on any rank inversion with the full held
+/// stack. Coordinator itself only takes handlers_mu_ (kCoordinator)
+/// around registry lookup, released before the handler runs.
 ///
 /// obs instruments (obs::Registry counters/gauges/histograms, span
 /// finish) sit BELOW every lock above: recording is lock-free (or, for
@@ -93,8 +99,10 @@ class Coordinator {
   std::shared_ptr<EvidenceService> evidence_;
   // Read on delivery strands while late handlers register (e.g. a TTP
   // attached mid-scenario), hence reader/writer locked.
-  mutable std::shared_mutex handlers_mu_;
-  std::map<std::string, std::shared_ptr<ProtocolHandler>> handlers_;
+  mutable util::SharedMutex handlers_mu_{util::LockRank::kCoordinator,
+                                          "core.coordinator.handlers"};
+  std::map<std::string, std::shared_ptr<ProtocolHandler>> handlers_
+      NONREP_GUARDED_BY(handlers_mu_);
   // Declared last => destroyed first: its teardown waits out in-flight
   // delivery upcalls while the handler registry above is still alive.
   net::RpcEndpoint rpc_;

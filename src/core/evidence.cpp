@@ -100,7 +100,7 @@ EvidenceService::EvidenceService(PartyId self, std::shared_ptr<crypto::Signer> s
       }()) {}
 
 RunId EvidenceService::new_run() {
-  std::lock_guard lk(rng_mu_);
+  util::MutexLock lk(rng_mu_);
   return RunId(to_hex(rng_.generate(16)));
 }
 
@@ -173,7 +173,7 @@ Status EvidenceService::accept(const EvidenceToken& token, BytesView subject) {
 }
 
 std::size_t EvidenceService::segment_memo_size() const {
-  std::shared_lock lk(audit_mu_);
+  util::ReadLock lk(audit_mu_);
   return segment_memo_.size();
 }
 
@@ -202,7 +202,7 @@ EvidenceService::LogAuditReport EvidenceService::audit_log(
     // segment — and its prefix — without hashing or signature work.
     bool memoized = false;
     {
-      std::shared_lock lk(audit_mu_);
+      util::ReadLock lk(audit_mu_);
       auto it = segment_memo_.find(tail.chain);
       if (it != segment_memo_.end() && it->second.epoch == epoch &&
           it->second.window.covers(at) &&
@@ -293,7 +293,7 @@ EvidenceService::LogAuditReport EvidenceService::audit_log(
         store ? store->put(store::kTypeChainSegment, seg_payload).id
               : store::object_id(store::kTypeChainSegment, seg_payload);
 
-    std::unique_lock lk(audit_mu_);
+    util::WriteLock lk(audit_mu_);
     if (segment_memo_.size() >= kSegmentMemoMax) segment_memo_.clear();
     segment_memo_.insert_or_assign(
         tail.chain, SegmentMemo{epoch, window, seg_oid, records[begin].sequence,

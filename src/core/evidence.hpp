@@ -12,12 +12,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "util/lock_discipline.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
@@ -200,8 +199,8 @@ class EvidenceService {
   std::shared_ptr<store::EvidenceLog> log_;
   std::shared_ptr<store::StateStore> states_;
   std::shared_ptr<Clock> clock_;
-  std::mutex rng_mu_;  // new_run() may race between a party's handler frames
-  crypto::Drbg rng_;
+  util::Mutex rng_mu_{util::LockRank::kEvidenceRng, "core.evidence.rng"};
+  crypto::Drbg rng_ NONREP_GUARDED_BY(rng_mu_);
   std::shared_ptr<TimestampHook> tsa_;
 
   // Segment memo for audit_log. Bounded; overflow clears wholesale (the
@@ -215,8 +214,10 @@ class EvidenceService {
     std::uint64_t record_count = 0;
   };
   static constexpr std::size_t kSegmentMemoMax = 1u << 16;
-  mutable std::shared_mutex audit_mu_;
-  mutable std::unordered_map<crypto::Digest, SegmentMemo, crypto::DigestHash> segment_memo_;
+  mutable util::SharedMutex audit_mu_{util::LockRank::kEvidenceAudit,
+                                       "core.evidence.audit_memo"};
+  mutable std::unordered_map<crypto::Digest, SegmentMemo, crypto::DigestHash> segment_memo_
+      NONREP_GUARDED_BY(audit_mu_);
 };
 
 }  // namespace nonrep::core

@@ -50,13 +50,13 @@ Result<std::pair<Bytes, Bytes>> decode_resolve_body(BytesView body) {
 }  // namespace
 
 OptimisticTtp::Verdict OptimisticTtp::verdict(const RunId& run) const {
-  std::lock_guard<std::mutex> lock(runs_mu_);
+  util::MutexLock lock(runs_mu_);
   auto it = runs_.find(run);
   return it != runs_.end() ? it->second.verdict : Verdict::kNone;
 }
 
 std::pair<std::size_t, std::size_t> OptimisticTtp::verdict_counts() const {
-  std::lock_guard<std::mutex> lock(runs_mu_);
+  util::MutexLock lock(runs_mu_);
   std::size_t aborted = 0;
   std::size_t resolved = 0;
   for (const auto& [run, record] : runs_) {
@@ -91,7 +91,7 @@ Result<ProtocolMessage> OptimisticTtp::handle_abort(const ProtocolMessage& msg) 
 
   // Verdict decision under the run-table lock: a racing resolve for the
   // same run serialises behind us and observes our terminal verdict.
-  std::lock_guard<std::mutex> lock(runs_mu_);
+  util::MutexLock lock(runs_mu_);
   RunRecord& record = runs_[msg.run];
   ProtocolMessage reply;
   reply.protocol = kFairTtpProtocol;
@@ -153,7 +153,7 @@ Result<ProtocolMessage> OptimisticTtp::handle_resolve(const ProtocolMessage& msg
   if (auto ok = ev.accept(nro_resp.value(), resp_subject); !ok) return ok.error();
 
   // Same lock as handle_abort: abort-vs-resolve on one run is serialised.
-  std::lock_guard<std::mutex> lock(runs_mu_);
+  util::MutexLock lock(runs_mu_);
   RunRecord& record = runs_[msg.run];
   ProtocolMessage reply;
   reply.protocol = kFairTtpProtocol;

@@ -17,8 +17,8 @@
 // the tests check.
 #pragma once
 
-#include <mutex>
 
+#include "util/lock_discipline.hpp"
 #include "core/invocation_protocol.hpp"
 
 namespace nonrep::core {
@@ -70,8 +70,8 @@ class OptimisticTtp final : public ProtocolHandler {
   // the recorded token instead of minting a second one. Lock ordering:
   // runs_mu_ may be held across EvidenceService::issue (leaf log/store
   // locks) but never across Coordinator::deliver/deliver_request.
-  mutable std::mutex runs_mu_;
-  std::map<RunId, RunRecord> runs_;
+  mutable util::Mutex runs_mu_{util::LockRank::kHandler, "ttp.runs"};
+  std::map<RunId, RunRecord> runs_ NONREP_GUARDED_BY(runs_mu_);
 };
 
 /// Canonical subject of an abort token.

@@ -121,7 +121,7 @@ Result<ProtocolMessage> DirectInvocationServer::process_request(const net::Addre
   if (auto ok = ev.accept(nro_req.value(), req); !ok) return ok.error();
 
   {
-    std::lock_guard lk(runs_mu_);
+    util::MutexLock lk(runs_mu_);
     runs_[msg.run].evidence.has_nro_request = true;
   }
 
@@ -134,7 +134,7 @@ Result<ProtocolMessage> DirectInvocationServer::process_request(const net::Addre
 
   const Bytes resp = response_subject(msg.run, result);
   {
-    std::lock_guard lk(runs_mu_);
+    util::MutexLock lk(runs_mu_);
     runs_[msg.run].response_subject = resp;
   }
 
@@ -143,7 +143,7 @@ Result<ProtocolMessage> DirectInvocationServer::process_request(const net::Addre
   auto nro_resp = ev.issue(EvidenceType::kNroResponse, msg.run, resp);
   if (!nro_resp) return nro_resp.error();
   {
-    std::lock_guard lk(runs_mu_);
+    util::MutexLock lk(runs_mu_);
     RunEvidence& run_evidence = runs_[msg.run].evidence;
     run_evidence.has_nrr_request = true;
     run_evidence.has_nro_response = true;
@@ -164,7 +164,7 @@ void DirectInvocationServer::process(const net::Address& /*from*/, const Protoco
   if (msg.step != 3) return;
   Bytes expected_subject;
   {
-    std::lock_guard lk(runs_mu_);
+    util::MutexLock lk(runs_mu_);
     auto it = runs_.find(msg.run);
     if (it == runs_.end()) return;  // unknown run: ignore (assumption 4)
     expected_subject = it->second.response_subject;
@@ -174,7 +174,7 @@ void DirectInvocationServer::process(const net::Address& /*from*/, const Protoco
   if (!nrr_resp) return;
   EvidenceService& ev = coordinator_->evidence();
   if (ev.accept(nrr_resp.value(), expected_subject)) {
-    std::lock_guard lk(runs_mu_);
+    util::MutexLock lk(runs_mu_);
     if (auto it = runs_.find(msg.run); it != runs_.end()) {
       it->second.evidence.has_nrr_response = true;
     }
@@ -182,19 +182,19 @@ void DirectInvocationServer::process(const net::Address& /*from*/, const Protoco
 }
 
 bool DirectInvocationServer::run_complete(const RunId& run) const {
-  std::lock_guard lk(runs_mu_);
+  util::MutexLock lk(runs_mu_);
   auto it = runs_.find(run);
   return it != runs_.end() && it->second.evidence.complete_for_server();
 }
 
 RunEvidence DirectInvocationServer::evidence_for(const RunId& run) const {
-  std::lock_guard lk(runs_mu_);
+  util::MutexLock lk(runs_mu_);
   auto it = runs_.find(run);
   return it != runs_.end() ? it->second.evidence : RunEvidence{};
 }
 
 Result<Bytes> DirectInvocationServer::response_subject_for(const RunId& run) const {
-  std::lock_guard lk(runs_mu_);
+  util::MutexLock lk(runs_mu_);
   auto it = runs_.find(run);
   if (it == runs_.end()) {
     return Error::make("nr.invocation.unknown_run", run.str());
@@ -203,7 +203,7 @@ Result<Bytes> DirectInvocationServer::response_subject_for(const RunId& run) con
 }
 
 void DirectInvocationServer::mark_receipt_substitute(const RunId& run) {
-  std::lock_guard lk(runs_mu_);
+  util::MutexLock lk(runs_mu_);
   auto it = runs_.find(run);
   if (it != runs_.end()) it->second.evidence.receipt_substituted = true;
 }

@@ -17,8 +17,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "util/lock_discipline.hpp"
 #include "container/container.hpp"
 #include "core/coordinator.hpp"
 
@@ -115,8 +115,8 @@ class DirectInvocationServer final : public ProtocolHandler {
   // a nested call yields the strand — the resumed frame then runs
   // concurrently with the successor's upcalls, so the run table needs its
   // own lock (as must any stateful ProtocolHandler used that way).
-  mutable std::mutex runs_mu_;
-  std::map<RunId, PendingRun> runs_;
+  mutable util::Mutex runs_mu_{util::LockRank::kHandler, "invocation.runs"};
+  std::map<RunId, PendingRun> runs_ NONREP_GUARDED_BY(runs_mu_);
 };
 
 /// Canonical subject bytes the evidence tokens sign.

@@ -110,23 +110,23 @@ Status B2BObjectController::host(const ObjectId& object, Bytes initial_state) {
     return Error::make("sharing.no_group", "create membership group before hosting");
   }
   coordinator_->evidence().states().put(initial_state);
-  std::unique_lock lock(mu_);
+  util::WriteLock lock(mu_);
   objects_[object] = SharedObjectState{std::move(initial_state), 1};
   return Status::ok_status();
 }
 
 bool B2BObjectController::hosts(const ObjectId& object) const {
-  std::shared_lock lock(mu_);
+  util::ReadLock lock(mu_);
   return objects_.contains(object);
 }
 
 bool B2BObjectController::in_rollup(const ObjectId& object) const {
-  std::shared_lock lock(mu_);
+  util::ReadLock lock(mu_);
   return staging_.contains(object);
 }
 
 Result<SharedObjectState> B2BObjectController::get(const ObjectId& object) const {
-  std::shared_lock lock(mu_);
+  util::ReadLock lock(mu_);
   auto it = objects_.find(object);
   if (it == objects_.end()) return Error::make("sharing.not_hosted", object.str());
   return it->second;
@@ -134,7 +134,7 @@ Result<SharedObjectState> B2BObjectController::get(const ObjectId& object) const
 
 void B2BObjectController::add_validator(const ObjectId& object,
                                         std::shared_ptr<StateValidator> validator) {
-  std::unique_lock lock(mu_);
+  util::WriteLock lock(mu_);
   validators_[object].push_back(std::move(validator));
 }
 
@@ -252,7 +252,7 @@ Result<std::uint64_t> B2BObjectController::coordinate(Round round) {
   {
     // Validate and acquire the proposal lock in one critical section, then
     // release mu_ before any network traffic (vote collection blocks).
-    std::unique_lock lock(mu_);
+    util::WriteLock lock(mu_);
     // Freshness recheck under the lock: the base version was read before
     // we serialised on mu_, and remote voters cannot veto a stale base
     // when there are none (single-member group) — a racing commit in the
@@ -344,7 +344,7 @@ Result<std::uint64_t> B2BObjectController::coordinate(Round round) {
   }
 
   {
-    std::unique_lock lock(mu_);
+    util::WriteLock lock(mu_);
     // Release only our own lock: a round that overran its lease may find a
     // newer round legitimately holding the object (mirrors process()).
     if (auto held = locks_.find(round.object);
@@ -364,7 +364,7 @@ Result<std::uint64_t> B2BObjectController::propose_update(const ObjectId& object
                                                           Bytes new_state) {
   std::uint64_t base_version = 0;
   {
-    std::shared_lock lock(mu_);
+    util::ReadLock lock(mu_);
     auto it = objects_.find(object);
     if (it == objects_.end()) return Error::make("sharing.not_hosted", object.str());
     base_version = it->second.version;
@@ -373,7 +373,7 @@ Result<std::uint64_t> B2BObjectController::propose_update(const ObjectId& object
 }
 
 Status B2BObjectController::begin_changes(const ObjectId& object) {
-  std::unique_lock lock(mu_);
+  util::WriteLock lock(mu_);
   auto it = objects_.find(object);
   if (it == objects_.end()) return Error::make("sharing.not_hosted", object.str());
   if (staging_.contains(object)) {
@@ -384,7 +384,7 @@ Status B2BObjectController::begin_changes(const ObjectId& object) {
 }
 
 Status B2BObjectController::stage(const ObjectId& object, Bytes working_state) {
-  std::unique_lock lock(mu_);
+  util::WriteLock lock(mu_);
   auto it = staging_.find(object);
   if (it == staging_.end()) {
     return Error::make("sharing.no_rollup", "begin_changes not called");
@@ -396,7 +396,7 @@ Status B2BObjectController::stage(const ObjectId& object, Bytes working_state) {
 Result<std::uint64_t> B2BObjectController::commit_changes(const ObjectId& object) {
   Bytes staged;
   {
-    std::unique_lock lock(mu_);
+    util::WriteLock lock(mu_);
     auto it = staging_.find(object);
     if (it == staging_.end()) {
       return Error::make("sharing.no_rollup", "begin_changes not called");
@@ -408,7 +408,7 @@ Result<std::uint64_t> B2BObjectController::commit_changes(const ObjectId& object
 }
 
 Status B2BObjectController::commit_abandon(const ObjectId& object) {
-  std::unique_lock lock(mu_);
+  util::WriteLock lock(mu_);
   if (staging_.erase(object) == 0) {
     return Error::make("sharing.no_rollup", "begin_changes not called");
   }
@@ -434,7 +434,7 @@ Status B2BObjectController::connect(const ObjectId& object,
   EvidenceService& ev = coordinator_->evidence();
   SharedObjectState snapshot;
   {
-    std::shared_lock lock(mu_);
+    util::ReadLock lock(mu_);
     auto obj = objects_.find(object);
     if (obj == objects_.end()) return Error::make("sharing.not_hosted", object.str());
     snapshot = obj->second;
@@ -507,7 +507,7 @@ Result<ProtocolMessage> B2BObjectController::process_request(const net::Address&
   bool accept = true;
   const TimeMs now = ev.clock().now();
   {
-    std::unique_lock lock(mu_);
+    util::WriteLock lock(mu_);
     if (round.kind == RoundKind::kState) {
       auto it = objects_.find(round.object);
       accept = it != objects_.end() && it->second.version == round.base_version;
@@ -584,7 +584,7 @@ void B2BObjectController::process(const net::Address& /*from*/, const ProtocolMe
       }
     }
     ev.states().put(state.value());
-    std::unique_lock lock(mu_);
+    util::WriteLock lock(mu_);
     objects_[id] = SharedObjectState{state.value(), version.value()};
     return;
   }
@@ -630,7 +630,7 @@ void B2BObjectController::process(const net::Address& /*from*/, const ProtocolMe
         verified_accepts.size() >= required_votes(round.kind, round.payload, view.value());
   }
 
-  std::unique_lock lock(mu_);
+  util::WriteLock lock(mu_);
   if (apply) {
     // Freshness recheck, mirroring the proposer path: if our vote's lock
     // lease expired and another round already committed past this round's

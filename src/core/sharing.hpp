@@ -21,9 +21,9 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <vector>
 
+#include "util/lock_discipline.hpp"
 #include "container/container.hpp"
 #include "container/interceptor.hpp"
 #include "core/coordinator.hpp"
@@ -160,10 +160,11 @@ class B2BObjectController final : public ProtocolHandler {
   SharingConfig config_;
 
   // All per-object state below is guarded by mu_ (see class comment).
-  mutable std::shared_mutex mu_;
-  std::map<ObjectId, SharedObjectState> objects_;
-  std::map<ObjectId, std::vector<std::shared_ptr<StateValidator>>> validators_;
-  std::map<ObjectId, Bytes> staging_;  // roll-up working copies
+  mutable util::SharedMutex mu_{util::LockRank::kHandler, "sharing.object_controller"};
+  std::map<ObjectId, SharedObjectState> objects_ NONREP_GUARDED_BY(mu_);
+  std::map<ObjectId, std::vector<std::shared_ptr<StateValidator>>> validators_
+      NONREP_GUARDED_BY(mu_);
+  std::map<ObjectId, Bytes> staging_ NONREP_GUARDED_BY(mu_);  // roll-up working copies
 
   struct Lock {
     RunId run;

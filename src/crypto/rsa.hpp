@@ -16,8 +16,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "util/lock_discipline.hpp"
 #include "crypto/bigint.hpp"
 #include "crypto/drbg.hpp"
 #include "util/bytes.hpp"
@@ -39,7 +39,7 @@ struct RsaPublicKey {
       n = o.n;
       e = o.e;
       auto snap = o.mont_snapshot();
-      std::lock_guard lk(mont_mu_);
+      util::MutexLock lk(mont_mu_);
       mont_ = std::move(snap);
     }
     return *this;
@@ -54,7 +54,7 @@ struct RsaPublicKey {
   /// check only guards single-threaded reassignment, where a stale context
   /// would silently compute mod the wrong modulus.
   const Montgomery& montgomery() const {
-    std::lock_guard lk(mont_mu_);
+    util::MutexLock lk(mont_mu_);
     if (!mont_ || mont_->modulus() != n) mont_ = std::make_shared<const Montgomery>(n);
     return *mont_;
   }
@@ -64,11 +64,11 @@ struct RsaPublicKey {
 
  private:
   std::shared_ptr<const Montgomery> mont_snapshot() const {
-    std::lock_guard lk(mont_mu_);
+    util::MutexLock lk(mont_mu_);
     return mont_;
   }
 
-  mutable std::mutex mont_mu_;
+  mutable util::Mutex mont_mu_{util::LockRank::kCryptoContext, "crypto.mont"};
   mutable std::shared_ptr<const Montgomery> mont_;
 };
 
@@ -82,7 +82,7 @@ struct RsaPrivateKey {
   RsaPrivateKey() = default;
   RsaPrivateKey(const RsaPrivateKey& o)
       : pub(o.pub), d(o.d), p(o.p), q(o.q), dp(o.dp), dq(o.dq), qinv(o.qinv) {
-    std::lock_guard lk(o.mont_mu_);
+    util::MutexLock lk(o.mont_mu_);
     mont_p_ = o.mont_p_;
     mont_q_ = o.mont_q_;
   }
@@ -97,11 +97,11 @@ struct RsaPrivateKey {
       qinv = o.qinv;
       std::shared_ptr<const Montgomery> sp, sq;
       {
-        std::lock_guard lk(o.mont_mu_);
+        util::MutexLock lk(o.mont_mu_);
         sp = o.mont_p_;
         sq = o.mont_q_;
       }
-      std::lock_guard lk(mont_mu_);
+      util::MutexLock lk(mont_mu_);
       mont_p_ = std::move(sp);
       mont_q_ = std::move(sq);
     }
@@ -111,12 +111,12 @@ struct RsaPrivateKey {
   bool has_crt() const noexcept { return !p.is_zero() && !q.is_zero(); }
 
   const Montgomery& montgomery_p() const {
-    std::lock_guard lk(mont_mu_);
+    util::MutexLock lk(mont_mu_);
     if (!mont_p_ || mont_p_->modulus() != p) mont_p_ = std::make_shared<const Montgomery>(p);
     return *mont_p_;
   }
   const Montgomery& montgomery_q() const {
-    std::lock_guard lk(mont_mu_);
+    util::MutexLock lk(mont_mu_);
     if (!mont_q_ || mont_q_->modulus() != q) mont_q_ = std::make_shared<const Montgomery>(q);
     return *mont_q_;
   }
@@ -129,7 +129,7 @@ struct RsaPrivateKey {
   static Result<RsaPrivateKey> decode(BytesView b);
 
  private:
-  mutable std::mutex mont_mu_;
+  mutable util::Mutex mont_mu_{util::LockRank::kCryptoContext, "crypto.mont"};
   mutable std::shared_ptr<const Montgomery> mont_p_;
   mutable std::shared_ptr<const Montgomery> mont_q_;
 };

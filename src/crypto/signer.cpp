@@ -75,7 +75,7 @@ bool VerifierCache::verify(SigAlgorithm alg, BytesView public_key, BytesView msg
   const Digest dg = Sha256::hash(public_key);
   std::string cache_key(reinterpret_cast<const char*>(dg.data()), dg.size());
   {
-    std::shared_lock lk(mu_);
+    util::ReadLock lk(mu_);
     if (auto it = rsa_keys_.find(cache_key); it != rsa_keys_.end()) {
       RsaPublicKey key = it->second;  // shares the pre-built context
       lk.unlock();
@@ -91,7 +91,7 @@ bool VerifierCache::verify(SigAlgorithm alg, BytesView public_key, BytesView msg
   // shares it instead of rebuilding per lookup.
   key.montgomery();
   {
-    std::unique_lock lk(mu_);
+    util::WriteLock lk(mu_);
     if (rsa_keys_.size() >= kMaxEntries) rsa_keys_.clear();
     rsa_keys_.emplace(std::move(cache_key), key);
   }
@@ -99,12 +99,12 @@ bool VerifierCache::verify(SigAlgorithm alg, BytesView public_key, BytesView msg
 }
 
 void VerifierCache::clear() {
-  std::unique_lock lk(mu_);
+  util::WriteLock lk(mu_);
   rsa_keys_.clear();
 }
 
 std::size_t VerifierCache::size() const {
-  std::shared_lock lk(mu_);
+  util::ReadLock lk(mu_);
   return rsa_keys_.size();
 }
 

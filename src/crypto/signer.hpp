@@ -7,11 +7,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
+#include "util/lock_discipline.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/rsa.hpp"
 #include "util/bytes.hpp"
@@ -62,8 +61,8 @@ class VerifierCache {
   // Decoded keys by SHA-256 of the wire-form key. Bounded: cleared wholesale
   // if an adversarial workload pushes past kMaxEntries distinct keys.
   static constexpr std::size_t kMaxEntries = 1024;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, RsaPublicKey> rsa_keys_;
+  mutable util::SharedMutex mu_{util::LockRank::kVerifierKeys, "crypto.verifier_cache"};
+  std::unordered_map<std::string, RsaPublicKey> rsa_keys_ NONREP_GUARDED_BY(mu_);
 };
 
 class RsaSigner final : public Signer {
@@ -95,18 +94,18 @@ class MerkleSchemeSigner final : public Signer {
   /// successor) must never sign with the same leaf — that would void the
   /// one-time-signature security the evidence rests on.
   Result<Bytes> sign(BytesView msg) override {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     return signer_.sign(msg);
   }
 
   std::size_t remaining() const {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     return signer_.capacity() - signer_.used();
   }
 
  private:
-  mutable std::mutex mu_;
-  MerkleSigner signer_;
+  mutable util::Mutex mu_{util::LockRank::kSignerState, "crypto.merkle_signer"};
+  MerkleSigner signer_ NONREP_GUARDED_BY(mu_);
 };
 
 }  // namespace nonrep::crypto

@@ -107,7 +107,7 @@ SyncStage::~SyncStage() {
 
 void SyncStage::request(int fd, std::uint64_t target_lsn,
                         std::uint64_t target_bytes) {
-  std::unique_lock lk(mu_);
+  util::UniqueLock lk(mu_);
   if (stop_ || crashed_) return;
   if (!thread_.joinable()) thread_ = std::thread([this] { worker(); });
   if (queue_.size() + executing_ >= opt_.max_batches_in_flight) {
@@ -128,14 +128,14 @@ void SyncStage::request(int fd, std::uint64_t target_lsn,
 }
 
 Status SyncStage::drain() {
-  std::unique_lock lk(mu_);
+  util::UniqueLock lk(mu_);
   done_cv_.wait(lk, [&] { return executed_ >= requested_; });
   return error_;
 }
 
 void SyncStage::crash(Status reason) {
   {
-    std::unique_lock lk(mu_);
+    util::UniqueLock lk(mu_);
     if (!crashed_) {
       crashed_ = true;
       // Queued barriers never ran: account them as executed so drain()
@@ -154,18 +154,18 @@ void SyncStage::crash(Status reason) {
 
 Status SyncStage::shutdown() {
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
   done_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return error_;
 }
 
 void SyncStage::prepare_spare(const std::string& path, std::uint64_t bytes) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   if (stop_ || crashed_) return;
   if (spare_ready_path_ == path && spare_fd_ >= 0) return;  // already there
   if (!thread_.joinable()) thread_ = std::thread([this] { worker(); });
@@ -175,7 +175,7 @@ void SyncStage::prepare_spare(const std::string& path, std::uint64_t bytes) {
 }
 
 int SyncStage::take_spare(const std::string& path) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   if (spare_fd_ < 0) return -1;
   if (spare_ready_path_ != path) {
     ::close(spare_fd_);
@@ -190,17 +190,17 @@ int SyncStage::take_spare(const std::string& path) {
 }
 
 SyncStage::Stats SyncStage::stats() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return stats_;
 }
 
 Status SyncStage::error() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return error_;
 }
 
 void SyncStage::worker() {
-  std::unique_lock lk(mu_);
+  util::UniqueLock lk(mu_);
   for (;;) {
     cv_.wait(lk, [&] {
       return stop_ || !queue_.empty() || !spare_want_path_.empty();
@@ -249,7 +249,7 @@ void SyncStage::worker() {
 
 void SyncStage::fail_locked_unlocked(Status s) {
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     if (error_.ok()) error_ = s;
   }
   state_->fail(std::move(s));
@@ -281,7 +281,7 @@ void SyncStage::run_fallback_group(std::deque<Job>& group) {
     metrics().batch_records.record(last.target_lsn - last_retired_lsn_);
     if (folded > 0) metrics().coalesced.add(folded);
     {
-      std::lock_guard lk(mu_);
+      util::MutexLock lk(mu_);
       ++stats_.barriers;
       stats_.coalesced += folded;
     }
@@ -345,7 +345,7 @@ void SyncStage::run_uring_group(std::deque<Job>& group) {
   metrics().fsync_ns.record(elapsed_ns(t0));
   metrics().syncs.add(group.size());
   metrics().out_of_order.add(ooo);
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   stats_.barriers += group.size();
   stats_.out_of_order += ooo;
 }
@@ -360,7 +360,7 @@ void SyncStage::make_spare(std::string path, std::uint64_t bytes) {
     (void)::fallocate(fd, FALLOC_FL_KEEP_SIZE, 0,
                       static_cast<off_t>(bytes));
   }
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   if (stop_ || crashed_ || !spare_want_path_.empty()) {
     // Shutting down, or a newer request superseded this one.
     ::close(fd);

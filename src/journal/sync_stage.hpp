@@ -31,15 +31,14 @@
 // state (never the writer's mutex); crash() and shutdown() join it.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "util/lock_discipline.hpp"
 #include "journal/ticket.hpp"
 #include "util/result.hpp"
 
@@ -162,16 +161,16 @@ class SyncStage {
   Options opt_;
   std::unique_ptr<class UringQueue> ring_;  // null: fallback engine
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // worker wakeups
-  std::condition_variable done_cv_;   // drain()/backpressure wakeups
-  std::deque<Job> queue_;
-  std::uint64_t requested_ = 0;  // barriers enqueued over the stage lifetime
-  std::uint64_t executed_ = 0;   // barriers executed (or abandoned)
-  std::size_t executing_ = 0;    // barriers taken by the worker, not yet done
-  bool stop_ = false;
-  bool crashed_ = false;
-  Status error_;
+  mutable util::Mutex mu_{util::LockRank::kJournalSync, "journal.sync_stage"};
+  util::CondVar cv_;       // worker wakeups
+  util::CondVar done_cv_;  // drain()/backpressure wakeups
+  std::deque<Job> queue_ NONREP_GUARDED_BY(mu_);
+  std::uint64_t requested_ NONREP_GUARDED_BY(mu_) = 0;  // barriers enqueued over the stage lifetime
+  std::uint64_t executed_ NONREP_GUARDED_BY(mu_) = 0;   // barriers executed (or abandoned)
+  std::size_t executing_ NONREP_GUARDED_BY(mu_) = 0;    // barriers taken by the worker, not yet done
+  bool stop_ NONREP_GUARDED_BY(mu_) = false;
+  bool crashed_ NONREP_GUARDED_BY(mu_) = false;
+  Status error_ NONREP_GUARDED_BY(mu_);
 
   // Spare preallocation slot.
   std::string spare_want_path_;   // non-empty: worker should prepare this

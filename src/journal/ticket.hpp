@@ -15,11 +15,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "util/lock_discipline.hpp"
 #include "util/result.hpp"
 
 namespace nonrep::journal {
@@ -28,11 +27,11 @@ namespace nonrep::journal {
 /// index) and how many bytes of the active segment the device has committed.
 /// The sync stage publishes, tickets and wait_durable() observe.
 struct DurabilityState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::uint64_t durable_lsn = 0;    // records the device has committed
-  std::uint64_t durable_bytes = 0;  // active-segment bytes those barriers covered
-  Status error;                     // sticky: first barrier/crash failure
+  util::Mutex mu{util::LockRank::kJournalState, "journal.durability_state"};
+  util::CondVar cv;
+  std::uint64_t durable_lsn NONREP_GUARDED_BY(mu) = 0;    // records the device has committed
+  std::uint64_t durable_bytes NONREP_GUARDED_BY(mu) = 0;  // active-segment bytes those barriers covered
+  Status error NONREP_GUARDED_BY(mu);                     // sticky: first barrier/crash failure
 
   // Ticket accounting (Writer::Stats / obs). Relaxed: counters only.
   std::atomic<std::uint64_t> ticket_waits{0};
@@ -41,7 +40,7 @@ struct DurabilityState {
   /// Publish a retired barrier and settle every ticket it covers.
   void retire(std::uint64_t lsn, std::uint64_t bytes) {
     {
-      std::lock_guard lk(mu);
+      util::MutexLock lk(mu);
       if (lsn > durable_lsn) durable_lsn = lsn;
       if (bytes > durable_bytes) durable_bytes = bytes;
     }
@@ -51,7 +50,7 @@ struct DurabilityState {
   /// Record a sticky failure and wake every waiter. First error wins.
   void fail(Status s) {
     {
-      std::lock_guard lk(mu);
+      util::MutexLock lk(mu);
       if (error.ok()) error = std::move(s);
     }
     cv.notify_all();
@@ -82,7 +81,7 @@ class DurableFuture {
   /// True once the record is durable or the writer has failed.
   bool ready() const {
     if (!state_) return true;
-    std::lock_guard lk(state_->mu);
+    util::MutexLock lk(state_->mu);
     return state_->durable_lsn >= lsn_ || !state_->error.ok();
   }
 
@@ -90,7 +89,7 @@ class DurableFuture {
   /// writer error when durability can no longer happen. Re-waitable.
   Status wait() const {
     if (!state_) return Status::ok_status();
-    std::unique_lock lk(state_->mu);
+    util::UniqueLock lk(state_->mu);
     if (state_->durable_lsn < lsn_ && state_->error.ok()) {
       state_->ticket_waits.fetch_add(1, std::memory_order_relaxed);
       const auto t0 = std::chrono::steady_clock::now();

@@ -268,7 +268,7 @@ Result<AppendTicket> Writer::append_async(BytesView payload) {
                        std::to_string(payload.size()) + " bytes exceeds the " +
                            std::to_string(kMaxBodyBytes) + "-byte body limit");
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  util::UniqueLock lock(mu_);
   while (sealing_) cv_.wait(lock);
   if (closed_) return Error::make("journal.closed", "writer is closed");
   if (!io_error_.ok()) return io_error_.error();
@@ -362,7 +362,7 @@ DurableFuture Writer::durable_future(std::uint64_t lsn) const {
 }
 
 Status Writer::sync() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::UniqueLock lock(mu_);
   while (sealing_) cv_.wait(lock);
   if (!io_error_.ok()) return io_error_;
   if (closed_ || fd_ < 0) return io_error_;
@@ -379,7 +379,7 @@ Status Writer::sync() {
 }
 
 Status Writer::close() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::UniqueLock lock(mu_);
   while (sealing_) cv_.wait(lock);
   if (closed_) return io_error_;
   sealing_ = true;
@@ -397,7 +397,7 @@ Status Writer::close() {
 }
 
 void Writer::simulate_crash() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::UniqueLock lock(mu_);
   while (sealing_) cv_.wait(lock);
   // Whatever never reached the OS is gone, exactly as in a real crash; the
   // fd is abandoned without a seal or a final sync. Queued barriers are
@@ -416,20 +416,20 @@ void Writer::simulate_crash() {
 }
 
 std::uint64_t Writer::next_sequence() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return next_seq_;
 }
 
 Status Writer::health() const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!io_error_.ok()) return io_error_;
   }
   return stage_->error();
 }
 
 Writer::Stats Writer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Stats s = stats_;
   const SyncStage::Stats stage = stage_->stats();
   s.syncs = stage.barriers;
@@ -441,7 +441,7 @@ Writer::Stats Writer::stats() const {
   s.ticket_waits = state_->ticket_waits.load(std::memory_order_relaxed);
   s.ticket_wait_ns = state_->ticket_wait_ns.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> sl(state_->mu);
+    util::MutexLock sl(state_->mu);
     s.durable_bytes = state_->durable_bytes;
   }
   return s;

@@ -48,14 +48,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/lock_discipline.hpp"
 #include "journal/format.hpp"
 #include "journal/ticket.hpp"
 #include "util/result.hpp"
@@ -185,36 +184,36 @@ class Writer {
   explicit Writer(Options options);  // defined where SyncStage is complete
 
   // All _locked members require mu_ held.
-  Status open_segment_locked(std::uint64_t first_sequence);
-  Status flush_locked();  // pending_ -> fd
-  void request_barrier_locked();          // barrier to written_lsn_ (dedup'd)
-  Status seal_locked();                   // checkpoint + drain + close fd
-  Status maybe_rotate_locked();
+  Status open_segment_locked(std::uint64_t first_sequence) NONREP_REQUIRES(mu_);
+  Status flush_locked() NONREP_REQUIRES(mu_);  // pending_ -> fd
+  void request_barrier_locked() NONREP_REQUIRES(mu_);  // barrier to written_lsn_ (dedup'd)
+  Status seal_locked() NONREP_REQUIRES(mu_);  // checkpoint + drain + close fd
+  Status maybe_rotate_locked() NONREP_REQUIRES(mu_);
   std::string spare_path() const;
 
   Options opt_;
   std::shared_ptr<DurabilityState> state_;
   std::unique_ptr<SyncStage> stage_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int fd_ = -1;
-  std::string active_path_;
-  std::uint64_t active_first_seq_ = 0;
-  std::uint64_t active_bytes_ = 0;  // bytes in the fd (header + frames)
-  std::vector<crypto::Digest> leaves_;  // Merkle leaves of the active segment
+  mutable util::Mutex mu_{util::LockRank::kJournalWriter, "journal.writer"};
+  util::CondVar cv_;
+  int fd_ NONREP_GUARDED_BY(mu_) = -1;
+  std::string active_path_ NONREP_GUARDED_BY(mu_);
+  std::uint64_t active_first_seq_ NONREP_GUARDED_BY(mu_) = 0;
+  std::uint64_t active_bytes_ NONREP_GUARDED_BY(mu_) = 0;  // bytes in the fd (header + frames)
+  std::vector<crypto::Digest> leaves_ NONREP_GUARDED_BY(mu_);  // Merkle leaves of the active segment
 
-  Bytes pending_;                  // encoded frames not yet written to the fd
-  std::size_t pending_records_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t appended_lsn_ = 0;   // records handed to append_async()
-  std::uint64_t written_lsn_ = 0;    // records written to the fd
-  std::uint64_t requested_lsn_ = 0;  // highest lsn a queued barrier covers
-  bool sealing_ = false;  // checkpoint/rotation in flight; appends wait
-  bool closed_ = false;
-  std::chrono::steady_clock::time_point last_barrier_request_{};
-  Status io_error_;  // first unrecovered append-path I/O failure, sticky
-  Stats stats_;
+  Bytes pending_ NONREP_GUARDED_BY(mu_);  // encoded frames not yet written to the fd
+  std::size_t pending_records_ NONREP_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_seq_ NONREP_GUARDED_BY(mu_) = 0;
+  std::uint64_t appended_lsn_ NONREP_GUARDED_BY(mu_) = 0;   // records handed to append_async()
+  std::uint64_t written_lsn_ NONREP_GUARDED_BY(mu_) = 0;    // records written to the fd
+  std::uint64_t requested_lsn_ NONREP_GUARDED_BY(mu_) = 0;  // highest lsn a queued barrier covers
+  bool sealing_ NONREP_GUARDED_BY(mu_) = false;  // checkpoint/rotation in flight; appends wait
+  bool closed_ NONREP_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point last_barrier_request_ NONREP_GUARDED_BY(mu_){};
+  Status io_error_ NONREP_GUARDED_BY(mu_);  // first unrecovered append-path I/O failure, sticky
+  Stats stats_ NONREP_GUARDED_BY(mu_);
 };
 
 }  // namespace nonrep::journal

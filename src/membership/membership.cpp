@@ -20,12 +20,12 @@ void MembershipService::create_group(const ObjectId& object,
   View view;
   view.version = 1;
   for (const auto& m : initial) view.members[m.party] = m.address;
-  std::unique_lock lock(mu_);
+  util::WriteLock lock(mu_);
   groups_[object] = std::move(view);
 }
 
 Result<View> MembershipService::view(const ObjectId& object) const {
-  std::shared_lock lock(mu_);
+  util::ReadLock lock(mu_);
   auto it = groups_.find(object);
   if (it == groups_.end()) {
     return Error::make("membership.unknown_group", object.str());
@@ -34,7 +34,7 @@ Result<View> MembershipService::view(const ObjectId& object) const {
 }
 
 Status MembershipService::apply_change(const ObjectId& object, const View& next) {
-  std::unique_lock lock(mu_);
+  util::WriteLock lock(mu_);
   auto it = groups_.find(object);
   if (it == groups_.end()) {
     return Error::make("membership.unknown_group", object.str());
@@ -49,7 +49,7 @@ Status MembershipService::apply_change(const ObjectId& object, const View& next)
 }
 
 bool MembershipService::has_group(const ObjectId& object) const {
-  std::shared_lock lock(mu_);
+  util::ReadLock lock(mu_);
   return groups_.contains(object);
 }
 

@@ -10,9 +10,9 @@
 #include <map>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 
+#include "util/lock_discipline.hpp"
 #include "net/network.hpp"
 #include "util/ids.hpp"
 #include "util/result.hpp"
@@ -55,8 +55,8 @@ class MembershipService {
   bool has_group(const ObjectId& object) const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<ObjectId, View> groups_;
+  mutable util::SharedMutex mu_{util::LockRank::kMembership, "membership.registry"};
+  std::map<ObjectId, View> groups_ NONREP_GUARDED_BY(mu_);
 };
 
 }  // namespace nonrep::membership

@@ -22,7 +22,7 @@ ReliableEndpoint::~ReliableEndpoint() {
   // Cancel every pending retry timer — they capture `this` and would
   // otherwise fire into a destroyed endpoint if the pump keeps running.
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     for (auto& [id, pending] : pending_) {
       (void)id;
       if (pending.retry_timer) *pending.retry_timer = false;
@@ -36,14 +36,14 @@ ReliableEndpoint::~ReliableEndpoint() {
 }
 
 void ReliableEndpoint::set_handler(Handler handler) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   handler_ = std::move(handler);
 }
 
 void ReliableEndpoint::send(const Address& to, Bytes payload) {
   std::uint64_t id;
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     id = next_msg_id_++;
     pending_[id] = Pending{to, std::move(payload), 0, false, {}};
   }
@@ -53,7 +53,7 @@ void ReliableEndpoint::send(const Address& to, Bytes payload) {
 void ReliableEndpoint::try_send(const Address& to, std::uint64_t msg_id) {
   Bytes frame;
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     auto it = pending_.find(msg_id);
     if (it == pending_.end() || it->second.acked) return;
     Pending& p = it->second;
@@ -75,7 +75,7 @@ void ReliableEndpoint::try_send(const Address& to, std::uint64_t msg_id) {
   network_.send(address_, to, std::move(frame));
   auto timer = network_.schedule_cancelable(
       config_.retry_interval, [this, to, msg_id] { try_send(to, msg_id); });
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   if (auto it = pending_.find(msg_id); it != pending_.end()) {
     it->second.retry_timer = std::move(timer);
   } else {
@@ -91,7 +91,7 @@ void ReliableEndpoint::on_raw(const Address& from, BytesView raw) {
   if (!id) return;
 
   if (type.value() == kAck) {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     auto it = pending_.find(id.value());
     if (it != pending_.end()) {
       if (it->second.retry_timer) *it->second.retry_timer = false;
@@ -109,7 +109,7 @@ void ReliableEndpoint::on_raw(const Address& from, BytesView raw) {
 
   Handler handler;
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     if (!seen_.insert({from, id.value()}).second) return;  // duplicate
     handler = handler_;
   }

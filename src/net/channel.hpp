@@ -15,10 +15,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 
+#include "util/lock_discipline.hpp"
 #include "net/network.hpp"
 
 namespace nonrep::net {
@@ -63,11 +63,11 @@ class ReliableEndpoint {
     SimNetwork::TimerHandle retry_timer;  // cancelled on ACK
   };
 
-  mutable std::mutex mu_;  // guards handler_, pending_, seen_, next_msg_id_
-  Handler handler_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::set<std::pair<Address, std::uint64_t>> seen_;  // dedup of delivered ids
-  std::uint64_t next_msg_id_ = 1;
+  mutable util::Mutex mu_{util::LockRank::kChannel, "net.channel"};
+  Handler handler_ NONREP_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, Pending> pending_ NONREP_GUARDED_BY(mu_);
+  std::set<std::pair<Address, std::uint64_t>> seen_ NONREP_GUARDED_BY(mu_);  // dedup of delivered ids
+  std::uint64_t next_msg_id_ NONREP_GUARDED_BY(mu_) = 1;
   std::atomic<std::uint64_t> retransmissions_{0};
   std::atomic<std::uint64_t> gave_up_{0};
 };

@@ -58,30 +58,30 @@ SimNetwork::SimNetwork(std::shared_ptr<SimClock> clock, std::uint64_t seed)
 SimNetwork::~SimNetwork() {
   // Workers hold `this` while draining strands; wait them out. Parked
   // nested calls wake via their real-time capped waits.
-  std::unique_lock lk(mu_);
+  util::UniqueLock lk(mu_);
   cv_.wait(lk, [&] { return inflight_ == 0; });
 }
 
 SimNetwork::PumpScope::PumpScope(SimNetwork& n) : net(n) {
-  std::lock_guard lk(net.mu_);
+  util::MutexLock lk(net.mu_);
   ++net.pump_depth_;
   net.pump_thread_.store(std::this_thread::get_id(), std::memory_order_relaxed);
 }
 
 SimNetwork::PumpScope::~PumpScope() {
-  std::lock_guard lk(net.mu_);
+  util::MutexLock lk(net.mu_);
   if (--net.pump_depth_ == 0) {
     net.pump_thread_.store(std::thread::id{}, std::memory_order_relaxed);
   }
 }
 
 void SimNetwork::register_endpoint(const Address& addr, Handler handler) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   endpoints_[addr] = std::move(handler);
 }
 
 void SimNetwork::unregister_endpoint(const Address& addr) {
-  std::unique_lock lk(mu_);
+  util::UniqueLock lk(mu_);
   endpoints_.erase(addr);
   // Concurrent mode: a worker may have copied this endpoint's handler out
   // before the erase. Wait for every in-flight upcall to the address to
@@ -100,12 +100,12 @@ void SimNetwork::unregister_endpoint(const Address& addr) {
 }
 
 void SimNetwork::set_link(const Address& from, const Address& to, LinkConfig config) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   links_[{from, to}] = config;
 }
 
 void SimNetwork::set_partitioned(const Address& a, const Address& b, bool partitioned) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   LinkConfig ab = link_for_locked(a, b);
   ab.partitioned = partitioned;
   links_[{a, b}] = ab;
@@ -115,17 +115,17 @@ void SimNetwork::set_partitioned(const Address& a, const Address& b, bool partit
 }
 
 void SimNetwork::set_default_link(LinkConfig config) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   default_link_ = config;
 }
 
 void SimNetwork::set_executor(std::shared_ptr<util::ThreadPool> pool) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   pool_ = std::move(pool);
 }
 
 bool SimNetwork::concurrent() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return pool_ != nullptr;
 }
 
@@ -149,7 +149,7 @@ void SimNetwork::enqueue_delivery_locked(const Address& from, const Address& to,
 
 void SimNetwork::send(const Address& from, const Address& to, Bytes payload) {
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     ++stats_.sent;
     stats_.bytes_sent += payload.size();
     const LinkConfig link = link_for_locked(from, to);
@@ -170,7 +170,7 @@ void SimNetwork::send(const Address& from, const Address& to, Bytes payload) {
 
 void SimNetwork::schedule(TimeMs delay, std::function<void()> fn) {
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     Event e;
     e.at = clock_->now() + delay;
     e.seq = next_seq_++;
@@ -184,7 +184,7 @@ SimNetwork::TimerHandle SimNetwork::schedule_cancelable(TimeMs delay,
                                                         std::function<void()> fn) {
   auto handle = std::make_shared<std::atomic<bool>>(true);
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     Event e;
     e.at = clock_->now() + delay;
     e.seq = next_seq_++;
@@ -207,7 +207,7 @@ void SimNetwork::drain_strand(Address to) {
   tls_strand_net = this;
   tls_strand_addr = &to;
   tls_strand_yielded = false;
-  std::unique_lock lk(mu_);
+  util::UniqueLock lk(mu_);
   for (;;) {
     Strand& s = strands_[to];
     if (s.q.empty()) {
@@ -228,6 +228,7 @@ void SimNetwork::drain_strand(Address to) {
     const std::uint64_t epoch = s.epoch;
     ++s.executing;
     lk.unlock();
+    NONREP_ASSERT_NO_LOCKS_HELD("SimNetwork::drain_strand handler upcall");
     if (handler) handler(e.from, e.payload);
     lk.lock();
     --strands_[to].executing;
@@ -249,7 +250,7 @@ void SimNetwork::drain_strand(Address to) {
 bool SimNetwork::yield_strand() {
   if (tls_strand_net != this || tls_strand_addr == nullptr) return false;
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     if (!tls_strand_yielded) {
       // First park in this frame: hand the strand to a successor so later
       // traffic to the party (including the awaited response) is served.
@@ -275,28 +276,32 @@ bool SimNetwork::yield_strand() {
 }
 
 void SimNetwork::begin_external_work() {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   ++inflight_;
 }
 
 void SimNetwork::end_external_work() {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   --inflight_;
   cv_.notify_all();  // under the lock: see pump_one
 }
 
 void SimNetwork::quiesce_timers() {
   if (tls_timer_depth > 0) return;  // our own frame would never drain
-  std::unique_lock lk(mu_);
+  util::UniqueLock lk(mu_);
   cv_.wait(lk, [&] { return timer_callbacks_ == 0; });
 }
 
 bool SimNetwork::pump_one() {
+  // The pump dispatches arbitrary handler/timer upcalls; entering it with a
+  // subsystem lock held is a latent deadlock (the upcall may block on that
+  // very lock from another thread).
+  NONREP_ASSERT_NO_LOCKS_HELD("SimNetwork::pump_one");
   Event e;
   Handler handler;
   bool deliver_inline = false;
   {
-    std::unique_lock lk(mu_);
+    util::UniqueLock lk(mu_);
     for (;;) {
       // Discard cancelled timers without advancing the clock.
       while (!events_.empty() && events_.top().timer_active &&
@@ -364,7 +369,7 @@ bool SimNetwork::pump_one() {
   }
   --tls_callback_depth;
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     --inflight_;
     if (e.timer) --timer_callbacks_;
     // Notify under the lock: a waiter (drain()/quiesce_timers()/the
@@ -385,7 +390,7 @@ std::size_t SimNetwork::run(std::size_t max_events) {
       ++n;
       continue;
     }
-    std::unique_lock lk(mu_);
+    util::UniqueLock lk(mu_);
     if (inflight_ <= tls_callback_depth) {
       if (events_.empty()) break;
       continue;  // a worker raced new events in
@@ -405,7 +410,7 @@ bool SimNetwork::run_until(const std::function<bool()>& predicate, std::size_t m
       ++n;
       continue;
     }
-    std::unique_lock lk(mu_);
+    util::UniqueLock lk(mu_);
     if (inflight_ <= tls_callback_depth) {
       if (events_.empty()) return predicate();
       continue;
@@ -419,14 +424,14 @@ void SimNetwork::run_live() {
   PumpScope scope(*this);
   for (;;) {
     {
-      std::lock_guard lk(mu_);
+      util::MutexLock lk(mu_);
       if (stop_live_) {
         stop_live_ = false;
         return;
       }
     }
     if (pump_one()) continue;
-    std::unique_lock lk(mu_);
+    util::UniqueLock lk(mu_);
     if (stop_live_) {
       stop_live_ = false;
       return;
@@ -437,14 +442,14 @@ void SimNetwork::run_live() {
 
 void SimNetwork::stop_live() {
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     stop_live_ = true;
   }
   cv_.notify_all();
 }
 
 void SimNetwork::drain() {
-  std::unique_lock lk(mu_);
+  util::UniqueLock lk(mu_);
   cv_.wait(lk, [&] { return events_.empty() && inflight_ == 0; });
 }
 
@@ -453,17 +458,17 @@ bool SimNetwork::on_pump_thread() const {
 }
 
 bool SimNetwork::idle() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return events_.empty() && inflight_ == 0;
 }
 
 NetworkStats SimNetwork::stats() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return stats_;
 }
 
 void SimNetwork::reset_stats() {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   stats_ = NetworkStats{};
 }
 

@@ -25,17 +25,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 
+#include "util/lock_discipline.hpp"
 #include "crypto/drbg.hpp"
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
@@ -188,30 +187,31 @@ class SimNetwork {
     SimNetwork& net;
   };
 
-  LinkConfig link_for_locked(const Address& from, const Address& to) const;
+  LinkConfig link_for_locked(const Address& from, const Address& to) const
+      NONREP_REQUIRES(mu_);
   void enqueue_delivery_locked(const Address& from, const Address& to, Bytes payload,
-                               TimeMs delay);
-  void spawn_drain_locked(const Address& to);
+                               TimeMs delay) NONREP_REQUIRES(mu_);
+  void spawn_drain_locked(const Address& to) NONREP_REQUIRES(mu_);
   void drain_strand(Address to);
   bool pump_one();  // step() body; shared by all run loops
 
   std::shared_ptr<SimClock> clock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  // pump wakeups + drain()/dtor waits
-  crypto::Drbg rng_;
-  std::map<Address, Handler> endpoints_;
-  std::map<std::pair<Address, Address>, LinkConfig> links_;
-  LinkConfig default_link_{};
-  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
-  std::uint64_t next_seq_ = 0;
-  NetworkStats stats_{};
+  mutable util::Mutex mu_{util::LockRank::kNetwork, "net.network"};
+  util::CondVar cv_;  // pump wakeups + drain()/dtor waits
+  crypto::Drbg rng_ NONREP_GUARDED_BY(mu_);
+  std::map<Address, Handler> endpoints_ NONREP_GUARDED_BY(mu_);
+  std::map<std::pair<Address, Address>, LinkConfig> links_ NONREP_GUARDED_BY(mu_);
+  LinkConfig default_link_ NONREP_GUARDED_BY(mu_){};
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_ NONREP_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ NONREP_GUARDED_BY(mu_) = 0;
+  NetworkStats stats_ NONREP_GUARDED_BY(mu_){};
 
   std::shared_ptr<util::ThreadPool> pool_;
-  std::map<Address, Strand> strands_;
-  std::size_t inflight_ = 0;  // active drain tasks (including parked ones)
-  std::size_t timer_callbacks_ = 0;  // timer closures currently executing
-  bool stop_live_ = false;
+  std::map<Address, Strand> strands_ NONREP_GUARDED_BY(mu_);
+  std::size_t inflight_ NONREP_GUARDED_BY(mu_) = 0;  // active drain tasks (including parked ones)
+  std::size_t timer_callbacks_ NONREP_GUARDED_BY(mu_) = 0;  // timer closures currently executing
+  bool stop_live_ NONREP_GUARDED_BY(mu_) = false;
   std::atomic<std::thread::id> pump_thread_{};
   int pump_depth_ = 0;  // nested run_until from the pump thread
 };

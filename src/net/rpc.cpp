@@ -23,12 +23,12 @@ RpcEndpoint::RpcEndpoint(SimNetwork& network, Address address, ReliableConfig co
 }
 
 void RpcEndpoint::set_request_handler(RequestHandler handler) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   request_handler_ = std::move(handler);
 }
 
 void RpcEndpoint::set_notify_handler(NotifyHandler handler) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   notify_handler_ = std::move(handler);
 }
 
@@ -42,7 +42,7 @@ void RpcEndpoint::notify(const Address& to, Bytes payload) {
 
 Result<Bytes> RpcEndpoint::take_outcome(std::uint64_t rpc_id, const Address& to,
                                         TimeMs timeout) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   auto it = outstanding_.find(rpc_id);
   if (it == outstanding_.end() || !it->second.response.has_value()) {
     outstanding_.erase(rpc_id);
@@ -58,7 +58,7 @@ Result<Bytes> RpcEndpoint::call(const Address& to, Bytes request, TimeMs timeout
   const bool blocking = network_.concurrent() && !network_.on_pump_thread();
   std::uint64_t rpc_id;
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     rpc_id = next_rpc_id_++;
     auto& entry = outstanding_[rpc_id];
     entry.parked = blocking;  // registered before the request can answer
@@ -74,7 +74,7 @@ Result<Bytes> RpcEndpoint::call(const Address& to, Bytes request, TimeMs timeout
   auto timed_out = std::make_shared<std::atomic<bool>>(false);
   auto timer = network_.schedule_cancelable(timeout, [this, rpc_id, timed_out] {
     {
-      std::lock_guard lk(mu_);
+      util::MutexLock lk(mu_);
       timed_out->store(true);
       resume_parked_locked(rpc_id);
     }
@@ -87,7 +87,7 @@ Result<Bytes> RpcEndpoint::call(const Address& to, Bytes request, TimeMs timeout
     const bool yielded = network_.yield_strand();
     bool was_resumed;
     {
-      std::unique_lock lk(mu_);
+      util::UniqueLock lk(mu_);
       response_cv_.wait_for(lk, kRealTimeCap, [&] {
         if (timed_out->load()) return true;
         auto it = outstanding_.find(rpc_id);
@@ -113,7 +113,7 @@ Result<Bytes> RpcEndpoint::call(const Address& to, Bytes request, TimeMs timeout
   }
 
   network_.run_until([&, timed_out] {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     if (timed_out->load()) return true;
     auto it = outstanding_.find(rpc_id);
     return it != outstanding_.end() && it->second.response.has_value();
@@ -146,7 +146,7 @@ void RpcEndpoint::on_message(const Address& from, BytesView raw) {
     case kRequest: {
       RequestHandler handler;
       {
-        std::lock_guard lk(mu_);
+        util::MutexLock lk(mu_);
         handler = request_handler_;
       }
       if (!handler) return;
@@ -160,7 +160,7 @@ void RpcEndpoint::on_message(const Address& from, BytesView raw) {
     }
     case kResponse: {
       {
-        std::lock_guard lk(mu_);
+        util::MutexLock lk(mu_);
         auto it = outstanding_.find(rpc_id.value());
         if (it != outstanding_.end() && !it->second.response.has_value()) {
           it->second.response = payload.value();
@@ -173,7 +173,7 @@ void RpcEndpoint::on_message(const Address& from, BytesView raw) {
     case kOneWay: {
       NotifyHandler handler;
       {
-        std::lock_guard lk(mu_);
+        util::MutexLock lk(mu_);
         handler = notify_handler_;
       }
       if (handler) handler(from, payload.value());

@@ -16,12 +16,11 @@
 //    another worker.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "util/lock_discipline.hpp"
 #include "net/channel.hpp"
 #include "util/result.hpp"
 
@@ -56,7 +55,7 @@ class RpcEndpoint {
   Result<Bytes> take_outcome(std::uint64_t rpc_id, const Address& to, TimeMs timeout);
   /// Caller holds mu_. Marks the parked caller resumed and re-registers it
   /// as in-flight with the network (exactly once per call).
-  void resume_parked_locked(std::uint64_t rpc_id);
+  void resume_parked_locked(std::uint64_t rpc_id) NONREP_REQUIRES(mu_);
 
   SimNetwork& network_;
 
@@ -71,12 +70,12 @@ class RpcEndpoint {
     bool resumed = false;
   };
 
-  mutable std::mutex mu_;  // guards handlers + outstanding_ + next_rpc_id_
-  std::condition_variable response_cv_;
-  RequestHandler request_handler_;
-  NotifyHandler notify_handler_;
-  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
-  std::uint64_t next_rpc_id_ = 1;
+  mutable util::Mutex mu_{util::LockRank::kRpc, "net.rpc"};
+  util::CondVar response_cv_;
+  RequestHandler request_handler_ NONREP_GUARDED_BY(mu_);
+  NotifyHandler notify_handler_ NONREP_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_ NONREP_GUARDED_BY(mu_);
+  std::uint64_t next_rpc_id_ NONREP_GUARDED_BY(mu_) = 1;
 
   // Declared last => destroyed first: ~ReliableEndpoint's unregister wait
   // holds teardown until in-flight handler frames for this address return,

@@ -109,7 +109,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -118,7 +118,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -127,7 +127,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
@@ -137,7 +137,7 @@ Histogram& Registry::histogram(std::string_view name) {
 
 Registry::Snapshot Registry::snapshot() const {
   Snapshot out;
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, c] : counters_) out.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) {
     out.gauges[name] = Snapshot::GaugeValue{g->value(), g->max()};
@@ -158,7 +158,7 @@ Registry::Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -30,10 +30,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/lock_discipline.hpp"
 
 namespace nonrep::obs {
 
@@ -174,10 +175,10 @@ class Registry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable util::Mutex mu_{util::LockRank::kObsRegistry, "obs.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_ NONREP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ NONREP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_ NONREP_GUARDED_BY(mu_);
 };
 
 }  // namespace nonrep::obs

@@ -51,17 +51,17 @@ Tracer& Tracer::global() {
 }
 
 void Tracer::set_clock(std::shared_ptr<const Clock> clock) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   clock_ = std::move(clock);
 }
 
 TimeMs Tracer::vnow() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return clock_ ? clock_->now() : 0;
 }
 
 void Tracer::finish(SpanRecord span) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(span));
   } else {
@@ -72,7 +72,7 @@ void Tracer::finish(SpanRecord span) {
 }
 
 std::vector<SpanRecord> Tracer::snapshot() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   // Once full the ring is circular with head_ pointing at the oldest entry.
@@ -104,7 +104,7 @@ std::string Tracer::to_json() const {
 }
 
 void Tracer::clear() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
 }

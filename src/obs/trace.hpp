@@ -22,11 +22,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/clock.hpp"
+#include "util/lock_discipline.hpp"
 
 namespace nonrep::obs {
 
@@ -85,10 +85,10 @@ class Tracer {
   const std::size_t capacity_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> finished_{0};
-  mutable std::mutex mu_;
-  std::shared_ptr<const Clock> clock_;
-  std::vector<SpanRecord> ring_;  // grows to capacity_, then circular
-  std::size_t head_ = 0;          // next overwrite position once full
+  mutable util::Mutex mu_{util::LockRank::kTracer, "obs.tracer"};
+  std::shared_ptr<const Clock> clock_ NONREP_GUARDED_BY(mu_);
+  std::vector<SpanRecord> ring_ NONREP_GUARDED_BY(mu_);  // grows to capacity_, then circular
+  std::size_t head_ NONREP_GUARDED_BY(mu_) = 0;          // next overwrite position once full
 };
 
 /// Span id of the innermost open Span on this thread (0 outside any span).

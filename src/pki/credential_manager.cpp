@@ -36,11 +36,11 @@ void CredentialManager::invalidate_caches_locked() const {
   // bytes), so its entries can never go stale and survive root/cert/CRL
   // changes.
   {
-    std::lock_guard lk(cache_mu_);
+    util::MutexLock lk(cache_mu_);
     chain_cache_.clear();
   }
   {
-    std::unique_lock lk(memo_mu_);
+    util::WriteLock lk(memo_mu_);
     memo_.clear();
   }
   trust_epoch_.fetch_add(1, std::memory_order_acq_rel);
@@ -54,21 +54,21 @@ Status CredentialManager::add_trusted_root(const Certificate& root) {
                               root.issuer_signature)) {
     return Error::make("pki.bad_root_signature", root.subject.str());
   }
-  std::unique_lock lk(trust_mu_);
+  util::WriteLock lk(trust_mu_);
   roots_[root.subject.str()] = root;
   invalidate_caches_locked();
   return Status::ok_status();
 }
 
 void CredentialManager::add_certificate(const Certificate& cert) {
-  std::unique_lock lk(trust_mu_);
+  util::WriteLock lk(trust_mu_);
   certs_[cert.subject.str()] = cert;
   // A new or replaced intermediate can change the outcome of cached walks.
   invalidate_caches_locked();
 }
 
 Status CredentialManager::install_crl(const RevocationList& crl) {
-  std::unique_lock lk(trust_mu_);
+  util::WriteLock lk(trust_mu_);
   // The CRL must be signed by a known CA (root or stored intermediate).
   const Certificate* issuer_cert = nullptr;
   if (auto it = roots_.find(crl.issuer.str()); it != roots_.end()) {
@@ -101,7 +101,7 @@ const Certificate* CredentialManager::find_locked(const PartyId& subject) const 
 }
 
 Result<Certificate> CredentialManager::find(const PartyId& subject) const {
-  std::shared_lock lk(trust_mu_);
+  util::ReadLock lk(trust_mu_);
   if (const Certificate* cert = find_locked(subject)) return *cert;
   return Error::make("pki.unknown_party", subject.str());
 }
@@ -113,22 +113,22 @@ bool CredentialManager::is_revoked_locked(const PartyId& issuer,
 }
 
 bool CredentialManager::is_revoked(const PartyId& issuer, const std::string& serial) const {
-  std::shared_lock lk(trust_mu_);
+  util::ReadLock lk(trust_mu_);
   return is_revoked_locked(issuer, serial);
 }
 
 std::size_t CredentialManager::chain_cache_size() const {
-  std::lock_guard lk(cache_mu_);
+  util::MutexLock lk(cache_mu_);
   return chain_cache_.size();
 }
 
 std::size_t CredentialManager::chain_cache_hits() const {
-  std::lock_guard lk(cache_mu_);
+  util::MutexLock lk(cache_mu_);
   return chain_cache_hits_;
 }
 
 Status CredentialManager::verify_chain(const Certificate& leaf, TimeMs at) const {
-  std::shared_lock lk(trust_mu_);
+  util::ReadLock lk(trust_mu_);
   return verify_chain_locked(leaf, at);
 }
 
@@ -136,7 +136,7 @@ Status CredentialManager::verify_chain_locked(const Certificate& leaf, TimeMs at
                                               ValidityWindow* window_out) const {
   const std::string digest = cert_digest(leaf);
   {
-    std::lock_guard cache_lk(cache_mu_);
+    util::MutexLock cache_lk(cache_mu_);
     if (auto it = chain_cache_.find(digest); it != chain_cache_.end()) {
       // Trust state is unchanged since the walk (any mutation clears the
       // cache under the exclusive trust lock, which excludes this shared
@@ -174,7 +174,7 @@ Status CredentialManager::verify_chain_locked(const Certificate& leaf, TimeMs at
       // The walk never time-checks the root itself, so the cached window
       // deliberately excludes it — cached and uncached answers must agree.
       if (window_out != nullptr) *window_out = window;
-      std::lock_guard cache_lk(cache_mu_);
+      util::MutexLock cache_lk(cache_mu_);
       chain_cache_.emplace(digest, window);
       return Status::ok_status();
     }
@@ -199,7 +199,7 @@ Status CredentialManager::verify_chain_locked(const Certificate& leaf, TimeMs at
 
 Status CredentialManager::verify_signature(const PartyId& party, BytesView msg,
                                            BytesView signature, TimeMs at) const {
-  std::shared_lock lk(trust_mu_);
+  util::ReadLock lk(trust_mu_);
   const Certificate* cert = find_locked(party);
   if (cert == nullptr) return Error::make("pki.unknown_party", party.str());
   if (auto chain = verify_chain_locked(*cert, at); !chain) return chain;
@@ -229,8 +229,8 @@ std::optional<CredentialManager::ValidityWindow> CredentialManager::memo_probe(
   // The shared trust lock excludes mutations, so an entry read here cannot
   // be a leftover from a different trust state (mutations clear the memo
   // before releasing the exclusive lock).
-  std::shared_lock lk(trust_mu_);
-  std::shared_lock memo_lk(memo_mu_);
+  util::ReadLock lk(trust_mu_);
+  util::ReadLock memo_lk(memo_mu_);
   auto it = memo_.find(memo_key(oid, party));
   if (it == memo_.end() || !it->second.covers(at)) return std::nullopt;
   memo_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -242,9 +242,9 @@ Result<CredentialManager::ValidityWindow> CredentialManager::verify_object(
     const crypto::Digest& oid, const PartyId& party, BytesView msg,
     BytesView signature, TimeMs at) const {
   const crypto::Digest key = memo_key(oid, party);
-  std::shared_lock lk(trust_mu_);
+  util::ReadLock lk(trust_mu_);
   {
-    std::shared_lock memo_lk(memo_mu_);
+    util::ReadLock memo_lk(memo_mu_);
     auto it = memo_.find(key);
     if (it != memo_.end() && it->second.covers(at)) {
       memo_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -267,19 +267,19 @@ Result<CredentialManager::ValidityWindow> CredentialManager::verify_object(
   }
   metrics().object_verifies.add();
 
-  std::unique_lock memo_lk(memo_mu_);
+  util::WriteLock memo_lk(memo_mu_);
   if (memo_.size() >= kMemoMaxEntries) memo_.clear();
   memo_.insert_or_assign(key, window);
   return window;
 }
 
 std::size_t CredentialManager::memo_size() const {
-  std::shared_lock lk(memo_mu_);
+  util::ReadLock lk(memo_mu_);
   return memo_.size();
 }
 
 void CredentialManager::clear_caches() {
-  std::unique_lock lk(trust_mu_);
+  util::WriteLock lk(trust_mu_);
   invalidate_caches_locked();
 }
 

@@ -31,12 +31,11 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
+#include "util/lock_discipline.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
 #include "pki/certificate.hpp"
@@ -132,8 +131,9 @@ class CredentialManager {
   static constexpr std::size_t kMemoMaxEntries = 1u << 20;
 
   // Lock order: trust_mu_ before cache_mu_ / memo_mu_ (never the reverse;
-  // cache_mu_ and memo_mu_ are never nested within each other).
-  mutable std::shared_mutex trust_mu_;
+  // cache_mu_ and memo_mu_ are never nested within each other). Enforced by
+  // the ranks below (util::LockRank) and checked at runtime by lockdep.
+  mutable util::SharedMutex trust_mu_{util::LockRank::kTrustRoots, "pki.trust_roots"};
   std::unordered_map<std::string, Certificate> roots_;  // by subject id
   std::unordered_map<std::string, Certificate> certs_;  // by subject id
   std::unordered_map<std::string, RevocationList> crls_;  // by issuer id
@@ -142,14 +142,14 @@ class CredentialManager {
   // caches are logically const memoization of const queries. Guarded by
   // cache_mu_ — chain walks hold trust_mu_ only shared, yet must record
   // their result. The verifier cache is internally synchronized.
-  mutable std::mutex cache_mu_;
+  mutable util::Mutex cache_mu_{util::LockRank::kVerifyCache, "pki.chain_cache"};
   mutable std::unordered_map<std::string, ValidityWindow> chain_cache_;
   mutable crypto::VerifierCache verifier_cache_;
   mutable std::size_t chain_cache_hits_ = 0;
 
   // Object-id memo (verify_object). shared_mutex: the steady state is
   // concurrent probes from delivery strands and audit workers.
-  mutable std::shared_mutex memo_mu_;
+  mutable util::SharedMutex memo_mu_{util::LockRank::kVerifyMemo, "pki.object_memo"};
   mutable std::unordered_map<crypto::Digest, ValidityWindow, crypto::DigestHash> memo_;
   mutable std::atomic<std::uint64_t> memo_hits_{0};
   mutable std::atomic<std::uint64_t> trust_epoch_{0};

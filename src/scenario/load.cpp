@@ -81,7 +81,9 @@ LoadGenerator::LoadGenerator(LoadConfig config)
     name += std::to_string(i);
     Member m;
     m.party = &world_.add_party(name);
-    m.driver_mu = std::make_unique<std::mutex>();
+    m.driver_mu = std::make_unique<util::Mutex>(
+        util::LockRank::kLoadDriver, "load.driver",
+        util::LockTraits{.deliver_safe = true});
     members_.push_back(std::move(m));
   }
 
@@ -109,7 +111,7 @@ LoadGenerator::~LoadGenerator() {
 
 void LoadGenerator::inject(std::size_t request_index, obs::Histogram& latency_ns,
                            obs::Histogram& service_ns, std::uint64_t timeline_start_ns,
-                           LoadReport& report, std::mutex& report_mu) {
+                           LoadReport& report, util::Mutex& report_mu) {
   // The scheduled arrival slot — the anchor every latency is measured
   // from, whether or not the send actually happened on time.
   const double period_ns = 1e9 / config_.arrival_rate;
@@ -128,7 +130,7 @@ void LoadGenerator::inject(std::size_t request_index, obs::Histogram& latency_ns
 
   // One protocol driver per party at a time; waiting here is queueing
   // delay and lands in the scheduled-slot latency like any other queue.
-  std::lock_guard driver(*m.driver_mu);
+  util::MutexLock driver(*m.driver_mu);
 
   const std::uint64_t start_ns = steady_ns();
 
@@ -148,7 +150,7 @@ void LoadGenerator::inject(std::size_t request_index, obs::Histogram& latency_ns
   latency_ns.record(done_ns - std::min(scheduled_ns, done_ns));
   service_ns.record(done_ns - start_ns);
 
-  std::lock_guard lk(report_mu);
+  util::MutexLock lk(report_mu);
   ++report.attempted;
   if (start_ns > scheduled_ns + 1'000'000) ++report.late_starts;  // >1ms late
   switch (client.last_outcome()) {
@@ -181,7 +183,7 @@ LoadReport LoadGenerator::run() {
 
   obs::Histogram latency_ns;
   obs::Histogram service_ns;
-  std::mutex report_mu;
+  util::Mutex report_mu{util::LockRank::kLoadReport, "load.report"};
 
   // Open-loop injection: `injectors` workers claim request indices from a
   // shared counter and sleep until each request's scheduled slot. When all

@@ -27,11 +27,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/lock_discipline.hpp"
 #include "core/fair_exchange.hpp"
 #include "core/nr_interceptor.hpp"
 #include "obs/metrics.hpp"
@@ -119,12 +119,15 @@ class LoadGenerator {
     // One client-side protocol driver at a time per party: injectors that
     // land on a busy member queue behind this lock, and the wait counts
     // into their (scheduled-slot) latency, exactly like any other queue.
-    std::unique_ptr<std::mutex> driver_mu;
+    // deliver_safe: the driver lock is held across the whole blocking
+    // exchange by design — including nested network pumps — and at rank
+    // kLoadDriver it sits below every subsystem lock those pumps may take.
+    std::unique_ptr<util::Mutex> driver_mu;
   };
 
   void inject(std::size_t request_index, obs::Histogram& latency_ns,
               obs::Histogram& service_ns, std::uint64_t timeline_start_ns,
-              LoadReport& report, std::mutex& report_mu);
+              LoadReport& report, util::Mutex& report_mu);
   Status audit(const LoadReport& report) const;
 
   LoadConfig config_;

@@ -182,7 +182,7 @@ LogRecord EvidenceLog::append(const RunId& run, std::string kind, Bytes payload)
 std::pair<LogRecord, AppendReceipt> EvidenceLog::append_async(const RunId& run,
                                                               std::string kind,
                                                               Bytes payload) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   LogRecord rec;
   rec.sequence = records_.size();
   rec.time = clock_->now();
@@ -213,31 +213,31 @@ Status EvidenceLog::settle(const AppendReceipt& receipt) {
   // instead of stalling until later append traffic triggers the batch.
   if (!receipt.durable.ready()) {
     if (auto forced = backend_->sync(); !forced.ok()) {
-      std::lock_guard lk(mu_);
+      util::MutexLock lk(mu_);
       if (backend_status_.ok()) backend_status_ = forced;
       return forced;
     }
   }
   auto durable = receipt.durable.wait();
   if (!durable.ok()) {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     if (backend_status_.ok()) backend_status_ = durable;
   }
   return durable;
 }
 
 std::size_t EvidenceLog::size() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return records_.size();
 }
 
 std::uint64_t EvidenceLog::payload_bytes() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return payload_bytes_;
 }
 
 Status EvidenceLog::backend_status() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   if (!backend_status_.ok()) return backend_status_;
   // Barriers retire after append_async returns; the backend keeps the
   // sticky failure for records nobody settle()d.
@@ -245,7 +245,7 @@ Status EvidenceLog::backend_status() const {
 }
 
 std::vector<LogRecord> EvidenceLog::find_run(const RunId& run) const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   std::vector<LogRecord> out;
   for (const auto& r : records_) {
     if (r.run == run) out.push_back(r);
@@ -254,7 +254,7 @@ std::vector<LogRecord> EvidenceLog::find_run(const RunId& run) const {
 }
 
 std::optional<LogRecord> EvidenceLog::find(const RunId& run, std::string_view kind) const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   for (const auto& r : records_) {
     if (r.run == run && r.kind == kind) return r;
   }
@@ -262,7 +262,7 @@ std::optional<LogRecord> EvidenceLog::find(const RunId& run, std::string_view ki
 }
 
 Status EvidenceLog::verify_chain() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   crypto::Digest prev{};
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const LogRecord& r = records_[i];

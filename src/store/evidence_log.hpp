@@ -8,12 +8,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/lock_discipline.hpp"
 #include "crypto/sha256.hpp"
 #include "journal/ticket.hpp"
 #include "store/object_store.hpp"
@@ -174,10 +174,10 @@ class EvidenceLog {
   std::unique_ptr<LogBackend> backend_;
   std::shared_ptr<Clock> clock_;
   std::shared_ptr<ObjectStore> objects_;
-  mutable std::mutex mu_;
-  std::vector<LogRecord> records_;
-  std::uint64_t payload_bytes_ = 0;
-  Status backend_status_;
+  mutable util::Mutex mu_{util::LockRank::kEvidenceLog, "store.evidence_log"};
+  std::vector<LogRecord> records_ NONREP_GUARDED_BY(mu_);
+  std::uint64_t payload_bytes_ NONREP_GUARDED_BY(mu_) = 0;
+  Status backend_status_ NONREP_GUARDED_BY(mu_);
 };
 
 /// Chain digest helper (exposed for tests).

@@ -86,7 +86,7 @@ ObjectStore::PutResult ObjectStore::put(std::uint32_t typesig, BytesView payload
   logical_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
   store_metrics().puts.add();
   Shard& shard = shard_for(out.id);
-  std::lock_guard lk(shard.mu);
+  util::MutexLock lk(shard.mu);
   auto [it, inserted] = shard.objects.try_emplace(out.id);
   if (inserted) {
     it->second.typesig = typesig;
@@ -103,7 +103,7 @@ ObjectStore::PutResult ObjectStore::put(std::uint32_t typesig, BytesView payload
 
 Result<Bytes> ObjectStore::get(const ObjectId& id, std::uint32_t expected_typesig) const {
   Shard& shard = shard_for(id);
-  std::lock_guard lk(shard.mu);
+  util::MutexLock lk(shard.mu);
   auto it = shard.objects.find(id);
   if (it == shard.objects.end()) {
     return Error::make("store.unknown_object", "no object for requested id");
@@ -118,7 +118,7 @@ Result<Bytes> ObjectStore::get(const ObjectId& id, std::uint32_t expected_typesi
 
 Result<std::uint32_t> ObjectStore::typesig_of(const ObjectId& id) const {
   Shard& shard = shard_for(id);
-  std::lock_guard lk(shard.mu);
+  util::MutexLock lk(shard.mu);
   auto it = shard.objects.find(id);
   if (it == shard.objects.end()) {
     return Error::make("store.unknown_object", "no object for requested id");
@@ -128,14 +128,14 @@ Result<std::uint32_t> ObjectStore::typesig_of(const ObjectId& id) const {
 
 bool ObjectStore::contains(const ObjectId& id) const {
   Shard& shard = shard_for(id);
-  std::lock_guard lk(shard.mu);
+  util::MutexLock lk(shard.mu);
   return shard.objects.contains(id);
 }
 
 std::size_t ObjectStore::size() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lk(shard->mu);
+    util::MutexLock lk(shard->mu);
     n += shard->objects.size();
   }
   return n;
@@ -144,7 +144,7 @@ std::size_t ObjectStore::size() const {
 std::uint64_t ObjectStore::stored_bytes() const {
   std::uint64_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lk(shard->mu);
+    util::MutexLock lk(shard->mu);
     n += shard->stored_bytes;
   }
   return n;

@@ -28,12 +28,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "util/lock_discipline.hpp"
 #include "crypto/sha256.hpp"
 #include "util/result.hpp"
 
@@ -128,9 +128,11 @@ class ObjectStore {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<ObjectId, Object, crypto::DigestHash> objects;
-    std::uint64_t stored_bytes = 0;
+    mutable util::Mutex mu{util::LockRank::kObjectStore, "store.object_store.shard",
+                           util::LockTraits{.multi = true}};
+    std::unordered_map<ObjectId, Object, crypto::DigestHash> objects
+        NONREP_GUARDED_BY(mu);
+    std::uint64_t stored_bytes NONREP_GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_for(const ObjectId& id) const {

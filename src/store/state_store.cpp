@@ -1,7 +1,9 @@
 #include "store/state_store.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <filesystem>
+#include <functional>
 
 #include "journal/reader.hpp"
 #include "journal/writer.hpp"
@@ -24,7 +26,7 @@ std::pair<crypto::Digest, bool> StateStore::get_or_put(BytesView state) {
   // Hash outside any lock: it is the expensive part of a put.
   const crypto::Digest d = crypto::Sha256::hash(state);
   Shard& s = shard_for(d);
-  std::lock_guard lk(s.mu);
+  util::MutexLock lk(s.mu);
   auto [it, inserted] = s.blobs.try_emplace(d, Bytes(state.begin(), state.end()));
   if (inserted) s.stored_bytes += it->second.size();
   return {d, inserted};
@@ -32,7 +34,7 @@ std::pair<crypto::Digest, bool> StateStore::get_or_put(BytesView state) {
 
 Result<Bytes> StateStore::get(const crypto::Digest& digest) const {
   const Shard& s = shard_for(digest);
-  std::lock_guard lk(s.mu);
+  util::MutexLock lk(s.mu);
   auto it = s.blobs.find(digest);
   if (it == s.blobs.end()) {
     return Error::make("store.unknown_digest", "no state for digest");
@@ -42,14 +44,14 @@ Result<Bytes> StateStore::get(const crypto::Digest& digest) const {
 
 bool StateStore::contains(const crypto::Digest& digest) const {
   const Shard& s = shard_for(digest);
-  std::lock_guard lk(s.mu);
+  util::MutexLock lk(s.mu);
   return s.blobs.contains(digest);
 }
 
 std::size_t StateStore::size() const {
   std::size_t n = 0;
   for (const auto& s : shards_) {
-    std::lock_guard lk(s->mu);
+    util::MutexLock lk(s->mu);
     n += s->blobs.size();
   }
   return n;
@@ -58,17 +60,24 @@ std::size_t StateStore::size() const {
 std::uint64_t StateStore::stored_bytes() const {
   std::uint64_t n = 0;
   for (const auto& s : shards_) {
-    std::lock_guard lk(s->mu);
+    util::MutexLock lk(s->mu);
     n += s->stored_bytes;
   }
   return n;
 }
 
-std::vector<std::unique_lock<std::mutex>> StateStore::lock_all() const {
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(shards_.size());
-  for (const auto& s : shards_) locks.emplace_back(s->mu);
-  return locks;
+StateStore::AllShardsLock::AllShardsLock(
+    const std::vector<std::unique_ptr<Shard>>& shards) {
+  ordered_.reserve(shards.size());
+  for (const auto& s : shards) ordered_.push_back(s.get());
+  std::sort(ordered_.begin(), ordered_.end(), [](const Shard* a, const Shard* b) {
+    return std::less<const util::Mutex*>{}(&a->mu, &b->mu);
+  });
+  for (const Shard* s : ordered_) s->mu.lock();
+}
+
+StateStore::AllShardsLock::~AllShardsLock() {
+  for (auto it = ordered_.rbegin(); it != ordered_.rend(); ++it) (*it)->mu.unlock();
 }
 
 Status StateStore::snapshot_to(const std::string& dir) const {
@@ -80,7 +89,7 @@ Status StateStore::snapshot_to(const std::string& dir) const {
   auto writer = journal::Writer::open(journal::Options{
       .dir = dir, .sync = journal::SyncPolicy::kEveryBatch});
   if (!writer) return writer.error();
-  const auto locks = lock_all();  // one consistent cut across shards
+  const AllShardsLock locks(shards_);  // one consistent cut across shards
   for (const auto& shard : shards_) {
     for (const auto& [digest, blob] : shard->blobs) {
       (void)digest;  // recomputed from content on restore

@@ -18,13 +18,13 @@
 
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "crypto/sha256.hpp"
+#include "util/lock_discipline.hpp"
 #include "util/result.hpp"
 
 namespace nonrep::store {
@@ -57,7 +57,7 @@ class StateStore {
   /// blob, sealed with the segment checkpoint on success). Fails if the
   /// directory already holds segments. All shards are locked for the
   /// duration, so the snapshot is a single consistent cut.
-  Status snapshot_to(const std::string& dir) const;
+  Status snapshot_to(const std::string& dir) const NONREP_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Merge all blobs from a snapshot journal into this store; returns how
   /// many were new. The snapshot must scan clean (CRCs, checkpoints).
@@ -65,9 +65,11 @@ class StateStore {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<crypto::Digest, Bytes, crypto::DigestHash> blobs;
-    std::uint64_t stored_bytes = 0;
+    mutable util::Mutex mu{util::LockRank::kStateStore, "store.state_store.shard",
+                           util::LockTraits{.multi = true}};
+    std::unordered_map<crypto::Digest, Bytes, crypto::DigestHash> blobs
+        NONREP_GUARDED_BY(mu);
+    std::uint64_t stored_bytes NONREP_GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_for(const crypto::Digest& d) const {
@@ -78,8 +80,21 @@ class StateStore {
     return *shards_[h & shard_mask_];
   }
 
-  /// Locks every shard in index order (deadlock-free total order).
-  std::vector<std::unique_lock<std::mutex>> lock_all() const;
+  /// RAII over every shard mutex at once, acquired in *address* order —
+  /// the one total order the lockdep stripe rule (LockTraits::multi)
+  /// accepts for same-class nesting, and a deadlock-free order like any
+  /// other total order. Only snapshot_to holds more than one shard.
+  class AllShardsLock {
+   public:
+    explicit AllShardsLock(const std::vector<std::unique_ptr<Shard>>& shards)
+        NONREP_NO_THREAD_SAFETY_ANALYSIS;
+    ~AllShardsLock() NONREP_NO_THREAD_SAFETY_ANALYSIS;
+    AllShardsLock(const AllShardsLock&) = delete;
+    AllShardsLock& operator=(const AllShardsLock&) = delete;
+
+   private:
+    std::vector<const Shard*> ordered_;  // locked front-to-back, unlocked in reverse
+  };
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_mask_ = 0;

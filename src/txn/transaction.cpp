@@ -15,14 +15,14 @@ std::string to_string(TxnState s) {
 TransactionManager::TransactionManager(std::uint64_t seed) : seed_(seed) {}
 
 TxnId TransactionManager::begin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   TxnId id("txn-" + std::to_string(seed_) + "-" + std::to_string(next_++));
   txns_[id] = Txn{};
   return id;
 }
 
 Status TransactionManager::enlist(const TxnId& txn, std::shared_ptr<Participant> participant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = txns_.find(txn);
   if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
   if (it->second.state != TxnState::kActive) {
@@ -34,7 +34,7 @@ Status TransactionManager::enlist(const TxnId& txn, std::shared_ptr<Participant>
 
 Result<std::vector<std::shared_ptr<Participant>>> TransactionManager::claim(
     const TxnId& txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = txns_.find(txn);
   if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
   if (it->second.state != TxnState::kActive) {
@@ -45,7 +45,7 @@ Result<std::vector<std::shared_ptr<Participant>>> TransactionManager::claim(
 }
 
 void TransactionManager::finish(const TxnId& txn, TxnState terminal) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = txns_.find(txn);
   if (it != txns_.end()) it->second.state = terminal;
 }
@@ -87,14 +87,14 @@ Status TransactionManager::rollback(const TxnId& txn) {
 }
 
 Result<TxnState> TransactionManager::state(const TxnId& txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = txns_.find(txn);
   if (it == txns_.end()) return Error::make("txn.unknown", txn.str());
   return it->second.state;
 }
 
 std::size_t TransactionManager::participant_count(const TxnId& txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = txns_.find(txn);
   return it != txns_.end() ? it->second.participants.size() : 0;
 }

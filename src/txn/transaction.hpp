@@ -10,10 +10,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/lock_discipline.hpp"
 #include "util/ids.hpp"
 #include "util/result.hpp"
 
@@ -85,9 +85,9 @@ class TransactionManager {
   Result<std::vector<std::shared_ptr<Participant>>> claim(const TxnId& txn);
   void finish(const TxnId& txn, TxnState terminal);
 
-  mutable std::mutex mu_;
-  std::map<TxnId, Txn> txns_;
-  std::uint64_t next_ = 1;
+  mutable util::Mutex mu_{util::LockRank::kTxnManager, "txn.manager"};
+  std::map<TxnId, Txn> txns_ NONREP_GUARDED_BY(mu_);
+  std::uint64_t next_ NONREP_GUARDED_BY(mu_) = 1;
   std::uint64_t seed_;
 };
 

@@ -34,7 +34,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -43,7 +43,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     queue_.push_back(std::move(task));
     metrics().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
@@ -51,7 +51,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock lk(mu_);
+  UniqueLock lk(mu_);
   for (;;) {
     work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
     if (queue_.empty()) {
@@ -75,12 +75,12 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lk(mu_);
+  UniqueLock lk(mu_);
   idle_cv_.wait(lk, [&] { return queue_.empty() && running_ == 0; });
 }
 
 std::uint64_t ThreadPool::executed() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return executed_;
 }
 
@@ -102,8 +102,8 @@ void parallel_for(ThreadPool* pool, std::size_t n,
   struct Shared {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex m;
-    std::condition_variable cv;
+    Mutex m{LockRank::kLeaf, "util.parallel_for"};
+    CondVar cv;
   };
   auto shared = std::make_shared<Shared>();
   const auto run_chunks = [shared, &fn, chunks, per, n] {
@@ -114,7 +114,7 @@ void parallel_for(ThreadPool* pool, std::size_t n,
       const std::size_t end = std::min(n, begin + per);
       for (std::size_t i = begin; i < end; ++i) fn(i);
       if (shared->done.fetch_add(1) + 1 == chunks) {
-        std::lock_guard lk(shared->m);
+        MutexLock lk(shared->m);
         shared->cv.notify_all();
       }
     }
@@ -125,7 +125,7 @@ void parallel_for(ThreadPool* pool, std::size_t n,
     pool->submit(run_chunks);
   }
   run_chunks();
-  std::unique_lock lk(shared->m);
+  UniqueLock lk(shared->m);
   shared->cv.wait(lk, [&] { return shared->done.load() == chunks; });
 }
 

@@ -10,16 +10,16 @@
 // (graceful drain), so no submitted work is silently dropped.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/lock_discipline.hpp"
 
 namespace nonrep::util {
 
@@ -58,14 +58,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
-  std::condition_variable idle_cv_;  // waiters: queue empty and none running
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_{LockRank::kThreadPool, "util.thread_pool"};
+  CondVar work_cv_;  // workers: queue non-empty or stopping
+  CondVar idle_cv_;  // waiters: queue empty and none running
+  std::deque<std::function<void()>> queue_ NONREP_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  std::size_t running_ = 0;
-  std::uint64_t executed_ = 0;
-  bool stopping_ = false;
+  std::size_t running_ NONREP_GUARDED_BY(mu_) = 0;
+  std::uint64_t executed_ NONREP_GUARDED_BY(mu_) = 0;
+  bool stopping_ NONREP_GUARDED_BY(mu_) = false;
 };
 
 /// Run fn(0..n-1) across the pool in contiguous chunks and wait for all of
